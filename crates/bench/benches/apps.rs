@@ -1,0 +1,30 @@
+//! Criterion benches over the Figure 6 applications: one group per
+//! application, one measurement per memory configuration.
+//!
+//! The heavier applications (LUD, NW) dominate; sample sizes are kept at
+//! Criterion's minimum so a full sweep stays tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu::config::MemConfigKind;
+use gpu::machine::Machine;
+use workloads::suite;
+
+fn bench_apps(c: &mut Criterion) {
+    for workload in suite::applications() {
+        let mut group = c.benchmark_group(format!("fig6/{}", workload.name));
+        group.sample_size(10);
+        for kind in MemConfigKind::FIGURE6 {
+            let program = (workload.build)(kind);
+            group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+                b.iter(|| {
+                    let mut machine = Machine::new(workload.set.system_config(), k);
+                    machine.run(&program).expect("workload runs")
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

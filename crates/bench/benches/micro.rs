@@ -1,0 +1,31 @@
+//! Criterion benches over the Figure 5 microbenchmarks: one group per
+//! microbenchmark, one measurement per memory configuration.
+//!
+//! These measure the *simulator's* wall time (useful for tracking model
+//! regressions); the simulated results themselves come from the `fig5`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu::config::MemConfigKind;
+use gpu::machine::Machine;
+use workloads::suite;
+
+fn bench_micros(c: &mut Criterion) {
+    for workload in suite::micros() {
+        let mut group = c.benchmark_group(format!("fig5/{}", workload.name));
+        group.sample_size(10);
+        for kind in MemConfigKind::FIGURE5 {
+            let program = (workload.build)(kind);
+            group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+                b.iter(|| {
+                    let mut machine = Machine::new(workload.set.system_config(), k);
+                    machine.run(&program).expect("workload runs")
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_micros);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Figure 5: microbenchmark comparison (Scratch, Cache, ScratchGD,
+//! Stash), normalized to Scratch.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig5            # all four panels
+//! cargo run --release -p bench --bin fig5 -- --panel time
+//! ```
+
+use bench::{average_reduction, print_panel, run_matrix, write_csv, FigurePanel};
+use gpu::config::MemConfigKind;
+use workloads::suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let panels: Vec<FigurePanel> = match args.iter().position(|a| a == "--panel") {
+        Some(i) => {
+            let name = args.get(i + 1).map(String::as_str).unwrap_or("");
+            vec![FigurePanel::parse(name).unwrap_or_else(|| {
+                eprintln!("unknown panel {name}; use time|energy|instructions|traffic");
+                std::process::exit(2);
+            })]
+        }
+        None => FigurePanel::FIG5.to_vec(),
+    };
+
+    let kinds = MemConfigKind::FIGURE5;
+    println!("Figure 5 — microbenchmarks on 1 GPU CU + 15 CPU cores");
+    let rows = run_matrix(&suite::micros(), &kinds);
+    if args.iter().any(|a| a == "--debug") {
+        println!("\n-- raw cycles (gpu/cpu) --");
+        for row in &rows {
+            for (k, r) in &row.reports {
+                println!(
+                    "{:<12}{:<10} gpu {:>10}  cpu {:>10}  picos {:>14}",
+                    row.workload, k.name(), r.gpu_cycles, r.cpu_cycles, r.total_picos
+                );
+            }
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--csv") {
+        let path = std::path::PathBuf::from(
+            args.get(i + 1).map(String::as_str).unwrap_or("fig5.csv"),
+        );
+        write_csv(&path, &rows, &kinds).expect("csv written");
+        println!("wrote {}", path.display());
+    }
+    for panel in panels {
+        print_panel(panel, &rows, &kinds);
+    }
+
+    println!("\n=== §6.2 headline comparisons (stash reduction vs …) ===");
+    for (panel, label) in [(FigurePanel::Time, "cycles"), (FigurePanel::Energy, "energy")] {
+        let vs_scratch =
+            average_reduction(&rows, panel, MemConfigKind::Stash, MemConfigKind::Scratch);
+        let vs_cache = average_reduction(&rows, panel, MemConfigKind::Stash, MemConfigKind::Cache);
+        let vs_dma =
+            average_reduction(&rows, panel, MemConfigKind::Stash, MemConfigKind::ScratchGD);
+        println!(
+            "{label:<7} vs Scratch {vs_scratch:>3}%  vs Cache {vs_cache:>3}%  vs ScratchGD {vs_dma:>3}%   (paper: 27/13/14% cycles, 53/35/32% energy)"
+        );
+    }
+}

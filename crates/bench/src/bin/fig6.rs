@@ -1,0 +1,50 @@
+//! Figure 6: application comparison (Scratch, ScratchG, Cache, Stash,
+//! StashG), normalized to Scratch.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig6            # both panels
+//! cargo run --release -p bench --bin fig6 -- --panel energy
+//! ```
+
+use bench::{average_reduction, print_panel, run_matrix, write_csv, FigurePanel};
+use gpu::config::MemConfigKind;
+use workloads::suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let panels: Vec<FigurePanel> = match args.iter().position(|a| a == "--panel") {
+        Some(i) => {
+            let name = args.get(i + 1).map(String::as_str).unwrap_or("");
+            vec![FigurePanel::parse(name).unwrap_or_else(|| {
+                eprintln!("unknown panel {name}; use time|energy");
+                std::process::exit(2);
+            })]
+        }
+        None => vec![FigurePanel::Time, FigurePanel::Energy],
+    };
+
+    let kinds = MemConfigKind::FIGURE6;
+    println!("Figure 6 — applications on 15 GPU CUs + 1 CPU core");
+    let rows = run_matrix(&suite::applications(), &kinds);
+    if let Some(i) = args.iter().position(|a| a == "--csv") {
+        let path = std::path::PathBuf::from(
+            args.get(i + 1).map(String::as_str).unwrap_or("fig6.csv"),
+        );
+        write_csv(&path, &rows, &kinds).expect("csv written");
+        println!("wrote {}", path.display());
+    }
+    for panel in panels {
+        print_panel(panel, &rows, &kinds);
+    }
+
+    println!("\n=== §6.3 headline comparisons (StashG reduction vs …) ===");
+    for (panel, label) in [(FigurePanel::Time, "cycles"), (FigurePanel::Energy, "energy")] {
+        let vs_scratch =
+            average_reduction(&rows, panel, MemConfigKind::StashG, MemConfigKind::Scratch);
+        let vs_cache =
+            average_reduction(&rows, panel, MemConfigKind::StashG, MemConfigKind::Cache);
+        println!(
+            "{label:<7} vs Scratch {vs_scratch:>3}%  vs Cache {vs_cache:>3}%   (paper: 10/12% cycles, 16/32% energy)"
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Inspect one workload on one configuration: full counter dump, energy
+//! component split, traffic classes, and phase timing — the debugging
+//! companion to the figure binaries.
+//!
+//! ```text
+//! cargo run --release -p bench --bin inspect -- reuse Stash
+//! cargo run --release -p bench --bin inspect -- lud StashG
+//! ```
+
+use gpu::config::MemConfigKind;
+use gpu::machine::Machine;
+use noc::MsgClass;
+use workloads::suite;
+
+fn parse_kind(s: &str) -> Option<MemConfigKind> {
+    MemConfigKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(s))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(name), Some(kind_s)) = (args.get(1), args.get(2)) else {
+        eprintln!("usage: inspect <workload> <config>");
+        eprintln!("  workloads: {}", suite::all().iter().map(|w| w.name).collect::<Vec<_>>().join(", "));
+        eprintln!(
+            "  configs:   {}",
+            MemConfigKind::ALL.map(|k| k.name()).join(", ")
+        );
+        std::process::exit(2);
+    };
+    let Some(workload) = suite::by_name(name) else {
+        eprintln!("unknown workload {name}");
+        std::process::exit(2);
+    };
+    let Some(kind) = parse_kind(kind_s) else {
+        eprintln!("unknown configuration {kind_s}");
+        std::process::exit(2);
+    };
+
+    let program = (workload.build)(kind);
+    let mut machine = Machine::new(workload.set.system_config(), kind);
+    let report = machine.run(&program).expect("workload runs");
+
+    println!("{} on {} ({:?} machine)\n", workload.name, kind, workload.set);
+    println!("-- timing --");
+    println!("  GPU cycles       {:>14}", report.gpu_cycles);
+    println!("  CPU cycles       {:>14}", report.cpu_cycles);
+    println!("  total time       {:>14} ps", report.total_picos);
+    println!("  GPU instructions {:>14}", report.gpu_instructions);
+
+    println!("\n-- energy (fJ) --");
+    let total = report.total_energy().max(1);
+    for (c, e) in report.energy.iter() {
+        println!("  {:<14}{:>16}  ({:>3}%)", c.label(), e, e * 100 / total);
+    }
+    println!("  {:<14}{:>16}", "total", report.total_energy());
+
+    println!("\n-- network traffic --");
+    for class in MsgClass::ALL {
+        println!(
+            "  {:<11} messages {:>10}  flits {:>10}  crossings {:>11}",
+            class.name(),
+            report.traffic.messages(class),
+            report.traffic.flits(class),
+            report.traffic.crossings(class)
+        );
+    }
+
+    println!("\n-- router hotspots (flits through each mesh node) --");
+    let profile = machine.memory().router_flit_profile();
+    let max = profile.iter().copied().max().unwrap_or(0).max(1);
+    for row in 0..4 {
+        print!(" ");
+        for col in 0..4 {
+            let v = profile[row * 4 + col];
+            print!(" {:>10}", v);
+        }
+        print!("   ");
+        for col in 0..4 {
+            let bars = (profile[row * 4 + col] * 8 / max) as usize;
+            print!(" {:<8}", "#".repeat(bars.max(usize::from(profile[row * 4 + col] > 0))));
+        }
+        println!();
+    }
+
+    println!("\n-- event counters --");
+    print!("{}", report.counters);
+}

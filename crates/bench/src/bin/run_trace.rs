@@ -1,0 +1,64 @@
+//! Run a trace file (see `workloads::trace` for the format) across the
+//! memory configurations and print the comparison.
+//!
+//! ```text
+//! cargo run --release -p bench --bin run-trace -- my_workload.trace
+//! cargo run --release -p bench --bin run-trace -- my_workload.trace Stash StashG
+//! ```
+
+use gpu::config::MemConfigKind;
+use gpu::machine::Machine;
+use workloads::trace::parse_trace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(path) = args.get(1) else {
+        eprintln!("usage: run-trace <file.trace> [configs...]");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let workload = parse_trace(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+
+    let kinds: Vec<MemConfigKind> = if args.len() > 2 {
+        args[2..]
+            .iter()
+            .map(|s| {
+                MemConfigKind::ALL
+                    .into_iter()
+                    .find(|k| k.name().eq_ignore_ascii_case(s))
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown configuration {s}");
+                        std::process::exit(2);
+                    })
+            })
+            .collect()
+    } else {
+        MemConfigKind::ALL.to_vec()
+    };
+
+    println!(
+        "{:<10}{:>14}{:>18}{:>12}{:>12}{:>14}",
+        "config", "time (ps)", "energy (fJ)", "instrs", "flits", "dram fetches"
+    );
+    for kind in kinds {
+        let mut machine = Machine::new(workload.set().system_config(), kind);
+        match machine.run(&workload.build(kind)) {
+            Ok(report) => println!(
+                "{:<10}{:>14}{:>18}{:>12}{:>12}{:>14}",
+                kind.name(),
+                report.total_picos,
+                report.total_energy(),
+                report.gpu_instructions,
+                report.traffic.total_flits(),
+                report.counters.get("dram.line_fetch"),
+            ),
+            Err(e) => println!("{:<10}error: {e}", kind.name()),
+        }
+    }
+}

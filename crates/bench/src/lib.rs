@@ -1,0 +1,347 @@
+//! Experiment harness: runs the configuration matrix and formats every
+//! table and figure of the paper.
+//!
+//! The binaries (`fig5`, `fig6`, `table2`, `table3`, `ablation`) and the
+//! Criterion benches build on [`run_matrix`] / [`FigurePanel`]: run each
+//! workload on each configuration, normalize to the Scratch baseline
+//! (exactly as the paper's figures do), and print the rows.
+
+use gpu::config::MemConfigKind;
+use gpu::machine::Machine;
+use gpu::report::RunReport;
+use noc::MsgClass;
+use workloads::suite::Workload;
+
+/// One workload's reports across configurations.
+#[derive(Debug)]
+pub struct MatrixRow {
+    /// The workload name.
+    pub workload: &'static str,
+    /// `(configuration, report)` pairs, in the requested order.
+    pub reports: Vec<(MemConfigKind, RunReport)>,
+}
+
+impl MatrixRow {
+    /// The report for one configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration was not part of the run.
+    pub fn report(&self, kind: MemConfigKind) -> &RunReport {
+        &self
+            .reports
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .unwrap_or_else(|| panic!("{kind} was not simulated"))
+            .1
+    }
+
+    /// The Scratch baseline report.
+    pub fn baseline(&self) -> &RunReport {
+        self.report(MemConfigKind::Scratch)
+    }
+}
+
+/// Runs `workload` on every configuration in `kinds`.
+///
+/// # Panics
+///
+/// Panics if a simulation rejects the program (a workload/config bug).
+pub fn run_workload(workload: &Workload, kinds: &[MemConfigKind]) -> MatrixRow {
+    let reports = kinds
+        .iter()
+        .map(|&kind| {
+            let program = (workload.build)(kind);
+            let mut machine = Machine::new(workload.set.system_config(), kind);
+            let report = machine
+                .run(&program)
+                .unwrap_or_else(|e| panic!("{} on {kind}: {e}", workload.name));
+            (kind, report)
+        })
+        .collect();
+    MatrixRow {
+        workload: workload.name,
+        reports,
+    }
+}
+
+/// Runs several workloads over the configuration list.
+pub fn run_matrix(workloads: &[Workload], kinds: &[MemConfigKind]) -> Vec<MatrixRow> {
+    workloads.iter().map(|w| run_workload(w, kinds)).collect()
+}
+
+/// Which quantity a figure panel plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigurePanel {
+    /// Execution time (Figures 5a, 6a).
+    Time,
+    /// Dynamic energy (Figures 5b, 6b), with the component split.
+    Energy,
+    /// GPU instruction count (Figure 5c).
+    Instructions,
+    /// Network traffic in flit crossings (Figure 5d), split by class.
+    Traffic,
+}
+
+impl FigurePanel {
+    /// Parses a `--panel` argument.
+    pub fn parse(s: &str) -> Option<FigurePanel> {
+        match s {
+            "time" => Some(FigurePanel::Time),
+            "energy" => Some(FigurePanel::Energy),
+            "instructions" => Some(FigurePanel::Instructions),
+            "traffic" => Some(FigurePanel::Traffic),
+            _ => None,
+        }
+    }
+
+    /// All panels of Figure 5.
+    pub const FIG5: [FigurePanel; 4] = [
+        FigurePanel::Time,
+        FigurePanel::Energy,
+        FigurePanel::Instructions,
+        FigurePanel::Traffic,
+    ];
+
+    /// The panel's figure title.
+    pub fn title(self) -> &'static str {
+        match self {
+            FigurePanel::Time => "Execution time",
+            FigurePanel::Energy => "Dynamic energy",
+            FigurePanel::Instructions => "GPU instruction count",
+            FigurePanel::Traffic => "Network traffic (flit-crossings)",
+        }
+    }
+
+    /// The normalized percentage for one report (baseline = 100).
+    pub fn percent(self, report: &RunReport, baseline: &RunReport) -> u64 {
+        match self {
+            FigurePanel::Time => report.time_percent_of(baseline),
+            FigurePanel::Energy => report.energy_percent_of(baseline),
+            FigurePanel::Instructions => report.instructions_percent_of(baseline),
+            FigurePanel::Traffic => report.traffic_percent_of(baseline),
+        }
+    }
+}
+
+/// Prints one panel as the paper's normalized bars (Scratch = 100%).
+pub fn print_panel(panel: FigurePanel, rows: &[MatrixRow], kinds: &[MemConfigKind]) {
+    println!("\n=== {} (normalized to Scratch = 100) ===", panel.title());
+    print!("{:<12}", "workload");
+    for k in kinds {
+        print!("{:>10}", k.name());
+    }
+    println!();
+    let mut sums = vec![0u64; kinds.len()];
+    for row in rows {
+        print!("{:<12}", row.workload);
+        let base = row.baseline();
+        for (i, &k) in kinds.iter().enumerate() {
+            let pct = panel.percent(row.report(k), base);
+            sums[i] += pct;
+            print!("{pct:>9}%");
+        }
+        println!();
+    }
+    print!("{:<12}", "average");
+    for s in &sums {
+        print!("{:>9}%", s / rows.len() as u64);
+    }
+    println!();
+
+    // Component / class splits for the energy and traffic panels.
+    match panel {
+        FigurePanel::Energy => {
+            println!("\n-- energy split by component (% of own total) --");
+            for row in rows {
+                for &k in kinds {
+                    let r = row.report(k);
+                    let total = r.total_energy().max(1);
+                    print!("{:<12}{:<10}", row.workload, k.name());
+                    for (c, e) in r.energy.iter() {
+                        print!(" {}={:>3}%", c.label(), e * 100 / total);
+                    }
+                    println!();
+                }
+            }
+        }
+        FigurePanel::Traffic => {
+            println!("\n-- traffic split by message class (% of own total) --");
+            for row in rows {
+                for &k in kinds {
+                    let r = row.report(k);
+                    let total = r.traffic.total_crossings().max(1);
+                    print!("{:<12}{:<10}", row.workload, k.name());
+                    for class in MsgClass::ALL {
+                        print!(
+                            " {}={:>3}%",
+                            class.name(),
+                            r.traffic.crossings(class) * 100 / total
+                        );
+                    }
+                    println!();
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Geometric-mean style summary the paper quotes in §6.2/§6.3: the
+/// average percentage-point reduction of `subject` vs `versus`.
+pub fn average_reduction(
+    rows: &[MatrixRow],
+    panel: FigurePanel,
+    subject: MemConfigKind,
+    versus: MemConfigKind,
+) -> i64 {
+    let mut total = 0i64;
+    for row in rows {
+        let s = panel.percent(row.report(subject), row.baseline()) as i64;
+        let v = panel.percent(row.report(versus), row.baseline()) as i64;
+        // Reduction relative to the comparison configuration.
+        total += 100 - s * 100 / v.max(1);
+    }
+    total / rows.len() as i64
+}
+
+/// Writes one figure's full panel set as CSV (one row per
+/// workload×configuration, all four quantities normalized to Scratch plus
+/// the raw values) — for downstream plotting.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing `path`.
+pub fn write_csv(
+    path: &std::path::Path,
+    rows: &[MatrixRow],
+    kinds: &[MemConfigKind],
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "workload,config,time_pct,energy_pct,instructions_pct,traffic_pct,\
+         time_ps,energy_fj,gpu_instructions,flit_crossings,read_crossings,\
+         write_crossings,writeback_crossings"
+    )?;
+    for row in rows {
+        let base = row.baseline();
+        // A zero-quantity baseline (possible for traffic in degenerate
+        // workloads) normalizes to 100 rather than panicking.
+        let safe = |panel: FigurePanel, r: &RunReport| {
+            if panel == FigurePanel::Traffic && base.traffic.total_crossings() == 0 {
+                return 100;
+            }
+            panel.percent(r, base)
+        };
+        for &k in kinds {
+            let r = row.report(k);
+            writeln!(
+                f,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                row.workload,
+                k.name(),
+                safe(FigurePanel::Time, r),
+                safe(FigurePanel::Energy, r),
+                safe(FigurePanel::Instructions, r),
+                safe(FigurePanel::Traffic, r),
+                r.total_picos,
+                r.total_energy(),
+                r.gpu_instructions,
+                r.traffic.total_crossings(),
+                r.traffic.crossings(MsgClass::Read),
+                r.traffic.crossings(MsgClass::Write),
+                r.traffic.crossings(MsgClass::Writeback),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu::report::RunReport;
+
+    fn fake_report(picos: u64, energy_fj: u64, instrs: u64) -> RunReport {
+        let mut r = RunReport {
+            total_picos: picos,
+            gpu_instructions: instrs,
+            ..RunReport::default()
+        };
+        r.energy.add(energy::Component::GpuCore, energy_fj);
+        r
+    }
+
+    fn fake_row(scratch: (u64, u64, u64), stash: (u64, u64, u64)) -> MatrixRow {
+        MatrixRow {
+            workload: "fake",
+            reports: vec![
+                (MemConfigKind::Scratch, fake_report(scratch.0, scratch.1, scratch.2)),
+                (MemConfigKind::Stash, fake_report(stash.0, stash.1, stash.2)),
+            ],
+        }
+    }
+
+    #[test]
+    fn panel_parse_roundtrip() {
+        for (s, p) in [
+            ("time", FigurePanel::Time),
+            ("energy", FigurePanel::Energy),
+            ("instructions", FigurePanel::Instructions),
+            ("traffic", FigurePanel::Traffic),
+        ] {
+            assert_eq!(FigurePanel::parse(s), Some(p));
+        }
+        assert_eq!(FigurePanel::parse("cycles"), None);
+    }
+
+    #[test]
+    fn percent_normalizes_to_baseline() {
+        let row = fake_row((1000, 2000, 100), (500, 500, 60));
+        let base = row.baseline();
+        let stash = row.report(MemConfigKind::Stash);
+        assert_eq!(FigurePanel::Time.percent(stash, base), 50);
+        assert_eq!(FigurePanel::Energy.percent(stash, base), 25);
+        assert_eq!(FigurePanel::Instructions.percent(stash, base), 60);
+    }
+
+    #[test]
+    fn average_reduction_over_rows() {
+        let rows = vec![
+            fake_row((1000, 1000, 10), (500, 500, 10)),  // 50% reduction
+            fake_row((1000, 1000, 10), (750, 750, 10)),  // 25% reduction
+        ];
+        let avg = average_reduction(
+            &rows,
+            FigurePanel::Time,
+            MemConfigKind::Stash,
+            MemConfigKind::Scratch,
+        );
+        assert_eq!(avg, 37); // (50 + 25) / 2, integer division
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_cell() {
+        let rows = vec![fake_row((1000, 1000, 10), (500, 500, 5))];
+        let dir = std::env::temp_dir().join("stash_repro_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        write_csv(&path, &rows, &[MemConfigKind::Scratch, MemConfigKind::Stash]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 configurations
+        assert!(lines[0].starts_with("workload,config,time_pct"));
+        assert!(lines[1].starts_with("fake,Scratch,100"));
+        assert!(lines[2].starts_with("fake,Stash,50"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "was not simulated")]
+    fn missing_config_panics() {
+        let row = fake_row((1, 1, 1), (1, 1, 1));
+        let _ = row.report(MemConfigKind::Cache);
+    }
+}

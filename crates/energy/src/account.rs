@@ -1,0 +1,145 @@
+//! Energy accounting by hierarchy component.
+
+use crate::model::Energy;
+
+/// The five energy components of Figures 5b and 6b.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// "GPU core+": instruction cache, constant cache, register file, SFU,
+    /// FPU, scheduler and pipeline.
+    GpuCore,
+    /// The GPU L1 data cache.
+    L1,
+    /// The local memory: scratchpad or stash (including map structures).
+    LocalMem,
+    /// The shared L2 cache banks.
+    L2,
+    /// The on-chip network.
+    Noc,
+}
+
+impl Component {
+    /// All components in the figures' stacking order.
+    pub const ALL: [Component; 5] = [
+        Component::GpuCore,
+        Component::L1,
+        Component::LocalMem,
+        Component::L2,
+        Component::Noc,
+    ];
+
+    /// Label used by the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::GpuCore => "GPU core+",
+            Component::L1 => "L1 D$",
+            Component::LocalMem => "Scratch/Stash",
+            Component::L2 => "L2 $",
+            Component::Noc => "N/W",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            Component::GpuCore => 0,
+            Component::L1 => 1,
+            Component::LocalMem => 2,
+            Component::L2 => 3,
+            Component::Noc => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Component {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Accumulated dynamic energy, split by [`Component`].
+///
+/// # Example
+///
+/// ```
+/// use energy::{Component, EnergyAccount};
+///
+/// let mut acct = EnergyAccount::new();
+/// acct.add(Component::L2, 240_000);
+/// acct.add(Component::L2, 240_000);
+/// assert_eq!(acct.component(Component::L2), 480_000);
+/// assert_eq!(acct.total(), 480_000);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyAccount {
+    by_component: [Energy; 5],
+}
+
+impl EnergyAccount {
+    /// Creates an empty account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `energy` femtojoules to one component.
+    pub fn add(&mut self, component: Component, energy: Energy) {
+        self.by_component[component.idx()] += energy;
+    }
+
+    /// Energy accumulated in one component.
+    pub fn component(&self, component: Component) -> Energy {
+        self.by_component[component.idx()]
+    }
+
+    /// Total energy across all components.
+    pub fn total(&self) -> Energy {
+        self.by_component.iter().sum()
+    }
+
+    /// Merges another account into this one.
+    pub fn merge(&mut self, other: &EnergyAccount) {
+        for i in 0..5 {
+            self.by_component[i] += other.by_component[i];
+        }
+    }
+
+    /// Iterates `(component, energy)` in figure stacking order.
+    pub fn iter(&self) -> impl Iterator<Item = (Component, Energy)> + '_ {
+        Component::ALL.into_iter().map(|c| (c, self.component(c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_accumulate_independently() {
+        let mut a = EnergyAccount::new();
+        a.add(Component::GpuCore, 10);
+        a.add(Component::Noc, 5);
+        a.add(Component::GpuCore, 10);
+        assert_eq!(a.component(Component::GpuCore), 20);
+        assert_eq!(a.component(Component::Noc), 5);
+        assert_eq!(a.component(Component::L1), 0);
+        assert_eq!(a.total(), 25);
+    }
+
+    #[test]
+    fn merge_sums_componentwise() {
+        let mut a = EnergyAccount::new();
+        a.add(Component::L1, 7);
+        let mut b = EnergyAccount::new();
+        b.add(Component::L1, 3);
+        b.add(Component::L2, 2);
+        a.merge(&b);
+        assert_eq!(a.component(Component::L1), 10);
+        assert_eq!(a.component(Component::L2), 2);
+    }
+
+    #[test]
+    fn iter_covers_all_components_in_order() {
+        let acct = EnergyAccount::new();
+        let labels: Vec<_> = acct.iter().map(|(c, _)| c.label()).collect();
+        assert_eq!(labels, vec!["GPU core+", "L1 D$", "Scratch/Stash", "L2 $", "N/W"]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Energy model: GPUWattch/McPAT-style per-event accounting.
+//!
+//! The paper extends GPUWattch to measure the GPU CUs and the memory
+//! hierarchy (including all stash components) and uses McPAT for the NoC.
+//! Its published Table 3 gives the per-access energies that dominate the
+//! results; this crate encodes those constants exactly and adds calibrated
+//! estimates for the components the paper uses but does not tabulate (L2
+//! access, NoC flit-hop, core instruction energy).
+//!
+//! Energy is accounted in integer femtojoules into the five components of
+//! Figures 5b and 6b: **GPU core+**, **L1 D$**, **Scratch/Stash**, **L2 $**,
+//! and **N/W**.
+//!
+//! # Example
+//!
+//! ```
+//! use energy::{Component, EnergyAccount, EnergyModel};
+//!
+//! let model = EnergyModel::default();
+//! let mut acct = EnergyAccount::new();
+//! acct.add(Component::LocalMem, model.scratchpad_access);
+//! acct.add(Component::L1, model.l1_hit);
+//! assert!(acct.component(Component::L1) > acct.component(Component::LocalMem));
+//! ```
+
+pub mod account;
+pub mod model;
+pub mod table3;
+
+pub use account::{Component, EnergyAccount};
+pub use model::{Energy, EnergyModel};

@@ -1,0 +1,127 @@
+//! Per-event energy constants.
+
+/// Energy in femtojoules (1 pJ = 1000 fJ), kept integral for determinism.
+pub type Energy = u64;
+
+/// Converts picojoules expressed in tenths (e.g. 553 = 55.3 pJ) to [`Energy`].
+pub const fn tenth_pj(tenths: u64) -> Energy {
+    tenths * 100
+}
+
+/// Per-event energy model.
+///
+/// The first four groups are the paper's Table 3 verbatim; the rest are
+/// calibrated estimates documented field-by-field. All values are per
+/// *transaction* (one coalesced access, one message flit-hop, one warp
+/// instruction), matching how the simulator counts events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnergyModel {
+    /// Scratchpad access (Table 3: 55.3 pJ; scratchpads never miss).
+    pub scratchpad_access: Energy,
+    /// Stash hit (Table 3: 55.4 pJ — scratchpad plus the 2-bit state read).
+    pub stash_hit: Energy,
+    /// Stash miss (Table 3: 86.8 pJ — adds stash-map + translation ALUs).
+    pub stash_miss: Energy,
+    /// L1 cache hit (Table 3: 177 pJ — TLB + tags + data).
+    pub l1_hit: Energy,
+    /// L1 cache miss (Table 3: 197 pJ).
+    pub l1_miss: Energy,
+    /// TLB access (Table 3: 14.1 pJ; charged wherever a translation runs).
+    pub tlb_access: Energy,
+    /// Shared-L2 bank access. Not tabulated by the paper; GPUWattch-class
+    /// estimate for a 256 KB bank of a 4 MB NUCA L2.
+    pub l2_access: Energy,
+    /// One flit traversing one link+router (McPAT-class estimate for a
+    /// 16-byte flit).
+    pub noc_flit_hop: Energy,
+    /// One warp instruction through fetch/decode/RF/pipeline ("GPU core+"
+    /// includes the instruction cache, register file, FPU and scheduler).
+    /// Calibrated so the GPU-core+ share of Figure 5b's Scratch bars lands
+    /// near the paper's.
+    pub core_instruction: Energy,
+    /// One stash-map translation (six ALU ops, §4.1.3). Table 3's 86.8 pJ
+    /// stash-miss energy already includes it; this standalone constant
+    /// exists for the ablation that moves index computation between core
+    /// software and the map hardware.
+    pub map_translation: Energy,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            scratchpad_access: tenth_pj(553),
+            stash_hit: tenth_pj(554),
+            stash_miss: tenth_pj(868),
+            l1_hit: tenth_pj(1770),
+            l1_miss: tenth_pj(1970),
+            tlb_access: tenth_pj(141),
+            l2_access: tenth_pj(1600),
+            noc_flit_hop: tenth_pj(150),
+            core_instruction: tenth_pj(2800),
+            map_translation: tenth_pj(60),
+        }
+    }
+}
+
+impl EnergyModel {
+    /// The paper's Table 3 rows: `(unit, hit_energy, miss_energy)`,
+    /// in femtojoules, `None` where the unit cannot miss.
+    pub fn table3_rows(&self) -> Vec<(&'static str, Energy, Option<Energy>)> {
+        vec![
+            ("Scratchpad", self.scratchpad_access, None),
+            ("Stash", self.stash_hit, Some(self.stash_miss)),
+            ("L1 cache", self.l1_hit, Some(self.l1_miss)),
+            ("TLB access", self.tlb_access, Some(self.tlb_access)),
+        ]
+    }
+}
+
+/// Formats an [`Energy`] as picojoules with one decimal.
+pub fn format_pj(e: Energy) -> String {
+    format!("{}.{} pJ", e / 1000, (e % 1000) / 100)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_constants_match_paper() {
+        let m = EnergyModel::default();
+        assert_eq!(m.scratchpad_access, 55_300);
+        assert_eq!(m.stash_hit, 55_400);
+        assert_eq!(m.stash_miss, 86_800);
+        assert_eq!(m.l1_hit, 177_000);
+        assert_eq!(m.l1_miss, 197_000);
+        assert_eq!(m.tlb_access, 14_100);
+    }
+
+    #[test]
+    fn paper_ratios_hold() {
+        let m = EnergyModel::default();
+        // "scratchpad access energy is 29% of the L1 cache hit energy"
+        let pct = m.scratchpad_access * 100 / m.l1_hit;
+        assert!((29..=32).contains(&pct), "got {pct}%");
+        // "stash's miss energy is 41% of the L1 cache miss energy" — the
+        // paper rounds 86.8/197 = 44%; they state 41% against a slightly
+        // different denominator; accept the 40–45 band.
+        let pct = m.stash_miss * 100 / m.l1_miss;
+        assert!((40..=45).contains(&pct), "got {pct}%");
+        // Stash hit energy is comparable to scratchpad (within 1%).
+        assert!(m.stash_hit.abs_diff(m.scratchpad_access) * 100 < m.scratchpad_access);
+    }
+
+    #[test]
+    fn format_pj_renders_decimals() {
+        assert_eq!(format_pj(55_300), "55.3 pJ");
+        assert_eq!(format_pj(177_000), "177.0 pJ");
+        assert_eq!(format_pj(14_100), "14.1 pJ");
+    }
+
+    #[test]
+    fn table3_rows_cover_all_units() {
+        let rows = EnergyModel::default().table3_rows();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().any(|(n, _, m)| *n == "Scratchpad" && m.is_none()));
+    }
+}

@@ -1,0 +1,66 @@
+//! Table 3 reproduction: per-access energy for the hardware units.
+//!
+//! The `table3` bench binary prints [`rows`] in the paper's layout; this
+//! module also exposes the derived percentages the paper quotes in §6.1.
+
+use crate::model::{format_pj, EnergyModel};
+
+/// One row of Table 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// Hardware unit name.
+    pub unit: &'static str,
+    /// Hit energy, formatted as the paper prints it.
+    pub hit: String,
+    /// Miss energy, or "–" where the unit cannot miss.
+    pub miss: String,
+}
+
+/// Produces Table 3's rows from an energy model.
+pub fn rows(model: &EnergyModel) -> Vec<Row> {
+    model
+        .table3_rows()
+        .into_iter()
+        .map(|(unit, hit, miss)| Row {
+            unit,
+            hit: format_pj(hit),
+            miss: miss.map_or_else(|| "–".to_owned(), format_pj),
+        })
+        .collect()
+}
+
+/// §6.1's headline ratios, as integer percentages:
+/// `(scratchpad/L1-hit, stash-miss/L1-miss)`.
+pub fn headline_ratios(model: &EnergyModel) -> (u64, u64) {
+    (
+        model.scratchpad_access * 100 / model.l1_hit,
+        model.stash_miss * 100 / model.l1_miss,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_render_like_the_paper() {
+        let rows = rows(&EnergyModel::default());
+        let scratch = &rows[0];
+        assert_eq!(scratch.unit, "Scratchpad");
+        assert_eq!(scratch.hit, "55.3 pJ");
+        assert_eq!(scratch.miss, "–");
+        let stash = &rows[1];
+        assert_eq!(stash.hit, "55.4 pJ");
+        assert_eq!(stash.miss, "86.8 pJ");
+        let l1 = &rows[2];
+        assert_eq!(l1.hit, "177.0 pJ");
+        assert_eq!(l1.miss, "197.0 pJ");
+    }
+
+    #[test]
+    fn headline_ratios_near_paper_quotes() {
+        let (scratch_vs_l1, stash_vs_l1_miss) = headline_ratios(&EnergyModel::default());
+        assert!((29..=32).contains(&scratch_vs_l1));
+        assert!((40..=45).contains(&stash_vs_l1_miss));
+    }
+}

@@ -1,0 +1,104 @@
+//! The memory coalescer: groups a warp's lane addresses into line-sized
+//! transactions.
+//!
+//! A warp memory instruction presents up to 32 lane addresses. Lanes that
+//! fall in the same cache line coalesce into one L1 transaction; a
+//! unit-stride access coalesces perfectly (two 64 B transactions for 32
+//! four-byte lanes) while an AoS-strided access shatters into one
+//! transaction per object — the mechanism behind the cache's wasted
+//! fetches and energy on AoS data (§1.1), which the stash's compact
+//! storage avoids.
+
+use mem::addr::VAddr;
+
+/// One coalesced transaction: distinct words of one cache line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// The virtual line base address.
+    pub line_va: VAddr,
+    /// The distinct word addresses accessed within the line, sorted.
+    pub words: Vec<VAddr>,
+}
+
+/// Coalesces per-lane addresses into per-line transactions.
+///
+/// Duplicate lane addresses (broadcast reads) collapse into one word.
+/// Transactions are returned in first-touch order, matching issue order.
+///
+/// # Example
+///
+/// ```
+/// use gpu::coalescer::coalesce;
+/// use mem::addr::VAddr;
+///
+/// // Unit stride: 32 lanes, 2 lines.
+/// let lanes: Vec<VAddr> = (0..32).map(|i| VAddr(0x1000 + i * 4)).collect();
+/// let txs = coalesce(&lanes, 64);
+/// assert_eq!(txs.len(), 2);
+/// assert_eq!(txs[0].words.len(), 16);
+/// ```
+pub fn coalesce(lanes: &[VAddr], line_bytes: u64) -> Vec<Transaction> {
+    let mut txs: Vec<Transaction> = Vec::new();
+    for &va in lanes {
+        let word_va = va.align_down(4);
+        let line_va = va.align_down(line_bytes);
+        match txs.iter_mut().find(|t| t.line_va == line_va) {
+            Some(t) => {
+                if !t.words.contains(&word_va) {
+                    t.words.push(word_va);
+                }
+            }
+            None => txs.push(Transaction {
+                line_va,
+                words: vec![word_va],
+            }),
+        }
+    }
+    for t in &mut txs {
+        t.words.sort_unstable();
+    }
+    txs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_aos_shatters() {
+        // 32 lanes reading one 4 B field of 64 B objects: 32 transactions.
+        let lanes: Vec<VAddr> = (0..32).map(|i| VAddr(0x1000 + i * 64)).collect();
+        let txs = coalesce(&lanes, 64);
+        assert_eq!(txs.len(), 32);
+        assert!(txs.iter().all(|t| t.words.len() == 1));
+    }
+
+    #[test]
+    fn broadcast_collapses() {
+        let lanes = vec![VAddr(0x2000); 32];
+        let txs = coalesce(&lanes, 64);
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].words, vec![VAddr(0x2000)]);
+    }
+
+    #[test]
+    fn misaligned_bytes_share_a_word() {
+        let txs = coalesce(&[VAddr(0x1001), VAddr(0x1002)], 64);
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].words, vec![VAddr(0x1000)]);
+    }
+
+    #[test]
+    fn empty_lanes_mean_no_transactions() {
+        assert!(coalesce(&[], 64).is_empty());
+    }
+
+    #[test]
+    fn preserves_first_touch_order() {
+        let lanes = vec![VAddr(0x2000), VAddr(0x1000), VAddr(0x2004)];
+        let txs = coalesce(&lanes, 64);
+        assert_eq!(txs[0].line_va, VAddr(0x2000));
+        assert_eq!(txs[1].line_va, VAddr(0x1000));
+        assert_eq!(txs[0].words.len(), 2);
+    }
+}

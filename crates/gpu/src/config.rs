@@ -1,0 +1,139 @@
+//! The six simulated memory configurations (§5.3).
+
+/// Which local-memory organization the GPU CUs use, and how aggressively
+/// accesses are mapped to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemConfigKind {
+    /// 16 KB scratchpad + 32 KB L1; accesses as in the original program.
+    Scratch,
+    /// `Scratch` with all global accesses converted to scratchpad accesses.
+    ScratchG,
+    /// `ScratchG` with D2MA-style DMA support for the copies.
+    ScratchGD,
+    /// 32 KB L1 only; scratchpad accesses converted to global accesses.
+    Cache,
+    /// 16 KB stash + 32 KB L1; scratchpad accesses converted to stash.
+    Stash,
+    /// `Stash` with all global accesses converted to stash accesses.
+    StashG,
+}
+
+impl MemConfigKind {
+    /// All configurations in the paper's figure order.
+    pub const ALL: [MemConfigKind; 6] = [
+        MemConfigKind::Scratch,
+        MemConfigKind::ScratchG,
+        MemConfigKind::ScratchGD,
+        MemConfigKind::Cache,
+        MemConfigKind::Stash,
+        MemConfigKind::StashG,
+    ];
+
+    /// The four configurations Figure 5 compares (microbenchmarks have no
+    /// other global accesses, so ScratchG ≡ Scratch and StashG ≡ Stash).
+    pub const FIGURE5: [MemConfigKind; 4] = [
+        MemConfigKind::Scratch,
+        MemConfigKind::Cache,
+        MemConfigKind::ScratchGD,
+        MemConfigKind::Stash,
+    ];
+
+    /// The five configurations Figure 6 compares.
+    pub const FIGURE6: [MemConfigKind; 5] = [
+        MemConfigKind::Scratch,
+        MemConfigKind::ScratchG,
+        MemConfigKind::Cache,
+        MemConfigKind::Stash,
+        MemConfigKind::StashG,
+    ];
+
+    /// Whether CUs have a scratchpad.
+    pub fn uses_scratchpad(self) -> bool {
+        matches!(
+            self,
+            MemConfigKind::Scratch | MemConfigKind::ScratchG | MemConfigKind::ScratchGD
+        )
+    }
+
+    /// Whether CUs have a stash.
+    pub fn uses_stash(self) -> bool {
+        matches!(self, MemConfigKind::Stash | MemConfigKind::StashG)
+    }
+
+    /// Whether scratchpad data moves via the DMA engine.
+    pub fn uses_dma(self) -> bool {
+        self == MemConfigKind::ScratchGD
+    }
+
+    /// Whether *global* array accesses are converted to local-memory
+    /// accesses (the "G" variants).
+    pub fn globals_to_local(self) -> bool {
+        matches!(
+            self,
+            MemConfigKind::ScratchG | MemConfigKind::ScratchGD | MemConfigKind::StashG
+        )
+    }
+
+    /// The figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemConfigKind::Scratch => "Scratch",
+            MemConfigKind::ScratchG => "ScratchG",
+            MemConfigKind::ScratchGD => "ScratchGD",
+            MemConfigKind::Cache => "Cache",
+            MemConfigKind::Stash => "Stash",
+            MemConfigKind::StashG => "StashG",
+        }
+    }
+}
+
+impl std::fmt::Display for MemConfigKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_flags_are_exclusive() {
+        for k in MemConfigKind::ALL {
+            assert!(
+                !(k.uses_scratchpad() && k.uses_stash()),
+                "{k} cannot have both local structures"
+            );
+        }
+        assert!(!MemConfigKind::Cache.uses_scratchpad());
+        assert!(!MemConfigKind::Cache.uses_stash());
+    }
+
+    #[test]
+    fn dma_implies_scratchpad() {
+        for k in MemConfigKind::ALL {
+            if k.uses_dma() {
+                assert!(k.uses_scratchpad());
+            }
+        }
+    }
+
+    #[test]
+    fn g_variants_convert_globals() {
+        assert!(MemConfigKind::ScratchG.globals_to_local());
+        assert!(MemConfigKind::StashG.globals_to_local());
+        assert!(MemConfigKind::ScratchGD.globals_to_local());
+        assert!(!MemConfigKind::Scratch.globals_to_local());
+        assert!(!MemConfigKind::Cache.globals_to_local());
+    }
+
+    #[test]
+    fn figure_sets_are_subsets_of_all() {
+        for k in MemConfigKind::FIGURE5 {
+            assert!(MemConfigKind::ALL.contains(&k));
+        }
+        for k in MemConfigKind::FIGURE6 {
+            assert!(MemConfigKind::ALL.contains(&k));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! The machine model: GPU CUs, CPU cores, and the memory-system
+//! orchestrator that ties the substrates together.
+//!
+//! This crate assembles the pieces the other crates provide — L1 caches and
+//! the LLC/registry from `mem`, the stash from `stash`, the mesh from
+//! `noc`, the energy model from `energy` — into the paper's simulated
+//! machine (Figure 4), and executes *memory-access programs*:
+//!
+//! * [`program`] — the workload IR: kernels of thread blocks of per-warp
+//!   operation streams, plus CPU phases;
+//! * [`config::MemConfigKind`] — the six memory configurations of §5.3
+//!   (Scratch, ScratchG, ScratchGD, Cache, Stash, StashG);
+//! * [`memsys::MemorySystem`] — the shared memory hierarchy: every access
+//!   updates coherence state and accounts latency, traffic and energy;
+//! * [`cu`] / [`cpu`] — timing models (in-order warps with round-robin
+//!   latency hiding on the GPU; serial in-order CPU cores in parallel);
+//! * [`machine::Machine`] — runs a [`program::Program`] end to end and
+//!   produces a [`report::RunReport`] with the quantities every figure of
+//!   the paper is built from.
+//!
+//! # Example
+//!
+//! ```
+//! use gpu::config::MemConfigKind;
+//! use gpu::machine::Machine;
+//! use gpu::program::{Kernel, Phase, Program, Stage, ThreadBlock, WarpOp};
+//! use mem::addr::VAddr;
+//! use sim::config::SystemConfig;
+//!
+//! let mut tb = ThreadBlock::new();
+//! let mut stage = Stage::new(1);
+//! stage.warps[0] = vec![WarpOp::GlobalMem {
+//!     write: false,
+//!     lanes: (0..32).map(|i| VAddr(0x1000 + i * 4)).collect(),
+//! }];
+//! tb.stages.push(stage);
+//! let program = Program {
+//!     phases: vec![Phase::Gpu(Kernel { blocks: vec![tb] })],
+//! };
+//! let mut machine = Machine::new(SystemConfig::for_microbenchmarks(), MemConfigKind::Cache);
+//! let report = machine.run(&program).unwrap();
+//! assert!(report.gpu_cycles > 0);
+//! ```
+
+pub mod coalescer;
+pub mod config;
+pub mod cpu;
+pub mod cu;
+pub mod machine;
+pub mod memsys;
+pub mod program;
+pub mod report;
+
+pub use config::MemConfigKind;
+pub use machine::Machine;
+pub use program::{Kernel, Phase, Program, Stage, ThreadBlock, WarpOp};
+pub use report::RunReport;

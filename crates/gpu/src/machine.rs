@@ -1,0 +1,212 @@
+//! The whole machine: runs a [`Program`] across its GPU and CPU phases.
+
+use crate::config::MemConfigKind;
+use crate::cpu::run_cpu_phase;
+use crate::cu::run_cu_blocks;
+use crate::memsys::MemorySystem;
+use crate::program::{Kernel, Phase, Program, ThreadBlock};
+use crate::report::RunReport;
+use sim::config::SystemConfig;
+use sim::SimError;
+
+/// A simulated machine: one [`SystemConfig`] + one [`MemConfigKind`].
+///
+/// # Example
+///
+/// ```
+/// use gpu::config::MemConfigKind;
+/// use gpu::machine::Machine;
+/// use gpu::program::Program;
+/// use sim::config::SystemConfig;
+///
+/// let mut machine = Machine::new(SystemConfig::for_applications(), MemConfigKind::StashG);
+/// let report = machine.run(&Program::new()).unwrap();
+/// assert_eq!(report.gpu_cycles, 0);
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    mem: MemorySystem,
+    next_tb_id: usize,
+}
+
+impl Machine {
+    /// Builds a machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system configuration is invalid.
+    pub fn new(cfg: SystemConfig, kind: MemConfigKind) -> Self {
+        Self {
+            mem: MemorySystem::new(cfg, kind),
+            next_tb_id: 0,
+        }
+    }
+
+    /// The underlying memory system (diagnostics, ablation switches).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Mutable access to the memory system (ablation switches; call before
+    /// running).
+    pub fn memory_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
+    /// Runs a program to completion and reports the measurements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation, mapping and configuration errors from the
+    /// program's operations.
+    pub fn run(&mut self, program: &Program) -> Result<RunReport, SimError> {
+        let mut gpu_cycles = 0u64;
+        let mut cpu_cycles = 0u64;
+        for phase in &program.phases {
+            match phase {
+                Phase::Gpu(kernel) => gpu_cycles += self.run_kernel(kernel)?,
+                Phase::Cpu(cpu) => cpu_cycles += run_cpu_phase(&mut self.mem, cpu)?,
+            }
+        }
+        let cfg = self.mem.config();
+        let total_picos =
+            cfg.gpu_clock.cycles_to_picos(gpu_cycles) + cfg.cpu_clock.cycles_to_picos(cpu_cycles);
+        Ok(RunReport {
+            gpu_cycles,
+            cpu_cycles,
+            total_picos,
+            gpu_instructions: self.mem.gpu_instructions(),
+            energy: *self.mem.energy(),
+            traffic: *self.mem.traffic(),
+            counters: self.mem.counters().clone(),
+        })
+    }
+
+    fn run_kernel(&mut self, kernel: &Kernel) -> Result<u64, SimError> {
+        let cus = self.mem.config().gpu_cus;
+        let mut per_cu: Vec<Vec<(usize, &ThreadBlock)>> = vec![Vec::new(); cus];
+        for (i, block) in kernel.blocks.iter().enumerate() {
+            let id = self.next_tb_id;
+            self.next_tb_id += 1;
+            per_cu[i % cus].push((id, block));
+        }
+        // CUs run concurrently; the kernel completes with the slowest CU.
+        // (State interactions across CUs within a kernel are processed
+        // sequentially, which is exact for the paper's workloads — GPU
+        // kernels share no data within a kernel, §1.2.)
+        let mut kernel_cycles = 0u64;
+        for (cu, blocks) in per_cu.iter().enumerate() {
+            if blocks.is_empty() {
+                continue;
+            }
+            kernel_cycles = kernel_cycles.max(run_cu_blocks(&mut self.mem, cu, blocks)?);
+        }
+        self.mem.end_kernel();
+        Ok(kernel_cycles + self.mem.config().kernel_launch_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{AllocId, CpuOp, CpuPhase, LocalAlloc, MapReq, Stage, WarpOp};
+    use mem::addr::VAddr;
+    use mem::tile::TileMap;
+    use stash::UsageMode;
+
+    fn stash_kernel(elems: u64, writes: bool) -> Kernel {
+        let tile = TileMap::new(VAddr(0x40000), 4, 16, elems, 0, 1).unwrap();
+        let mut tb = ThreadBlock::new();
+        tb.allocs.push(LocalAlloc { words: elems });
+        let mut stage = Stage::new(1);
+        stage.maps.push(MapReq {
+            slot: 0,
+            alloc: AllocId(0),
+            tile,
+            mode: UsageMode::MappedCoherent,
+        });
+        let lanes: Vec<u32> = (0..elems.min(32) as u32).collect();
+        stage.warps[0] = vec![WarpOp::LocalMem {
+            write: false,
+            alloc: AllocId(0),
+            slot: 0,
+            lanes: lanes.clone(),
+        }];
+        if writes {
+            stage.warps[0].push(WarpOp::LocalMem {
+                write: true,
+                alloc: AllocId(0),
+                slot: 0,
+                lanes,
+            });
+        }
+        tb.stages.push(stage);
+        Kernel { blocks: vec![tb] }
+    }
+
+    #[test]
+    fn gpu_then_cpu_phases_accumulate_time() {
+        let program = Program {
+            phases: vec![
+                Phase::Gpu(stash_kernel(32, true)),
+                Phase::Cpu(CpuPhase {
+                    per_core: vec![vec![CpuOp::Mem {
+                        write: false,
+                        vaddr: VAddr(0x40000),
+                    }]],
+                    stash_maps: Vec::new(),
+                }),
+            ],
+        };
+        let mut machine = Machine::new(SystemConfig::for_microbenchmarks(), MemConfigKind::Stash);
+        let report = machine.run(&program).unwrap();
+        assert!(report.gpu_cycles > 0);
+        assert!(report.cpu_cycles > 0);
+        assert!(report.total_picos > 0);
+        // The CPU pulled GPU-registered stash data via forwarding, not a
+        // bursty kernel-end writeback.
+        assert_eq!(report.counters.get("wb.stash_words"), 0);
+        assert_eq!(report.counters.get("remote.forward"), 1);
+    }
+
+    #[test]
+    fn cross_kernel_reuse_avoids_second_fetch() {
+        // The same tile mapped by two kernels: kernel 2's accesses hit on
+        // kernel 1's registered data.
+        let program = Program {
+            phases: vec![
+                Phase::Gpu(stash_kernel(32, true)),
+                Phase::Gpu(stash_kernel(32, true)),
+            ],
+        };
+        let mut machine = Machine::new(SystemConfig::for_microbenchmarks(), MemConfigKind::Stash);
+        let report = machine.run(&program).unwrap();
+        // Kernel 1: 32 load fetches. Kernel 2: loads hit registered words.
+        assert_eq!(report.counters.get("stash.fetch_words"), 32);
+        assert_eq!(report.counters.get("stash.addmap_replicated"), 1);
+    }
+
+    #[test]
+    fn blocks_distribute_across_cus() {
+        let kernel = Kernel {
+            blocks: (0..30)
+                .map(|_| stash_kernel(32, false).blocks.remove(0))
+                .collect(),
+        };
+        let program = Program {
+            phases: vec![Phase::Gpu(kernel)],
+        };
+        let mut machine = Machine::new(SystemConfig::for_applications(), MemConfigKind::Stash);
+        let report = machine.run(&program).unwrap();
+        // 30 blocks × 1 AddMap each, across 15 CUs.
+        assert_eq!(report.counters.get("stash.addmap"), 30);
+    }
+
+    #[test]
+    fn empty_program_is_trivial() {
+        let mut machine = Machine::new(SystemConfig::for_microbenchmarks(), MemConfigKind::Scratch);
+        let report = machine.run(&Program::new()).unwrap();
+        assert_eq!(report.total_picos, 0);
+        assert_eq!(report.gpu_instructions, 0);
+    }
+}

@@ -1,0 +1,1282 @@
+//! The memory-system orchestrator.
+//!
+//! [`MemorySystem`] owns every shared structure of Figure 4 — the mesh
+//! network, the banked LLC/registry, the per-core L1s, the per-CU
+//! scratchpads or stashes, and the page table — and exposes the
+//! transaction-level operations the timing models call. Every operation:
+//!
+//! 1. applies the architectural state changes (coherence, registry,
+//!    stash bookkeeping) synchronously,
+//! 2. accounts energy into the five figure components and traffic into the
+//!    three message classes, and
+//! 3. returns the access latency in cycles, built from Table 2's formulas
+//!    (L2 base + mesh hops, +DRAM for cold lines, three-leg forwarding for
+//!    remotely registered words, +10 cycles for stash translations).
+//!
+//! Timing is *latency-and-accounting*: requests resolve immediately rather
+//! than as in-flight messages. Contention appears at the CU issue/L1 port
+//! (in [`crate::cu`]) and in DMA's blocking transfers; router queueing is
+//! not modelled (see DESIGN.md).
+
+use crate::coalescer::Transaction;
+use crate::config::MemConfigKind;
+use energy::{Component, EnergyAccount, EnergyModel};
+use mem::addr::{LineAddr, PAddr, VAddr, WORD_BYTES};
+use mem::cache::DenovoCache;
+use mem::dma::{DmaDirection, DmaTransfer};
+use mem::llc::{CoreId, Llc, LlcLoadOutcome, Registration};
+use mem::paging::PageTable;
+use mem::scratchpad::Scratchpad;
+use mem::tile::TileMap;
+use noc::{Mesh, Message, MsgClass, Network, NodeId};
+use sim::config::SystemConfig;
+use sim::stats::Counters;
+use sim::SimError;
+use stash::{AddMapOutcome, LoadOutcome, MapIndex, Stash, StashConfig, StoreOutcome, UsageMode, WritebackWord};
+
+/// The cost of one memory transaction.
+///
+/// `latency` is when the result returns; `occupancy` is how long the
+/// core's memory path (coalescer/L1 port + NoC injection) is busy with
+/// the transaction's flits — the bandwidth component. Miss-heavy
+/// configurations therefore serialize on their own traffic even when
+/// warp parallelism hides the latency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxCost {
+    /// Cycles until the transaction's data is available.
+    pub latency: u64,
+    /// Cycles the core's memory path is occupied (flits injected+ejected).
+    pub occupancy: u64,
+}
+
+/// The assembled memory hierarchy.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: SystemConfig,
+    kind: MemConfigKind,
+    net: Network,
+    llc: Llc,
+    l1s: Vec<DenovoCache>,
+    scratchpads: Vec<Scratchpad>,
+    stashes: Vec<Stash>,
+    pt: PageTable,
+    model: EnergyModel,
+    energy: EnergyAccount,
+    counters: Counters,
+    gpu_instructions: u64,
+    eager_stash_writebacks: bool,
+    line_grain_registration: bool,
+}
+
+impl MemorySystem {
+    /// Builds the memory system for one configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn new(cfg: SystemConfig, kind: MemConfigKind) -> Self {
+        cfg.validate().expect("invalid system configuration");
+        let cores = cfg.gpu_cus + cfg.cpu_cores;
+        let l1s = (0..cores)
+            .map(|_| DenovoCache::new(cfg.l1_bytes, cfg.l1_ways, cfg.line_bytes))
+            .collect();
+        let scratchpads = if kind.uses_scratchpad() {
+            (0..cfg.gpu_cus)
+                .map(|_| Scratchpad::new(cfg.scratchpad_bytes, cfg.local_banks))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let stashes = if kind.uses_stash() {
+            (0..cfg.gpu_cus)
+                .map(|_| {
+                    Stash::new(StashConfig {
+                        capacity_bytes: cfg.scratchpad_bytes,
+                        chunk_bytes: cfg.stash_chunk_bytes,
+                        map_entries: cfg.stash_map_entries,
+                        vp_map_entries: cfg.vp_map_entries,
+                        max_maps_per_thread_block: cfg.max_maps_per_thread_block,
+                        page_bytes: cfg.page_bytes as u64,
+                        replication_enabled: true,
+                        prefetch: false,
+                        fetch_words: 1,
+                    })
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Self {
+            net: Network::new(Mesh::new(cfg.mesh_side), cfg.hop_round_trip_cycles),
+            llc: Llc::new(cfg.l2_banks, cfg.line_bytes),
+            l1s,
+            scratchpads,
+            stashes,
+            pt: PageTable::new(cfg.page_bytes as u64),
+            model: EnergyModel::default(),
+            energy: EnergyAccount::new(),
+            counters: Counters::new(),
+            gpu_instructions: 0,
+            eager_stash_writebacks: false,
+            line_grain_registration: false,
+            cfg,
+            kind,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The memory configuration kind.
+    pub fn kind(&self) -> MemConfigKind {
+        self.kind
+    }
+
+    /// Replaces the energy model (ablations).
+    pub fn set_energy_model(&mut self, model: EnergyModel) {
+        self.model = model;
+    }
+
+    /// Disables the §4.5 replication optimization on every stash
+    /// (ablation). Must be called before any accesses.
+    pub fn disable_stash_replication(&mut self) {
+        self.rebuild_stashes(|cfg| cfg.replication_enabled = false);
+    }
+
+    /// Ablation: drain every stash's dirty data at kernel boundaries
+    /// (scratchpad-like eager writebacks) instead of the paper's lazy
+    /// reclamation-time writebacks.
+    pub fn set_eager_stash_writebacks(&mut self, eager: bool) {
+        self.eager_stash_writebacks = eager;
+    }
+
+    /// Ablation: register cache store misses at *line* granularity (a
+    /// single-writer MESI-style registry) instead of DeNovo's word
+    /// granularity — quantifies the false sharing §4.3 warns about.
+    /// Stash registrations always stay word-granular (the stash holds
+    /// only the mapped words of a line).
+    pub fn set_line_grain_registration(&mut self, line: bool) {
+        self.line_grain_registration = line;
+    }
+
+    /// §8 extension: give every *CPU core* a stash too ("expand the
+    /// stash idea to other compute units"). Extends the stash vector to
+    /// cover all cores — stash indices equal core IDs. Must be called
+    /// before any accesses, on a stash-bearing configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no stashes.
+    pub fn enable_cpu_stashes(&mut self) {
+        assert!(
+            self.kind.uses_stash(),
+            "CPU stashes require a stash configuration"
+        );
+        let template = self.stashes.first().expect("stash config").config().clone();
+        while self.stashes.len() < self.cfg.gpu_cus + self.cfg.cpu_cores {
+            self.stashes.push(Stash::new(template.clone()));
+        }
+    }
+
+    /// Whether CPU cores have stashes.
+    pub fn cpu_stashes_enabled(&self) -> bool {
+        self.stashes.len() > self.cfg.gpu_cus
+    }
+
+    /// §8 extension: prefetch mappings at `AddMap` time. Must be called
+    /// before any accesses.
+    pub fn set_stash_prefetch(&mut self, prefetch: bool) {
+        self.rebuild_stashes(|cfg| cfg.prefetch = prefetch);
+    }
+
+    /// §8 extension: widen each stash load miss to fetch up to `words`
+    /// neighbouring mapped words. Must be called before any accesses.
+    pub fn set_stash_fetch_words(&mut self, words: usize) {
+        self.rebuild_stashes(|cfg| cfg.fetch_words = words.max(1));
+    }
+
+    /// Whether `AddMap`-time prefetch is enabled (the CU model gates the
+    /// stage on the prefetch transfer, like a DMA preload).
+    pub fn stash_prefetch_enabled(&self) -> bool {
+        self.stashes.first().is_some_and(|s| s.config().prefetch)
+    }
+
+    fn rebuild_stashes(&mut self, tweak: impl Fn(&mut StashConfig)) {
+        for s in &mut self.stashes {
+            let mut cfg = s.config().clone();
+            tweak(&mut cfg);
+            *s = Stash::new(cfg);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Core/node geometry
+    // ------------------------------------------------------------------
+
+    /// The `CoreId` of GPU CU `cu` (CUs occupy the low core numbers).
+    pub fn cu_core(&self, cu: usize) -> CoreId {
+        debug_assert!(cu < self.cfg.gpu_cus);
+        CoreId(cu)
+    }
+
+    /// The `CoreId` of CPU core `cpu`.
+    pub fn cpu_core(&self, cpu: usize) -> CoreId {
+        debug_assert!(cpu < self.cfg.cpu_cores);
+        CoreId(self.cfg.gpu_cus + cpu)
+    }
+
+    fn node_of(&self, core: CoreId) -> NodeId {
+        NodeId(core.0 % self.net.mesh().nodes())
+    }
+
+    fn home_of(&self, line: LineAddr) -> NodeId {
+        NodeId(self.llc.bank_of(line) % self.net.mesh().nodes())
+    }
+
+    fn is_gpu(&self, core: CoreId) -> bool {
+        core.0 < self.cfg.gpu_cus
+    }
+
+    // ------------------------------------------------------------------
+    // Accounting primitives
+    // ------------------------------------------------------------------
+
+    fn send(&mut self, from: NodeId, to: NodeId, msg: Message) -> u64 {
+        let hops = self.net.mesh().hops(from, to);
+        self.energy
+            .add(Component::Noc, msg.flits() * hops * self.model.noc_flit_hop);
+        self.net.send(from, to, msg)
+    }
+
+    fn llc_access(&mut self) {
+        self.energy.add(Component::L2, self.model.l2_access);
+        self.counters.bump("llc.access");
+    }
+
+    /// Records `n` issued GPU warp instructions (GPU core+ energy).
+    pub fn note_gpu_instructions(&mut self, n: u64) {
+        self.gpu_instructions += n;
+        self.energy
+            .add(Component::GpuCore, n * self.model.core_instruction);
+    }
+
+    fn round_trip(&self, core_node: NodeId, home: NodeId) -> u64 {
+        self.cfg.l2_base_cycles + self.net.round_trip_cycles(core_node, home)
+    }
+
+    // ------------------------------------------------------------------
+    // Cache (global) transactions
+    // ------------------------------------------------------------------
+
+    /// One coalesced global-memory transaction from GPU CU `cu`.
+    pub fn gpu_global_tx(&mut self, cu: usize, write: bool, tx: &Transaction) -> TxCost {
+        let core = self.cu_core(cu);
+        let flits_before = self.net.traffic().total_flits();
+        let latency = self.cache_tx(core, write, tx, true);
+        TxCost {
+            latency,
+            occupancy: (self.net.traffic().total_flits() - flits_before).div_ceil(2),
+        }
+    }
+
+    /// A single-word CPU access. The (serial, single-outstanding-miss)
+    /// CPU folds injection occupancy into the returned latency.
+    pub fn cpu_access(&mut self, cpu: usize, write: bool, va: VAddr) -> u64 {
+        let core = self.cpu_core(cpu);
+        let tx = Transaction {
+            line_va: va.align_down(self.cfg.line_bytes as u64),
+            words: vec![va.align_down(WORD_BYTES)],
+        };
+        let flits_before = self.net.traffic().total_flits();
+        let latency = self.cache_tx(core, write, &tx, false);
+        latency + (self.net.traffic().total_flits() - flits_before)
+    }
+
+    fn cache_tx(&mut self, core: CoreId, write: bool, tx: &Transaction, charge_l1: bool) -> u64 {
+        let prefix: &'static str = if charge_l1 { "gpu.l1" } else { "cpu.l1" };
+        self.counters.bump(match (charge_l1, write) {
+            (true, false) => "gpu.l1.load_tx",
+            (true, true) => "gpu.l1.store_tx",
+            (false, false) => "cpu.l1.load_tx",
+            (false, true) => "cpu.l1.store_tx",
+        });
+        // Physically indexed L1: a TLB access per transaction. The paper
+        // does not charge CPU-side core/L1 energy (§5.2).
+        if charge_l1 {
+            self.energy.add(Component::L1, self.model.tlb_access);
+        }
+
+        let pas: Vec<PAddr> = tx.words.iter().map(|&va| self.pt.translate(va)).collect();
+        let line = pas[0].line(self.cfg.line_bytes as u64);
+        let hit = pas.iter().all(|&pa| {
+            let st = self.l1s[core.0].word_state(pa);
+            if write {
+                st.store_hits()
+            } else {
+                st.load_hits()
+            }
+        });
+        if hit {
+            self.l1s[core.0].touch(pas[0]);
+            if charge_l1 {
+                self.energy.add(Component::L1, self.model.l1_hit);
+            }
+            let _ = prefix;
+            return self.cfg.l1_hit_cycles;
+        }
+
+        if charge_l1 {
+            self.energy.add(Component::L1, self.model.l1_miss);
+        }
+        self.counters.bump(if charge_l1 { "gpu.l1.miss" } else { "cpu.l1.miss" });
+
+        // Allocate the tag, writing back any displaced registered words.
+        let ensure = self.l1s[core.0].ensure_line(pas[0]);
+        if let Some(ev) = ensure.evicted {
+            self.evict_writeback(core, &ev.line, &ev.registered_words);
+        }
+
+        let my_node = self.node_of(core);
+        let home = self.home_of(line);
+
+        if write {
+            // DeNovo store miss: obtain registration for each word; the
+            // data stays in the L1 until evicted. In the line-granularity
+            // ablation the whole line registers to this core (MESI-style
+            // single writer), revoking every other core's words in it.
+            let mut revoked: Vec<(Registration, PAddr)> = Vec::new();
+            for &pa in &pas {
+                let w = pa.word_in_line(self.cfg.line_bytes as u64);
+                let out = self.llc.register_word(line, w, Registration::Cache(core));
+                if let Some(prev) = out.previous {
+                    revoked.push((prev, pa));
+                }
+                self.l1s[core.0].set_word(pa, mem::coherence::WordState::Registered);
+            }
+            if self.line_grain_registration {
+                for w in 0..self.l1s[core.0].words_per_line() {
+                    let pa = line.word_addr(w);
+                    let out = self.llc.register_word(line, w, Registration::Cache(core));
+                    if let Some(prev) = out.previous {
+                        self.counters.bump("coherence.false_sharing_revocation");
+                        revoked.push((prev, pa));
+                    }
+                    self.l1s[core.0].set_word(pa, mem::coherence::WordState::Registered);
+                }
+            }
+            self.llc_access();
+            self.send(my_node, home, Message::control(MsgClass::Write));
+            self.send(home, my_node, Message::control(MsgClass::Write));
+            for &(prev, pa) in &revoked {
+                self.invalidate_previous_owner(prev, pa, home);
+            }
+            return self.round_trip(my_node, home);
+        }
+
+        // Load miss: fill the whole line from the LLC, word-fill anything
+        // registered elsewhere via forwarding.
+        let (from_memory, skip) = self.llc.line_fill(line, core);
+        self.llc_access();
+        if from_memory {
+            self.counters.bump("dram.line_fetch");
+        }
+        let supplied = self.l1s[core.0].words_per_line() - skip.len();
+        self.send(my_node, home, Message::control(MsgClass::Read));
+        self.send(
+            home,
+            my_node,
+            Message::data(MsgClass::Read, supplied * WORD_BYTES as usize),
+        );
+        self.l1s[core.0].fill_line_shared(pas[0], &skip);
+        let mut latency = self.round_trip(my_node, home)
+            + if from_memory { self.cfg.dram_extra_cycles } else { 0 };
+
+        // Forward-fetch the needed words the LLC could not supply.
+        for &pa in &pas {
+            let w = pa.word_in_line(self.cfg.line_bytes as u64);
+            if !skip.contains(&w) {
+                continue;
+            }
+            if let LlcLoadOutcome::Forward(reg) = self.llc.load_word(line, w) {
+                let flat = self.forward_fetch(core, pa, reg);
+                self.l1s[core.0].set_word(pa, mem::coherence::WordState::Shared);
+                latency = latency.max(flat);
+            }
+        }
+        latency
+    }
+
+    /// Three-leg forwarding of one word registered at another core (§4.3).
+    fn forward_fetch(&mut self, requester: CoreId, pa: PAddr, reg: Registration) -> u64 {
+        let owner = reg.core();
+        let rn = self.node_of(requester);
+        let home = self.home_of(pa.line(self.cfg.line_bytes as u64));
+        let on = self.node_of(owner);
+        if owner == requester {
+            // The registry redirects the request back to the requesting
+            // core — its *other* local structure holds the word (data
+            // moved between cache and stash across kernels). A registry
+            // lookup round trip plus a local read; no data crosses the
+            // network.
+            self.counters.bump("remote.self_forward");
+            self.send(rn, home, Message::control(MsgClass::Read));
+            self.send(home, rn, Message::control(MsgClass::Read));
+            self.llc_access();
+            match reg {
+                Registration::Stash { .. } => {
+                    self.energy.add(Component::LocalMem, self.model.stash_hit);
+                }
+                Registration::Cache(_) => {
+                    self.energy.add(Component::L1, self.model.l1_hit);
+                }
+            }
+            return self.round_trip(rn, home) + self.cfg.l1_hit_cycles;
+        }
+        self.counters.bump("remote.forward");
+        let l1 = self.send(rn, home, Message::control(MsgClass::Read));
+        let l2 = self.send(home, on, Message::control(MsgClass::Read));
+        // Owner supplies the word; it keeps its registration (DeNovo).
+        match reg {
+            Registration::Stash { core, .. } => {
+                let cu = core.0;
+                if cu < self.stashes.len() {
+                    // VP-map reverse translation locates the stash word.
+                    self.energy.add(Component::LocalMem, self.model.stash_hit);
+                    self.energy.add(Component::LocalMem, self.model.tlb_access);
+                    if self.stashes[cu].remote_request(pa).is_none() {
+                        self.counters.bump("remote.stash_stale");
+                    }
+                }
+            }
+            Registration::Cache(owner_core) => {
+                if self.is_gpu(owner_core) {
+                    self.energy.add(Component::L1, self.model.l1_hit);
+                }
+            }
+        }
+        let l3 = self.send(on, rn, Message::data(MsgClass::Read, WORD_BYTES as usize));
+        self.cfg.remote_base_cycles + l1 + l2 + l3
+    }
+
+    /// Invalidates the previous owner of a word whose registration moved.
+    fn invalidate_previous_owner(&mut self, prev: Registration, pa: PAddr, home: NodeId) {
+        let owner = prev.core();
+        let on = self.node_of(owner);
+        self.send(home, on, Message::control(MsgClass::Write));
+        match prev {
+            Registration::Stash { core, .. } => {
+                if core.0 < self.stashes.len() {
+                    self.stashes[core.0].surrender_word(pa);
+                }
+            }
+            Registration::Cache(owner_core) => {
+                self.l1s[owner_core.0].downgrade_word(pa, mem::coherence::WordState::Invalid);
+            }
+        }
+    }
+
+    /// Writes back a displaced line's registered words (L1 eviction).
+    fn evict_writeback(&mut self, core: CoreId, line: &LineAddr, words: &[usize]) {
+        if words.is_empty() {
+            return;
+        }
+        let my_node = self.node_of(core);
+        let home = self.home_of(*line);
+        self.send(
+            my_node,
+            home,
+            Message::data(MsgClass::Writeback, words.len() * WORD_BYTES as usize),
+        );
+        self.llc_access();
+        for &w in words {
+            self.llc.writeback_word(*line, w, core);
+        }
+        self.counters.add("wb.cache_words", words.len() as u64);
+    }
+
+    // ------------------------------------------------------------------
+    // Scratchpad transactions
+    // ------------------------------------------------------------------
+
+    /// One warp scratchpad transaction on CU `cu` at byte offsets
+    /// `base_bytes + 4 * lane_word` — direct addressed, never misses.
+    pub fn scratch_tx(&mut self, cu: usize, base_bytes: usize, lane_words: &[u32]) -> u64 {
+        self.counters.bump("scratch.access");
+        self.energy
+            .add(Component::LocalMem, self.model.scratchpad_access);
+        let offsets: Vec<usize> = lane_words
+            .iter()
+            .map(|&w| base_bytes + w as usize * WORD_BYTES as usize)
+            .collect();
+        self.scratchpads[cu].conflict_cycles(&offsets).max(self.cfg.l1_hit_cycles)
+    }
+
+    /// Scratchpad allocation for a thread block (machine-level runtime).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfRange`] if the space does not fit.
+    pub fn scratch_alloc(&mut self, cu: usize, bytes: usize) -> Result<usize, SimError> {
+        self.scratchpads[cu].alloc(bytes).map_err(|short| SimError::OutOfRange {
+            what: "scratchpad allocation",
+            offset: bytes + short,
+            size: self.scratchpads[cu].capacity_bytes(),
+        })
+    }
+
+    /// Frees every scratchpad allocation on `cu` (wave boundary).
+    pub fn scratch_free_all(&mut self, cu: usize) {
+        if cu < self.scratchpads.len() {
+            self.scratchpads[cu].free_all();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stash transactions
+    // ------------------------------------------------------------------
+
+    /// `AddMap` on CU `cu` for thread block `tb`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the stash's table/range errors.
+    pub fn stash_add_map(
+        &mut self,
+        cu: usize,
+        tb: usize,
+        tile: TileMap,
+        base_word: usize,
+        mode: UsageMode,
+    ) -> Result<AddMapOutcome, SimError> {
+        let out = self.stashes[cu].add_map(tb, tile, base_word, mode)?;
+        self.counters.bump("stash.addmap");
+        if out.replicates {
+            self.counters.bump("stash.addmap_replicated");
+        }
+        // Displaced-entry writebacks block the core; charged by the caller
+        // via the returned outcome if desired (rare).
+        let wbs = out.writebacks.clone();
+        self.perform_stash_writebacks(cu, &wbs);
+        self.counters.add("stash.vp_fills", out.new_pages as u64);
+        self.energy
+            .add(Component::LocalMem, out.new_pages as u64 * self.model.tlb_access);
+        Ok(out)
+    }
+
+    /// `ChgMap` on CU `cu`: rebinds thread block `tb`'s map slot to a new
+    /// tile or mode, flushing / re-registering as §4.2 requires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the stash's mapping errors.
+    pub fn stash_chg_map(
+        &mut self,
+        cu: usize,
+        tb: usize,
+        slot: usize,
+        tile: TileMap,
+        mode: UsageMode,
+    ) -> Result<(), SimError> {
+        let out = self.stashes[cu].chg_map(tb, slot, tile, mode)?;
+        self.counters.bump("stash.chgmap");
+        let wbs = out.writebacks.clone();
+        self.perform_stash_writebacks(cu, &wbs);
+        if !out.registrations.is_empty() {
+            let map = self.stashes[cu]
+                .resolve_slot(tb, slot)
+                .ok_or_else(|| SimError::InvalidMapping(format!("slot {slot} unbound")))?;
+            let regs = out.registrations.clone();
+            self.stash_global_fetches(cu, map, &[], &regs)?;
+        }
+        self.counters.add("stash.vp_fills", out.new_pages as u64);
+        self.energy
+            .add(Component::LocalMem, out.new_pages as u64 * self.model.tlb_access);
+        Ok(())
+    }
+
+    /// Resolves a thread block's map slot (the per-instruction lookup).
+    pub fn stash_resolve_slot(&self, cu: usize, tb: usize, slot: usize) -> Option<MapIndex> {
+        self.stashes.get(cu)?.resolve_slot(tb, slot)
+    }
+
+    /// One warp stash transaction: `lane_words` are word offsets into the
+    /// allocation at `base_word`, under map `map`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid-mapping errors from the stash.
+    pub fn stash_tx(
+        &mut self,
+        cu: usize,
+        write: bool,
+        base_word: usize,
+        lane_words: &[u32],
+        map: MapIndex,
+    ) -> Result<TxCost, SimError> {
+        let flits_before = self.net.traffic().total_flits();
+        self.counters.bump(if write { "stash.store_tx" } else { "stash.load_tx" });
+        let mut words: Vec<usize> = lane_words
+            .iter()
+            .map(|&w| base_word + w as usize)
+            .collect();
+        words.sort_unstable();
+        words.dedup();
+
+        // Bank conflicts behave exactly like the scratchpad's.
+        let bank_cycles = {
+            let banks = self.cfg.local_banks;
+            let mut per_bank = vec![0u64; banks];
+            for &w in &words {
+                per_bank[w % banks] += 1;
+            }
+            per_bank.into_iter().max().unwrap_or(1).max(1)
+        };
+
+        let mut missed = false;
+        let mut latency = bank_cycles.max(self.cfg.l1_hit_cycles);
+        // Collect per-line global actions so words sharing a line batch
+        // into one message pair.
+        let mut load_fetches: Vec<(usize, VAddr)> = Vec::new();
+        let mut registrations: Vec<(usize, VAddr)> = Vec::new();
+
+        for &w in &words {
+            if write {
+                match self.stashes[cu].store(w, map)? {
+                    StoreOutcome::Hit => {}
+                    StoreOutcome::Miss {
+                        vaddr,
+                        writebacks,
+                        needs_registration,
+                    } => {
+                        missed = true;
+                        self.perform_stash_writebacks(cu, &writebacks);
+                        if needs_registration {
+                            registrations.push((w, vaddr));
+                        } else {
+                            self.stashes[cu].complete_store_fill(w, map);
+                        }
+                    }
+                }
+            } else {
+                match self.stashes[cu].load(w, map)? {
+                    LoadOutcome::Hit => {}
+                    LoadOutcome::ReplicaHit { .. } => {
+                        // One extra storage read for the internal copy.
+                        self.counters.bump("stash.replica_hit");
+                        self.energy.add(Component::LocalMem, self.model.stash_hit);
+                    }
+                    LoadOutcome::Miss { vaddr, writebacks } => {
+                        missed = true;
+                        self.perform_stash_writebacks(cu, &writebacks);
+                        load_fetches.push((w, vaddr));
+                        // §8 flexible communication granularity: widen
+                        // the miss to neighbouring mapped words.
+                        let widen = self.stashes[cu].config().fetch_words;
+                        if widen > 1 {
+                            for (nw, nva) in
+                                self.stashes[cu].prefetch_candidates(w, map, widen)
+                            {
+                                if !load_fetches.iter().any(|&(x, _)| x == nw) {
+                                    self.counters.bump("stash.widened_fetch");
+                                    load_fetches.push((nw, nva));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Local storage energy: hit vs miss per transaction (Table 3).
+        self.energy.add(
+            Component::LocalMem,
+            if missed { self.model.stash_miss } else { self.model.stash_hit },
+        );
+        if missed {
+            self.counters.bump("stash.miss");
+            // Miss translation: VP-map TLB access + 6 ALU ops (10 cycles).
+            self.energy.add(Component::LocalMem, self.model.tlb_access);
+            latency += self.cfg.stash_translation_cycles;
+        } else {
+            self.counters.bump("stash.hit");
+        }
+
+        latency += self.stash_global_fetches(cu, map, &load_fetches, &registrations)?;
+        Ok(TxCost {
+            latency,
+            occupancy: (self.net.traffic().total_flits() - flits_before).div_ceil(2),
+        })
+    }
+
+    /// Performs the grouped global actions of a stash transaction; returns
+    /// the added latency.
+    fn stash_global_fetches(
+        &mut self,
+        cu: usize,
+        map: MapIndex,
+        load_fetches: &[(usize, VAddr)],
+        registrations: &[(usize, VAddr)],
+    ) -> Result<u64, SimError> {
+        // `cu` indexes the stash vector, which equals the core ID (CPU
+        // stashes, when enabled, sit above the CU range).
+        let core = CoreId(cu);
+        let my_node = self.node_of(core);
+        let line_bytes = self.cfg.line_bytes as u64;
+        let mut extra = 0u64;
+
+        // Loads, grouped by physical line.
+        let mut by_line: Vec<(LineAddr, Vec<(usize, PAddr)>)> = Vec::new();
+        for &(w, va) in load_fetches {
+            let pa = self.pt.translate(va);
+            self.stashes[cu].note_translation(va, pa);
+            let line = pa.line(line_bytes);
+            match by_line.iter_mut().find(|(l, _)| *l == line) {
+                Some((_, v)) => v.push((w, pa)),
+                None => by_line.push((line, vec![(w, pa)])),
+            }
+        }
+        for (line, group) in by_line {
+            let home = self.home_of(line);
+            self.send(my_node, home, Message::control(MsgClass::Read));
+            self.llc_access();
+            let mut lat = self.round_trip(my_node, home);
+            let mut supplied = 0usize;
+            let mut self_forwards = 0usize;
+            for &(w, pa) in &group {
+                let widx = pa.word_in_line(line_bytes);
+                match self.llc.load_word(line, widx) {
+                    LlcLoadOutcome::Data { from_memory } => {
+                        if from_memory {
+                            self.counters.bump("dram.line_fetch");
+                            lat = lat.max(
+                                self.round_trip(my_node, home) + self.cfg.dram_extra_cycles,
+                            );
+                        }
+                        supplied += 1;
+                    }
+                    LlcLoadOutcome::Forward(reg) if reg.core() == core => {
+                        // Registry redirect to this core's own L1/stash:
+                        // the words transfer locally; one redirect
+                        // message pair covers the whole line group.
+                        self_forwards += 1;
+                        match reg {
+                            Registration::Stash { .. } => self
+                                .energy
+                                .add(Component::LocalMem, self.model.stash_hit),
+                            Registration::Cache(_) => {
+                                self.energy.add(Component::L1, self.model.l1_hit)
+                            }
+                        }
+                    }
+                    LlcLoadOutcome::Forward(reg) => {
+                        lat = lat.max(self.forward_fetch(core, pa, reg));
+                    }
+                }
+                self.stashes[cu].complete_load_fill(w);
+            }
+            if self_forwards > 0 {
+                self.counters.add("remote.self_forward", self_forwards as u64);
+                self.send(home, my_node, Message::control(MsgClass::Read));
+                lat = lat.max(self.round_trip(my_node, home) + self.cfg.l1_hit_cycles);
+            }
+            if supplied > 0 {
+                self.send(
+                    home,
+                    my_node,
+                    Message::data(MsgClass::Read, supplied * WORD_BYTES as usize),
+                );
+            }
+            self.counters.add("stash.fetch_words", group.len() as u64);
+            extra = extra.max(lat);
+        }
+
+        // Registrations, grouped by physical line; the request carries the
+        // stash-map index that the registry records (§4.3).
+        let mut by_line: Vec<(LineAddr, Vec<(usize, PAddr)>)> = Vec::new();
+        for &(w, va) in registrations {
+            let pa = self.pt.translate(va);
+            self.stashes[cu].note_translation(va, pa);
+            let line = pa.line(line_bytes);
+            match by_line.iter_mut().find(|(l, _)| *l == line) {
+                Some((_, v)) => v.push((w, pa)),
+                None => by_line.push((line, vec![(w, pa)])),
+            }
+        }
+        for (line, group) in by_line {
+            let home = self.home_of(line);
+            self.send(my_node, home, Message::control(MsgClass::Write));
+            self.send(home, my_node, Message::control(MsgClass::Write));
+            self.llc_access();
+            for &(w, pa) in &group {
+                let widx = pa.word_in_line(line_bytes);
+                let out = self.llc.register_word(
+                    line,
+                    widx,
+                    Registration::Stash {
+                        core,
+                        map_index: map.0,
+                    },
+                );
+                if let Some(prev) = out.previous {
+                    self.invalidate_previous_owner(prev, pa, home);
+                }
+                self.stashes[cu].complete_store_fill(w, map);
+            }
+            self.counters.add("stash.register_words", group.len() as u64);
+            extra = extra.max(self.round_trip(my_node, home));
+        }
+        Ok(extra)
+    }
+
+    /// Sends a batch of stash writebacks (lazy or blocking) to the LLC.
+    fn perform_stash_writebacks(&mut self, cu: usize, wbs: &[WritebackWord]) {
+        if wbs.is_empty() {
+            return;
+        }
+        let core = CoreId(cu);
+        let my_node = self.node_of(core);
+        let line_bytes = self.cfg.line_bytes as u64;
+        let mut by_line: Vec<(LineAddr, Vec<PAddr>)> = Vec::new();
+        for wb in wbs {
+            let pa = self.stashes[cu]
+                .translate(wb.vaddr)
+                .unwrap_or_else(|| self.pt.translate(wb.vaddr));
+            let line = pa.line(line_bytes);
+            match by_line.iter_mut().find(|(l, _)| *l == line) {
+                Some((_, v)) => v.push(pa),
+                None => by_line.push((line, vec![pa])),
+            }
+        }
+        for (line, pas) in by_line {
+            let home = self.home_of(line);
+            // One storage read + VP-map translation per chunk-batch.
+            self.energy.add(Component::LocalMem, self.model.stash_hit);
+            self.energy.add(Component::LocalMem, self.model.tlb_access);
+            self.send(
+                my_node,
+                home,
+                Message::data(MsgClass::Writeback, pas.len() * WORD_BYTES as usize),
+            );
+            self.llc_access();
+            for pa in pas {
+                let widx = pa.word_in_line(line_bytes);
+                self.llc.writeback_word(line, widx, core);
+                self.counters.bump("wb.stash_words");
+            }
+        }
+    }
+
+    /// A warp access to *unmapped* stash space (§3.3's Temporary /
+    /// Global-unmapped modes): the stash behaves exactly like a
+    /// scratchpad — direct addressing, bank conflicts, no global actions.
+    pub fn stash_raw_tx(&mut self, _cu: usize, base_word: usize, lane_words: &[u32]) -> u64 {
+        self.counters.bump("stash.raw_access");
+        self.energy.add(Component::LocalMem, self.model.stash_hit);
+        let banks = self.cfg.local_banks;
+        let mut per_bank = vec![0u64; banks];
+        for &w in lane_words {
+            per_bank[(base_word + w as usize) % banks] += 1;
+        }
+        per_bank
+            .into_iter()
+            .max()
+            .unwrap_or(1)
+            .max(self.cfg.l1_hit_cycles)
+    }
+
+    /// Thread block `tb` on CU `cu` completed.
+    pub fn end_thread_block(&mut self, cu: usize, tb: usize) {
+        if let Some(s) = self.stashes.get_mut(cu) {
+            s.end_thread_block(tb);
+        }
+    }
+
+    /// Kernel boundary: self-invalidation in GPU L1s and stashes;
+    /// scratchpad allocations are freed by the machine's allocator.
+    pub fn end_kernel(&mut self) {
+        for cu in 0..self.cfg.gpu_cus {
+            self.l1s[cu].self_invalidate();
+        }
+        if self.eager_stash_writebacks {
+            for cu in 0..self.stashes.len() {
+                let wbs = self.stashes[cu].drain_writebacks();
+                self.counters.add("wb.eager_drained", wbs.len() as u64);
+                self.perform_stash_writebacks(cu, &wbs);
+            }
+        }
+        for s in &mut self.stashes {
+            s.end_kernel();
+        }
+        self.counters.bump("gpu.kernels");
+    }
+
+    /// §8 extension: eagerly fetches every unfetched word of a fresh
+    /// mapping (an `AddMap`-time prefetch). Returns the blocking latency,
+    /// charged like a DMA preload by the CU model.
+    pub fn stash_prefetch_mapping(&mut self, cu: usize, map: MapIndex) -> Result<u64, SimError> {
+        let wbs = self.stashes[cu].claim_chunks(map);
+        self.perform_stash_writebacks(cu, &wbs);
+        let words = self.stashes[cu].unfetched_words(map);
+        if words.is_empty() {
+            return Ok(0);
+        }
+        self.counters.add("stash.prefetch_words", words.len() as u64);
+        self.energy.add(Component::LocalMem, self.model.stash_miss);
+        self.energy.add(Component::LocalMem, self.model.tlb_access);
+        let lat = self.stash_global_fetches(cu, map, &words, &[])?;
+        // Pipelined like a DMA transfer: inject at 2 flits/cycle.
+        Ok(lat + (words.len() as u64).div_ceil(4))
+    }
+
+    // ------------------------------------------------------------------
+    // DMA (ScratchGD)
+    // ------------------------------------------------------------------
+
+    /// Runs a blocking DMA transfer of `tile` on CU `cu`; returns the
+    /// transfer's completion latency in cycles.
+    pub fn dma_transfer(&mut self, cu: usize, tile: &TileMap, store: bool) -> u64 {
+        let dir = if store {
+            DmaDirection::ScratchToGlobal
+        } else {
+            DmaDirection::GlobalToScratch
+        };
+        let dma = DmaTransfer::new(*tile, dir);
+        let core = self.cu_core(cu);
+        let my_node = self.node_of(core);
+        let line_bytes = self.cfg.line_bytes as u64;
+
+        // Group the tile's words by physical line.
+        let mut by_line: Vec<(LineAddr, Vec<PAddr>)> = Vec::new();
+        for va in dma.word_vaddrs() {
+            let pa = self.pt.translate(va);
+            let line = pa.line(line_bytes);
+            match by_line.iter_mut().find(|(l, _)| *l == line) {
+                Some((_, v)) => v.push(pa),
+                None => by_line.push((line, vec![pa])),
+            }
+        }
+
+        self.counters.add("dma.words", dma.word_count());
+        let mut issue = 0u64;
+        let mut done = 0u64;
+        for (line, pas) in by_line {
+            let home = self.home_of(line);
+            let mut lat = self.round_trip(my_node, home);
+            if store {
+                self.send(
+                    my_node,
+                    home,
+                    Message::data(MsgClass::Write, pas.len() * WORD_BYTES as usize),
+                );
+                self.llc_access();
+                for pa in &pas {
+                    let widx = pa.word_in_line(line_bytes);
+                    if let Some(prev) = self.llc.store_through(line, widx) {
+                        self.invalidate_previous_owner(prev, *pa, home);
+                    }
+                }
+            } else {
+                self.send(my_node, home, Message::control(MsgClass::Read));
+                self.llc_access();
+                let mut supplied = 0usize;
+                for pa in &pas {
+                    let widx = pa.word_in_line(line_bytes);
+                    match self.llc.load_word(line, widx) {
+                        LlcLoadOutcome::Data { from_memory } => {
+                            if from_memory {
+                                self.counters.bump("dram.line_fetch");
+                                lat += self.cfg.dram_extra_cycles;
+                            }
+                            supplied += 1;
+                        }
+                        LlcLoadOutcome::Forward(reg) => {
+                            lat = lat.max(self.forward_fetch(core, *pa, reg));
+                        }
+                    }
+                }
+                if supplied > 0 {
+                    self.send(
+                        home,
+                        my_node,
+                        Message::data(MsgClass::Read, supplied * WORD_BYTES as usize),
+                    );
+                }
+            }
+            // The DMA engine also accesses the scratchpad for every word
+            // it moves (§6.2: DMA "accesses the scratchpad at the DMA
+            // load, the program access, and the DMA store").
+            self.energy.add(
+                Component::LocalMem,
+                pas.len() as u64 * self.model.scratchpad_access,
+            );
+            // Pipelined at NoC injection bandwidth: each line-group's
+            // request+response flits occupy the port; the transfer
+            // completes with the last response (core-granularity
+            // blocking, §5.3).
+            let flits = 2 + (pas.len() * WORD_BYTES as usize).div_ceil(16) as u64;
+            done = done.max(issue + lat);
+            issue += flits.div_ceil(2);
+        }
+        done.max(issue)
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting
+    // ------------------------------------------------------------------
+
+    /// Total GPU warp instructions recorded.
+    pub fn gpu_instructions(&self) -> u64 {
+        self.gpu_instructions
+    }
+
+    /// Accumulated energy account.
+    pub fn energy(&self) -> &EnergyAccount {
+        &self.energy
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn traffic(&self) -> &noc::TrafficStats {
+        self.net.traffic()
+    }
+
+    /// Per-router flit-traversal profile (hotspot analysis).
+    pub fn router_flit_profile(&self) -> &[u64] {
+        self.net.router_flit_profile()
+    }
+
+    /// Raw event counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Direct read access to a CU's stash (tests/diagnostics).
+    pub fn stash(&self, cu: usize) -> Option<&Stash> {
+        self.stashes.get(cu)
+    }
+
+    /// Direct read access to the LLC/registry (tests/diagnostics).
+    pub fn llc(&self) -> &Llc {
+        &self.llc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micro(kind: MemConfigKind) -> MemorySystem {
+        MemorySystem::new(SystemConfig::for_microbenchmarks(), kind)
+    }
+
+    fn tx(vas: &[u64]) -> Transaction {
+        Transaction {
+            line_va: VAddr(vas[0]).align_down(64),
+            words: vas.iter().map(|&v| VAddr(v)).collect(),
+        }
+    }
+
+    #[test]
+    fn cache_load_miss_then_hit() {
+        let mut m = micro(MemConfigKind::Cache);
+        let t = tx(&[0x1000]);
+        let miss = m.gpu_global_tx(0, false, &t);
+        assert!(miss.latency > m.config().l1_hit_cycles);
+        assert!(miss.occupancy > 0, "a miss injects flits");
+        let hit = m.gpu_global_tx(0, false, &t);
+        assert_eq!(hit.latency, m.config().l1_hit_cycles);
+        assert_eq!(hit.occupancy, 0, "hits stay inside the CU");
+        assert_eq!(m.counters().get("gpu.l1.miss"), 1);
+        // The whole line was filled: a neighbouring word also hits.
+        assert_eq!(m.gpu_global_tx(0, false, &tx(&[0x1004])).latency, 1);
+    }
+
+    #[test]
+    fn cache_store_registers_at_llc() {
+        let mut m = micro(MemConfigKind::Cache);
+        m.gpu_global_tx(0, true, &tx(&[0x2000]));
+        // Some word of some line is registered to CU 0.
+        assert_eq!(m.llc().words_registered_to(CoreId(0)), 1);
+        // A store hit afterwards.
+        assert_eq!(m.gpu_global_tx(0, true, &tx(&[0x2000])).latency, 1);
+    }
+
+    #[test]
+    fn cpu_read_of_gpu_written_word_forwards() {
+        let mut m = micro(MemConfigKind::Cache);
+        m.gpu_global_tx(0, true, &tx(&[0x3000]));
+        let before = m.counters().get("remote.forward");
+        m.cpu_access(0, false, VAddr(0x3000));
+        assert_eq!(m.counters().get("remote.forward"), before + 1);
+    }
+
+    #[test]
+    fn stash_roundtrip_through_memsys() {
+        let mut m = micro(MemConfigKind::Stash);
+        let tile = TileMap::new(VAddr(0x10000), 4, 16, 64, 0, 1).unwrap();
+        let out = m
+            .stash_add_map(0, 0, tile, 0, UsageMode::MappedCoherent)
+            .unwrap();
+        // First load misses (fetch), second hits.
+        let c1 = m.stash_tx(0, false, 0, &[0], out.index).unwrap();
+        assert!(c1.latency > 1 + m.config().stash_translation_cycles);
+        assert!(c1.occupancy > 0);
+        let c2 = m.stash_tx(0, false, 0, &[0], out.index).unwrap();
+        assert_eq!(c2.latency, 1);
+        assert_eq!(c2.occupancy, 0);
+        assert_eq!(m.counters().get("stash.hit"), 1);
+        assert_eq!(m.counters().get("stash.miss"), 1);
+        // Stores register at the LLC with a stash registration.
+        m.stash_tx(0, true, 0, &[1], out.index).unwrap();
+        assert_eq!(m.llc().words_registered_to(CoreId(0)), 1);
+    }
+
+    #[test]
+    fn cpu_pulls_stash_data_via_forwarding() {
+        let mut m = micro(MemConfigKind::Stash);
+        let tile = TileMap::new(VAddr(0x10000), 4, 16, 64, 0, 1).unwrap();
+        let out = m
+            .stash_add_map(0, 0, tile, 0, UsageMode::MappedCoherent)
+            .unwrap();
+        m.stash_tx(0, true, 0, &[0], out.index).unwrap();
+        m.end_thread_block(0, 0);
+        m.end_kernel();
+        // The data was NOT written back (lazy): the CPU read forwards.
+        assert_eq!(m.counters().get("wb.stash_words"), 0);
+        let before = m.counters().get("remote.forward");
+        m.cpu_access(0, false, VAddr(0x10000));
+        assert_eq!(m.counters().get("remote.forward"), before + 1);
+    }
+
+    #[test]
+    fn scratchpad_tx_is_local_only() {
+        let mut m = micro(MemConfigKind::Scratch);
+        let base = m.scratch_alloc(0, 1024).unwrap();
+        let lanes: Vec<u32> = (0..32).collect();
+        let lat = m.scratch_tx(0, base, &lanes);
+        assert_eq!(lat, 1);
+        assert_eq!(m.traffic().total_messages(), 0);
+        assert_eq!(m.counters().get("scratch.access"), 1);
+    }
+
+    #[test]
+    fn dma_moves_whole_tile() {
+        let mut m = micro(MemConfigKind::ScratchGD);
+        let tile = TileMap::new(VAddr(0x10000), 4, 16, 64, 0, 1).unwrap();
+        let lat = m.dma_transfer(0, &tile, false);
+        assert!(lat > 0);
+        assert_eq!(m.counters().get("dma.words"), 64);
+        // 64 elements of 16-byte objects span 16 lines: 16 request pairs.
+        assert_eq!(m.traffic().messages(MsgClass::Read), 32);
+    }
+
+    #[test]
+    fn dma_store_revokes_stale_registrations() {
+        let mut m = micro(MemConfigKind::ScratchGD);
+        // A GPU global store registers a word...
+        m.gpu_global_tx(0, true, &tx(&[0x10000]));
+        assert_eq!(m.llc().words_registered_to(CoreId(0)), 1);
+        // ...then a DMA store of the same tile writes through and revokes.
+        let tile = TileMap::new(VAddr(0x10000), 4, 16, 4, 0, 1).unwrap();
+        m.dma_transfer(0, &tile, true);
+        assert_eq!(m.llc().words_registered_to(CoreId(0)), 0);
+    }
+
+    #[test]
+    fn lazy_writeback_traffic_appears_on_reclaim() {
+        let mut m = micro(MemConfigKind::Stash);
+        let t1 = TileMap::new(VAddr(0x10000), 4, 16, 16, 0, 1).unwrap();
+        let out1 = m.stash_add_map(0, 0, t1, 0, UsageMode::MappedCoherent).unwrap();
+        m.stash_tx(0, true, 0, &[0], out1.index).unwrap();
+        m.end_thread_block(0, 0);
+        m.end_kernel();
+        assert_eq!(m.counters().get("wb.stash_words"), 0);
+        // A new, different mapping reclaims the same stash space.
+        let t2 = TileMap::new(VAddr(0x20000), 4, 16, 16, 0, 1).unwrap();
+        let out2 = m.stash_add_map(0, 1, t2, 0, UsageMode::MappedCoherent).unwrap();
+        m.stash_tx(0, false, 0, &[0], out2.index).unwrap();
+        assert_eq!(m.counters().get("wb.stash_words"), 1);
+        assert!(m.traffic().messages(MsgClass::Writeback) > 0);
+    }
+
+    #[test]
+    fn eager_writebacks_drain_at_kernel_end() {
+        let mut m = micro(MemConfigKind::Stash);
+        m.set_eager_stash_writebacks(true);
+        let tile = TileMap::new(VAddr(0x10000), 4, 16, 64, 0, 1).unwrap();
+        let out = m
+            .stash_add_map(0, 0, tile, 0, UsageMode::MappedCoherent)
+            .unwrap();
+        m.stash_tx(0, true, 0, &[0, 1, 2], out.index).unwrap();
+        m.end_thread_block(0, 0);
+        m.end_kernel();
+        // The dirty words were flushed at the boundary (scratchpad-like),
+        // so the CPU read hits the LLC instead of forwarding.
+        assert_eq!(m.counters().get("wb.stash_words"), 3);
+        let before = m.counters().get("remote.forward");
+        m.cpu_access(0, false, VAddr(0x10000));
+        assert_eq!(m.counters().get("remote.forward"), before);
+    }
+
+    #[test]
+    fn widened_fetches_fill_neighbours() {
+        let mut m = micro(MemConfigKind::Stash);
+        m.set_stash_fetch_words(4);
+        let tile = TileMap::new(VAddr(0x10000), 4, 16, 64, 0, 1).unwrap();
+        let out = m
+            .stash_add_map(0, 0, tile, 0, UsageMode::MappedCoherent)
+            .unwrap();
+        m.stash_tx(0, false, 0, &[0], out.index).unwrap();
+        // The miss widened to 4 words: the next three now hit.
+        assert_eq!(m.counters().get("stash.fetch_words"), 4);
+        assert_eq!(m.counters().get("stash.widened_fetch"), 3);
+        let cost = m.stash_tx(0, false, 0, &[1, 2, 3], out.index).unwrap();
+        assert_eq!(cost.latency, 1);
+    }
+
+    #[test]
+    fn addmap_prefetch_fetches_whole_mapping() {
+        let mut m = micro(MemConfigKind::Stash);
+        m.set_stash_prefetch(true);
+        assert!(m.stash_prefetch_enabled());
+        let tile = TileMap::new(VAddr(0x10000), 4, 16, 64, 0, 1).unwrap();
+        let out = m
+            .stash_add_map(0, 0, tile, 0, UsageMode::MappedCoherent)
+            .unwrap();
+        let lat = m.stash_prefetch_mapping(0, out.index).unwrap();
+        assert!(lat > 0);
+        assert_eq!(m.counters().get("stash.prefetch_words"), 64);
+        // Every subsequent load hits.
+        let cost = m.stash_tx(0, false, 0, &(0..32).collect::<Vec<_>>(), out.index).unwrap();
+        assert_eq!(cost.latency, 1);
+        assert_eq!(m.counters().get("stash.miss"), 0);
+    }
+
+    #[test]
+    fn line_grain_registration_causes_false_sharing() {
+        let mut m = MemorySystem::new(SystemConfig::for_applications(), MemConfigKind::Cache);
+        m.set_line_grain_registration(true);
+        // Two CUs store to different words of the same line: the second
+        // store revokes the first core's whole-line registration.
+        m.gpu_global_tx(0, true, &tx(&[0x5000]));
+        m.gpu_global_tx(1, true, &tx(&[0x5004]));
+        assert!(m.counters().get("coherence.false_sharing_revocation") > 0);
+        assert_eq!(m.llc().words_registered_to(CoreId(0)), 0);
+        // Word-granular DeNovo has no such revocations.
+        let mut w = MemorySystem::new(SystemConfig::for_applications(), MemConfigKind::Cache);
+        w.gpu_global_tx(0, true, &tx(&[0x5000]));
+        w.gpu_global_tx(1, true, &tx(&[0x5004]));
+        assert_eq!(w.counters().get("coherence.false_sharing_revocation"), 0);
+        assert_eq!(w.llc().words_registered_to(CoreId(0)), 1);
+    }
+
+    #[test]
+    fn instruction_energy_lands_in_core_component() {
+        let mut m = micro(MemConfigKind::Cache);
+        m.note_gpu_instructions(10);
+        assert_eq!(m.gpu_instructions(), 10);
+        assert!(m.energy().component(Component::GpuCore) > 0);
+        assert_eq!(m.energy().component(Component::L1), 0);
+    }
+}

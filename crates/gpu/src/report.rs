@@ -1,0 +1,110 @@
+//! Run results: everything the paper's figures are built from.
+
+use energy::EnergyAccount;
+use noc::TrafficStats;
+use sim::clock::Picos;
+use sim::stats::Counters;
+
+/// The measured outcome of running one program on one configuration.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// GPU cycles across all GPU phases (700 MHz domain).
+    pub gpu_cycles: u64,
+    /// CPU cycles across all CPU phases (2 GHz domain).
+    pub cpu_cycles: u64,
+    /// Total execution time (GPU phases + CPU phases) in picoseconds.
+    pub total_picos: Picos,
+    /// GPU warp instructions issued (Figure 5c's quantity).
+    pub gpu_instructions: u64,
+    /// Dynamic energy by component (Figures 5b / 6b).
+    pub energy: EnergyAccount,
+    /// Network traffic by class (Figure 5d).
+    pub traffic: TrafficStats,
+    /// Raw event counters (hits, misses, writebacks, …) for diagnostics
+    /// and tests.
+    pub counters: Counters,
+}
+
+impl RunReport {
+    /// Total dynamic energy in femtojoules.
+    pub fn total_energy(&self) -> u64 {
+        self.energy.total()
+    }
+
+    /// Execution time normalized against a baseline report, in percent
+    /// (the paper's figures normalize to the Scratch configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline ran for zero time.
+    pub fn time_percent_of(&self, baseline: &RunReport) -> u64 {
+        assert!(baseline.total_picos > 0, "baseline must have run");
+        self.total_picos * 100 / baseline.total_picos
+    }
+
+    /// Energy normalized against a baseline report, in percent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline consumed zero energy.
+    pub fn energy_percent_of(&self, baseline: &RunReport) -> u64 {
+        assert!(baseline.total_energy() > 0, "baseline must have consumed energy");
+        self.total_energy() * 100 / baseline.total_energy()
+    }
+
+    /// Instruction count normalized against a baseline, in percent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline issued zero instructions.
+    pub fn instructions_percent_of(&self, baseline: &RunReport) -> u64 {
+        assert!(baseline.gpu_instructions > 0, "baseline must have instructions");
+        self.gpu_instructions * 100 / baseline.gpu_instructions
+    }
+
+    /// Traffic (total flit crossings) normalized against a baseline, in
+    /// percent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline produced zero traffic.
+    pub fn traffic_percent_of(&self, baseline: &RunReport) -> u64 {
+        assert!(
+            baseline.traffic.total_crossings() > 0,
+            "baseline must have traffic"
+        );
+        self.traffic.total_crossings() * 100 / baseline.traffic.total_crossings()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(picos: u64, energy_fj: u64) -> RunReport {
+        let mut r = RunReport {
+            total_picos: picos,
+            gpu_instructions: 100,
+            ..RunReport::default()
+        };
+        r.energy.add(energy::Component::GpuCore, energy_fj);
+        r
+    }
+
+    #[test]
+    fn normalization_percentages() {
+        let base = report(1000, 2000);
+        let fast = report(650, 1000);
+        assert_eq!(fast.time_percent_of(&base), 65);
+        assert_eq!(fast.energy_percent_of(&base), 50);
+        assert_eq!(fast.instructions_percent_of(&base), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline")]
+    fn zero_baseline_panics() {
+        let base = RunReport::default();
+        let r = report(1, 1);
+        let _ = r.time_percent_of(&base);
+    }
+}

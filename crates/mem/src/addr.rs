@@ -1,0 +1,126 @@
+//! Typed addresses.
+//!
+//! The stash design distinguishes three address spaces: the *stash/local*
+//! space (a small direct offset), the *global virtual* space the program
+//! names, and the *physical* space the LLC and registry operate on. Using
+//! newtypes for the latter two makes it impossible to, say, index the
+//! registry with a virtual address — the class of bug the VP-map exists to
+//! prevent in hardware.
+
+/// Bytes per word; the stash and DeNovo track coherence at this granularity.
+pub const WORD_BYTES: u64 = 4;
+
+/// A global *virtual* address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VAddr(pub u64);
+
+/// A global *physical* address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PAddr(pub u64);
+
+/// A physical address of an aligned cache line (the tag+index part).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+macro_rules! addr_common {
+    ($t:ty) => {
+        impl $t {
+            /// Byte offset within an `align`-byte aligned block.
+            pub fn offset_in(self, align: u64) -> u64 {
+                self.0 % align
+            }
+
+            /// This address rounded down to an `align`-byte boundary.
+            pub fn align_down(self, align: u64) -> Self {
+                Self(self.0 - self.0 % align)
+            }
+
+            /// The word index within a line of `line_bytes` bytes.
+            pub fn word_in_line(self, line_bytes: u64) -> usize {
+                ((self.0 % line_bytes) / WORD_BYTES) as usize
+            }
+
+            /// Adds a byte offset. (Named like arithmetic deliberately;
+            /// addresses are not `std::ops::Add` — offsets are untyped.)
+            #[allow(clippy::should_implement_trait)]
+            pub fn add(self, bytes: u64) -> Self {
+                Self(self.0 + bytes)
+            }
+        }
+
+        impl std::fmt::Display for $t {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+    };
+}
+
+addr_common!(VAddr);
+addr_common!(PAddr);
+
+impl VAddr {
+    /// The virtual page number for `page_bytes` pages.
+    pub fn page(self, page_bytes: u64) -> u64 {
+        self.0 / page_bytes
+    }
+}
+
+impl PAddr {
+    /// The physical page (frame) number for `page_bytes` pages.
+    pub fn frame(self, page_bytes: u64) -> u64 {
+        self.0 / page_bytes
+    }
+
+    /// The aligned line containing this address.
+    pub fn line(self, line_bytes: u64) -> LineAddr {
+        LineAddr(self.0 - self.0 % line_bytes)
+    }
+}
+
+impl LineAddr {
+    /// The physical address of word `word` within this line.
+    pub fn word_addr(self, word: usize) -> PAddr {
+        PAddr(self.0 + word as u64 * WORD_BYTES)
+    }
+}
+
+impl std::fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_helpers() {
+        let a = PAddr(0x1234);
+        assert_eq!(a.align_down(64).0, 0x1200);
+        assert_eq!(a.offset_in(64), 0x34);
+        assert_eq!(a.word_in_line(64), 0x34 / 4);
+    }
+
+    #[test]
+    fn line_and_word_round_trip() {
+        let a = PAddr(0x1040 + 5 * WORD_BYTES);
+        let line = a.line(64);
+        assert_eq!(line.0, 0x1040);
+        assert_eq!(line.word_addr(5), PAddr(a.0));
+    }
+
+    #[test]
+    fn pages_and_frames() {
+        assert_eq!(VAddr(0x2FFF).page(4096), 2);
+        assert_eq!(VAddr(0x3000).page(4096), 3);
+        assert_eq!(PAddr(0x7FFF).frame(4096), 7);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(VAddr(255).to_string(), "0xff");
+        assert_eq!(LineAddr(64).to_string(), "0x40");
+    }
+}

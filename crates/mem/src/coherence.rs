@@ -1,0 +1,92 @@
+//! DeNovo word-granularity coherence state.
+//!
+//! The paper extends the DeNovo protocol (Choi et al., PACT 2011): three
+//! stable states per *word*, no transient states, no sharer lists, and
+//! software-triggered self-invalidation at synchronization points (kernel
+//! boundaries here). Stores must obtain *registration* from the LLC
+//! registry (the analogue of MESI ownership); loads of non-resident words
+//! fetch them as Shared.
+//!
+//! The same state machine runs in the GPU L1s, the CPU L1s, and — with two
+//! spare encodings reused for the writeback bit (§4.4) — the stash.
+
+/// DeNovo per-word coherence state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WordState {
+    /// No valid copy of the word.
+    #[default]
+    Invalid,
+    /// A valid, read-only copy; silently discarded at self-invalidation.
+    Shared,
+    /// This core holds the only up-to-date copy (MESI "ownership"); the
+    /// registry records the owner. Survives self-invalidation.
+    Registered,
+}
+
+impl WordState {
+    /// Whether a load of this word hits.
+    pub fn load_hits(self) -> bool {
+        !matches!(self, WordState::Invalid)
+    }
+
+    /// Whether a store to this word hits (stores hit only on Registered —
+    /// "Stores miss when in Shared or Invalid state", §4.3).
+    pub fn store_hits(self) -> bool {
+        matches!(self, WordState::Registered)
+    }
+
+    /// The state after a kernel-boundary self-invalidation: Registered
+    /// data is kept, everything else drops to Invalid (§4.3,
+    /// *Self-invalidations*).
+    pub fn after_self_invalidate(self) -> WordState {
+        match self {
+            WordState::Registered => WordState::Registered,
+            _ => WordState::Invalid,
+        }
+    }
+
+    /// Encoded state-bit count per word: DeNovo needs 2 bits (three states
+    /// plus a spare encoding the stash reuses as its writeback flag).
+    pub const BITS: u32 = 2;
+}
+
+impl std::fmt::Display for WordState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WordState::Invalid => "I",
+            WordState::Shared => "S",
+            WordState::Registered => "R",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rules_match_denovo() {
+        assert!(!WordState::Invalid.load_hits());
+        assert!(WordState::Shared.load_hits());
+        assert!(WordState::Registered.load_hits());
+        assert!(!WordState::Invalid.store_hits());
+        assert!(!WordState::Shared.store_hits());
+        assert!(WordState::Registered.store_hits());
+    }
+
+    #[test]
+    fn self_invalidation_keeps_only_registered() {
+        assert_eq!(WordState::Invalid.after_self_invalidate(), WordState::Invalid);
+        assert_eq!(WordState::Shared.after_self_invalidate(), WordState::Invalid);
+        assert_eq!(
+            WordState::Registered.after_self_invalidate(),
+            WordState::Registered
+        );
+    }
+
+    #[test]
+    fn two_state_bits() {
+        assert_eq!(WordState::BITS, 2);
+    }
+}

@@ -1,0 +1,373 @@
+//! The shared NUCA L2 / registry (DeNovo's directory-free "LLC").
+//!
+//! Under DeNovo the LLC doubles as the *registry*: for every word it
+//! either holds valid data or records which core has the word Registered —
+//! the owner ID is kept in the word's own data-array slot, so tracking
+//! costs no extra storage (§4.3). For stash owners it additionally records
+//! the owner's stash-map index so a remote request can be translated back
+//! to a stash location (§4.3, feature 3).
+//!
+//! Capacity note: the simulated L2 is 4 MB while the paper's workloads
+//! touch well under that, so this model keeps every touched line resident
+//! (first touch still counts as a memory fetch). L2 *evictions* therefore
+//! never occur, which matches the paper's configurations.
+
+use crate::addr::{LineAddr, WORD_BYTES};
+use std::collections::HashMap;
+
+/// Identifies a core (CPU or GPU CU) for registration tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(pub usize);
+
+impl std::fmt::Display for CoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Who holds a word registered, and — for stash owners — through which
+/// stash-map entry (so remote requests can find the stash location).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Registration {
+    /// Registered in the owner's L1 cache.
+    Cache(CoreId),
+    /// Registered in the owner's stash via stash-map entry `map_index`.
+    Stash {
+        /// The owning core.
+        core: CoreId,
+        /// Index into the owner's stash-map (stored at the LLC alongside
+        /// the core ID, §4.3).
+        map_index: u8,
+    },
+}
+
+impl Registration {
+    /// The owning core, regardless of which structure holds the word.
+    pub fn core(self) -> CoreId {
+        match self {
+            Registration::Cache(c) => c,
+            Registration::Stash { core, .. } => core,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WordTag {
+    Valid,
+    Registered(Registration),
+}
+
+#[derive(Debug, Clone)]
+struct LlcLine {
+    words: Box<[WordTag]>,
+}
+
+/// Outcome of a load request reaching the home L2 bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LlcLoadOutcome {
+    /// The LLC supplies the data; `from_memory` is true if the line had to
+    /// be fetched from DRAM first.
+    Data {
+        /// Whether DRAM was accessed.
+        from_memory: bool,
+    },
+    /// Another core holds the only up-to-date copy; the request must be
+    /// forwarded to it.
+    Forward(Registration),
+}
+
+/// Outcome of a registration (store-miss) request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterOutcome {
+    /// The previous owner, if the word was registered elsewhere (that copy
+    /// must be invalidated/downgraded by the orchestrator).
+    pub previous: Option<Registration>,
+    /// Whether DRAM was accessed to bring the line in first.
+    pub from_memory: bool,
+}
+
+/// The banked shared L2 + registry.
+///
+/// # Example
+///
+/// ```
+/// use mem::addr::LineAddr;
+/// use mem::llc::{CoreId, Llc, LlcLoadOutcome, Registration};
+///
+/// let mut llc = Llc::new(16, 64);
+/// let line = LineAddr(0x4000);
+/// // First load fetches from memory, second hits in the L2.
+/// assert_eq!(llc.load_word(line, 0), LlcLoadOutcome::Data { from_memory: true });
+/// assert_eq!(llc.load_word(line, 0), LlcLoadOutcome::Data { from_memory: false });
+/// // A store registers the word; a later load is forwarded to the owner.
+/// llc.register_word(line, 0, Registration::Cache(CoreId(2)));
+/// assert!(matches!(llc.load_word(line, 0), LlcLoadOutcome::Forward(_)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Llc {
+    banks: usize,
+    line_bytes: u64,
+    words_per_line: usize,
+    lines: HashMap<LineAddr, LlcLine>,
+    dram_line_fetches: u64,
+}
+
+impl Llc {
+    /// Creates an LLC with `banks` banks and `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero or the line is not word-aligned.
+    pub fn new(banks: usize, line_bytes: usize) -> Self {
+        assert!(banks > 0 && line_bytes > 0);
+        assert_eq!(line_bytes as u64 % WORD_BYTES, 0);
+        Self {
+            banks,
+            line_bytes: line_bytes as u64,
+            words_per_line: line_bytes / WORD_BYTES as usize,
+            lines: HashMap::new(),
+            dram_line_fetches: 0,
+        }
+    }
+
+    /// The home bank of a line (lines interleave across banks).
+    pub fn bank_of(&self, line: LineAddr) -> usize {
+        ((line.0 / self.line_bytes) % self.banks as u64) as usize
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Total DRAM line fetches so far.
+    pub fn dram_line_fetches(&self) -> u64 {
+        self.dram_line_fetches
+    }
+
+    fn ensure(&mut self, line: LineAddr) -> (bool, &mut LlcLine) {
+        let words = self.words_per_line;
+        let mut fetched = false;
+        let entry = self.lines.entry(line).or_insert_with(|| {
+            fetched = true;
+            LlcLine {
+                words: vec![WordTag::Valid; words].into_boxed_slice(),
+            }
+        });
+        if fetched {
+            self.dram_line_fetches += 1;
+        }
+        (fetched, entry)
+    }
+
+    /// A load request for one word arriving at the home bank.
+    pub fn load_word(&mut self, line: LineAddr, word: usize) -> LlcLoadOutcome {
+        assert!(word < self.words_per_line);
+        let (from_memory, entry) = self.ensure(line);
+        match entry.words[word] {
+            WordTag::Valid => LlcLoadOutcome::Data { from_memory },
+            WordTag::Registered(r) => LlcLoadOutcome::Forward(r),
+        }
+    }
+
+    /// A registration (store-miss) request: `new` becomes the word's owner.
+    pub fn register_word(
+        &mut self,
+        line: LineAddr,
+        word: usize,
+        new: Registration,
+    ) -> RegisterOutcome {
+        assert!(word < self.words_per_line);
+        let (from_memory, entry) = self.ensure(line);
+        let previous = match entry.words[word] {
+            WordTag::Registered(r) if r != new => Some(r),
+            _ => None,
+        };
+        entry.words[word] = WordTag::Registered(new);
+        RegisterOutcome {
+            previous,
+            from_memory,
+        }
+    }
+
+    /// A writeback of one word from `owner`: clears the registration (if it
+    /// still names `owner`) and marks the word Valid. Returns `true` if a
+    /// matching registration was cleared — a stale writeback (the word was
+    /// re-registered elsewhere meanwhile) returns `false` and is dropped.
+    pub fn writeback_word(&mut self, line: LineAddr, word: usize, owner: CoreId) -> bool {
+        assert!(word < self.words_per_line);
+        let (_, entry) = self.ensure(line);
+        match entry.words[word] {
+            WordTag::Registered(r) if r.core() == owner => {
+                entry.words[word] = WordTag::Valid;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// A write-through store of one word (the DMA engine's scratchpad →
+    /// global writeback path, which deposits data directly at the LLC):
+    /// marks the word Valid and returns any registration that had to be
+    /// revoked (the orchestrator invalidates that copy).
+    pub fn store_through(&mut self, line: LineAddr, word: usize) -> Option<Registration> {
+        assert!(word < self.words_per_line);
+        let (_, entry) = self.ensure(line);
+        let previous = match entry.words[word] {
+            WordTag::Registered(r) => Some(r),
+            WordTag::Valid => None,
+        };
+        entry.words[word] = WordTag::Valid;
+        previous
+    }
+
+    /// For a full line fill: ensures the line is resident and returns
+    /// `(from_memory, skip)` where `skip` lists word indices registered by
+    /// cores *other than* `requester` (the LLC cannot supply those).
+    pub fn line_fill(&mut self, line: LineAddr, requester: CoreId) -> (bool, Vec<usize>) {
+        let (from_memory, entry) = self.ensure(line);
+        let skip = entry
+            .words
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| matches!(w, WordTag::Registered(r) if r.core() != requester))
+            .map(|(i, _)| i)
+            .collect();
+        (from_memory, skip)
+    }
+
+    /// The current registration of a word, if any (diagnostic/registry view).
+    pub fn registration(&self, line: LineAddr, word: usize) -> Option<Registration> {
+        self.lines.get(&line).and_then(|e| match e.words[word] {
+            WordTag::Registered(r) => Some(r),
+            WordTag::Valid => None,
+        })
+    }
+
+    /// Number of words currently registered to `core` (diagnostics; the
+    /// papershape tests use this to assert lazy-writeback behaviour).
+    pub fn words_registered_to(&self, core: CoreId) -> usize {
+        self.lines
+            .values()
+            .flat_map(|l| l.words.iter())
+            .filter(|w| matches!(w, WordTag::Registered(r) if r.core() == core))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn llc() -> Llc {
+        Llc::new(16, 64)
+    }
+
+    #[test]
+    fn bank_interleaving_covers_all_banks() {
+        let l = llc();
+        let mut seen = [false; 16];
+        for i in 0..16 {
+            seen[l.bank_of(LineAddr(i * 64))] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn first_touch_fetches_from_memory_once() {
+        let mut l = llc();
+        let line = LineAddr(0x80);
+        assert_eq!(l.load_word(line, 3), LlcLoadOutcome::Data { from_memory: true });
+        assert_eq!(l.load_word(line, 4), LlcLoadOutcome::Data { from_memory: false });
+        assert_eq!(l.dram_line_fetches(), 1);
+    }
+
+    #[test]
+    fn registration_then_forward() {
+        let mut l = llc();
+        let line = LineAddr(0x0);
+        let owner = Registration::Stash {
+            core: CoreId(1),
+            map_index: 7,
+        };
+        let out = l.register_word(line, 5, owner);
+        assert_eq!(out.previous, None);
+        assert!(out.from_memory);
+        match l.load_word(line, 5) {
+            LlcLoadOutcome::Forward(r) => {
+                assert_eq!(r, owner);
+                assert_eq!(r.core(), CoreId(1));
+            }
+            other => panic!("expected forward, got {other:?}"),
+        }
+        // Other words of the line are still served by the LLC.
+        assert_eq!(l.load_word(line, 6), LlcLoadOutcome::Data { from_memory: false });
+    }
+
+    #[test]
+    fn re_registration_reports_previous_owner() {
+        let mut l = llc();
+        let line = LineAddr(0x40);
+        l.register_word(line, 0, Registration::Cache(CoreId(1)));
+        let out = l.register_word(line, 0, Registration::Cache(CoreId(2)));
+        assert_eq!(out.previous, Some(Registration::Cache(CoreId(1))));
+        // Same owner re-registering is not a change.
+        let out = l.register_word(line, 0, Registration::Cache(CoreId(2)));
+        assert_eq!(out.previous, None);
+    }
+
+    #[test]
+    fn writeback_clears_matching_registration_only() {
+        let mut l = llc();
+        let line = LineAddr(0x40);
+        l.register_word(line, 2, Registration::Cache(CoreId(3)));
+        // A stale writeback from someone else is dropped.
+        assert!(!l.writeback_word(line, 2, CoreId(9)));
+        assert!(l.registration(line, 2).is_some());
+        // The owner's writeback clears it.
+        assert!(l.writeback_word(line, 2, CoreId(3)));
+        assert_eq!(l.registration(line, 2), None);
+        assert_eq!(l.load_word(line, 2), LlcLoadOutcome::Data { from_memory: false });
+    }
+
+    #[test]
+    fn line_fill_skips_other_cores_words() {
+        let mut l = llc();
+        let line = LineAddr(0xC0);
+        l.register_word(line, 1, Registration::Cache(CoreId(1)));
+        l.register_word(line, 9, Registration::Cache(CoreId(2)));
+        let (from_memory, skip) = l.line_fill(line, CoreId(1));
+        assert!(!from_memory); // register_word already fetched it
+        assert_eq!(skip, vec![9]); // own registration is not skipped
+    }
+
+    #[test]
+    fn store_through_revokes_registration() {
+        let mut l = llc();
+        let line = LineAddr(0x100);
+        l.register_word(line, 0, Registration::Cache(CoreId(4)));
+        assert_eq!(
+            l.store_through(line, 0),
+            Some(Registration::Cache(CoreId(4)))
+        );
+        assert_eq!(l.store_through(line, 0), None);
+        assert_eq!(l.load_word(line, 0), LlcLoadOutcome::Data { from_memory: false });
+    }
+
+    #[test]
+    fn words_registered_to_counts() {
+        let mut l = llc();
+        l.register_word(LineAddr(0x0), 0, Registration::Cache(CoreId(5)));
+        l.register_word(
+            LineAddr(0x40),
+            3,
+            Registration::Stash {
+                core: CoreId(5),
+                map_index: 0,
+            },
+        );
+        l.register_word(LineAddr(0x40), 4, Registration::Cache(CoreId(6)));
+        assert_eq!(l.words_registered_to(CoreId(5)), 2);
+        assert_eq!(l.words_registered_to(CoreId(6)), 1);
+    }
+}

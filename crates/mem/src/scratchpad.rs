@@ -1,0 +1,181 @@
+//! The scratchpad: directly addressed, banked, software-managed SRAM.
+//!
+//! A scratchpad access needs no tags, no TLB and never misses (§1.2); its
+//! model is therefore mostly bookkeeping: per-thread-block allocation of
+//! the 16 KB space, bank-conflict arithmetic for warp accesses, and an
+//! access counter for the energy model. Data values are not simulated —
+//! the memory system's behaviour depends only on addresses and states.
+
+use crate::addr::WORD_BYTES;
+
+/// A banked scratchpad (CUDA "shared memory").
+///
+/// # Example
+///
+/// ```
+/// use mem::scratchpad::Scratchpad;
+///
+/// let mut sp = Scratchpad::new(16 * 1024, 32);
+/// let alloc = sp.alloc(1024).unwrap();
+/// sp.access(alloc, 0);
+/// assert_eq!(sp.accesses(), 1);
+/// sp.free_all(); // end of kernel: scratchpad contents are discarded
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scratchpad {
+    capacity_bytes: usize,
+    banks: usize,
+    allocated_bytes: usize,
+    accesses: u64,
+}
+
+impl Scratchpad {
+    /// Creates a scratchpad of `capacity_bytes` with `banks` banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(capacity_bytes: usize, banks: usize) -> Self {
+        assert!(capacity_bytes > 0 && banks > 0);
+        Self {
+            capacity_bytes,
+            banks,
+            allocated_bytes: 0,
+            accesses: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bank count.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated_bytes(&self) -> usize {
+        self.allocated_bytes
+    }
+
+    /// Allocates `bytes` (word-aligned up) for a thread block and returns
+    /// the base offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns the shortfall if the space does not fit — the runtime would
+    /// then limit thread-block occupancy, which the GPU model handles.
+    pub fn alloc(&mut self, bytes: usize) -> Result<usize, usize> {
+        let bytes = bytes.next_multiple_of(WORD_BYTES as usize);
+        if self.allocated_bytes + bytes > self.capacity_bytes {
+            return Err(self.allocated_bytes + bytes - self.capacity_bytes);
+        }
+        let base = self.allocated_bytes;
+        self.allocated_bytes += bytes;
+        Ok(base)
+    }
+
+    /// Frees every allocation (end of kernel — scratchpad data does not
+    /// survive kernel boundaries, §1.2).
+    pub fn free_all(&mut self) {
+        self.allocated_bytes = 0;
+    }
+
+    /// Records one access at `base + offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access is outside the allocated space.
+    pub fn access(&mut self, base: usize, offset: usize) {
+        assert!(
+            base + offset < self.allocated_bytes.max(1),
+            "scratchpad access at {}+{} outside {} allocated bytes",
+            base,
+            offset,
+            self.allocated_bytes
+        );
+        self.accesses += 1;
+    }
+
+    /// Total accesses recorded.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// The bank a byte offset falls in (words interleave across banks).
+    pub fn bank_of(&self, offset: usize) -> usize {
+        (offset / WORD_BYTES as usize) % self.banks
+    }
+
+    /// Number of serialized bank cycles a set of lane offsets needs: the
+    /// maximum number of lanes hitting one bank (bank conflicts serialize).
+    pub fn conflict_cycles(&self, lane_offsets: &[usize]) -> u64 {
+        let mut per_bank = vec![0u64; self.banks];
+        for &off in lane_offsets {
+            per_bank[self.bank_of(off)] += 1;
+        }
+        per_bank.into_iter().max().unwrap_or(0).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp() -> Scratchpad {
+        Scratchpad::new(16 * 1024, 32)
+    }
+
+    #[test]
+    fn alloc_and_exhaust() {
+        let mut s = sp();
+        let a = s.alloc(8 * 1024).unwrap();
+        let b = s.alloc(8 * 1024).unwrap();
+        assert_eq!(a, 0);
+        assert_eq!(b, 8 * 1024);
+        assert_eq!(s.alloc(4), Err(4));
+        s.free_all();
+        assert_eq!(s.alloc(16 * 1024).unwrap(), 0);
+    }
+
+    #[test]
+    fn alloc_rounds_to_words() {
+        let mut s = sp();
+        s.alloc(3).unwrap();
+        assert_eq!(s.allocated_bytes(), 4);
+    }
+
+    #[test]
+    fn conflict_free_stride_one() {
+        let s = sp();
+        // 32 consecutive words -> 32 distinct banks -> 1 cycle.
+        let offsets: Vec<usize> = (0..32).map(|i| i * 4).collect();
+        assert_eq!(s.conflict_cycles(&offsets), 1);
+    }
+
+    #[test]
+    fn same_bank_serializes() {
+        let s = sp();
+        // Stride of 32 words: every lane hits bank 0.
+        let offsets: Vec<usize> = (0..32).map(|i| i * 32 * 4).collect();
+        assert_eq!(s.conflict_cycles(&offsets), 32);
+    }
+
+    #[test]
+    fn two_way_conflict() {
+        let s = sp();
+        // Stride of 2 words: 32 lanes land on 16 even banks, two per bank.
+        let offsets: Vec<usize> = (0..32).map(|i| i * 2 * 4).collect();
+        assert_eq!(s.conflict_cycles(&offsets), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_access_panics() {
+        let mut s = sp();
+        let base = s.alloc(64).unwrap();
+        s.access(base, 64);
+    }
+}

@@ -1,0 +1,32 @@
+//! Network-on-chip model: a Garnet-style 2-D mesh.
+//!
+//! The paper connects the CPU cores, GPU CUs and the 16 banks of the shared
+//! NUCA L2 with a 4×4 mesh simulated by Garnet. Figure 5d reports network
+//! traffic as *flit crossings* — the number of link traversals made by every
+//! flit of every message — split by message class (Read, Write, Writeback).
+//!
+//! This crate reproduces exactly that accounting:
+//!
+//! * [`topology::Mesh`] — node coordinates, XY routing, hop counts;
+//! * [`message`] — message classes and flit segmentation (control-sized
+//!   requests, word- or line-sized data payloads);
+//! * [`network::Network`] — latency formulas plus per-class flit-crossing
+//!   counters and an energy hook for the McPAT-style NoC energy model.
+//!
+//! # Example
+//!
+//! ```
+//! use noc::topology::{Mesh, NodeId};
+//!
+//! let mesh = Mesh::new(4);
+//! let hops = mesh.hops(NodeId(0), NodeId(15)); // corner to corner
+//! assert_eq!(hops, 6);
+//! ```
+
+pub mod message;
+pub mod network;
+pub mod topology;
+
+pub use message::{Message, MsgClass};
+pub use network::{Network, TrafficStats};
+pub use topology::{Mesh, NodeId};

@@ -1,0 +1,136 @@
+//! Message classes and flit segmentation.
+//!
+//! Figure 5d of the paper splits network traffic into three virtual-network
+//! classes: **Read** (load requests and their data responses), **Write**
+//! (store/registration requests and acknowledgements), and **Writeback**
+//! (dirty data returning to the LLC). Messages are segmented into flits;
+//! we follow Garnet's convention of a 16-byte flit, so a control message is
+//! a single flit and a 64-byte cache line is a 5-flit packet (head + 4
+//! data flits).
+
+/// Virtual-network class of a message, matching Figure 5d's legend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgClass {
+    /// Load requests and load-data responses.
+    Read,
+    /// Store and registration requests plus their acknowledgements.
+    Write,
+    /// Dirty-data writebacks to the LLC.
+    Writeback,
+}
+
+impl MsgClass {
+    /// All classes in Figure 5d order.
+    pub const ALL: [MsgClass; 3] = [MsgClass::Read, MsgClass::Write, MsgClass::Writeback];
+
+    /// Stable lowercase name used in counter keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgClass::Read => "read",
+            MsgClass::Write => "write",
+            MsgClass::Writeback => "writeback",
+        }
+    }
+}
+
+impl std::fmt::Display for MsgClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Flit width in bytes (Garnet default).
+pub const FLIT_BYTES: usize = 16;
+
+/// A network message: a class plus a data payload size.
+///
+/// Control information (address, opcode, stash-map index) rides in the head
+/// flit; `payload_bytes` counts only data words being carried.
+///
+/// # Example
+///
+/// ```
+/// use noc::message::{Message, MsgClass};
+///
+/// // A load request carries no data: one flit.
+/// assert_eq!(Message::control(MsgClass::Read).flits(), 1);
+/// // A full 64-byte line response: head + 4 data flits.
+/// assert_eq!(Message::data(MsgClass::Read, 64).flits(), 5);
+/// // A single-word stash response: head + 1 data flit.
+/// assert_eq!(Message::data(MsgClass::Read, 4).flits(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Message {
+    class: MsgClass,
+    payload_bytes: usize,
+}
+
+impl Message {
+    /// A control-only message (request or acknowledgement).
+    pub fn control(class: MsgClass) -> Self {
+        Self {
+            class,
+            payload_bytes: 0,
+        }
+    }
+
+    /// A message carrying `payload_bytes` of data.
+    pub fn data(class: MsgClass, payload_bytes: usize) -> Self {
+        Self {
+            class,
+            payload_bytes,
+        }
+    }
+
+    /// The message's virtual-network class.
+    pub fn class(self) -> MsgClass {
+        self.class
+    }
+
+    /// Data payload size in bytes.
+    pub fn payload_bytes(self) -> usize {
+        self.payload_bytes
+    }
+
+    /// Number of flits: one head flit plus enough data flits for the
+    /// payload.
+    pub fn flits(self) -> u64 {
+        1 + (self.payload_bytes.div_ceil(FLIT_BYTES)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_message_is_one_flit() {
+        for class in MsgClass::ALL {
+            assert_eq!(Message::control(class).flits(), 1);
+        }
+    }
+
+    #[test]
+    fn payload_rounds_up_to_flits() {
+        assert_eq!(Message::data(MsgClass::Writeback, 1).flits(), 2);
+        assert_eq!(Message::data(MsgClass::Writeback, 16).flits(), 2);
+        assert_eq!(Message::data(MsgClass::Writeback, 17).flits(), 3);
+        assert_eq!(Message::data(MsgClass::Writeback, 64).flits(), 5);
+    }
+
+    #[test]
+    fn word_response_is_much_smaller_than_line() {
+        // The stash's word-granularity transfers are the traffic advantage
+        // the paper leans on: 2 flits vs 5 flits per response.
+        let word = Message::data(MsgClass::Read, 4).flits();
+        let line = Message::data(MsgClass::Read, 64).flits();
+        assert!(word * 2 < line);
+    }
+
+    #[test]
+    fn class_names_are_stable() {
+        assert_eq!(MsgClass::Read.name(), "read");
+        assert_eq!(MsgClass::Write.name(), "write");
+        assert_eq!(MsgClass::Writeback.name(), "writeback");
+    }
+}

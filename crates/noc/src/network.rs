@@ -1,0 +1,257 @@
+//! The network: latency formulas and flit-crossing accounting.
+
+use crate::message::{Message, MsgClass};
+use crate::topology::{Mesh, NodeId};
+
+/// Per-class traffic totals, the quantity plotted in Figure 5d.
+///
+/// A *flit crossing* is one flit traversing one link; a 5-flit line-fill
+/// response travelling 3 hops contributes 15 crossings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    crossings: [u64; 3],
+    messages: [u64; 3],
+    flits: [u64; 3],
+}
+
+impl TrafficStats {
+    /// Creates an empty traffic tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flit crossings recorded for one class.
+    pub fn crossings(&self, class: MsgClass) -> u64 {
+        self.crossings[Self::idx(class)]
+    }
+
+    /// Messages recorded for one class.
+    pub fn messages(&self, class: MsgClass) -> u64 {
+        self.messages[Self::idx(class)]
+    }
+
+    /// Total flit crossings over all classes.
+    pub fn total_crossings(&self) -> u64 {
+        self.crossings.iter().sum()
+    }
+
+    /// Total messages over all classes.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().sum()
+    }
+
+    /// Flits recorded for one class (hop-independent: a message's flits
+    /// count once, so this measures injection-port occupancy).
+    pub fn flits(&self, class: MsgClass) -> u64 {
+        self.flits[Self::idx(class)]
+    }
+
+    /// Total flits over all classes.
+    pub fn total_flits(&self) -> u64 {
+        self.flits.iter().sum()
+    }
+
+    /// Adds another tally into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for i in 0..3 {
+            self.crossings[i] += other.crossings[i];
+            self.messages[i] += other.messages[i];
+            self.flits[i] += other.flits[i];
+        }
+    }
+
+    fn idx(class: MsgClass) -> usize {
+        match class {
+            MsgClass::Read => 0,
+            MsgClass::Write => 1,
+            MsgClass::Writeback => 2,
+        }
+    }
+
+    fn record(&mut self, class: MsgClass, crossings: u64, flits: u64) {
+        self.crossings[Self::idx(class)] += crossings;
+        self.messages[Self::idx(class)] += 1;
+        self.flits[Self::idx(class)] += flits;
+    }
+}
+
+/// The on-chip network: a mesh plus per-hop latency and traffic accounting.
+///
+/// Latency model: a full request/response round trip between two nodes
+/// costs `hops * hop_round_trip_cycles`; a one-way message costs half that,
+/// rounded up. Queueing/contention inside routers is not modelled — the
+/// paper's traffic effects come from message counts and sizes, which are
+/// accounted exactly.
+///
+/// # Example
+///
+/// ```
+/// use noc::{Mesh, Message, MsgClass, Network, NodeId};
+///
+/// let mut net = Network::new(Mesh::new(4), 5);
+/// let lat = net.send(NodeId(0), NodeId(3), Message::data(MsgClass::Read, 64));
+/// assert_eq!(lat, 8); // ceil(3 hops * 5 / 2)
+/// assert_eq!(net.traffic().crossings(MsgClass::Read), 15); // 5 flits * 3 hops
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    mesh: Mesh,
+    hop_round_trip_cycles: u64,
+    traffic: TrafficStats,
+    /// Flit traversals through each node's router (hotspot analysis).
+    router_flits: Vec<u64>,
+}
+
+impl Network {
+    /// Creates a network over `mesh` with the given per-hop round-trip cost.
+    pub fn new(mesh: Mesh, hop_round_trip_cycles: u64) -> Self {
+        let nodes = mesh.nodes();
+        Self {
+            mesh,
+            hop_round_trip_cycles,
+            traffic: TrafficStats::new(),
+            router_flits: vec![0; nodes],
+        }
+    }
+
+    /// The underlying mesh.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Accumulated traffic tally.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// Resets the traffic tally (e.g. between experiment phases).
+    pub fn reset_traffic(&mut self) {
+        self.traffic = TrafficStats::new();
+    }
+
+    /// Round-trip network latency between two nodes (no message recorded).
+    pub fn round_trip_cycles(&self, a: NodeId, b: NodeId) -> u64 {
+        self.mesh.hops(a, b) * self.hop_round_trip_cycles
+    }
+
+    /// One-way network latency between two nodes (no message recorded).
+    pub fn one_way_cycles(&self, a: NodeId, b: NodeId) -> u64 {
+        (self.mesh.hops(a, b) * self.hop_round_trip_cycles).div_ceil(2)
+    }
+
+    /// Sends a message, recording its flit crossings, and returns the
+    /// one-way latency in cycles.
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: Message) -> u64 {
+        let hops = self.mesh.hops(from, to);
+        self.traffic.record(msg.class(), msg.flits() * hops, msg.flits());
+        // Every router on the XY path sees the message's flits.
+        for node in self.mesh.route(from, to) {
+            self.router_flits[node.0] += msg.flits();
+        }
+        (hops * self.hop_round_trip_cycles).div_ceil(2)
+    }
+
+    /// Flit traversals through each node's router, in node order — the
+    /// hotspot profile of the run (XY routing concentrates turns, so the
+    /// LLC home banks of hot lines light up here).
+    pub fn router_flit_profile(&self) -> &[u64] {
+        &self.router_flits
+    }
+
+    /// The busiest router and its flit count.
+    pub fn hotspot(&self) -> (NodeId, u64) {
+        let (i, &v) = self
+            .router_flits
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .expect("meshes have at least one node");
+        (NodeId(i), v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Network::new(Mesh::new(4), 5)
+    }
+
+    #[test]
+    fn same_node_send_is_free() {
+        let mut n = net();
+        let lat = n.send(NodeId(3), NodeId(3), Message::control(MsgClass::Write));
+        assert_eq!(lat, 0);
+        assert_eq!(n.traffic().crossings(MsgClass::Write), 0);
+        // The message itself is still counted.
+        assert_eq!(n.traffic().messages(MsgClass::Write), 1);
+    }
+
+    #[test]
+    fn crossings_scale_with_hops_and_flits() {
+        let mut n = net();
+        n.send(NodeId(0), NodeId(15), Message::data(MsgClass::Writeback, 64));
+        // 5 flits * 6 hops.
+        assert_eq!(n.traffic().crossings(MsgClass::Writeback), 30);
+    }
+
+    #[test]
+    fn classes_are_tallied_separately() {
+        let mut n = net();
+        n.send(NodeId(0), NodeId(1), Message::control(MsgClass::Read));
+        n.send(NodeId(0), NodeId(1), Message::control(MsgClass::Write));
+        n.send(NodeId(0), NodeId(1), Message::data(MsgClass::Writeback, 4));
+        let t = n.traffic();
+        assert_eq!(t.crossings(MsgClass::Read), 1);
+        assert_eq!(t.crossings(MsgClass::Write), 1);
+        assert_eq!(t.crossings(MsgClass::Writeback), 2);
+        assert_eq!(t.total_messages(), 3);
+    }
+
+    #[test]
+    fn two_one_ways_cover_a_round_trip() {
+        let n = net();
+        for a in n.mesh().iter() {
+            for b in n.mesh().iter() {
+                let rt = n.round_trip_cycles(a, b);
+                let ow = n.one_way_cycles(a, b);
+                assert!(2 * ow >= rt && 2 * ow <= rt + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_accumulates_tallies() {
+        let mut a = TrafficStats::new();
+        a.record(MsgClass::Read, 10, 2);
+        let mut b = TrafficStats::new();
+        b.record(MsgClass::Read, 5, 1);
+        b.record(MsgClass::Write, 2, 1);
+        a.merge(&b);
+        assert_eq!(a.crossings(MsgClass::Read), 15);
+        assert_eq!(a.crossings(MsgClass::Write), 2);
+        assert_eq!(a.total_messages(), 3);
+        assert_eq!(a.total_flits(), 4);
+    }
+
+    #[test]
+    fn router_profile_follows_the_route() {
+        let mut n = net();
+        // (0,0) -> (3,0): routers 0,1,2,3 each see the message's flits.
+        n.send(NodeId(0), NodeId(3), Message::data(MsgClass::Read, 16));
+        let profile = n.router_flit_profile();
+        assert_eq!(&profile[0..4], &[2, 2, 2, 2]);
+        assert!(profile[4..].iter().all(|&v| v == 0));
+        assert_eq!(n.hotspot().1, 2);
+    }
+
+    #[test]
+    fn reset_clears_traffic() {
+        let mut n = net();
+        n.send(NodeId(0), NodeId(2), Message::control(MsgClass::Read));
+        n.reset_traffic();
+        assert_eq!(n.traffic().total_crossings(), 0);
+        assert_eq!(n.traffic().total_messages(), 0);
+    }
+}

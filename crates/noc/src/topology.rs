@@ -1,0 +1,169 @@
+//! Mesh topology: node identity, coordinates, and XY routing distance.
+
+/// Identifies one node of the mesh.
+///
+/// Nodes are numbered row-major: node `y * side + x` sits at `(x, y)`.
+/// Every node hosts one L2 bank and either a CPU core or a GPU CU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A square 2-D mesh with deterministic XY (dimension-ordered) routing.
+///
+/// # Example
+///
+/// ```
+/// use noc::topology::{Mesh, NodeId};
+///
+/// let mesh = Mesh::new(4);
+/// assert_eq!(mesh.nodes(), 16);
+/// assert_eq!(mesh.hops(NodeId(5), NodeId(5)), 0);
+/// assert_eq!(mesh.hops(NodeId(0), NodeId(3)), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh {
+    side: usize,
+}
+
+impl Mesh {
+    /// Creates a `side × side` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is zero.
+    pub fn new(side: usize) -> Self {
+        assert!(side > 0, "mesh side must be nonzero");
+        Self { side }
+    }
+
+    /// Side length of the mesh.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Total node count (`side`²).
+    pub fn nodes(&self) -> usize {
+        self.side * self.side
+    }
+
+    /// `(x, y)` coordinates of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the mesh.
+    pub fn coords(&self, node: NodeId) -> (usize, usize) {
+        assert!(node.0 < self.nodes(), "node {node} outside {self:?}");
+        (node.0 % self.side, node.0 / self.side)
+    }
+
+    /// The node at coordinates `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is outside the mesh.
+    pub fn node_at(&self, x: usize, y: usize) -> NodeId {
+        assert!(x < self.side && y < self.side, "({x},{y}) outside mesh");
+        NodeId(y * self.side + x)
+    }
+
+    /// Manhattan (XY-routed) hop count between two nodes.
+    pub fn hops(&self, from: NodeId, to: NodeId) -> u64 {
+        let (fx, fy) = self.coords(from);
+        let (tx, ty) = self.coords(to);
+        (fx.abs_diff(tx) + fy.abs_diff(ty)) as u64
+    }
+
+    /// Maximum hop count between any two nodes (`2 * (side - 1)`).
+    pub fn max_hops(&self) -> u64 {
+        2 * (self.side as u64 - 1)
+    }
+
+    /// The sequence of nodes an XY-routed message visits, inclusive of both
+    /// endpoints (X dimension first, then Y — Garnet's default).
+    pub fn route(&self, from: NodeId, to: NodeId) -> Vec<NodeId> {
+        let (fx, fy) = self.coords(from);
+        let (tx, ty) = self.coords(to);
+        let mut path = vec![from];
+        let (mut x, mut y) = (fx, fy);
+        while x != tx {
+            x = if tx > x { x + 1 } else { x - 1 };
+            path.push(self.node_at(x, y));
+        }
+        while y != ty {
+            y = if ty > y { y + 1 } else { y - 1 };
+            path.push(self.node_at(x, y));
+        }
+        path
+    }
+
+    /// Iterates over all nodes in index order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes()).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_round_trip() {
+        let mesh = Mesh::new(4);
+        for node in mesh.iter() {
+            let (x, y) = mesh.coords(node);
+            assert_eq!(mesh.node_at(x, y), node);
+        }
+    }
+
+    #[test]
+    fn hops_are_symmetric_and_triangle() {
+        let mesh = Mesh::new(4);
+        for a in mesh.iter() {
+            for b in mesh.iter() {
+                assert_eq!(mesh.hops(a, b), mesh.hops(b, a));
+                for c in mesh.iter() {
+                    assert!(mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_hops_matches_corners() {
+        let mesh = Mesh::new(4);
+        assert_eq!(mesh.max_hops(), 6);
+        assert_eq!(mesh.hops(NodeId(0), NodeId(15)), 6);
+        assert_eq!(mesh.hops(NodeId(3), NodeId(12)), 6);
+    }
+
+    #[test]
+    fn route_length_matches_hops() {
+        let mesh = Mesh::new(4);
+        for a in mesh.iter() {
+            for b in mesh.iter() {
+                let route = mesh.route(a, b);
+                assert_eq!(route.len() as u64, mesh.hops(a, b) + 1);
+                assert_eq!(*route.first().unwrap(), a);
+                assert_eq!(*route.last().unwrap(), b);
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_x_first() {
+        let mesh = Mesh::new(4);
+        let route = mesh.route(NodeId(0), NodeId(5)); // (0,0) -> (1,1)
+        assert_eq!(route, vec![NodeId(0), NodeId(1), NodeId(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn coords_panics_out_of_mesh() {
+        Mesh::new(2).coords(NodeId(4));
+    }
+}

@@ -1,0 +1,110 @@
+//! Simulated time: cycles and wall-clock conversion between clock domains.
+//!
+//! The paper's system runs CPUs at 2 GHz and the GPU at 700 MHz (Table 2).
+//! Each side of the machine is simulated in its own cycle domain; to add a
+//! GPU phase and a CPU phase of an experiment together we convert both to
+//! picoseconds.
+
+/// A count of clock cycles in some clock domain.
+pub type Cycle = u64;
+
+/// Wall-clock time in picoseconds.
+///
+/// Picoseconds keep all arithmetic in integers: one 2 GHz CPU cycle is
+/// exactly 500 ps and one 700 MHz GPU cycle is 1428 ps (we round down by
+/// 4/7 ps per cycle, far below any measured effect).
+pub type Picos = u64;
+
+/// Frequency of one clock domain, with conversion helpers.
+///
+/// # Example
+///
+/// ```
+/// use sim::clock::ClockDomain;
+///
+/// let gpu = ClockDomain::from_mhz(700);
+/// assert_eq!(gpu.cycles_to_picos(700_000_000), 1_000_000_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClockDomain {
+    /// Frequency in kilohertz (kHz keeps both 2 GHz and 700 MHz exact).
+    khz: u64,
+}
+
+impl ClockDomain {
+    /// Creates a clock domain from a frequency in megahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero.
+    pub fn from_mhz(mhz: u64) -> Self {
+        assert!(mhz > 0, "clock frequency must be nonzero");
+        Self { khz: mhz * 1000 }
+    }
+
+    /// Frequency in megahertz (rounded down).
+    pub fn mhz(self) -> u64 {
+        self.khz / 1000
+    }
+
+    /// Converts a cycle count in this domain to picoseconds.
+    pub fn cycles_to_picos(self, cycles: Cycle) -> Picos {
+        // picos per cycle = 1e12 / (khz * 1e3) = 1e9 / khz.
+        (cycles as u128 * 1_000_000_000u128 / self.khz as u128) as Picos
+    }
+
+    /// Converts picoseconds to a cycle count in this domain (rounded up, so
+    /// a nonzero duration always costs at least one cycle).
+    pub fn picos_to_cycles(self, picos: Picos) -> Cycle {
+        let num = picos as u128 * self.khz as u128;
+        num.div_ceil(1_000_000_000u128) as Cycle
+    }
+}
+
+impl Default for ClockDomain {
+    /// Defaults to the paper's GPU clock (700 MHz).
+    fn default() -> Self {
+        Self::from_mhz(700)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_cycle_is_500ps() {
+        let cpu = ClockDomain::from_mhz(2000);
+        assert_eq!(cpu.cycles_to_picos(1), 500);
+        assert_eq!(cpu.cycles_to_picos(4), 2000);
+    }
+
+    #[test]
+    fn gpu_cycle_is_1428ps() {
+        let gpu = ClockDomain::from_mhz(700);
+        assert_eq!(gpu.cycles_to_picos(1), 1428);
+    }
+
+    #[test]
+    fn picos_round_trip_is_close() {
+        let gpu = ClockDomain::from_mhz(700);
+        let cycles = 1_234_567;
+        let ps = gpu.cycles_to_picos(cycles);
+        let back = gpu.picos_to_cycles(ps);
+        assert!(back.abs_diff(cycles) <= 1);
+    }
+
+    #[test]
+    fn picos_to_cycles_rounds_up() {
+        let cpu = ClockDomain::from_mhz(2000);
+        assert_eq!(cpu.picos_to_cycles(1), 1);
+        assert_eq!(cpu.picos_to_cycles(500), 1);
+        assert_eq!(cpu.picos_to_cycles(501), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_frequency_panics() {
+        let _ = ClockDomain::from_mhz(0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type shared by the simulation crates.
+
+use std::fmt;
+
+/// An error raised by the simulator.
+///
+/// Most simulator APIs are infallible by construction (validated configs,
+/// typed addresses); `SimError` covers the genuinely dynamic failures such
+/// as a program exhausting a hardware table that the paper sizes by
+/// convention (e.g. more than four `AddMap` calls per thread block).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A configuration failed validation.
+    Config(String),
+    /// A hardware table (map index table, stash-map, VP-map, MSHR) has no
+    /// free entry and the architecture defines no spill path.
+    TableFull {
+        /// Which table overflowed.
+        table: &'static str,
+        /// Its capacity.
+        capacity: usize,
+    },
+    /// A stash/scratchpad address fell outside the allocated space.
+    OutOfRange {
+        /// What was being addressed.
+        what: &'static str,
+        /// The offending offset.
+        offset: usize,
+        /// The valid size.
+        size: usize,
+    },
+    /// An operation referenced a mapping that does not exist or is invalid.
+    InvalidMapping(String),
+    /// A virtual address had no translation and none could be created.
+    Unmapped(u64),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::TableFull { table, capacity } => {
+                write!(f, "hardware table {table} is full (capacity {capacity})")
+            }
+            SimError::OutOfRange { what, offset, size } => {
+                write!(f, "{what} offset {offset} out of range (size {size})")
+            }
+            SimError::InvalidMapping(msg) => write!(f, "invalid mapping: {msg}"),
+            SimError::Unmapped(va) => write!(f, "virtual address {va:#x} has no translation"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            SimError::Config("bad".into()),
+            SimError::TableFull {
+                table: "stash-map",
+                capacity: 64,
+            },
+            SimError::OutOfRange {
+                what: "stash",
+                offset: 99,
+                size: 10,
+            },
+            SimError::InvalidMapping("stale".into()),
+            SimError::Unmapped(0x1000),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(SimError::Unmapped(0));
+    }
+}

@@ -1,0 +1,35 @@
+//! Simulation kernel shared by every subsystem of the stash reproduction.
+//!
+//! This crate provides the small, dependency-free foundation that the rest of
+//! the workspace builds on:
+//!
+//! * [`Cycle`] — the simulated clock, plus the [`clock`] helpers for
+//!   converting between the CPU and GPU clock domains of the paper's
+//!   heterogeneous system (Table 2: CPU 2 GHz, GPU 700 MHz).
+//! * [`config::SystemConfig`] — every parameter from Table 2 of the paper in
+//!   one place, with the paper's values as defaults.
+//! * [`stats`] — cheap named counters and histograms used for the
+//!   instruction-count, traffic, and event accounting that the figures are
+//!   built from.
+//! * [`rng::SplitMix64`] — a tiny deterministic RNG so that every experiment
+//!   is exactly reproducible without pulling `rand` into the core crates.
+//!
+//! # Example
+//!
+//! ```
+//! use sim::config::SystemConfig;
+//!
+//! let cfg = SystemConfig::default();
+//! assert_eq!(cfg.scratchpad_bytes, 16 * 1024);
+//! assert_eq!(cfg.l1_bytes, 32 * 1024);
+//! ```
+
+pub mod clock;
+pub mod config;
+pub mod error;
+pub mod rng;
+pub mod stats;
+
+pub use clock::{Cycle, Picos};
+pub use config::SystemConfig;
+pub use error::SimError;

@@ -1,0 +1,175 @@
+//! Event counters used to build the paper's figures.
+//!
+//! Every subsystem accounts its events into a [`Counters`] table keyed by a
+//! static name; the bench harness then reads the named totals to assemble
+//! instruction-count, traffic, and energy panels. A tiny fixed-key table
+//! (sorted `Vec`) keeps lookups cheap and the output deterministic.
+
+use std::fmt;
+
+/// A table of named event counters.
+///
+/// # Example
+///
+/// ```
+/// use sim::stats::Counters;
+///
+/// let mut c = Counters::new();
+/// c.add("l1.hit", 3);
+/// c.add("l1.hit", 1);
+/// assert_eq!(c.get("l1.hit"), 4);
+/// assert_eq!(c.get("l1.miss"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    entries: Vec<(&'static str, u64)>,
+}
+
+impl Counters {
+    /// Creates an empty counter table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter named `key`, creating it at zero if absent.
+    pub fn add(&mut self, key: &'static str, n: u64) {
+        match self.entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+            Ok(i) => self.entries[i].1 += n,
+            Err(i) => self.entries.insert(i, (key, n)),
+        }
+    }
+
+    /// Increments the counter named `key` by one.
+    pub fn bump(&mut self, key: &'static str) {
+        self.add(key, 1);
+    }
+
+    /// Returns the value of `key`, or zero if it was never touched.
+    pub fn get(&self, key: &str) -> u64 {
+        self.entries
+            .binary_search_by(|(k, _)| (*k).cmp(key))
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Sums every counter whose name starts with `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Merges another counter table into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no counter has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.entries.is_empty() {
+            return write!(f, "(no events)");
+        }
+        for (k, v) in &self.entries {
+            writeln!(f, "{k:<40} {v:>14}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Extend<(&'static str, u64)> for Counters {
+    fn extend<T: IntoIterator<Item = (&'static str, u64)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.add(k, v);
+        }
+    }
+}
+
+impl FromIterator<(&'static str, u64)> for Counters {
+    fn from_iter<T: IntoIterator<Item = (&'static str, u64)>>(iter: T) -> Self {
+        let mut c = Counters::new();
+        c.extend(iter);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut c = Counters::new();
+        c.add("a", 2);
+        c.bump("a");
+        assert_eq!(c.get("a"), 3);
+        assert_eq!(c.get("missing"), 0);
+    }
+
+    #[test]
+    fn keys_stay_sorted() {
+        let mut c = Counters::new();
+        for k in ["zeta", "alpha", "mid"] {
+            c.bump(k);
+        }
+        let keys: Vec<_> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn sum_prefix_selects_subtree() {
+        let mut c = Counters::new();
+        c.add("noc.read", 5);
+        c.add("noc.write", 7);
+        c.add("l1.hit", 100);
+        assert_eq!(c.sum_prefix("noc."), 12);
+        assert_eq!(c.sum_prefix("l1."), 100);
+        assert_eq!(c.sum_prefix("dram."), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Counters::new();
+        a.add("x", 1);
+        let mut b = Counters::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let c: Counters = [("a", 1), ("b", 2), ("a", 4)].into_iter().collect();
+        assert_eq!(c.get("a"), 5);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let mut c = Counters::new();
+        assert_eq!(c.to_string(), "(no events)");
+        c.add("k", 1);
+        assert!(c.to_string().contains('k'));
+    }
+}

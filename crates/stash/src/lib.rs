@@ -1,0 +1,64 @@
+//! The **stash**: a directly addressed, globally visible local memory —
+//! the paper's contribution.
+//!
+//! A stash combines the best of a scratchpad and a cache (Table 1 of the
+//! paper): like a scratchpad it is directly addressed (no tags, no TLB on
+//! hits), compactly stores only the useful fields of a data structure, and
+//! never suffers conflict misses; like a cache it is globally addressable
+//! and visible, so data moves implicitly on demand, is written back
+//! lazily, and can be reused across kernels and forwarded to other cores
+//! through the coherence protocol.
+//!
+//! The hardware components of Figure 3 map to modules as follows:
+//!
+//! * **stash storage** → [`storage::StashStorage`] — data array with 2
+//!   coherence-state bits per word and per-64 B-chunk metadata (map index,
+//!   dirty bit, writeback bit);
+//! * **map index table** → [`index_table::MapIndexTable`] — per thread
+//!   block, up to 4 entries;
+//! * **stash-map** → [`map::StashMap`] — a 64-entry circular buffer whose
+//!   entries hold the precomputed tile-translation parameters, a Valid
+//!   bit, and the `#DirtyData` counter;
+//! * **VP-map** → [`vpmap::VpMap`] — TLB and reverse-TLB entries with
+//!   back-pointers to the last stash-map entry needing each translation.
+//!
+//! [`Stash`] ties the components together and implements the operations of
+//! §4.2: hits, misses (with the six-operation address translation), lazy
+//! writebacks, `AddMap`/`ChgMap`, kernel-end self-invalidation, remote
+//! requests, and the §4.5 data-replication optimization.
+//!
+//! # Example
+//!
+//! ```
+//! use mem::addr::VAddr;
+//! use mem::tile::TileMap;
+//! use stash::{Stash, StashConfig, UsageMode};
+//!
+//! let mut stash = Stash::new(StashConfig::default());
+//! // Map one 4-byte field of 64 16-byte objects (Figure 1b's AddMap).
+//! let tile = TileMap::new(VAddr(0x1000), 4, 16, 64, 0, 1).unwrap();
+//! let m = stash
+//!     .add_map(0, tile, 0, UsageMode::MappedCoherent)
+//!     .unwrap();
+//!
+//! // First load misses and yields the global address to fetch...
+//! let out = stash.load(0, m.index).unwrap();
+//! assert!(out.missed());
+//! stash.complete_load_fill(0);
+//! // ...subsequent loads hit with scratchpad-like energy.
+//! assert!(!stash.load(0, m.index).unwrap().missed());
+//! ```
+
+pub mod index_table;
+pub mod map;
+pub mod modes;
+pub mod overhead;
+pub mod stash;
+pub mod storage;
+pub mod vpmap;
+
+pub use crate::stash::{
+    AddMapOutcome, ChgMapOutcome, LoadOutcome, Stash, StashConfig, StoreOutcome, WritebackWord,
+};
+pub use map::{MapIndex, StashMapEntry};
+pub use modes::UsageMode;

@@ -1,0 +1,68 @@
+//! The four stash usage modes (§3.3).
+
+/// How a stash allocation relates to the global address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UsageMode {
+    /// Mapped to global addresses and globally visible: misses fetch
+    /// implicitly, dirty data is lazily written back, and remote cores can
+    /// obtain the data through the coherence protocol (Figure 1b).
+    MappedCoherent,
+    /// Mapped to global addresses (implicit loads) but *not* globally
+    /// visible: local modifications are never reflected back. Selected by
+    /// `isCoherent = false` in `AddMap`.
+    MappedNonCoherent,
+    /// No global mapping; software moves data explicitly, exactly like a
+    /// scratchpad used for global data today (§1.2.1).
+    GlobalUnmapped,
+    /// No global mapping; private temporaries that are discarded after
+    /// use.
+    Temporary,
+}
+
+impl UsageMode {
+    /// Whether this mode carries a stash-to-global mapping (needs an
+    /// `AddMap`).
+    pub fn is_mapped(self) -> bool {
+        matches!(self, UsageMode::MappedCoherent | UsageMode::MappedNonCoherent)
+    }
+
+    /// Whether stores must be made globally visible (registration and
+    /// eventual writeback).
+    pub fn is_coherent(self) -> bool {
+        matches!(self, UsageMode::MappedCoherent)
+    }
+}
+
+impl std::fmt::Display for UsageMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            UsageMode::MappedCoherent => "mapped-coherent",
+            UsageMode::MappedNonCoherent => "mapped-non-coherent",
+            UsageMode::GlobalUnmapped => "global-unmapped",
+            UsageMode::Temporary => "temporary",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapped_and_coherent_classification() {
+        assert!(UsageMode::MappedCoherent.is_mapped());
+        assert!(UsageMode::MappedCoherent.is_coherent());
+        assert!(UsageMode::MappedNonCoherent.is_mapped());
+        assert!(!UsageMode::MappedNonCoherent.is_coherent());
+        assert!(!UsageMode::GlobalUnmapped.is_mapped());
+        assert!(!UsageMode::Temporary.is_mapped());
+        assert!(!UsageMode::Temporary.is_coherent());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(UsageMode::MappedCoherent.to_string(), "mapped-coherent");
+        assert_eq!(UsageMode::Temporary.to_string(), "temporary");
+    }
+}

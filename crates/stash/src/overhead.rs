@@ -1,0 +1,75 @@
+//! §4.4 — state-bit overhead of the stash storage component.
+//!
+//! With the DeNovo protocol each 4-byte word needs 2 state bits, and each
+//! chunk needs a stash-map index (6 bits for a 64-entry map) plus one
+//! writeback bit (folded into DeNovo's spare state encoding in hardware,
+//! but still a bit of information). For 64-byte chunks this sums to
+//! 16·2 + 6 + 1 = 39 bits per chunk — a ≈8% overhead on the 512 data
+//! bits — of which only the two coherence bits are touched on hits.
+
+use mem::addr::WORD_BYTES;
+use mem::coherence::WordState;
+
+/// Computed state-bit overhead for a stash configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverheadReport {
+    /// Metadata bits per chunk.
+    pub bits_per_chunk: u32,
+    /// Data bits per chunk.
+    pub data_bits_per_chunk: u32,
+    /// Overhead in tenths of a percent (76 = 7.6%).
+    pub overhead_tenths_percent: u32,
+    /// Bits read on a hit (the common case): just the word's state bits.
+    pub bits_read_on_hit: u32,
+}
+
+/// Computes the §4.4 overhead for a chunk size and stash-map capacity.
+///
+/// # Panics
+///
+/// Panics if `chunk_bytes` is not a whole number of words or
+/// `stash_map_entries` is zero.
+pub fn state_bits(chunk_bytes: usize, stash_map_entries: usize) -> OverheadReport {
+    assert!(chunk_bytes > 0 && chunk_bytes.is_multiple_of(WORD_BYTES as usize));
+    assert!(stash_map_entries > 0);
+    let words = (chunk_bytes / WORD_BYTES as usize) as u32;
+    let map_index_bits = usize::BITS - (stash_map_entries - 1).leading_zeros();
+    let writeback_bit = 1;
+    let bits_per_chunk = words * WordState::BITS + map_index_bits + writeback_bit;
+    let data_bits_per_chunk = chunk_bytes as u32 * 8;
+    OverheadReport {
+        bits_per_chunk,
+        data_bits_per_chunk,
+        overhead_tenths_percent: bits_per_chunk * 1000 / data_bits_per_chunk,
+        bits_read_on_hit: WordState::BITS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_is_39_bits_and_8_percent() {
+        let r = state_bits(64, 64);
+        assert_eq!(r.bits_per_chunk, 39);
+        assert_eq!(r.data_bits_per_chunk, 512);
+        // 39/512 = 7.6% — the paper's "∼8% overhead".
+        assert_eq!(r.overhead_tenths_percent, 76);
+        // Only the 2 coherence bits are accessed on hits.
+        assert_eq!(r.bits_read_on_hit, 2);
+    }
+
+    #[test]
+    fn map_index_bits_scale_with_capacity() {
+        assert_eq!(state_bits(64, 32).bits_per_chunk, 38);
+        assert_eq!(state_bits(64, 128).bits_per_chunk, 40);
+    }
+
+    #[test]
+    fn larger_chunks_amortize_metadata() {
+        let small = state_bits(64, 64);
+        let large = state_bits(256, 64);
+        assert!(large.overhead_tenths_percent < small.overhead_tenths_percent);
+    }
+}

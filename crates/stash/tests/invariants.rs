@@ -1,0 +1,177 @@
+//! Stash-level invariant tests: the §8 extension hooks, the VP-map spill
+//! path, and property-based dirty-chunk accounting.
+
+use mem::addr::VAddr;
+use mem::coherence::WordState;
+use mem::tile::TileMap;
+use proptest::prelude::*;
+use stash::{LoadOutcome, Stash, StashConfig, StoreOutcome, UsageMode};
+
+fn tile(base: u64, elems: u64) -> TileMap {
+    TileMap::new(VAddr(base), 4, 16, elems, 0, 1).unwrap()
+}
+
+fn coherent(s: &mut Stash, tb: usize, base: u64, elems: u64, at: usize) -> stash::MapIndex {
+    s.add_map(tb, tile(base, elems), at, UsageMode::MappedCoherent)
+        .unwrap()
+        .index
+}
+
+#[test]
+fn prefetch_candidates_stay_in_chunk_and_mapping() {
+    let mut s = Stash::new(StashConfig::default());
+    let m = coherent(&mut s, 0, 0x10_000, 24, 0); // 24 words: 1.5 chunks
+    assert!(s.load(0, m).unwrap().missed());
+    s.complete_load_fill(0);
+    // Candidates around word 0: the other 15 words of chunk 0, minus the
+    // filled word, capped by the requested width.
+    let cands = s.prefetch_candidates(0, m, 8);
+    assert_eq!(cands.len(), 7);
+    assert!(cands.iter().all(|&(w, _)| w < 16 && w != 0));
+    // Addresses follow the tile's stride.
+    for &(w, va) in &cands {
+        assert_eq!(va, VAddr(0x10_000 + w as u64 * 16));
+    }
+    // Words of the second chunk never appear (their chunk is unclaimed).
+    let wide = s.prefetch_candidates(0, m, 64);
+    assert!(wide.iter().all(|&(w, _)| w < 16));
+}
+
+#[test]
+fn unfetched_words_shrink_as_fills_land() {
+    let mut s = Stash::new(StashConfig::default());
+    let m = coherent(&mut s, 0, 0x10_000, 16, 0);
+    assert_eq!(s.unfetched_words(m).len(), 16);
+    let _ = s.load(3, m).unwrap();
+    s.complete_load_fill(3);
+    let left = s.unfetched_words(m);
+    assert_eq!(left.len(), 15);
+    assert!(left.iter().all(|&(w, _)| w != 3));
+}
+
+#[test]
+fn claim_chunks_reclaims_previous_owner_dirty_data() {
+    let mut s = Stash::new(StashConfig::default());
+    let m1 = coherent(&mut s, 0, 0x10_000, 16, 0);
+    let _ = s.store(0, m1).unwrap();
+    s.complete_store_fill(0, m1);
+    s.end_thread_block(0);
+    // A new mapping claims the same chunks up front (prefetch path).
+    let m2 = coherent(&mut s, 1, 0x90_000, 16, 0);
+    let wbs = s.claim_chunks(m2);
+    assert_eq!(wbs.len(), 1);
+    assert_eq!(wbs[0].vaddr, VAddr(0x10_000));
+    assert_eq!(s.word_state(0), WordState::Invalid);
+}
+
+#[test]
+fn vp_spill_path_flushes_oldest_inactive_entry() {
+    // Tiny VP-map: 2 pages. Two dirty mappings on different pages, then a
+    // third mapping forces the spill; the oldest inactive entry is
+    // flushed and its translations released.
+    let mut s = Stash::new(StashConfig {
+        vp_map_entries: 2,
+        ..StashConfig::default()
+    });
+    let m1 = coherent(&mut s, 0, 0x10_000, 16, 0);
+    let _ = s.store(0, m1).unwrap();
+    s.complete_store_fill(0, m1);
+    s.end_thread_block(0);
+
+    let m2 = coherent(&mut s, 1, 0x20_000, 16, 16);
+    let _ = s.store(16, m2).unwrap();
+    s.complete_store_fill(16, m2);
+    s.end_thread_block(1);
+
+    // Third mapping on a third page: the VP-map must spill.
+    let out = s
+        .add_map(2, tile(0x30_000, 16), 32, UsageMode::MappedCoherent)
+        .unwrap();
+    // The spill flushed some older entry's dirty word.
+    assert_eq!(out.writebacks.len(), 1);
+    assert!(s.vp_occupancy() <= 2);
+}
+
+#[test]
+fn spill_with_only_active_entries_errors() {
+    let mut s = Stash::new(StashConfig {
+        vp_map_entries: 1,
+        ..StashConfig::default()
+    });
+    // One active mapping holds the only VP entry...
+    coherent(&mut s, 0, 0x10_000, 16, 0);
+    // ...so a second active mapping on a different page cannot cover its
+    // pages (nothing evictable): a genuine overflow.
+    let err = s
+        .add_map(0, tile(0x20_000, 16), 16, UsageMode::MappedCoherent)
+        .unwrap_err();
+    assert!(matches!(err, sim::SimError::TableFull { .. }));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dirty-chunk conservation: at any point, the sum of valid entries'
+    /// `#DirtyData` counters equals the number of chunks whose metadata
+    /// is dirty or writeback-pending.
+    #[test]
+    fn dirty_chunk_accounting_is_conserved(
+        rounds in prop::collection::vec(
+            (0u64..4, prop::collection::vec((0u64..64, any::<bool>()), 0..20), any::<bool>()),
+            1..10
+        )
+    ) {
+        let cfg = StashConfig::default();
+        let chunk_words = cfg.chunk_bytes / 4;
+        let mut s = Stash::new(cfg);
+        for (tb, (base_sel, accesses, finish)) in rounds.into_iter().enumerate() {
+            let elems = 64u64;
+            let Ok(out) = s.add_map(
+                tb,
+                tile(0x100_0000 + base_sel * 0x10_0000, elems),
+                0,
+                UsageMode::MappedCoherent,
+            ) else { break };
+            for (word_sel, write) in accesses {
+                let w = (word_sel % elems) as usize;
+                if write {
+                    if let StoreOutcome::Miss { .. } = s.store(w, out.index).unwrap() {
+                        s.complete_store_fill(w, out.index);
+                    }
+                } else if let LoadOutcome::Miss { .. } = s.load(w, out.index).unwrap() {
+                    s.complete_load_fill(w);
+                }
+            }
+            if finish {
+                s.end_thread_block(tb);
+                s.end_kernel();
+            }
+
+            // The conservation invariant.
+            let counted: u32 = (0..cfg_map_entries())
+                .filter_map(|i| s.map_entry(stash::MapIndex(i)))
+                .filter(|e| e.valid)
+                .map(|e| e.dirty_chunks)
+                .sum();
+            let actual = count_marked_chunks(&s, chunk_words);
+            prop_assert_eq!(counted as usize, actual);
+        }
+    }
+}
+
+fn cfg_map_entries() -> u8 {
+    64
+}
+
+/// Counts chunks whose words include Registered data belonging to a
+/// dirty/pending chunk — via the public pending-writeback view.
+fn count_marked_chunks(s: &Stash, chunk_words: usize) -> usize {
+    let mut chunks: Vec<usize> = s
+        .pending_writebacks()
+        .iter()
+        .map(|wb| wb.stash_word / chunk_words)
+        .collect();
+    chunks.sort_unstable();
+    chunks.dedup();
+    chunks.len()
+}

@@ -1,0 +1,194 @@
+//! **Backprop** (Rodinia): two-layer neural-net training, 32 KB input.
+//!
+//! Kernel 1 (`layerforward`) stages 16×16 input tiles in shared memory,
+//! reads the connection weights globally, and reduces partial sums
+//! (temporaries) locally. Kernel 2 (`adjust_weights`) re-reads the same
+//! input *and* reads-modifies-writes the weights. The input re-read is a
+//! cross-kernel reuse opportunity only the stash can exploit; the weight
+//! stream has no temporal locality within a kernel.
+
+use crate::builder::{kernel_from_blocks, AosArray, Placement, TileTask, WorkloadBuilder};
+use gpu::config::MemConfigKind;
+use gpu::program::{Phase, Program};
+use mem::addr::VAddr;
+
+/// Registry name.
+pub const NAME: &str = "backprop";
+
+/// Input units (32 KB of f32 = 8192 elements).
+pub const INPUT_ELEMS: u64 = 8192;
+/// Hidden units.
+pub const HIDDEN: u64 = 16;
+/// Elements per thread block.
+pub const ELEMS_PER_BLOCK: u64 = 256;
+/// Compute instructions per warp iteration.
+pub const COMPUTE: u32 = 8;
+
+/// The input layer (scalar array).
+pub fn input() -> AosArray {
+    AosArray {
+        base: VAddr(0x1000_0000),
+        object_bytes: 4,
+        elems: INPUT_ELEMS,
+        field_offset: 0,
+        field_bytes: 4,
+    }
+}
+
+/// The input-to-hidden weights (one row of `HIDDEN` per input element).
+pub fn weights() -> AosArray {
+    AosArray {
+        base: VAddr(0x2000_0000),
+        object_bytes: 4,
+        elems: INPUT_ELEMS * HIDDEN,
+        field_offset: 0,
+        field_bytes: 4,
+    }
+}
+
+/// The partial-sum workspace (Temporary mode: addresses exist only so
+/// the Cache configuration has somewhere to spill the converted
+/// accesses).
+pub fn scratch_sums() -> AosArray {
+    AosArray {
+        base: VAddr(0x7000_0000),
+        object_bytes: 4,
+        elems: INPUT_ELEMS,
+        field_offset: 0,
+        field_bytes: 4,
+    }
+}
+
+/// Builds the Backprop program for one configuration.
+pub fn program(kind: MemConfigKind) -> Program {
+    let builder = WorkloadBuilder::new(kind);
+    let inp = input();
+    let w = weights();
+    let blocks_n = INPUT_ELEMS / ELEMS_PER_BLOCK;
+
+    // Kernel 1: layerforward — staged input (reused across the hidden
+    // units: passes = 2 models the reduction tree re-reads), streamed
+    // weights, and a per-block partial-sum buffer in Temporary mode
+    // (§3.3: private values, no global mapping, discarded after use).
+    let forward: Vec<Vec<TileTask>> = (0..blocks_n)
+        .map(|b| {
+            vec![
+                TileTask {
+                    writes: false,
+                    passes: 2,
+                    ..TileTask::dense(
+                        inp.tile(b * ELEMS_PER_BLOCK, ELEMS_PER_BLOCK),
+                        Placement::Local,
+                        COMPUTE,
+                    )
+                },
+                TileTask {
+                    writes: false,
+                    ..TileTask::dense(
+                        w.tile(b * ELEMS_PER_BLOCK * HIDDEN, ELEMS_PER_BLOCK * HIDDEN / 8),
+                        Placement::Global,
+                        2,
+                    )
+                },
+                // Reduction-tree partial sums: log2(256) passes over a
+                // 256-word temporary buffer.
+                TileTask {
+                    passes: 3,
+                    ..TileTask::dense(
+                        scratch_sums().tile(b * ELEMS_PER_BLOCK, ELEMS_PER_BLOCK),
+                        Placement::Temporary,
+                        2,
+                    )
+                },
+            ]
+        })
+        .collect();
+
+    // Kernel 2: adjust_weights — the same input tiles re-read, weights
+    // read-modify-written globally.
+    let backward: Vec<Vec<TileTask>> = (0..blocks_n)
+        .map(|b| {
+            vec![
+                TileTask {
+                    writes: false,
+                    ..TileTask::dense(
+                        inp.tile(b * ELEMS_PER_BLOCK, ELEMS_PER_BLOCK),
+                        Placement::Local,
+                        COMPUTE,
+                    )
+                },
+                TileTask::dense(
+                    w.tile(b * ELEMS_PER_BLOCK * HIDDEN, ELEMS_PER_BLOCK * HIDDEN / 8),
+                    Placement::Global,
+                    2,
+                ),
+            ]
+        })
+        .collect();
+
+    Program {
+        phases: vec![
+            Phase::Gpu(kernel_from_blocks(&builder, forward)),
+            Phase::Gpu(kernel_from_blocks(&builder, backward)),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_kernels_over_all_input() {
+        let p = program(MemConfigKind::Stash);
+        assert_eq!(p.kernel_count(), 2);
+        let Phase::Gpu(k1) = &p.phases[0] else { panic!() };
+        let staged: u64 = k1
+            .blocks
+            .iter()
+            .flat_map(|b| b.maps())
+            .map(|m| m.tile.total_elements())
+            .sum();
+        assert_eq!(staged, INPUT_ELEMS);
+    }
+
+    #[test]
+    fn input_tiles_repeat_across_kernels() {
+        let p = program(MemConfigKind::Stash);
+        let Phase::Gpu(k1) = &p.phases[0] else { panic!() };
+        let Phase::Gpu(k2) = &p.phases[1] else { panic!() };
+        assert_eq!(
+            k1.blocks[0].maps().next().unwrap().tile,
+            k2.blocks[0].maps().next().unwrap().tile
+        );
+    }
+
+    #[test]
+    fn temporaries_bind_no_map_slot() {
+        let p = program(MemConfigKind::Stash);
+        let Phase::Gpu(k1) = &p.phases[0] else { panic!() };
+        // Two allocations (input tile + partial sums) but only one map.
+        assert_eq!(k1.blocks[0].allocs.len(), 2);
+        assert_eq!(k1.blocks[0].maps().count(), 1);
+    }
+
+    #[test]
+    fn temporary_accesses_run_on_every_configuration() {
+        use gpu::machine::Machine;
+        use sim::config::SystemConfig;
+        for kind in MemConfigKind::ALL {
+            let mut machine = Machine::new(SystemConfig::for_applications(), kind);
+            let report = machine.run(&program(kind)).unwrap();
+            if kind.uses_stash() {
+                assert!(report.counters.get("stash.raw_access") > 0, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_variant_has_no_local_ops() {
+        let p = program(MemConfigKind::Cache);
+        let Phase::Gpu(k1) = &p.phases[0] else { panic!() };
+        assert!(k1.blocks.iter().all(|b| b.allocs.is_empty()));
+    }
+}

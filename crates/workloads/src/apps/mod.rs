@@ -1,0 +1,35 @@
+//! The seven GPU applications of §5.4.2.
+//!
+//! Each module reproduces the *memory behaviour* of the original
+//! benchmark at the paper's input size — the kernel structure, tiling,
+//! scratchpad staging, and global streams the memory system observes —
+//! not its arithmetic (see DESIGN.md's substitution table).
+//!
+//! | App | Source | Input (paper) | Structure modelled |
+//! |---|---|---|---|
+//! | [`lud`]        | Rodinia | 256×256   | blocked LU: diagonal/perimeter/internal kernels over 16×16 tiles |
+//! | [`backprop`]   | Rodinia | 32 KB     | layer-forward + weight-adjust kernels, input staged locally |
+//! | [`nw`]         | Rodinia | 512×512   | wavefront diagonals of 16×16 tiles, reference + score matrices |
+//! | [`pathfinder`] | Rodinia | 10×100K   | row-iterative min-propagation with haloed slices |
+//! | [`sgemm`]      | Parboil | A 128×96, B 96×160 | k-stepped 16×16 tile multiply |
+//! | [`stencil`]    | Parboil | 128×128×4, 4 iters | 7-point stencil, double-buffered grids |
+//! | [`surf`]       | OpenSURF | 66 KB image | integral image, box-filter detector, sparse descriptors |
+
+pub mod backprop;
+pub mod lud;
+pub mod nw;
+pub mod pathfinder;
+pub mod sgemm;
+pub mod stencil;
+pub mod surf;
+
+/// The application names in Figure 6 order.
+pub const ALL: [&str; 7] = [
+    lud::NAME,
+    surf::NAME,
+    backprop::NAME,
+    nw::NAME,
+    pathfinder::NAME,
+    sgemm::NAME,
+    stencil::NAME,
+];

@@ -1,0 +1,134 @@
+//! **NW** (Rodinia): Needleman–Wunsch sequence alignment, 512×512.
+//!
+//! The score matrix is processed in 16×16 tiles along anti-diagonal
+//! wavefronts — one kernel launch per diagonal, with as many blocks as the
+//! diagonal has tiles. Each block stages its tile of the *reference*
+//! matrix (read-only) and its tile of the *score* matrix (read-write,
+//! including the neighbour halo) in shared memory, computes the dynamic-
+//! programming recurrence, and writes the scores back. The many small
+//! kernel launches make the scratchpad's per-kernel flushes expensive.
+
+use crate::builder::{kernel_from_blocks, AosArray, Placement, TileTask, WorkloadBuilder};
+use gpu::config::MemConfigKind;
+use gpu::program::{Phase, Program};
+use mem::addr::VAddr;
+
+/// Registry name.
+pub const NAME: &str = "nw";
+
+/// Matrix dimension.
+pub const N: u64 = 512;
+/// Tile dimension.
+pub const T: u64 = 16;
+/// Compute instructions per warp iteration (DP recurrence).
+pub const COMPUTE: u32 = 10;
+
+/// The read-only reference (substitution-score) matrix.
+pub fn reference() -> AosArray {
+    AosArray {
+        base: VAddr(0x1000_0000),
+        object_bytes: 4,
+        elems: N * N,
+        field_offset: 0,
+        field_bytes: 4,
+    }
+}
+
+/// The score matrix being filled.
+pub fn scores() -> AosArray {
+    AosArray {
+        base: VAddr(0x2000_0000),
+        object_bytes: 4,
+        elems: N * N,
+        field_offset: 0,
+        field_bytes: 4,
+    }
+}
+
+fn tile(a: &AosArray, i: u64, j: u64) -> mem::tile::TileMap {
+    a.tile_2d(i * T * N + j * T, T, T, N)
+}
+
+/// Builds the NW program (both wavefront passes) for one configuration.
+pub fn program(kind: MemConfigKind) -> Program {
+    let builder = WorkloadBuilder::new(kind);
+    let rf = reference();
+    let sc = scores();
+    let tiles = N / T;
+    let mut phases = Vec::new();
+    let mut push_diag = |d: u64, backward: bool| {
+        let mut blocks = Vec::new();
+        for i in 0..tiles {
+            let Some(j) = d.checked_sub(i) else { continue };
+            if j >= tiles {
+                continue;
+            }
+            // The backward (traceback) pass re-reads the scores it filled
+            // and the reference, writing nothing back.
+            blocks.push(vec![
+                TileTask {
+                    writes: false,
+                    ..TileTask::dense(tile(&rf, i, j), Placement::Local, 2)
+                },
+                TileTask {
+                    writes: !backward,
+                    ..TileTask::dense(tile(&sc, i, j), Placement::Local, COMPUTE)
+                },
+            ]);
+        }
+        phases.push(Phase::Gpu(kernel_from_blocks(&builder, blocks)));
+    };
+    // Forward wavefront: diagonals of growing then shrinking length.
+    for d in 0..2 * tiles - 1 {
+        push_diag(d, false);
+    }
+    // Backward traceback pass, anti-diagonals in reverse order.
+    for d in (0..2 * tiles - 1).rev() {
+        push_diag(d, true);
+    }
+    Program { phases }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_kernel_per_diagonal_per_pass() {
+        let p = program(MemConfigKind::Scratch);
+        assert_eq!(p.kernel_count() as u64, 2 * (2 * (N / T) - 1));
+    }
+
+    #[test]
+    fn every_tile_processed_once_per_pass() {
+        let p = program(MemConfigKind::Stash);
+        let mut total = 0u64;
+        for phase in &p.phases {
+            if let Phase::Gpu(k) = phase {
+                total += k.blocks.len() as u64;
+            }
+        }
+        assert_eq!(total, 2 * (N / T) * (N / T));
+    }
+
+    #[test]
+    fn middle_diagonal_is_widest() {
+        let p = program(MemConfigKind::Cache);
+        let widths: Vec<usize> = p
+            .phases
+            .iter()
+            .filter_map(|ph| match ph {
+                Phase::Gpu(k) => Some(k.blocks.len()),
+                _ => None,
+            })
+            .collect();
+        // Forward pass occupies the first half of the launches.
+        let forward = &widths[..widths.len() / 2];
+        let mid = forward.len() / 2;
+        assert_eq!(forward[mid] as u64, N / T);
+        assert_eq!(forward[0], 1);
+        assert_eq!(*forward.last().unwrap(), 1);
+        // The backward pass mirrors it.
+        assert_eq!(*widths.last().unwrap(), 1);
+    }
+}

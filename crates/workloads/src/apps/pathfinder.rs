@@ -1,0 +1,132 @@
+//! **Pathfinder** (Rodinia): dynamic-programming grid traversal,
+//! 10 rows × 100K columns.
+//!
+//! Each of the 10 iterations launches a kernel whose blocks stage a slice
+//! of the previous result row (plus a halo on each side) in shared
+//! memory, read the wall costs for their slice globally, compute the
+//! minimum-cost step, and write the new result row. The staged data is
+//! used only two or three times per element — little reuse for the copy
+//! cost, which is why the Cache configuration beats Scratch on this
+//! benchmark (the paper's noted exception, §6.3).
+
+use crate::builder::{kernel_from_blocks, AosArray, Placement, TileTask, WorkloadBuilder};
+use gpu::config::MemConfigKind;
+use gpu::program::{Phase, Program};
+use mem::addr::VAddr;
+
+/// Registry name.
+pub const NAME: &str = "pathfinder";
+
+/// Grid rows (iterations).
+pub const ROWS: u64 = 10;
+/// Grid columns (the paper's full 100 K).
+pub const COLS: u64 = 100_000;
+/// Columns per thread block.
+pub const COLS_PER_BLOCK: u64 = 250;
+/// Halo columns staged on each side of a block's slice.
+pub const HALO: u64 = 3;
+/// Compute instructions per warp iteration (min of three neighbours).
+pub const COMPUTE: u32 = 3;
+
+/// The wall-cost grid (row-major).
+pub fn wall() -> AosArray {
+    AosArray {
+        base: VAddr(0x1000_0000),
+        object_bytes: 4,
+        elems: ROWS * COLS,
+        field_offset: 0,
+        field_bytes: 4,
+    }
+}
+
+/// The two result-row buffers (double-buffered).
+pub fn result(buffer: u64) -> AosArray {
+    AosArray {
+        base: VAddr(0x2000_0000 + buffer * 0x0100_0000),
+        object_bytes: 4,
+        elems: COLS,
+        field_offset: 0,
+        field_bytes: 4,
+    }
+}
+
+/// Builds the Pathfinder program for one configuration.
+pub fn program(kind: MemConfigKind) -> Program {
+    let builder = WorkloadBuilder::new(kind);
+    let w = wall();
+    let mut phases = Vec::new();
+    for row in 0..ROWS {
+        let src = result(row % 2);
+        let dst = result((row + 1) % 2);
+        let blocks: Vec<_> = (0..COLS / COLS_PER_BLOCK)
+            .map(|b| {
+                let start = b * COLS_PER_BLOCK;
+                let halo_start = start.saturating_sub(HALO);
+                let halo_end = (start + COLS_PER_BLOCK + HALO).min(COLS);
+                vec![
+                    // Previous row slice + halo, staged locally, each
+                    // element read for three neighbour minima.
+                    TileTask {
+                        writes: false,
+                        passes: 2,
+                        ..TileTask::dense(
+                            src.tile(halo_start, halo_end - halo_start),
+                            Placement::Local,
+                            COMPUTE,
+                        )
+                    },
+                    // Wall costs for this row slice (global stream).
+                    TileTask {
+                        writes: false,
+                        ..TileTask::dense(
+                            w.tile(row * COLS + start, COLS_PER_BLOCK),
+                            Placement::Global,
+                            1,
+                        )
+                    },
+                    // New result row slice (global write).
+                    TileTask {
+                        reads: false,
+                        ..TileTask::dense(dst.tile(start, COLS_PER_BLOCK), Placement::Global, 1)
+                    },
+                ]
+            })
+            .collect();
+        phases.push(Phase::Gpu(kernel_from_blocks(&builder, blocks)));
+    }
+    Program { phases }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_kernel_per_row() {
+        let p = program(MemConfigKind::Scratch);
+        assert_eq!(p.kernel_count() as u64, ROWS);
+    }
+
+    #[test]
+    fn halo_extends_staged_slices() {
+        let p = program(MemConfigKind::Stash);
+        let Phase::Gpu(k) = &p.phases[0] else { panic!() };
+        // Interior blocks stage slice + 2×halo.
+        let interior = k.blocks[1].maps().next().unwrap();
+        assert_eq!(interior.tile.total_elements(), COLS_PER_BLOCK + 2 * HALO);
+        // The first block is clipped at the left edge.
+        let first = k.blocks[0].maps().next().unwrap();
+        assert_eq!(first.tile.total_elements(), COLS_PER_BLOCK + HALO);
+    }
+
+    #[test]
+    fn buffers_alternate_between_rows() {
+        let p = program(MemConfigKind::Stash);
+        let Phase::Gpu(k0) = &p.phases[0] else { panic!() };
+        let Phase::Gpu(k1) = &p.phases[1] else { panic!() };
+        assert_ne!(
+            k0.blocks[0].maps().next().unwrap().tile.global_base(),
+            k1.blocks[0].maps().next().unwrap().tile.global_base()
+        );
+    }
+}

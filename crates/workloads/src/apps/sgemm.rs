@@ -1,0 +1,139 @@
+//! **SGEMM** (Parboil): dense matrix multiply, A 128×96, B 96×160.
+//!
+//! Each block computes one 16×16 tile of C, looping over the shared
+//! dimension in 16-wide steps. Per step it stages the corresponding A and
+//! B tiles in shared memory (each element reused 16× by the inner
+//! product), accumulates in registers, and finally writes its C tile
+//! globally. A-tiles are shared by all blocks in a C-tile row and B-tiles
+//! by all blocks in a column, so the LLC sees heavy re-reference.
+
+use crate::builder::{kernel_from_blocks, AosArray, Placement, TileTask, WorkloadBuilder};
+use gpu::config::MemConfigKind;
+use gpu::program::{Phase, Program};
+use mem::addr::VAddr;
+
+/// Registry name.
+pub const NAME: &str = "sgemm";
+
+/// Rows of A and C.
+pub const M: u64 = 128;
+/// The shared dimension (columns of A, rows of B).
+pub const K: u64 = 96;
+/// Columns of B and C.
+pub const N: u64 = 160;
+/// Tile dimension.
+pub const T: u64 = 16;
+/// Compute instructions per warp iteration (the 16-step inner product).
+pub const COMPUTE: u32 = 16;
+
+/// Matrix A (row-major M×K).
+pub fn mat_a() -> AosArray {
+    AosArray {
+        base: VAddr(0x1000_0000),
+        object_bytes: 4,
+        elems: M * K,
+        field_offset: 0,
+        field_bytes: 4,
+    }
+}
+
+/// Matrix B (row-major K×N).
+pub fn mat_b() -> AosArray {
+    AosArray {
+        base: VAddr(0x2000_0000),
+        object_bytes: 4,
+        elems: K * N,
+        field_offset: 0,
+        field_bytes: 4,
+    }
+}
+
+/// Matrix C (row-major M×N).
+pub fn mat_c() -> AosArray {
+    AosArray {
+        base: VAddr(0x3000_0000),
+        object_bytes: 4,
+        elems: M * N,
+        field_offset: 0,
+        field_bytes: 4,
+    }
+}
+
+/// Builds the SGEMM program for one configuration.
+pub fn program(kind: MemConfigKind) -> Program {
+    let builder = WorkloadBuilder::new(kind);
+    let a = mat_a();
+    let b = mat_b();
+    let c = mat_c();
+    let blocks: Vec<_> = (0..M / T)
+        .flat_map(|bi| (0..N / T).map(move |bj| (bi, bj)))
+        .map(|(bi, bj)| {
+            let mut tasks = Vec::new();
+            for kk in 0..K / T {
+                // A tile (bi, kk): 16 rows of 16 from a K-wide matrix.
+                tasks.push(TileTask {
+                    writes: false,
+                    passes: 2,
+                    share: Some(0),
+                    ..TileTask::dense(
+                        a.tile_2d(bi * T * K + kk * T, T, T, K),
+                        Placement::Local,
+                        COMPUTE,
+                    )
+                });
+                // B tile (kk, bj) from an N-wide matrix.
+                tasks.push(TileTask {
+                    writes: false,
+                    passes: 2,
+                    share: Some(1),
+                    ..TileTask::dense(
+                        b.tile_2d(kk * T * N + bj * T, T, T, N),
+                        Placement::Local,
+                        COMPUTE,
+                    )
+                });
+            }
+            // The C tile is written once, globally.
+            tasks.push(TileTask {
+                reads: false,
+                ..TileTask::dense(c.tile_2d(bi * T * N + bj * T, T, T, N), Placement::Global, 1)
+            });
+            tasks
+        })
+        .collect();
+    Program {
+        phases: vec![Phase::Gpu(kernel_from_blocks(&builder, blocks))],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_block_per_c_tile() {
+        let p = program(MemConfigKind::Scratch);
+        let Phase::Gpu(k) = &p.phases[0] else { panic!() };
+        assert_eq!(k.blocks.len() as u64, (M / T) * (N / T));
+    }
+
+    #[test]
+    fn k_steps_rebind_two_shared_slots() {
+        let p = program(MemConfigKind::Stash);
+        let Phase::Gpu(k) = &p.phases[0] else { panic!() };
+        // Each block maps 2 tiles per k-step, but A and B tiles each share
+        // one allocation/slot: the staging is AddMap + ChgMaps and stays
+        // within the 4-entry map index table (§4.1.2).
+        assert_eq!(k.blocks[0].maps().count() as u64, (K / T) * 2);
+        let max_slot = k.blocks[0].maps().map(|m| m.slot).max().unwrap();
+        assert!(max_slot < 4);
+        assert_eq!(k.blocks[0].allocs.len(), 2);
+    }
+
+    #[test]
+    fn staged_words_per_block_fit_the_stash() {
+        let p = program(MemConfigKind::Stash);
+        let Phase::Gpu(k) = &p.phases[0] else { panic!() };
+        assert!(k.blocks[0].local_words() * 4 <= 16 * 1024);
+    }
+}

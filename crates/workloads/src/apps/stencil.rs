@@ -1,0 +1,136 @@
+//! **Stencil** (Parboil): 7-point 3-D Jacobi stencil, 128×128×4 grid,
+//! 4 iterations.
+//!
+//! The grids are double-buffered: each iteration's kernel reads grid
+//! `in`, writes grid `out`, then the roles swap. Blocks stage a 16×16 xy
+//! tile of their z-plane in shared memory (each cell re-read by its four
+//! in-plane neighbours), read the z±1 neighbours globally, and write the
+//! output cell globally.
+
+use crate::builder::{kernel_from_blocks, AosArray, Placement, TileTask, WorkloadBuilder};
+use gpu::config::MemConfigKind;
+use gpu::program::{Phase, Program};
+use mem::addr::VAddr;
+
+/// Registry name.
+pub const NAME: &str = "stencil";
+
+/// Grid x/y dimension.
+pub const NXY: u64 = 128;
+/// Grid z dimension.
+pub const NZ: u64 = 4;
+/// Tile dimension in x/y.
+pub const T: u64 = 16;
+/// Jacobi iterations.
+pub const ITERS: usize = 4;
+/// Compute instructions per warp iteration (7-point update).
+pub const COMPUTE: u32 = 7;
+
+/// One of the two double-buffered grids.
+pub fn grid(buffer: u64) -> AosArray {
+    AosArray {
+        base: VAddr(0x1000_0000 + buffer * 0x1000_0000),
+        object_bytes: 4,
+        elems: NXY * NXY * NZ,
+        field_offset: 0,
+        field_bytes: 4,
+    }
+}
+
+/// Builds the Stencil program for one configuration.
+pub fn program(kind: MemConfigKind) -> Program {
+    let builder = WorkloadBuilder::new(kind);
+    let mut phases = Vec::new();
+    for iter in 0..ITERS as u64 {
+        let src = grid(iter % 2);
+        let dst = grid((iter + 1) % 2);
+        let mut blocks = Vec::new();
+        for z in 0..NZ {
+            for by in 0..NXY / T {
+                for bx in 0..NXY / T {
+                    let start = z * NXY * NXY + by * T * NXY + bx * T;
+                    let tile = src.tile_2d(start, T, T, NXY);
+                    let mut tasks = vec![
+                        // The plane tile, staged locally, re-read by the
+                        // four in-plane neighbour lookups.
+                        TileTask {
+                            writes: false,
+                            passes: 2,
+                            ..TileTask::dense(tile, Placement::Local, COMPUTE)
+                        },
+                    ];
+                    // z-neighbour reads (global stream; clipped at the
+                    // boundary planes).
+                    if z > 0 {
+                        tasks.push(TileTask {
+                            writes: false,
+                            ..TileTask::dense(
+                                src.tile_2d(start - NXY * NXY, T, T, NXY),
+                                Placement::Global,
+                                1,
+                            )
+                        });
+                    }
+                    if z + 1 < NZ {
+                        tasks.push(TileTask {
+                            writes: false,
+                            ..TileTask::dense(
+                                src.tile_2d(start + NXY * NXY, T, T, NXY),
+                                Placement::Global,
+                                1,
+                            )
+                        });
+                    }
+                    // The output tile (global write).
+                    tasks.push(TileTask {
+                        reads: false,
+                        ..TileTask::dense(dst.tile_2d(start, T, T, NXY), Placement::Global, 1)
+                    });
+                    blocks.push(tasks);
+                }
+            }
+        }
+        phases.push(Phase::Gpu(kernel_from_blocks(&builder, blocks)));
+    }
+    Program { phases }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_kernel_per_iteration() {
+        let p = program(MemConfigKind::Scratch);
+        assert_eq!(p.kernel_count(), ITERS);
+    }
+
+    #[test]
+    fn one_block_per_tile_per_plane() {
+        let p = program(MemConfigKind::Cache);
+        let Phase::Gpu(k) = &p.phases[0] else { panic!() };
+        assert_eq!(k.blocks.len() as u64, NZ * (NXY / T) * (NXY / T));
+    }
+
+    #[test]
+    fn boundary_planes_have_one_z_neighbour() {
+        let p = program(MemConfigKind::StashG);
+        let Phase::Gpu(k) = &p.phases[0] else { panic!() };
+        // Block 0 is at z = 0: plane tile + one z-neighbour + output.
+        assert_eq!(k.blocks[0].maps().count(), 3);
+        // An interior plane's block has both z-neighbours.
+        let per_plane = ((NXY / T) * (NXY / T)) as usize;
+        assert_eq!(k.blocks[per_plane].maps().count(), 4);
+    }
+
+    #[test]
+    fn buffers_swap_between_iterations() {
+        let p = program(MemConfigKind::Stash);
+        let Phase::Gpu(k0) = &p.phases[0] else { panic!() };
+        let Phase::Gpu(k1) = &p.phases[1] else { panic!() };
+        assert_ne!(
+            k0.blocks[0].maps().next().unwrap().tile.global_base(),
+            k1.blocks[0].maps().next().unwrap().tile.global_base()
+        );
+    }
+}

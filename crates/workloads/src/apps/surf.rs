@@ -1,0 +1,189 @@
+//! **SURF** (OpenSURF, Computer Vision): Speeded-Up Robust Features on a
+//! 66 KB image.
+//!
+//! Three kernel classes dominate the memory behaviour:
+//!
+//! 1. *integral image* — row-wise prefix sums over the input image
+//!    (streaming global reads and writes);
+//! 2. *detector* — blocks stage an integral-image tile in shared memory
+//!    and evaluate box filters at several scales (heavy per-pixel
+//!    compute, repeated tile re-reads), writing a response map;
+//! 3. *descriptor* — blocks gather sparse Haar-wavelet samples around the
+//!    detected interest points (data-dependent accesses) and write 64-word
+//!    descriptors.
+
+use crate::builder::{kernel_from_blocks, AosArray, Placement, TileTask, WorkloadBuilder};
+use gpu::config::MemConfigKind;
+use gpu::program::{Phase, Program};
+use mem::addr::VAddr;
+use sim::rng::SplitMix64;
+
+/// Registry name.
+pub const NAME: &str = "surf";
+
+/// Image width in pixels (128×128 ≈ 66 KB of 4-byte integral values).
+pub const W: u64 = 128;
+/// Image height in pixels.
+pub const H: u64 = 128;
+/// Detector tile dimension.
+pub const T: u64 = 16;
+/// Interest points the descriptor kernel processes.
+pub const INTEREST_POINTS: u64 = 64;
+/// Compute per warp iteration in the detector (box filters, 3 scales).
+pub const DETECT_COMPUTE: u32 = 24;
+/// Seed for interest-point placement.
+pub const SEED: u64 = 0x50BF;
+
+/// The integral image.
+pub fn integral() -> AosArray {
+    AosArray {
+        base: VAddr(0x1000_0000),
+        object_bytes: 4,
+        elems: W * H,
+        field_offset: 0,
+        field_bytes: 4,
+    }
+}
+
+/// The detector's response map.
+pub fn responses() -> AosArray {
+    AosArray {
+        base: VAddr(0x2000_0000),
+        object_bytes: 4,
+        elems: W * H,
+        field_offset: 0,
+        field_bytes: 4,
+    }
+}
+
+/// The descriptor output (64 words per interest point).
+pub fn descriptors() -> AosArray {
+    AosArray {
+        base: VAddr(0x3000_0000),
+        object_bytes: 4,
+        elems: INTEREST_POINTS * 64,
+        field_offset: 0,
+        field_bytes: 4,
+    }
+}
+
+/// Builds the SURF program for one configuration.
+pub fn program(kind: MemConfigKind) -> Program {
+    let builder = WorkloadBuilder::new(kind);
+    let img = integral();
+    let resp = responses();
+    let desc = descriptors();
+
+    // Kernel 1: integral image — one block per row band, streaming.
+    let integral_blocks: Vec<_> = (0..H / 8)
+        .map(|band| {
+            vec![TileTask::dense(
+                img.tile(band * 8 * W, 8 * W),
+                Placement::Global,
+                2,
+            )]
+        })
+        .collect();
+
+    // Kernel 2: detector — staged tiles, heavy compute, response writes.
+    let detect_blocks: Vec<_> = (0..H / T)
+        .flat_map(|by| (0..W / T).map(move |bx| (by, bx)))
+        .map(|(by, bx)| {
+            let start = by * T * W + bx * T;
+            vec![
+                TileTask {
+                    writes: false,
+                    passes: 3, // three filter scales re-read the tile
+                    ..TileTask::dense(img.tile_2d(start, T, T, W), Placement::Local, DETECT_COMPUTE)
+                },
+                TileTask {
+                    reads: false,
+                    ..TileTask::dense(resp.tile_2d(start, T, T, W), Placement::Global, 1)
+                },
+            ]
+        })
+        .collect();
+
+    // Kernel 3: descriptor — sparse gathers around interest points.
+    let mut rng = SplitMix64::new(SEED);
+    let descriptor_blocks: Vec<_> = (0..INTEREST_POINTS / 8)
+        .map(|g| {
+            let mut tasks = Vec::new();
+            // Each block handles 8 interest points: a sparse 20×20-pixel
+            // neighbourhood sampled from the integral image.
+            let region = 1024u64; // words per neighbourhood window
+            let origin = rng.next_below(W * H - region);
+            let sampled: Vec<u64> = (0..64).map(|_| rng.next_below(region)).collect();
+            tasks.push(TileTask {
+                writes: false,
+                selected_words: Some(sampled),
+                ..TileTask::dense(img.tile(origin, region), Placement::Local, 6)
+            });
+            tasks.push(TileTask {
+                reads: false,
+                ..TileTask::dense(desc.tile(g * 8 * 64, 8 * 64), Placement::Global, 1)
+            });
+            tasks
+        })
+        .collect();
+
+    Program {
+        phases: vec![
+            Phase::Gpu(kernel_from_blocks(&builder, integral_blocks)),
+            Phase::Gpu(kernel_from_blocks(&builder, detect_blocks)),
+            Phase::Gpu(kernel_from_blocks(&builder, descriptor_blocks)),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_kernel_classes() {
+        let p = program(MemConfigKind::Scratch);
+        assert_eq!(p.kernel_count(), 3);
+    }
+
+    #[test]
+    fn detector_covers_the_image() {
+        let p = program(MemConfigKind::Stash);
+        let Phase::Gpu(k) = &p.phases[1] else { panic!() };
+        assert_eq!(k.blocks.len() as u64, (H / T) * (W / T));
+        let staged: u64 = k
+            .blocks
+            .iter()
+            .flat_map(|b| b.maps())
+            .map(|m| m.tile.total_elements())
+            .sum();
+        assert_eq!(staged, W * H);
+    }
+
+    #[test]
+    fn descriptor_gathers_are_sparse() {
+        let p = program(MemConfigKind::Stash);
+        let Phase::Gpu(k) = &p.phases[2] else { panic!() };
+        // The neighbourhood window is mapped, but only the sampled words
+        // are accessed: stash fetches ≤ 64 of 1024 mapped words.
+        let tb = &k.blocks[0];
+        let touched: usize = tb
+            .stages
+            .iter()
+            .flat_map(|s| s.warps.iter().flatten())
+            .filter_map(|op| match op {
+                gpu::program::WarpOp::LocalMem { lanes, write: false, .. } => Some(lanes.len()),
+                _ => None,
+            })
+            .sum();
+        assert!(touched <= 64, "sparse gather touched {touched} words");
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(
+            program(MemConfigKind::Cache),
+            program(MemConfigKind::Cache)
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Workloads: the paper's four microbenchmarks and seven applications.
+//!
+//! Each workload is an *access-pattern-faithful* model of the original
+//! benchmark's memory behaviour (we cannot run CUDA binaries; see
+//! DESIGN.md's substitution table). A workload lowers to a different
+//! [`gpu::program::Program`] per memory configuration, reproducing the
+//! code differences of §5.3:
+//!
+//! * **Scratch** carries explicit copy loops between global and local
+//!   space (Figure 1a);
+//! * **ScratchG** also stages the originally-global accesses through the
+//!   scratchpad;
+//! * **ScratchGD** replaces the copy loops with blocking DMA transfers;
+//! * **Cache** turns every local access into a global one;
+//! * **Stash**/**StashG** replace copies with `AddMap` calls (Figure 1b).
+//!
+//! The [`builder`] module implements that lowering once; the
+//! [`micro`] and [`apps`] modules parameterize it per benchmark; the
+//! [`suite`] module is the registry the bench harness iterates.
+
+pub mod apps;
+pub mod builder;
+pub mod micro;
+pub mod suite;
+pub mod trace;
+
+pub use builder::{AosArray, Placement, TileTask, WorkloadBuilder};
+pub use suite::{Workload, WorkloadSet};
+pub use trace::{parse_trace, TraceWorkload};

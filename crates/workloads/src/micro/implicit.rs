@@ -1,0 +1,103 @@
+//! **Implicit**: implicit data movement and lazy writebacks.
+//!
+//! One field of each element of an AoS array is mapped locally; the GPU
+//! kernel updates it; the CPUs then read the updated values. The
+//! scratchpad configurations pay explicit copy-in/copy-out loops (and an
+//! eager bulk writeback); the stash moves data implicitly on a miss and
+//! leaves the dirty data registered for the CPUs to pull on demand.
+
+use crate::builder::{cpu_sweep, kernel_from_blocks, AosArray, Placement, TileTask, WorkloadBuilder};
+use gpu::config::MemConfigKind;
+use gpu::program::{Phase, Program};
+use mem::addr::VAddr;
+
+/// Registry name.
+pub const NAME: &str = "implicit";
+
+/// Elements in the array.
+pub const ELEMS: u64 = 4096;
+/// Bytes per object (the accessed field is 4 of them).
+pub const OBJECT_BYTES: u64 = 32;
+/// Elements per thread block.
+pub const ELEMS_PER_BLOCK: u64 = 256;
+/// Compute instructions per warp iteration of the kernel body.
+pub const COMPUTE_PER_ITER: u32 = 12;
+
+/// The array the benchmark updates.
+pub fn array() -> AosArray {
+    array_with_object_bytes(OBJECT_BYTES)
+}
+
+/// The array with a custom object size (the compaction-sweep knob: a
+/// larger object wastes more of each cache line on the one mapped field).
+pub fn array_with_object_bytes(object_bytes: u64) -> AosArray {
+    AosArray {
+        base: VAddr(0x1000_0000),
+        object_bytes,
+        elems: ELEMS,
+        field_offset: 0,
+        field_bytes: 4,
+    }
+}
+
+/// Builds the Implicit program for one configuration.
+pub fn program(kind: MemConfigKind) -> Program {
+    program_with_object_bytes(kind, OBJECT_BYTES)
+}
+
+/// Builds Implicit with a custom object size.
+pub fn program_with_object_bytes(kind: MemConfigKind, object_bytes: u64) -> Program {
+    let builder = WorkloadBuilder::new(kind);
+    let a = array_with_object_bytes(object_bytes);
+    let blocks: Vec<Vec<TileTask>> = (0..ELEMS / ELEMS_PER_BLOCK)
+        .map(|b| {
+            vec![TileTask::dense(
+                a.tile(b * ELEMS_PER_BLOCK, ELEMS_PER_BLOCK),
+                Placement::Local,
+                COMPUTE_PER_ITER,
+            )]
+        })
+        .collect();
+    Program {
+        phases: vec![
+            Phase::Gpu(kernel_from_blocks(&builder, blocks)),
+            Phase::Cpu(cpu_sweep(&a, 15, false)),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_element_exactly_once() {
+        let p = program(MemConfigKind::Stash);
+        let Phase::Gpu(kernel) = &p.phases[0] else {
+            panic!("first phase is the kernel");
+        };
+        assert_eq!(kernel.blocks.len() as u64, ELEMS / ELEMS_PER_BLOCK);
+        let mapped: u64 = kernel
+            .blocks
+            .iter()
+            .flat_map(|b| b.maps())
+            .map(|m| m.tile.total_elements())
+            .sum();
+        assert_eq!(mapped, ELEMS);
+    }
+
+    #[test]
+    fn scratch_variant_issues_more_instructions() {
+        let scratch = program(MemConfigKind::Scratch).gpu_instruction_count();
+        let stash = program(MemConfigKind::Stash).gpu_instruction_count();
+        // §6.2: "Stash executes 40% fewer instructions than Scratch".
+        let pct = stash * 100 / scratch;
+        assert!((50..=70).contains(&pct), "stash/scratch instructions = {pct}%");
+    }
+
+    #[test]
+    fn has_cpu_epilogue() {
+        let p = program(MemConfigKind::Cache);
+        assert!(matches!(p.phases.last(), Some(Phase::Cpu(_))));
+    }
+}

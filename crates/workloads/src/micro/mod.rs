@@ -1,0 +1,21 @@
+//! The four microbenchmarks of §5.4.1.
+//!
+//! Each emphasizes one stash benefit from Table 1:
+//!
+//! | Microbenchmark | Stash feature exercised |
+//! |---|---|
+//! | [`implicit`]  | implicit loads and lazy writebacks (no copy code) |
+//! | [`pollution`] | local fills that bypass (don't pollute) the L1 |
+//! | [`ondemand`]  | on-demand, data-dependent loads into the structure |
+//! | [`reuse`]     | compact storage + cross-kernel reuse via global visibility |
+//!
+//! All four use an array-of-structs whose accessed fields the GPU kernel
+//! updates and the CPUs subsequently read (1 GPU CU, 15 CPU cores).
+
+pub mod implicit;
+pub mod ondemand;
+pub mod pollution;
+pub mod reuse;
+
+/// The microbenchmark names in Figure 5 order.
+pub const ALL: [&str; 4] = [implicit::NAME, pollution::NAME, ondemand::NAME, reuse::NAME];

@@ -1,0 +1,180 @@
+//! **On-demand**: data-dependent loads into the local structure.
+//!
+//! The kernel reads and writes only one element out of every 32, based on
+//! a runtime condition. Scratchpad configurations (including DMA) must
+//! conservatively move the *entire* mapped array in and out; the cache and
+//! the stash generate memory requests only for the elements actually
+//! touched.
+
+use crate::builder::{
+    cpu_sweep_indices, kernel_from_blocks, AosArray, Placement, TileTask, WorkloadBuilder,
+};
+use gpu::config::MemConfigKind;
+use gpu::program::{Phase, Program};
+use mem::addr::VAddr;
+use sim::rng::SplitMix64;
+
+/// Registry name.
+pub const NAME: &str = "ondemand";
+
+/// Elements in the array.
+pub const ELEMS: u64 = 4096;
+/// Bytes per object.
+pub const OBJECT_BYTES: u64 = 32;
+/// Elements per thread block.
+pub const ELEMS_PER_BLOCK: u64 = 256;
+/// One element out of this many is selected by the runtime condition.
+pub const SELECT_ONE_OF: u64 = 32;
+/// Compute instructions per warp iteration (the condition evaluation).
+pub const COMPUTE_PER_ITER: u32 = 4;
+/// Seed for the (deterministic) runtime condition.
+pub const SEED: u64 = 0x0DDE_0815;
+
+/// The array the benchmark sparsely updates.
+pub fn array() -> AosArray {
+    AosArray {
+        base: VAddr(0x1000_0000),
+        object_bytes: OBJECT_BYTES,
+        elems: ELEMS,
+        field_offset: 0,
+        field_bytes: 4,
+    }
+}
+
+/// The dense key array the runtime condition is evaluated over (every
+/// element's key is read in every configuration).
+pub fn keys() -> AosArray {
+    AosArray {
+        base: VAddr(0x3000_0000),
+        object_bytes: 4,
+        elems: ELEMS,
+        field_offset: 0,
+        field_bytes: 4,
+    }
+}
+
+/// The selected element indices (one per 32-element group, uniformly
+/// drawn with the fixed seed — identical across configurations).
+pub fn selected_elements() -> Vec<u64> {
+    selected_elements_with(SELECT_ONE_OF)
+}
+
+/// Selection with a custom sparsity (one element per `select_one_of`).
+pub fn selected_elements_with(select_one_of: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(SEED);
+    (0..ELEMS / select_one_of)
+        .map(|g| g * select_one_of + rng.next_below(select_one_of))
+        .collect()
+}
+
+/// Builds the On-demand program for one configuration.
+pub fn program(kind: MemConfigKind) -> Program {
+    program_with_selectivity(kind, SELECT_ONE_OF)
+}
+
+/// Builds On-demand with a custom selection sparsity — the knob that
+/// moves the stash/DMA crossover (dense selections amortize the DMA's
+/// bulk transfer; sparse ones waste it).
+pub fn program_with_selectivity(kind: MemConfigKind, select_one_of: u64) -> Program {
+    let builder = WorkloadBuilder::new(kind);
+    let a = array();
+    let selected = selected_elements_with(select_one_of);
+    let blocks: Vec<Vec<TileTask>> = (0..ELEMS / ELEMS_PER_BLOCK)
+        .map(|bidx| {
+            let start = bidx * ELEMS_PER_BLOCK;
+            let local_sel: Vec<u64> = selected
+                .iter()
+                .filter(|&&e| (start..start + ELEMS_PER_BLOCK).contains(&e))
+                .map(|&e| e - start) // field is one word: word idx == elem idx
+                .collect();
+            vec![
+                // Evaluate the condition: a dense read of every key.
+                TileTask {
+                    writes: false,
+                    ..TileTask::dense(
+                        keys().tile(start, ELEMS_PER_BLOCK),
+                        Placement::Global,
+                        COMPUTE_PER_ITER,
+                    )
+                },
+                // Touch only the selected payload elements.
+                TileTask {
+                    selected_words: Some(local_sel),
+                    compute_per_iter: 1,
+                    ..TileTask::dense(a.tile(start, ELEMS_PER_BLOCK), Placement::Local, 1)
+                },
+            ]
+        })
+        .collect();
+    Program {
+        phases: vec![
+            Phase::Gpu(kernel_from_blocks(&builder, blocks)),
+            Phase::Cpu(cpu_sweep_indices(&a, &selected, 15, false)),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu::program::WarpOp;
+
+    #[test]
+    fn selection_is_sparse_and_deterministic() {
+        let s1 = selected_elements();
+        let s2 = selected_elements();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len() as u64, ELEMS / SELECT_ONE_OF);
+        // One selection per group, within the group.
+        for (g, &e) in s1.iter().enumerate() {
+            let g = g as u64;
+            assert!((g * SELECT_ONE_OF..(g + 1) * SELECT_ONE_OF).contains(&e));
+        }
+    }
+
+    fn words_touched(kind: MemConfigKind, global: bool) -> usize {
+        let p = program(kind);
+        let Phase::Gpu(kernel) = &p.phases[0] else {
+            panic!("first phase is the kernel")
+        };
+        kernel
+            .blocks
+            .iter()
+            .flat_map(|b| b.stages.iter().flat_map(|s| s.warps.iter().flatten()))
+            .filter_map(|op| match op {
+                WarpOp::GlobalMem { lanes, .. } if global => Some(lanes.len()),
+                WarpOp::LocalMem { lanes, .. } if !global => Some(lanes.len()),
+                _ => None,
+            })
+            .sum()
+    }
+
+    #[test]
+    fn stash_touches_only_selected_words() {
+        // read + write per selected element.
+        assert_eq!(
+            words_touched(MemConfigKind::Stash, false) as u64,
+            2 * (ELEMS / SELECT_ONE_OF)
+        );
+    }
+
+    #[test]
+    fn scratch_copies_everything() {
+        // Copy-in + copy-out move every payload element through global
+        // loads and stores regardless of selection; the dense key reads
+        // add one global read per element.
+        assert_eq!(
+            words_touched(MemConfigKind::Scratch, true) as u64,
+            2 * ELEMS + ELEMS
+        );
+    }
+
+    #[test]
+    fn cache_touches_only_selected_globals() {
+        // Key reads are dense; payload accesses cover only the selection.
+        assert_eq!(
+            words_touched(MemConfigKind::Cache, true) as u64,
+            ELEMS + 2 * (ELEMS / SELECT_ONE_OF)
+        );
+    }
+}

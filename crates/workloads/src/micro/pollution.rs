@@ -1,0 +1,131 @@
+//! **Pollution**: local fills that bypass the L1.
+//!
+//! The kernel reads and writes one field in two AoS arrays. `A` is staged
+//! in local memory and sized to stream (no reuse); `B` stays in the cache
+//! and is accessed twice. In the Scratch configuration, `A`'s explicit
+//! copies travel through the L1 and evict `B` between its two passes; the
+//! stash (and the DMA engine) move `A` directly between the LLC and local
+//! memory, so `B`'s second pass still hits.
+
+use crate::builder::{cpu_sweep, kernel_from_blocks, AosArray, Placement, TileTask, WorkloadBuilder};
+use gpu::config::MemConfigKind;
+use gpu::program::{Phase, Program};
+use mem::addr::VAddr;
+
+/// Registry name.
+pub const NAME: &str = "pollution";
+
+/// Elements of the streamed array `A`.
+pub const A_ELEMS: u64 = 8192;
+/// Elements of the cached array `B`.
+pub const B_ELEMS: u64 = 2048;
+/// Bytes per object in both arrays.
+pub const OBJECT_BYTES: u64 = 16;
+/// Thread blocks (each takes an `A` slice and a `B` slice).
+pub const BLOCKS: u64 = 4;
+/// Compute instructions per warp iteration.
+pub const COMPUTE_PER_ITER: u32 = 4;
+
+/// The streamed array `A` (mapped to local memory).
+pub fn array_a() -> AosArray {
+    AosArray {
+        base: VAddr(0x1000_0000),
+        object_bytes: OBJECT_BYTES,
+        elems: A_ELEMS,
+        field_offset: 0,
+        field_bytes: 4,
+    }
+}
+
+/// The cached array `B`.
+pub fn array_b() -> AosArray {
+    AosArray {
+        base: VAddr(0x2000_0000),
+        object_bytes: OBJECT_BYTES,
+        elems: B_ELEMS,
+        field_offset: 0,
+        field_bytes: 4,
+    }
+}
+
+/// Builds the Pollution program for one configuration.
+pub fn program(kind: MemConfigKind) -> Program {
+    let builder = WorkloadBuilder::new(kind);
+    let a = array_a();
+    let b = array_b();
+    let a_per_block = A_ELEMS / BLOCKS;
+    let b_per_block = B_ELEMS / BLOCKS;
+    let blocks: Vec<Vec<TileTask>> = (0..BLOCKS)
+        .map(|i| {
+            let b_tile = b.tile(i * b_per_block, b_per_block);
+            vec![
+                // First pass over B (through the cache).
+                TileTask {
+                    share: Some(1),
+                    ..TileTask::dense(b_tile, Placement::Global, COMPUTE_PER_ITER)
+                },
+                // Stream A through local memory (pollutes the L1 only when
+                // the copies are explicit).
+                TileTask::dense(
+                    a.tile(i * a_per_block, a_per_block),
+                    Placement::Local,
+                    COMPUTE_PER_ITER,
+                ),
+                // Second pass over B: hits only if A did not pollute.
+                TileTask {
+                    share: Some(1),
+                    ..TileTask::dense(b_tile, Placement::Global, COMPUTE_PER_ITER)
+                },
+            ]
+        })
+        .collect();
+    Program {
+        phases: vec![
+            Phase::Gpu(kernel_from_blocks(&builder, blocks)),
+            Phase::Cpu(cpu_sweep(&a, 15, false)),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn a_slice_fits_local_memory() {
+        // Each block's A slice must fit the 16 KB stash compactly.
+        assert!(A_ELEMS / BLOCKS * 4 <= 16 * 1024);
+        // …while its L1 footprint exceeds the 32 KB cache (the pollution).
+        assert!(A_ELEMS / BLOCKS * OBJECT_BYTES >= 32 * 1024);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn b_fits_the_cache_without_pollution() {
+        assert!(B_ELEMS * OBJECT_BYTES <= 32 * 1024);
+    }
+
+    #[test]
+    fn blocks_interleave_b_a_b() {
+        let p = program(MemConfigKind::Scratch);
+        let Phase::Gpu(kernel) = &p.phases[0] else {
+            panic!("first phase is the kernel")
+        };
+        assert_eq!(kernel.blocks.len() as u64, BLOCKS);
+        // In the Scratch lowering only A is local.
+        let tb = &kernel.blocks[0];
+        assert_eq!(tb.allocs.len(), 1);
+    }
+
+    #[test]
+    fn g_variants_also_stage_b() {
+        let p = program(MemConfigKind::StashG);
+        let Phase::Gpu(kernel) = &p.phases[0] else {
+            panic!("first phase is the kernel")
+        };
+        // StashG maps A and both B passes; B's two passes share one slot.
+        assert_eq!(kernel.blocks[0].maps().count(), 3);
+        assert_eq!(kernel.blocks[0].allocs.len(), 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! **Reuse**: compact storage plus cross-kernel reuse.
+//!
+//! The same kernel runs repeatedly over the same field array. The fields
+//! fit in the stash compactly but their cache-line footprint exceeds the
+//! L1, so: the cache reloads the data every kernel (no compaction), the
+//! scratchpad configurations re-copy it every kernel (not globally
+//! visible, flushed at kernel end), and only the stash keeps its
+//! registered data live across kernels through lazy writebacks and the
+//! §4.5 replication/adoption path.
+
+use crate::builder::{cpu_sweep, kernel_from_blocks, AosArray, Placement, TileTask, WorkloadBuilder};
+use gpu::config::MemConfigKind;
+use gpu::program::{Phase, Program};
+use mem::addr::VAddr;
+
+/// Registry name.
+pub const NAME: &str = "reuse";
+
+/// Elements in the array: 2048 × 4 B fields = 8 KB in the stash, but
+/// 2048 × 64 B lines = 128 KB through a cache.
+pub const ELEMS: u64 = 2048;
+/// Bytes per object (one full cache line — no compaction for the cache).
+pub const OBJECT_BYTES: u64 = 64;
+/// Elements per thread block (8 blocks — a single resident wave, so the
+/// whole array stays mapped simultaneously).
+pub const ELEMS_PER_BLOCK: u64 = 256;
+/// Kernel invocations over the same data.
+pub const KERNELS: usize = 8;
+/// Compute instructions per warp iteration.
+pub const COMPUTE_PER_ITER: u32 = 12;
+
+/// The repeatedly-accessed array.
+pub fn array() -> AosArray {
+    AosArray {
+        base: VAddr(0x1000_0000),
+        object_bytes: OBJECT_BYTES,
+        elems: ELEMS,
+        field_offset: 0,
+        field_bytes: 4,
+    }
+}
+
+/// Builds the Reuse program for one configuration.
+pub fn program(kind: MemConfigKind) -> Program {
+    program_with_kernels(kind, KERNELS)
+}
+
+/// Builds Reuse with a custom kernel count — the knob that shows how the
+/// stash's one-time fetch amortizes while every other configuration's
+/// cost scales linearly.
+pub fn program_with_kernels(kind: MemConfigKind, kernels: usize) -> Program {
+    let builder = WorkloadBuilder::new(kind);
+    let a = array();
+    let mut phases = Vec::with_capacity(kernels + 1);
+    for _ in 0..kernels {
+        let blocks: Vec<Vec<TileTask>> = (0..ELEMS / ELEMS_PER_BLOCK)
+            .map(|b| {
+                vec![TileTask::dense(
+                    a.tile(b * ELEMS_PER_BLOCK, ELEMS_PER_BLOCK),
+                    Placement::Local,
+                    COMPUTE_PER_ITER,
+                )]
+            })
+            .collect();
+        phases.push(Phase::Gpu(kernel_from_blocks(&builder, blocks)));
+    }
+    phases.push(Phase::Cpu(cpu_sweep(&a, 15, false)));
+    Program { phases }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn geometry_enables_stash_but_not_cache_reuse() {
+        // Fields fit the 16 KB stash in one resident wave…
+        assert!(ELEMS * 4 <= 16 * 1024);
+        assert!(ELEMS / ELEMS_PER_BLOCK <= 8);
+        // …but the line footprint exceeds the 32 KB L1.
+        assert!(ELEMS * OBJECT_BYTES > 32 * 1024);
+    }
+
+    #[test]
+    fn every_kernel_maps_the_same_tiles() {
+        let p = program(MemConfigKind::Stash);
+        assert_eq!(p.kernel_count(), KERNELS);
+        let kernels: Vec<_> = p
+            .phases
+            .iter()
+            .filter_map(|ph| match ph {
+                Phase::Gpu(k) => Some(k),
+                _ => None,
+            })
+            .collect();
+        for k in &kernels[1..] {
+            assert_eq!(
+                k.blocks[0].maps().collect::<Vec<_>>(),
+                kernels[0].blocks[0].maps().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_copies_scale_with_kernel_count() {
+        let one: u64 = {
+            let p = program(MemConfigKind::Scratch);
+            p.gpu_instruction_count() / KERNELS as u64
+        };
+        let stash = program(MemConfigKind::Stash).gpu_instruction_count() / KERNELS as u64;
+        assert!(stash < one, "stash must issue fewer instructions per kernel");
+    }
+}

@@ -1,0 +1,175 @@
+//! The workload registry the bench harness iterates.
+
+use crate::{apps, micro};
+use gpu::config::MemConfigKind;
+use gpu::program::Program;
+use sim::config::SystemConfig;
+
+/// Which machine a workload runs on (§5.4: microbenchmarks use 1 CU +
+/// 15 CPU cores; applications use 15 CUs + 1 CPU core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadSet {
+    /// The four Figure 5 microbenchmarks.
+    Micro,
+    /// The seven Figure 6 applications.
+    Apps,
+}
+
+impl WorkloadSet {
+    /// The system configuration this set runs on.
+    pub fn system_config(self) -> SystemConfig {
+        match self {
+            WorkloadSet::Micro => SystemConfig::for_microbenchmarks(),
+            WorkloadSet::Apps => SystemConfig::for_applications(),
+        }
+    }
+
+    /// The workload names in figure order.
+    pub fn names(self) -> &'static [&'static str] {
+        match self {
+            WorkloadSet::Micro => &micro::ALL,
+            WorkloadSet::Apps => &apps::ALL,
+        }
+    }
+}
+
+/// A named workload: a program factory over memory configurations.
+#[derive(Clone, Copy)]
+pub struct Workload {
+    /// Registry name (lowercase).
+    pub name: &'static str,
+    /// Which set (and machine) it belongs to.
+    pub set: WorkloadSet,
+    /// Builds the program for one configuration.
+    pub build: fn(MemConfigKind) -> Program,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("set", &self.set)
+            .finish()
+    }
+}
+
+/// All workloads, microbenchmarks first, in figure order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: micro::implicit::NAME,
+            set: WorkloadSet::Micro,
+            build: micro::implicit::program,
+        },
+        Workload {
+            name: micro::pollution::NAME,
+            set: WorkloadSet::Micro,
+            build: micro::pollution::program,
+        },
+        Workload {
+            name: micro::ondemand::NAME,
+            set: WorkloadSet::Micro,
+            build: micro::ondemand::program,
+        },
+        Workload {
+            name: micro::reuse::NAME,
+            set: WorkloadSet::Micro,
+            build: micro::reuse::program,
+        },
+        Workload {
+            name: apps::lud::NAME,
+            set: WorkloadSet::Apps,
+            build: apps::lud::program,
+        },
+        Workload {
+            name: apps::surf::NAME,
+            set: WorkloadSet::Apps,
+            build: apps::surf::program,
+        },
+        Workload {
+            name: apps::backprop::NAME,
+            set: WorkloadSet::Apps,
+            build: apps::backprop::program,
+        },
+        Workload {
+            name: apps::nw::NAME,
+            set: WorkloadSet::Apps,
+            build: apps::nw::program,
+        },
+        Workload {
+            name: apps::pathfinder::NAME,
+            set: WorkloadSet::Apps,
+            build: apps::pathfinder::program,
+        },
+        Workload {
+            name: apps::sgemm::NAME,
+            set: WorkloadSet::Apps,
+            build: apps::sgemm::program,
+        },
+        Workload {
+            name: apps::stencil::NAME,
+            set: WorkloadSet::Apps,
+            build: apps::stencil::program,
+        },
+    ]
+}
+
+/// Finds a workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// The microbenchmarks in Figure 5 order.
+pub fn micros() -> Vec<Workload> {
+    all()
+        .into_iter()
+        .filter(|w| w.set == WorkloadSet::Micro)
+        .collect()
+}
+
+/// The applications in Figure 6 order.
+pub fn applications() -> Vec<Workload> {
+    all()
+        .into_iter()
+        .filter(|w| w.set == WorkloadSet::Apps)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete() {
+        assert_eq!(micros().len(), 4);
+        assert_eq!(applications().len(), 7);
+        assert_eq!(all().len(), 11);
+    }
+
+    #[test]
+    fn names_are_unique_and_findable() {
+        let names: Vec<_> = all().iter().map(|w| w.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        for n in names {
+            assert!(by_name(n).is_some());
+        }
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn every_workload_builds_for_every_configuration() {
+        for w in all() {
+            for kind in MemConfigKind::ALL {
+                let p = (w.build)(kind);
+                assert!(
+                    p.gpu_instruction_count() > 0,
+                    "{} on {kind} is empty",
+                    w.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Trace-driven workloads: describe a workload in a small text format and
+//! lower it to any memory configuration — the front door for running your
+//! own access patterns without writing Rust.
+//!
+//! # Format
+//!
+//! Line-oriented; `#` starts a comment. Directives:
+//!
+//! ```text
+//! machine micro|apps              # which Table 2 machine (default micro)
+//! array <name> elems=<n> object=<bytes> [field_off=<b>] [field=<b>]
+//! kernel                          # starts a new kernel
+//! block                           # starts a new thread block
+//! task <array> <start> <count> <r|w|rw> <local|global|temp>
+//!      [passes=<n>] [compute=<n>] [share=<k>] [rows=<n> stride=<elems>]
+//! cpu_sweep <array> [cores=<n>] [write]
+//! ```
+//!
+//! A `task` is one [`TileTask`]: this block reads/writes `count` elements
+//! of `<array>` starting at `<start>` (2-D if `rows`/`stride` given),
+//! staged per the placement. Arrays are laid out at non-overlapping
+//! virtual bases automatically.
+//!
+//! # Example
+//!
+//! ```
+//! use gpu::config::MemConfigKind;
+//! use workloads::trace::parse_trace;
+//!
+//! let tw = parse_trace(
+//!     "array a elems=1024 object=16
+//!      kernel
+//!      block
+//!      task a 0 256 rw local compute=4",
+//! ).unwrap();
+//! let program = tw.build(MemConfigKind::Stash);
+//! assert_eq!(program.kernel_count(), 1);
+//! ```
+
+use crate::builder::{cpu_sweep, kernel_from_blocks, AosArray, Placement, TileTask, WorkloadBuilder};
+use crate::suite::WorkloadSet;
+use gpu::config::MemConfigKind;
+use gpu::program::{Phase, Program};
+use mem::addr::VAddr;
+use std::collections::HashMap;
+
+/// A parsed trace: a configuration-independent workload description.
+#[derive(Debug, Clone)]
+pub struct TraceWorkload {
+    set: WorkloadSet,
+    arrays: HashMap<String, AosArray>,
+    phases: Vec<TracePhase>,
+}
+
+#[derive(Debug, Clone)]
+enum TracePhase {
+    Kernel(Vec<Vec<TraceTask>>),
+    CpuSweep {
+        array: String,
+        cores: usize,
+        write: bool,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct TraceTask {
+    array: String,
+    start: u64,
+    count: u64,
+    reads: bool,
+    writes: bool,
+    placement: Placement,
+    passes: u32,
+    compute: u32,
+    share: Option<u32>,
+    rows: Option<(u64, u64)>, // (rows, stride_elems)
+}
+
+impl TraceWorkload {
+    /// Which machine the trace runs on.
+    pub fn set(&self) -> WorkloadSet {
+        self.set
+    }
+
+    /// The declared arrays, by name.
+    pub fn array(&self, name: &str) -> Option<&AosArray> {
+        self.arrays.get(name)
+    }
+
+    /// Lowers the trace for one memory configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task exceeds its array's bounds (the parser validates
+    /// names and syntax; geometry is checked at lowering time by the
+    /// tile constructors).
+    pub fn build(&self, kind: MemConfigKind) -> Program {
+        let builder = WorkloadBuilder::new(kind);
+        let mut phases = Vec::with_capacity(self.phases.len());
+        for phase in &self.phases {
+            match phase {
+                TracePhase::Kernel(blocks) => {
+                    let lowered: Vec<Vec<TileTask>> = blocks
+                        .iter()
+                        .map(|tasks| tasks.iter().map(|t| self.lower(t)).collect())
+                        .collect();
+                    phases.push(Phase::Gpu(kernel_from_blocks(&builder, lowered)));
+                }
+                TracePhase::CpuSweep { array, cores, write } => {
+                    let a = self.arrays.get(array).expect("validated by parser");
+                    phases.push(Phase::Cpu(cpu_sweep(a, *cores, *write)));
+                }
+            }
+        }
+        Program { phases }
+    }
+
+    fn lower(&self, t: &TraceTask) -> TileTask {
+        let a = self.arrays.get(&t.array).expect("validated by parser");
+        let tile = match t.rows {
+            Some((rows, stride)) => a.tile_2d(t.start, t.count, rows, stride),
+            None => a.tile(t.start, t.count),
+        };
+        TileTask {
+            reads: t.reads,
+            writes: t.writes,
+            passes: t.passes,
+            compute_per_iter: t.compute,
+            share: t.share,
+            ..TileTask::dense(tile, t.placement, t.compute)
+        }
+    }
+}
+
+fn parse_kv(token: &str) -> Option<(&str, &str)> {
+    token.split_once('=')
+}
+
+fn parse_num(s: &str, what: &str, line_no: usize) -> Result<u64, String> {
+    let s = s.trim();
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| format!("line {line_no}: invalid {what} `{s}`"))
+}
+
+/// Parses the trace format.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for syntax errors, unknown
+/// directives or arrays, tasks outside any `kernel`/`block`, or invalid
+/// geometry.
+pub fn parse_trace(text: &str) -> Result<TraceWorkload, String> {
+    let mut set = WorkloadSet::Micro;
+    let mut arrays: HashMap<String, AosArray> = HashMap::new();
+    let mut next_base: u64 = 0x1000_0000;
+    let mut phases: Vec<TracePhase> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let directive = tokens.next().expect("nonempty line");
+        let rest: Vec<&str> = tokens.collect();
+        match directive {
+            "machine" => {
+                set = match rest.first().copied() {
+                    Some("micro") => WorkloadSet::Micro,
+                    Some("apps") => WorkloadSet::Apps,
+                    other => {
+                        return Err(format!(
+                            "line {line_no}: machine must be micro|apps, got {other:?}"
+                        ))
+                    }
+                };
+            }
+            "array" => {
+                let name = rest
+                    .first()
+                    .ok_or_else(|| format!("line {line_no}: array needs a name"))?
+                    .to_string();
+                let mut elems = None;
+                let mut object = 4u64;
+                let mut field_off = 0u64;
+                let mut field = 4u64;
+                for tok in &rest[1..] {
+                    let (k, v) = parse_kv(tok)
+                        .ok_or_else(|| format!("line {line_no}: expected key=value, got `{tok}`"))?;
+                    let v = parse_num(v, k, line_no)?;
+                    match k {
+                        "elems" => elems = Some(v),
+                        "object" => object = v,
+                        "field_off" => field_off = v,
+                        "field" => field = v,
+                        other => return Err(format!("line {line_no}: unknown array key `{other}`")),
+                    }
+                }
+                let elems =
+                    elems.ok_or_else(|| format!("line {line_no}: array needs elems=<n>"))?;
+                let a = AosArray {
+                    base: VAddr(next_base),
+                    object_bytes: object,
+                    elems,
+                    field_offset: field_off,
+                    field_bytes: field,
+                };
+                // Arrays are placed on disjoint 256 MB-aligned regions.
+                next_base += a.footprint_bytes().next_multiple_of(0x1000_0000);
+                if arrays.insert(name.clone(), a).is_some() {
+                    return Err(format!("line {line_no}: array `{name}` redeclared"));
+                }
+            }
+            "kernel" => phases.push(TracePhase::Kernel(Vec::new())),
+            "block" => match phases.last_mut() {
+                Some(TracePhase::Kernel(blocks)) => blocks.push(Vec::new()),
+                _ => return Err(format!("line {line_no}: block outside a kernel")),
+            },
+            "task" => {
+                let [array, start, count, mode, placement, opts @ ..] = rest.as_slice() else {
+                    return Err(format!(
+                        "line {line_no}: task <array> <start> <count> <r|w|rw> <local|global|temp> [opts]"
+                    ));
+                };
+                if !arrays.contains_key(*array) {
+                    return Err(format!("line {line_no}: unknown array `{array}`"));
+                }
+                let (reads, writes) = match *mode {
+                    "r" => (true, false),
+                    "w" => (false, true),
+                    "rw" => (true, true),
+                    other => return Err(format!("line {line_no}: mode must be r|w|rw, got `{other}`")),
+                };
+                let placement = match *placement {
+                    "local" => Placement::Local,
+                    "global" => Placement::Global,
+                    "temp" => Placement::Temporary,
+                    other => {
+                        return Err(format!(
+                            "line {line_no}: placement must be local|global|temp, got `{other}`"
+                        ))
+                    }
+                };
+                let mut task = TraceTask {
+                    array: array.to_string(),
+                    start: parse_num(start, "start", line_no)?,
+                    count: parse_num(count, "count", line_no)?,
+                    reads,
+                    writes,
+                    placement,
+                    passes: 1,
+                    compute: 2,
+                    share: None,
+                    rows: None,
+                };
+                let mut rows = None;
+                let mut stride = None;
+                for tok in opts {
+                    let (k, v) = parse_kv(tok)
+                        .ok_or_else(|| format!("line {line_no}: expected key=value, got `{tok}`"))?;
+                    let v = parse_num(v, k, line_no)?;
+                    match k {
+                        "passes" => task.passes = v as u32,
+                        "compute" => task.compute = v as u32,
+                        "share" => task.share = Some(v as u32),
+                        "rows" => rows = Some(v),
+                        "stride" => stride = Some(v),
+                        other => return Err(format!("line {line_no}: unknown task key `{other}`")),
+                    }
+                }
+                match (rows, stride) {
+                    (Some(r), Some(s)) => task.rows = Some((r, s)),
+                    (None, None) => {}
+                    _ => {
+                        return Err(format!(
+                            "line {line_no}: rows= and stride= must be given together"
+                        ))
+                    }
+                }
+                match phases.last_mut() {
+                    Some(TracePhase::Kernel(blocks)) if !blocks.is_empty() => {
+                        blocks.last_mut().expect("nonempty").push(task);
+                    }
+                    _ => return Err(format!("line {line_no}: task outside a block")),
+                }
+            }
+            "cpu_sweep" => {
+                let array = rest
+                    .first()
+                    .ok_or_else(|| format!("line {line_no}: cpu_sweep needs an array"))?
+                    .to_string();
+                if !arrays.contains_key(&array) {
+                    return Err(format!("line {line_no}: unknown array `{array}`"));
+                }
+                let mut cores = 15usize;
+                let mut write = false;
+                for tok in &rest[1..] {
+                    if *tok == "write" {
+                        write = true;
+                    } else if let Some(("cores", v)) = parse_kv(tok) {
+                        cores = parse_num(v, "cores", line_no)? as usize;
+                    } else {
+                        return Err(format!("line {line_no}: unknown cpu_sweep option `{tok}`"));
+                    }
+                }
+                phases.push(TracePhase::CpuSweep { array, cores, write });
+            }
+            other => return Err(format!("line {line_no}: unknown directive `{other}`")),
+        }
+    }
+    Ok(TraceWorkload { set, arrays, phases })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu::machine::Machine;
+
+    const EXAMPLE: &str = "
+        # two kernels over one array, then the CPUs read it back
+        machine micro
+        array data elems=1024 object=32 field=4
+        kernel
+        block
+        task data 0 256 rw local passes=1 compute=4
+        block
+        task data 256 256 rw local
+        kernel
+        block
+        task data 0 256 rw local
+        cpu_sweep data cores=15
+    ";
+
+    #[test]
+    fn parses_and_builds_for_every_configuration() {
+        let tw = parse_trace(EXAMPLE).unwrap();
+        assert_eq!(tw.set(), WorkloadSet::Micro);
+        assert_eq!(tw.array("data").unwrap().elems, 1024);
+        for kind in MemConfigKind::ALL {
+            let program = tw.build(kind);
+            assert_eq!(program.kernel_count(), 2);
+            let mut machine = Machine::new(tw.set().system_config(), kind);
+            let report = machine.run(&program).unwrap();
+            assert!(report.total_picos > 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn trace_reproduces_cross_kernel_reuse() {
+        let tw = parse_trace(EXAMPLE).unwrap();
+        let mut machine = Machine::new(tw.set().system_config(), MemConfigKind::Stash);
+        let report = machine.run(&tw.build(MemConfigKind::Stash)).unwrap();
+        // Kernel 2 remaps block 0's tile: adoption fires.
+        assert!(report.counters.get("stash.addmap_replicated") > 0);
+    }
+
+    #[test]
+    fn two_d_tasks_need_both_rows_and_stride() {
+        let t = "array m elems=4096 object=4\nkernel\nblock\ntask m 0 16 r local rows=16 stride=64";
+        assert!(parse_trace(t).is_ok());
+        let t = "array m elems=4096 object=4\nkernel\nblock\ntask m 0 16 r local rows=16";
+        assert!(parse_trace(t).unwrap_err().contains("together"));
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let err = parse_trace("array a elems=16\nkernel\ntask a 0 8 rw local").unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+        assert!(err.contains("outside a block"), "{err}");
+
+        let err = parse_trace("task x 0 8 rw local").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+
+        let err = parse_trace("array a elems=16\nkernel\nblock\ntask b 0 8 rw local").unwrap_err();
+        assert!(err.contains("unknown array"), "{err}");
+
+        let err = parse_trace("bogus").unwrap_err();
+        assert!(err.contains("unknown directive"), "{err}");
+    }
+
+    #[test]
+    fn arrays_get_disjoint_bases() {
+        let tw = parse_trace(
+            "array a elems=1000 object=64\narray b elems=1000 object=64",
+        )
+        .unwrap();
+        let a = tw.array("a").unwrap();
+        let b = tw.array("b").unwrap();
+        assert!(b.base.0 >= a.base.0 + a.footprint_bytes() || a.base.0 >= b.base.0 + b.footprint_bytes());
+    }
+
+    #[test]
+    fn comments_and_hex_are_accepted() {
+        let tw = parse_trace(
+            "# header\narray a elems=0x100 object=16 # trailing\nkernel\nblock\ntask a 0 0x40 r local",
+        )
+        .unwrap();
+        assert_eq!(tw.array("a").unwrap().elems, 256);
+    }
+}

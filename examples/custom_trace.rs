@@ -1,0 +1,66 @@
+//! Describe a workload in the plain-text trace format and compare the
+//! memory configurations on it — no simulator code required.
+//!
+//! ```text
+//! cargo run --release --example custom_trace
+//! ```
+
+use stash_repro::gpu::config::MemConfigKind;
+use stash_repro::gpu::machine::Machine;
+use stash_repro::workloads::trace::parse_trace;
+
+/// A histogram-style workload: every block updates a private slice of a
+/// large AoS array (staged locally), reads a shared lookup table
+/// (global), and a second kernel re-reads the slices — cross-kernel
+/// reuse that only the stash retains.
+const TRACE: &str = "
+machine micro
+array samples elems=8192 object=32 field=4
+array lut     elems=512  object=4
+
+kernel
+block
+task lut     0    512 r  global compute=2
+task samples 0    2048 rw local  compute=6
+block
+task lut     0    512 r  global compute=2
+task samples 2048 2048 rw local  compute=6
+
+kernel
+block
+task samples 0    2048 rw local  compute=6
+block
+task samples 2048 2048 rw local  compute=6
+
+cpu_sweep samples cores=15
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = parse_trace(TRACE).map_err(std::io::Error::other)?;
+    println!("custom trace: 2 kernels, {} element samples + LUT\n", 8192);
+    println!(
+        "{:<10}{:>12}{:>16}{:>10}{:>14}",
+        "config", "time (us)", "energy (pJ)", "instrs", "dram fetches"
+    );
+    for kind in [
+        MemConfigKind::Scratch,
+        MemConfigKind::ScratchGD,
+        MemConfigKind::Cache,
+        MemConfigKind::Stash,
+        MemConfigKind::StashG,
+    ] {
+        let mut machine = Machine::new(workload.set().system_config(), kind);
+        let report = machine.run(&workload.build(kind))?;
+        println!(
+            "{:<10}{:>12}{:>16}{:>10}{:>14}",
+            kind.name(),
+            report.total_picos / 1_000_000,
+            report.total_energy() / 1000,
+            report.gpu_instructions,
+            report.counters.get("dram.line_fetch"),
+        );
+    }
+    println!("\n(edit the TRACE constant — or use `bench --bin run-trace <file>` — to");
+    println!(" explore your own access patterns)");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # stash-repro
+//!
+//! A from-scratch Rust reproduction of *Stash: Have Your Scratchpad and
+//! Cache It Too* (Komuravelli et al., ISCA 2015): the **stash** memory
+//! organization — a directly addressed, compactly stored local memory
+//! that is globally addressable and visible through the coherence
+//! protocol — together with the full simulated machine the paper
+//! evaluates it on.
+//!
+//! This crate is the umbrella: it re-exports the workspace's subsystem
+//! crates so applications can depend on one name.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`sim`]       | cycles, Table 2 configuration, counters, deterministic RNG |
+//! | [`noc`]       | 4×4 mesh network: XY routing, message classes, flit accounting |
+//! | [`mem`]       | addresses, paging/TLB, DeNovo caches, LLC/registry, scratchpad, DMA |
+//! | [`stash`]     | the paper's contribution: stash storage, stash-map, VP-map, AddMap/ChgMap |
+//! | [`gpu`]       | the machine: CU/CPU timing models, memory-system orchestrator |
+//! | [`energy`]    | Table 3 energy constants and the five-component accounting |
+//! | [`workloads`] | the 4 microbenchmarks and 7 applications of §5.4 |
+//!
+//! # Quickstart
+//!
+//! Map one field of an array-of-structs into a stash, run a kernel over
+//! it on two memory configurations, and compare (see
+//! `examples/quickstart.rs` for the full program):
+//!
+//! ```
+//! use stash_repro::gpu::{config::MemConfigKind, machine::Machine};
+//! use stash_repro::sim::config::SystemConfig;
+//! use stash_repro::workloads::suite;
+//!
+//! let workload = suite::by_name("implicit").expect("registered workload");
+//! let mut scratch = Machine::new(SystemConfig::for_microbenchmarks(), MemConfigKind::Scratch);
+//! let mut stash = Machine::new(SystemConfig::for_microbenchmarks(), MemConfigKind::Stash);
+//! let base = scratch.run(&(workload.build)(MemConfigKind::Scratch)).unwrap();
+//! let ours = stash.run(&(workload.build)(MemConfigKind::Stash)).unwrap();
+//! assert!(ours.total_picos < base.total_picos);
+//! assert!(ours.total_energy() < base.total_energy());
+//! ```
+
+pub use energy;
+pub use gpu;
+pub use mem;
+pub use noc;
+pub use sim;
+pub use stash;
+pub use workloads;

@@ -1,0 +1,243 @@
+//! Property-based tests on the core data structures and protocol
+//! invariants, driven by proptest.
+
+use proptest::prelude::*;
+use stash_repro::mem::addr::{PAddr, VAddr};
+use stash_repro::mem::cache::DenovoCache;
+use stash_repro::mem::coherence::WordState;
+use stash_repro::mem::llc::{CoreId, Llc, LlcLoadOutcome, Registration};
+use stash_repro::mem::tile::TileMap;
+use stash_repro::stash::{LoadOutcome, Stash, StashConfig, StoreOutcome, UsageMode};
+
+// ---------------------------------------------------------------------
+// TileMap: translation is a bijection over the mapped words.
+// ---------------------------------------------------------------------
+
+fn tile_strategy() -> impl Strategy<Value = TileMap> {
+    // field words, extra object words, row elems, rows, stride padding.
+    (1u64..4, 0u64..8, 1u64..32, 1u64..8, 0u64..64).prop_map(
+        |(fw, extra, row_elems, rows, pad)| {
+            let field = fw * 4;
+            let object = field + extra * 4;
+            let stride = row_elems * object + pad * 4;
+            TileMap::new(VAddr(0x10_0000), field, object, row_elems, stride, rows)
+                .expect("generated geometry is valid")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn tile_forward_reverse_roundtrip(tile in tile_strategy()) {
+        for off in (0..tile.local_bytes()).step_by(4) {
+            let va = tile.virt_of_local_offset(off);
+            prop_assert_eq!(tile.local_offset_of_virt(va), Some(off));
+        }
+    }
+
+    #[test]
+    fn tile_unmapped_bytes_reverse_to_none(tile in tile_strategy()) {
+        // Bytes of each object beyond the field are not in the stash.
+        if tile.object_bytes() > tile.field_bytes() {
+            let first_unmapped = tile.global_base().add(tile.field_bytes());
+            prop_assert_eq!(tile.local_offset_of_virt(first_unmapped), None);
+        }
+        // Below the base is never mapped.
+        prop_assert_eq!(tile.local_offset_of_virt(VAddr(0x10_0000 - 4)), None);
+    }
+
+    #[test]
+    fn tile_field_addresses_are_disjoint(tile in tile_strategy()) {
+        let mut addrs: Vec<u64> = tile.iter_field_vaddrs().map(|v| v.0).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        prop_assert_eq!(addrs.len() as u64, tile.total_elements());
+    }
+}
+
+// ---------------------------------------------------------------------
+// DenovoCache: registered words are never silently lost.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_never_drops_registered_words(
+        accesses in prop::collection::vec((0u64..64, any::<bool>()), 1..200)
+    ) {
+        // A small cache (4 sets × 2 ways) under random word ops over 64
+        // lines: every store is either still Registered in the cache or
+        // was reported through an eviction.
+        let mut cache = DenovoCache::new(512, 2, 64);
+        let mut live: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut written_back = 0usize;
+        for (line_idx, write) in accesses {
+            let pa = PAddr(line_idx * 64);
+            let out = cache.ensure_line(pa);
+            if let Some(ev) = out.evicted {
+                for w in ev.registered_words {
+                    let addr = ev.line.word_addr(w);
+                    prop_assert!(live.remove(&addr.0), "evicted a word that was not live");
+                    written_back += 1;
+                }
+            }
+            if write {
+                cache.set_word(pa, WordState::Registered);
+                live.insert(pa.0);
+            }
+        }
+        prop_assert_eq!(cache.registered_words().len() + written_back,
+            live.len() + written_back);
+        for addr in live {
+            prop_assert_eq!(cache.word_state(PAddr(addr)), WordState::Registered);
+        }
+    }
+
+    #[test]
+    fn self_invalidation_is_idempotent(
+        states in prop::collection::vec(0u8..3, 16)
+    ) {
+        let mut cache = DenovoCache::new(512, 2, 64);
+        let base = PAddr(0x1000);
+        cache.ensure_line(base);
+        for (i, s) in states.iter().enumerate() {
+            let st = match s { 0 => WordState::Invalid, 1 => WordState::Shared, _ => WordState::Registered };
+            cache.set_word(PAddr(base.0 + i as u64 * 4), st);
+        }
+        cache.self_invalidate();
+        let snapshot: Vec<WordState> =
+            (0..16).map(|i| cache.word_state(PAddr(base.0 + i * 4))).collect();
+        cache.self_invalidate();
+        let again: Vec<WordState> =
+            (0..16).map(|i| cache.word_state(PAddr(base.0 + i * 4))).collect();
+        prop_assert_eq!(snapshot.clone(), again);
+        // And nothing Shared survived.
+        prop_assert!(snapshot.iter().all(|&s| s != WordState::Shared));
+    }
+}
+
+// ---------------------------------------------------------------------
+// LLC registry: exactly one owner per word, writebacks only from owners.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn registry_has_single_owner_semantics(
+        ops in prop::collection::vec((0u64..8, 0usize..16, 0usize..4, any::<bool>()), 1..300)
+    ) {
+        let mut llc = Llc::new(16, 64);
+        let mut owner: std::collections::HashMap<(u64, usize), usize> =
+            std::collections::HashMap::new();
+        for (line_idx, word, core, write) in ops {
+            let line = stash_repro::mem::addr::LineAddr(line_idx * 64);
+            if write {
+                let out = llc.register_word(line, word, Registration::Cache(CoreId(core)));
+                // The displaced owner reported by the LLC matches ours.
+                let expect = owner.get(&(line_idx, word)).copied().filter(|&c| c != core);
+                prop_assert_eq!(out.previous.map(|r| r.core().0), expect);
+                owner.insert((line_idx, word), core);
+            } else {
+                match llc.load_word(line, word) {
+                    LlcLoadOutcome::Forward(r) => {
+                        prop_assert_eq!(Some(&r.core().0), owner.get(&(line_idx, word)));
+                    }
+                    LlcLoadOutcome::Data { .. } => {
+                        prop_assert!(!owner.contains_key(&(line_idx, word)));
+                    }
+                }
+            }
+        }
+        // Writebacks from the true owner clear registration; others don't.
+        for ((line_idx, word), core) in owner {
+            let line = stash_repro::mem::addr::LineAddr(line_idx * 64);
+            prop_assert!(!llc.writeback_word(line, word, CoreId(core + 1)));
+            prop_assert!(llc.writeback_word(line, word, CoreId(core)));
+            let cleared = matches!(llc.load_word(line, word), LlcLoadOutcome::Data { .. });
+            prop_assert!(cleared);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stash: the RTLB guarantee and writeback conservation.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// §4.1.4: remote requests never miss in the RTLB — every word the
+    /// registry believes a stash holds can be reverse-translated and
+    /// found, across arbitrary map/access/kernel sequences.
+    #[test]
+    fn rtlb_never_misses_for_registered_words(
+        rounds in prop::collection::vec(
+            (0u64..8, 1u64..64, prop::collection::vec((0u64..64, any::<bool>()), 0..24)),
+            1..12
+        )
+    ) {
+        let mut stash = Stash::new(StashConfig::default());
+        // Shadow: words we believe are Registered, by physical address.
+        let mut registered: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::new();
+        let page = 4096u64;
+        for (tb, (base_sel, elems, accesses)) in rounds.into_iter().enumerate() {
+            let tile = TileMap::new(
+                VAddr(0x100_0000 + base_sel * 0x10_0000),
+                4, 16, elems, 0, 1,
+            ).unwrap();
+            let Ok(out) = stash.add_map(tb, tile, 0, UsageMode::MappedCoherent) else {
+                // Table limits reached — acceptable terminal state.
+                break;
+            };
+            // Writebacks have architecturally completed: the registry no
+            // longer points at the stash for these words (frames are
+            // identity-mapped at +0x8000_0000 in this test).
+            for wb in &out.writebacks {
+                registered.remove(&(wb.vaddr.0 + 0x8000_0000));
+            }
+            for (word_sel, write) in accesses {
+                let word = (word_sel % elems) as usize;
+                if write {
+                    match stash.store(word, out.index).unwrap() {
+                        StoreOutcome::Hit => {}
+                        StoreOutcome::Miss { vaddr, writebacks, .. } => {
+                            for wb in &writebacks {
+                                registered.remove(&(wb.vaddr.0 + 0x8000_0000));
+                            }
+                            // Simulate the page walk: identity frames.
+                            let pa = PAddr(vaddr.0 + 0x8000_0000);
+                            stash.note_translation(vaddr, pa);
+                            stash.complete_store_fill(word, out.index);
+                            registered.insert(pa.0, word);
+                        }
+                    }
+                } else if let LoadOutcome::Miss { vaddr, writebacks } =
+                    stash.load(word, out.index).unwrap()
+                {
+                    for wb in &writebacks {
+                        registered.remove(&(wb.vaddr.0 + 0x8000_0000));
+                    }
+                    let pa = PAddr(vaddr.0 + 0x8000_0000);
+                    stash.note_translation(vaddr, pa);
+                    stash.complete_load_fill(word);
+                }
+            }
+            stash.end_thread_block(tb);
+            stash.end_kernel();
+            // THE GUARANTEE: every word still registered (per our shadow)
+            // is reachable through the VP-map's reverse translation.
+            for &pa in registered.keys() {
+                let _ = page;
+                prop_assert!(
+                    stash.remote_request(PAddr(pa)).is_some(),
+                    "remote request missed for pa {pa:#x}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Cross-crate integration tests: the full machine driven end-to-end.
+
+use stash_repro::gpu::config::MemConfigKind;
+use stash_repro::gpu::machine::Machine;
+use stash_repro::gpu::program::{
+    AllocId, CpuOp, CpuPhase, Kernel, LocalAlloc, MapReq, Phase, Program, Stage, ThreadBlock,
+    WarpOp,
+};
+use stash_repro::mem::addr::VAddr;
+use stash_repro::mem::tile::TileMap;
+use stash_repro::sim::config::SystemConfig;
+use stash_repro::stash::UsageMode;
+use stash_repro::workloads::suite;
+
+fn stash_rmw_program(elems: u64, cpu_reads: bool) -> Program {
+    let tile = TileMap::new(VAddr(0x1000_0000), 4, 32, elems, 0, 1).unwrap();
+    let mut tb = ThreadBlock::new();
+    tb.allocs.push(LocalAlloc { words: elems });
+    let mut stage = Stage::new(8);
+    stage.maps.push(MapReq {
+        slot: 0,
+        alloc: AllocId(0),
+        tile,
+        mode: UsageMode::MappedCoherent,
+    });
+    for (w, ops) in stage.warps.iter_mut().enumerate() {
+        let lanes: Vec<u32> = (0..32)
+            .map(|l| (w * 32 + l) as u32)
+            .filter(|&x| u64::from(x) < elems)
+            .collect();
+        if lanes.is_empty() {
+            continue;
+        }
+        ops.push(WarpOp::LocalMem {
+            write: false,
+            alloc: AllocId(0),
+            slot: 0,
+            lanes: lanes.clone(),
+        });
+        ops.push(WarpOp::LocalMem {
+            write: true,
+            alloc: AllocId(0),
+            slot: 0,
+            lanes,
+        });
+    }
+    tb.stages.push(stage);
+    let mut phases = vec![Phase::Gpu(Kernel { blocks: vec![tb] })];
+    if cpu_reads {
+        phases.push(Phase::Cpu(CpuPhase {
+            stash_maps: Vec::new(),
+            per_core: (0..4)
+                .map(|c| {
+                    (0..elems)
+                        .filter(|e| e % 4 == c)
+                        .map(|e| CpuOp::Mem {
+                            write: false,
+                            vaddr: VAddr(0x1000_0000 + e * 32),
+                        })
+                        .collect()
+                })
+                .collect(),
+        }));
+    }
+    Program { phases }
+}
+
+#[test]
+fn gpu_writes_reach_cpus_through_coherence() {
+    let mut machine = Machine::new(SystemConfig::for_microbenchmarks(), MemConfigKind::Stash);
+    let report = machine.run(&stash_rmw_program(128, true)).unwrap();
+    // Every CPU read of a GPU-written word was served by forwarding from
+    // the stash — lazy writebacks mean no data had reached the LLC.
+    assert_eq!(report.counters.get("remote.forward"), 128);
+    assert_eq!(report.counters.get("wb.stash_words"), 0);
+    // The registry still records the stash as owner of all 128 words.
+    assert_eq!(
+        machine
+            .memory()
+            .llc()
+            .words_registered_to(stash_repro::mem::llc::CoreId(0)),
+        128
+    );
+}
+
+#[test]
+fn simulations_are_deterministic() {
+    let w = suite::by_name("implicit").expect("registered");
+    let run = || {
+        let mut machine = Machine::new(w.set.system_config(), MemConfigKind::Stash);
+        machine.run(&(w.build)(MemConfigKind::Stash)).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.total_picos, b.total_picos);
+    assert_eq!(a.total_energy(), b.total_energy());
+    assert_eq!(a.gpu_instructions, b.gpu_instructions);
+    assert_eq!(a.traffic, b.traffic);
+    assert_eq!(a.counters, b.counters);
+}
+
+#[test]
+fn every_workload_runs_on_every_configuration() {
+    // The full §5.3 matrix executes without errors and produces
+    // nonzero time and energy everywhere.
+    for w in suite::all() {
+        for kind in MemConfigKind::ALL {
+            let mut machine = Machine::new(w.set.system_config(), kind);
+            let report = machine
+                .run(&(w.build)(kind))
+                .unwrap_or_else(|e| panic!("{} on {kind}: {e}", w.name));
+            assert!(report.total_picos > 0, "{} on {kind}", w.name);
+            assert!(report.total_energy() > 0, "{} on {kind}", w.name);
+            assert!(report.gpu_instructions > 0, "{} on {kind}", w.name);
+        }
+    }
+}
+
+#[test]
+fn mapped_non_coherent_stores_stay_local() {
+    let tile = TileMap::new(VAddr(0x2000_0000), 4, 16, 64, 0, 1).unwrap();
+    let mut tb = ThreadBlock::new();
+    tb.allocs.push(LocalAlloc { words: 64 });
+    let mut stage = Stage::new(1);
+    stage.maps.push(MapReq {
+        slot: 0,
+        alloc: AllocId(0),
+        tile,
+        mode: UsageMode::MappedNonCoherent,
+    });
+    stage.warps[0] = vec![WarpOp::LocalMem {
+        write: true,
+        alloc: AllocId(0),
+        slot: 0,
+        lanes: (0..32).collect(),
+    }];
+    tb.stages.push(stage);
+    let program = Program {
+        phases: vec![Phase::Gpu(Kernel { blocks: vec![tb] })],
+    };
+    let mut machine = Machine::new(SystemConfig::for_microbenchmarks(), MemConfigKind::Stash);
+    let report = machine.run(&program).unwrap();
+    // No registrations, no writebacks: the stores are not globally
+    // visible (§3.3 Mapped Non-coherent).
+    assert_eq!(report.counters.get("stash.register_words"), 0);
+    assert_eq!(report.counters.get("wb.stash_words"), 0);
+    assert_eq!(
+        machine
+            .memory()
+            .llc()
+            .words_registered_to(stash_repro::mem::llc::CoreId(0)),
+        0
+    );
+}
+
+#[test]
+fn scratch_and_stash_move_the_same_logical_data() {
+    // Sanity across lowerings: on Implicit, the scratch configuration's
+    // explicit global copies touch exactly the words the stash fetches
+    // and registers implicitly.
+    use stash_repro::workloads::micro::implicit;
+    let scratch = {
+        let mut m = Machine::new(SystemConfig::for_microbenchmarks(), MemConfigKind::Scratch);
+        m.run(&implicit::program(MemConfigKind::Scratch)).unwrap()
+    };
+    let stash = {
+        let mut m = Machine::new(SystemConfig::for_microbenchmarks(), MemConfigKind::Stash);
+        m.run(&implicit::program(MemConfigKind::Stash)).unwrap()
+    };
+    assert_eq!(stash.counters.get("stash.fetch_words"), implicit::ELEMS);
+    assert_eq!(stash.counters.get("stash.register_words"), implicit::ELEMS);
+    // Scratch moves the same words through L1 transactions instead.
+    assert!(scratch.counters.get("gpu.l1.load_tx") >= implicit::ELEMS / 16);
+    assert!(scratch.counters.get("scratch.access") > 0);
+}
+
+#[test]
+fn local_ops_rejected_on_cache_configuration() {
+    let mut tb = ThreadBlock::new();
+    tb.allocs.push(LocalAlloc { words: 32 });
+    let mut stage = Stage::new(1);
+    stage.warps[0] = vec![WarpOp::LocalMem {
+        write: false,
+        alloc: AllocId(0),
+        slot: 0,
+        lanes: vec![0],
+    }];
+    tb.stages.push(stage);
+    let program = Program {
+        phases: vec![Phase::Gpu(Kernel { blocks: vec![tb] })],
+    };
+    let mut machine = Machine::new(SystemConfig::for_microbenchmarks(), MemConfigKind::Cache);
+    assert!(machine.run(&program).is_err());
+}

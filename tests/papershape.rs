@@ -1,0 +1,202 @@
+//! Shape acceptance tests (DESIGN.md §3): the reproduction must get the
+//! paper's *qualitative* results right — who wins, roughly by how much,
+//! and where the crossovers fall — even though absolute numbers differ
+//! (our substrate is a from-scratch simulator, not the authors' testbed).
+
+use stash_repro::gpu::config::MemConfigKind;
+use stash_repro::gpu::machine::Machine;
+use stash_repro::gpu::report::RunReport;
+use stash_repro::workloads::suite::{self, Workload};
+
+fn run(workload: &Workload, kind: MemConfigKind) -> RunReport {
+    let program = (workload.build)(kind);
+    let mut machine = Machine::new(workload.set.system_config(), kind);
+    machine
+        .run(&program)
+        .unwrap_or_else(|e| panic!("{} on {kind}: {e}", workload.name))
+}
+
+fn micro_reports(name: &str) -> [(MemConfigKind, RunReport); 4] {
+    let w = suite::by_name(name).expect("registered microbenchmark");
+    MemConfigKind::FIGURE5.map(|k| (k, run(&w, k)))
+}
+
+fn report_for(reports: &[(MemConfigKind, RunReport)], kind: MemConfigKind) -> &RunReport {
+    &reports.iter().find(|(k, _)| *k == kind).expect("simulated").1
+}
+
+/// §6.2: the stash outperforms scratchpad and cache on *every*
+/// microbenchmark, in both time and energy.
+#[test]
+fn stash_wins_every_microbenchmark() {
+    for name in ["implicit", "pollution", "ondemand", "reuse"] {
+        let reports = micro_reports(name);
+        let stash = report_for(&reports, MemConfigKind::Stash);
+        let scratch = report_for(&reports, MemConfigKind::Scratch);
+        let cache = report_for(&reports, MemConfigKind::Cache);
+        assert!(
+            stash.total_picos < scratch.total_picos,
+            "{name}: stash time {} !< scratch {}",
+            stash.total_picos,
+            scratch.total_picos
+        );
+        assert!(
+            stash.total_energy() < scratch.total_energy(),
+            "{name}: stash energy !< scratch"
+        );
+        assert!(
+            stash.total_picos <= cache.total_picos,
+            "{name}: stash time !<= cache"
+        );
+        assert!(
+            stash.total_energy() < cache.total_energy(),
+            "{name}: stash energy !< cache"
+        );
+    }
+}
+
+/// §6.2: the DMA-enhanced scratchpad closes most of the gap, *except*
+/// where global addressability/visibility matter — On-demand (sparse
+/// accesses) and Reuse (cross-kernel data retention).
+#[test]
+fn dma_loses_exactly_where_the_paper_says() {
+    for name in ["ondemand", "reuse"] {
+        let reports = micro_reports(name);
+        let stash = report_for(&reports, MemConfigKind::Stash);
+        let dma = report_for(&reports, MemConfigKind::ScratchGD);
+        // A wide margin: the paper reports 48% / 63% energy reductions.
+        assert!(
+            stash.total_energy() * 100 < dma.total_energy() * 75,
+            "{name}: stash should beat DMA by >25% energy"
+        );
+        assert!(
+            stash.traffic.total_crossings() < dma.traffic.total_crossings(),
+            "{name}: stash should produce less traffic than DMA"
+        );
+    }
+}
+
+/// §6.2 (Pollution): explicit copies through the L1 evict the cached
+/// array; the stash (and DMA) bypass the L1 so its reuse survives.
+#[test]
+fn pollution_is_about_the_l1() {
+    let reports = micro_reports("pollution");
+    let scratch = report_for(&reports, MemConfigKind::Scratch);
+    let stash = report_for(&reports, MemConfigKind::Stash);
+    let dma = report_for(&reports, MemConfigKind::ScratchGD);
+    // B's second pass misses under Scratch: more L1 misses than either
+    // L1-bypassing configuration.
+    let scratch_misses = scratch.counters.get("gpu.l1.miss");
+    assert!(scratch_misses > stash.counters.get("gpu.l1.miss"));
+    assert!(scratch_misses > dma.counters.get("gpu.l1.miss"));
+}
+
+/// §6.2 (Reuse): only the stash retains data across kernels — its DRAM
+/// traffic is one cold kernel's worth, while every other configuration
+/// refetches per kernel. (The LLC caches the array for the others, so
+/// the distinction shows in fetch counts, not DRAM lines.)
+#[test]
+fn reuse_is_cross_kernel() {
+    use stash_repro::workloads::micro::reuse;
+    let reports = micro_reports("reuse");
+    let stash = report_for(&reports, MemConfigKind::Stash);
+    // Exactly one kernel's worth of word fetches.
+    assert_eq!(stash.counters.get("stash.fetch_words"), reuse::ELEMS);
+    // Adoption (replication path) fired on the later kernels' AddMaps.
+    assert!(stash.counters.get("stash.addmap_replicated") > 0);
+    // Scratch re-copies: its global load transactions scale with kernels.
+    let scratch = report_for(&reports, MemConfigKind::Scratch);
+    assert!(
+        scratch.counters.get("gpu.l1.load_tx")
+            > stash.counters.get("stash.load_tx") / 2 * (reuse::KERNELS as u64)
+    );
+}
+
+/// Figure 5c: the stash issues far fewer instructions than the
+/// scratchpad (no copy loops) — the paper quotes 40% fewer on Implicit.
+#[test]
+fn implicit_instruction_reduction() {
+    let reports = micro_reports("implicit");
+    let stash = report_for(&reports, MemConfigKind::Stash);
+    let scratch = report_for(&reports, MemConfigKind::Scratch);
+    let pct = stash.gpu_instructions * 100 / scratch.gpu_instructions;
+    assert!(
+        (45..=75).contains(&pct),
+        "stash/scratch instructions = {pct}%, paper ≈ 60%"
+    );
+}
+
+/// §6.2 headline averages, in generous bands around the paper's numbers
+/// (time reductions amplify in our more bandwidth-bound model; energy
+/// tracks closely).
+#[test]
+fn microbenchmark_headline_bands() {
+    let mut energy_vs_scratch = 0i64;
+    let mut energy_vs_dma = 0i64;
+    for name in ["implicit", "pollution", "ondemand", "reuse"] {
+        let reports = micro_reports(name);
+        let stash = report_for(&reports, MemConfigKind::Stash).total_energy() as i64;
+        let scratch = report_for(&reports, MemConfigKind::Scratch).total_energy() as i64;
+        let dma = report_for(&reports, MemConfigKind::ScratchGD).total_energy() as i64;
+        energy_vs_scratch += 100 - stash * 100 / scratch;
+        energy_vs_dma += 100 - stash * 100 / dma;
+    }
+    let avg_scratch = energy_vs_scratch / 4;
+    let avg_dma = energy_vs_dma / 4;
+    // Paper: 53% vs scratchpad, 32% vs DMA.
+    assert!(
+        (35..=70).contains(&avg_scratch),
+        "avg energy reduction vs Scratch = {avg_scratch}%, paper 53%"
+    );
+    assert!(
+        (15..=50).contains(&avg_dma),
+        "avg energy reduction vs ScratchGD = {avg_dma}%, paper 32%"
+    );
+}
+
+/// §6.3 on the applications: StashG is the best configuration on
+/// average, ScratchG is worse than Scratch, and Pathfinder is the
+/// paper's noted exception where Cache beats Scratch.
+#[test]
+fn application_shape() {
+    let apps = suite::applications();
+    let mut stashg_total = 0u64;
+    let mut scratchg_total = 0u64;
+    let mut scratch_count = 0u64;
+    for w in &apps {
+        let scratch = run(w, MemConfigKind::Scratch);
+        let stashg = run(w, MemConfigKind::StashG);
+        let scratchg = run(w, MemConfigKind::ScratchG);
+        stashg_total += stashg.total_picos * 100 / scratch.total_picos;
+        scratchg_total += scratchg.total_picos * 100 / scratch.total_picos;
+        scratch_count += 1;
+
+        // Energy: StashG below Scratch on every application.
+        assert!(
+            stashg.total_energy() < scratch.total_energy(),
+            "{}: StashG energy !< Scratch",
+            w.name
+        );
+    }
+    let stashg_avg = stashg_total / scratch_count;
+    let scratchg_avg = scratchg_total / scratch_count;
+    // Paper: StashG ≈ 90% of Scratch's time on average; ScratchG ≈ 107%.
+    assert!(
+        (70..100).contains(&stashg_avg),
+        "StashG average time = {stashg_avg}% of Scratch, paper ≈ 90%"
+    );
+    assert!(
+        scratchg_avg > 100,
+        "ScratchG average time = {scratchg_avg}%, paper says it is worse than Scratch"
+    );
+
+    // The Pathfinder exception: converting scratchpad accesses to global
+    // ones helps (little reuse for the copy cost).
+    let w = suite::by_name("pathfinder").expect("registered");
+    let scratch = run(&w, MemConfigKind::Scratch);
+    let cache = run(&w, MemConfigKind::Cache);
+    assert!(
+        cache.total_picos < scratch.total_picos,
+        "pathfinder: Cache should beat Scratch (the paper's exception)"
+    );
+}
