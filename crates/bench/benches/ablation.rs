@@ -1,50 +1,40 @@
-//! Criterion benches for the design-choice ablations (DESIGN.md §4):
-//! the §4.5 replication optimization on/off, and eager vs lazy
-//! writeback behaviour on the Reuse microbenchmark.
+//! Wall-clock benches for the design-choice ablations (DESIGN.md §4):
+//! the §4.5 replication optimization on/off, and word- vs
+//! line-granularity fetches on the Implicit microbenchmark.
+//!
+//! ```text
+//! cargo bench -p bench --bench ablation
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::timing;
 use gpu::config::MemConfigKind;
 use gpu::machine::Machine;
 use workloads::suite;
 
-fn bench_replication(c: &mut Criterion) {
+fn main() {
     let workload = suite::by_name("reuse").expect("registered");
     let program = (workload.build)(MemConfigKind::Stash);
-    let mut group = c.benchmark_group("ablation/replication");
-    group.sample_size(10);
-    group.bench_function("on", |b| {
-        b.iter(|| {
-            let mut machine = Machine::new(workload.set.system_config(), MemConfigKind::Stash);
-            machine.run(&program).expect("reuse runs")
-        });
+    timing::bench("ablation/replication/on", || {
+        let mut machine = Machine::new(workload.set.system_config(), MemConfigKind::Stash);
+        machine.run(&program).expect("reuse runs")
     });
-    group.bench_function("off", |b| {
-        b.iter(|| {
-            let mut machine = Machine::new(workload.set.system_config(), MemConfigKind::Stash);
-            machine.memory_mut().disable_stash_replication();
-            machine.run(&program).expect("reuse runs")
-        });
+    timing::bench("ablation/replication/off", || {
+        let mut machine = Machine::new(workload.set.system_config(), MemConfigKind::Stash);
+        machine.memory_mut().disable_stash_replication();
+        machine.run(&program).expect("reuse runs")
     });
-    group.finish();
-}
 
-fn bench_word_vs_line_granularity(c: &mut Criterion) {
     // The stash's word-granularity fetches vs the cache's line fills on
     // the AoS-heavy Implicit microbenchmark.
     let workload = suite::by_name("implicit").expect("registered");
-    let mut group = c.benchmark_group("ablation/fetch-granularity");
-    group.sample_size(10);
     for kind in [MemConfigKind::Stash, MemConfigKind::Cache] {
         let program = (workload.build)(kind);
-        group.bench_function(kind.name(), |b| {
-            b.iter(|| {
+        timing::bench(
+            &format!("ablation/fetch-granularity/{}", kind.name()),
+            || {
                 let mut machine = Machine::new(workload.set.system_config(), kind);
                 machine.run(&program).expect("implicit runs")
-            });
-        });
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_replication, bench_word_vs_line_granularity);
-criterion_main!(benches);

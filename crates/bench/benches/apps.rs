@@ -1,30 +1,26 @@
-//! Criterion benches over the Figure 6 applications: one group per
-//! application, one measurement per memory configuration.
+//! Wall-clock benches over the Figure 6 applications: one line per
+//! `(application, memory configuration)` cell.
 //!
-//! The heavier applications (LUD, NW) dominate; sample sizes are kept at
-//! Criterion's minimum so a full sweep stays tractable.
+//! The heavier applications (LUD, NW) dominate; `bench::timing` keeps
+//! sample counts small so a full sweep stays tractable:
+//!
+//! ```text
+//! cargo bench -p bench --bench apps
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing;
 use gpu::config::MemConfigKind;
 use gpu::machine::Machine;
 use workloads::suite;
 
-fn bench_apps(c: &mut Criterion) {
+fn main() {
     for workload in suite::applications() {
-        let mut group = c.benchmark_group(format!("fig6/{}", workload.name));
-        group.sample_size(10);
         for kind in MemConfigKind::FIGURE6 {
             let program = (workload.build)(kind);
-            group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
-                b.iter(|| {
-                    let mut machine = Machine::new(workload.set.system_config(), k);
-                    machine.run(&program).expect("workload runs")
-                });
+            timing::bench(&format!("fig6/{}/{}", workload.name, kind.name()), || {
+                let mut machine = Machine::new(workload.set.system_config(), kind);
+                machine.run(&program).expect("workload runs")
             });
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_apps);
-criterion_main!(benches);

@@ -1,31 +1,27 @@
-//! Criterion benches over the Figure 5 microbenchmarks: one group per
-//! microbenchmark, one measurement per memory configuration.
+//! Wall-clock benches over the Figure 5 microbenchmarks: one line per
+//! `(microbenchmark, memory configuration)` cell.
 //!
-//! These measure the *simulator's* wall time (useful for tracking model
+//! These measure the *simulator's* host time (useful for tracking model
 //! regressions); the simulated results themselves come from the `fig5`
-//! binary.
+//! binary. Plain harness (`harness = false`), `bench::timing` engine:
+//!
+//! ```text
+//! cargo bench -p bench --bench micro
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing;
 use gpu::config::MemConfigKind;
 use gpu::machine::Machine;
 use workloads::suite;
 
-fn bench_micros(c: &mut Criterion) {
+fn main() {
     for workload in suite::micros() {
-        let mut group = c.benchmark_group(format!("fig5/{}", workload.name));
-        group.sample_size(10);
         for kind in MemConfigKind::FIGURE5 {
             let program = (workload.build)(kind);
-            group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
-                b.iter(|| {
-                    let mut machine = Machine::new(workload.set.system_config(), k);
-                    machine.run(&program).expect("workload runs")
-                });
+            timing::bench(&format!("fig5/{}/{}", workload.name, kind.name()), || {
+                let mut machine = Machine::new(workload.set.system_config(), kind);
+                machine.run(&program).expect("workload runs")
             });
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_micros);
-criterion_main!(benches);

@@ -8,123 +8,209 @@
 //!    single-writer registry (Pathfinder's adjacent row slices);
 //! 5. §8 extensions: AddMap-time prefetch and widened fetch granularity
 //!    (On-demand vs Implicit show the trade-off).
+//!
+//! Every ablation cell is an independent simulation; the whole grid is
+//! one pool batch (`--threads N` / `STASH_THREADS`), and each printed
+//! block reports the host wall-clock its simulations took.
 
+use std::time::Duration;
+
+use bench::cli;
+use bench::pool::{JobPool, JobResult};
 use gpu::config::MemConfigKind;
 use gpu::machine::Machine;
 use gpu::report::RunReport;
 use workloads::suite;
 
-fn run_with(
-    name: &str,
-    kind: MemConfigKind,
-    tweak: impl FnOnce(&mut Machine),
-) -> RunReport {
-    let w = suite::by_name(name).expect("registered workload");
-    let program = (w.build)(kind);
-    let mut machine = Machine::new(w.set.system_config(), kind);
-    tweak(&mut machine);
-    machine.run(&program).expect("workload runs")
+type Tweak = Box<dyn FnOnce(&mut Machine) + Send>;
+type Job = Box<dyn FnOnce() -> RunReport + Send>;
+
+fn cell(name: &'static str, kind: MemConfigKind, tweak: Tweak) -> Job {
+    Box::new(move || {
+        let w = suite::by_name(name).expect("registered workload");
+        let program = (w.build)(kind);
+        let mut machine = Machine::new(w.set.system_config(), kind);
+        tweak(&mut machine);
+        machine.run(&program).expect("workload runs")
+    })
+}
+
+fn plain(name: &'static str, kind: MemConfigKind) -> Job {
+    cell(name, kind, Box::new(|_| {}))
+}
+
+fn host_ms(results: &[&JobResult<RunReport>]) -> f64 {
+    results
+        .iter()
+        .map(|r| r.host_time)
+        .sum::<Duration>()
+        .as_secs_f64()
+        * 1e3
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let pool = JobPool::new(cli::thread_count(&args));
+    let start = std::time::Instant::now();
+
+    // The full ablation grid as one batch; indices name the cells below.
+    let jobs: Vec<Job> = vec![
+        /*  0 */ plain("reuse", MemConfigKind::Stash),
+        /*  1 */
+        cell(
+            "reuse",
+            MemConfigKind::Stash,
+            Box::new(|m| m.memory_mut().disable_stash_replication()),
+        ),
+        /*  2 */ plain("implicit", MemConfigKind::Stash),
+        /*  3 */ plain("implicit", MemConfigKind::Cache),
+        /*  4 */
+        cell(
+            "reuse",
+            MemConfigKind::Stash,
+            Box::new(|m| m.memory_mut().set_eager_stash_writebacks(true)),
+        ),
+        /*  5 */
+        cell(
+            "implicit",
+            MemConfigKind::Stash,
+            Box::new(|m| m.memory_mut().set_eager_stash_writebacks(true)),
+        ),
+        /*  6 */ plain("pathfinder", MemConfigKind::Cache),
+        /*  7 */
+        cell(
+            "pathfinder",
+            MemConfigKind::Cache,
+            Box::new(|m| m.memory_mut().set_line_grain_registration(true)),
+        ),
+        /*  8 */
+        cell(
+            "implicit",
+            MemConfigKind::Stash,
+            Box::new(|m| m.memory_mut().set_stash_prefetch(true)),
+        ),
+        /*  9 */
+        cell(
+            "implicit",
+            MemConfigKind::Stash,
+            Box::new(|m| m.memory_mut().set_stash_fetch_words(8)),
+        ),
+        /* 10 */ plain("ondemand", MemConfigKind::Stash),
+        /* 11 */
+        cell(
+            "ondemand",
+            MemConfigKind::Stash,
+            Box::new(|m| m.memory_mut().set_stash_prefetch(true)),
+        ),
+        /* 12 */
+        cell(
+            "ondemand",
+            MemConfigKind::Stash,
+            Box::new(|m| m.memory_mut().set_stash_fetch_words(8)),
+        ),
+    ];
+    let jobs_len = jobs.len();
+    let results = pool.run(jobs);
+    let r = |i: usize| -> &JobResult<RunReport> { &results[i] };
+
     println!("Ablation 1 — §4.5 data replication (Reuse, Stash config)");
-    let on = run_with("reuse", MemConfigKind::Stash, |_| {});
-    let off = run_with("reuse", MemConfigKind::Stash, |m| {
-        m.memory_mut().disable_stash_replication()
-    });
+    let (on, off) = (r(0), r(1));
     println!(
         "  replication ON : cycles {:>9}  energy {:>14} fJ  fetches {:>6}",
-        on.gpu_cycles,
-        on.total_energy(),
-        on.counters.get("stash.fetch_words")
+        on.value.gpu_cycles,
+        on.value.total_energy(),
+        on.value.counters.get("stash.fetch_words")
     );
     println!(
         "  replication OFF: cycles {:>9}  energy {:>14} fJ  fetches {:>6}",
-        off.gpu_cycles,
-        off.total_energy(),
-        off.counters.get("stash.fetch_words")
+        off.value.gpu_cycles,
+        off.value.total_energy(),
+        off.value.counters.get("stash.fetch_words")
     );
+    println!("  (host: {:.1} ms)", host_ms(&[on, off]));
 
     println!("\nAblation 2 — word- vs line-granularity transfer (Implicit)");
-    for kind in [MemConfigKind::Stash, MemConfigKind::Cache] {
-        let r = run_with("implicit", kind, |_| {});
+    for (kind, res) in [(MemConfigKind::Stash, r(2)), (MemConfigKind::Cache, r(3))] {
         println!(
             "  {:<10} read-crossings {:>8}  total energy {:>14} fJ",
             kind.name(),
-            r.traffic.crossings(noc::MsgClass::Read),
-            r.total_energy()
+            res.value.traffic.crossings(noc::MsgClass::Read),
+            res.value.total_energy()
         );
     }
+    println!("  (host: {:.1} ms)", host_ms(&[r(2), r(3)]));
 
     println!("\nAblation 3 — lazy vs eager stash writebacks");
-    for wl in ["reuse", "implicit"] {
-        let lazy = run_with(wl, MemConfigKind::Stash, |_| {});
-        let eager = run_with(wl, MemConfigKind::Stash, |m| {
-            m.memory_mut().set_eager_stash_writebacks(true)
-        });
+    for (wl, lazy, eager) in [("reuse", r(0), r(4)), ("implicit", r(2), r(5))] {
         println!("  {wl}:");
-        println!(
-            "    lazy : wb words {:>6}  forwards {:>6}  gpu cycles {:>9}  energy {:>14} fJ",
-            lazy.counters.get("wb.stash_words"),
-            lazy.counters.get("remote.forward"),
-            lazy.gpu_cycles,
-            lazy.total_energy()
-        );
-        println!(
-            "    eager: wb words {:>6}  forwards {:>6}  gpu cycles {:>9}  energy {:>14} fJ",
-            eager.counters.get("wb.stash_words"),
-            eager.counters.get("remote.forward"),
-            eager.gpu_cycles,
-            eager.total_energy()
-        );
+        for (label, res) in [("lazy ", lazy), ("eager", eager)] {
+            println!(
+                "    {label}: wb words {:>6}  forwards {:>6}  gpu cycles {:>9}  energy {:>14} fJ",
+                res.value.counters.get("wb.stash_words"),
+                res.value.counters.get("remote.forward"),
+                res.value.gpu_cycles,
+                res.value.total_energy()
+            );
+        }
     }
+    println!("  (host: {:.1} ms)", host_ms(&[r(4), r(5)]));
     println!("  (on Reuse, eager drains also destroy the cross-kernel reuse: the");
     println!("   data must be refetched every kernel — §2's core claim. On Implicit");
     println!("   everything is consumed once, so eager's bulk drain merely trades");
     println!("   against lazy's per-word CPU forwards.)");
 
     println!("\nAblation 4 — word- vs line-granularity registration (Pathfinder, Cache)");
-    let word = run_with("pathfinder", MemConfigKind::Cache, |_| {});
-    let line = run_with("pathfinder", MemConfigKind::Cache, |m| {
-        m.memory_mut().set_line_grain_registration(true)
-    });
+    let (word, line) = (r(6), r(7));
     println!(
         "  word (DeNovo): false-sharing revocations {:>7}  write-crossings {:>9}",
-        word.counters.get("coherence.false_sharing_revocation"),
-        word.traffic.crossings(noc::MsgClass::Write)
+        word.value
+            .counters
+            .get("coherence.false_sharing_revocation"),
+        word.value.traffic.crossings(noc::MsgClass::Write)
     );
     println!(
         "  line (MESI-ish): false-sharing revocations {:>5}  write-crossings {:>9}",
-        line.counters.get("coherence.false_sharing_revocation"),
-        line.traffic.crossings(noc::MsgClass::Write)
+        line.value
+            .counters
+            .get("coherence.false_sharing_revocation"),
+        line.value.traffic.crossings(noc::MsgClass::Write)
     );
+    println!("  (host: {:.1} ms)", host_ms(&[word, line]));
 
     println!("\nExtension (§8) — AddMap prefetch + widened fetches");
-    for (wl, label) in [("implicit", "dense (Implicit)"), ("ondemand", "sparse (On-demand)")] {
-        let base = run_with(wl, MemConfigKind::Stash, |_| {});
-        let pf = run_with(wl, MemConfigKind::Stash, |m| {
-            m.memory_mut().set_stash_prefetch(true)
-        });
-        let wide = run_with(wl, MemConfigKind::Stash, |m| {
-            m.memory_mut().set_stash_fetch_words(8)
-        });
+    for (label, base, pf, wide) in [
+        ("dense (Implicit)", r(2), r(8), r(9)),
+        ("sparse (On-demand)", r(10), r(11), r(12)),
+    ] {
         println!("  {label}:");
         println!(
             "    on-demand : gpu cycles {:>9}  fetched words {:>7}",
-            base.gpu_cycles,
-            base.counters.get("stash.fetch_words")
+            base.value.gpu_cycles,
+            base.value.counters.get("stash.fetch_words")
         );
         println!(
             "    prefetch  : gpu cycles {:>9}  fetched words {:>7}",
-            pf.gpu_cycles,
-            pf.counters.get("stash.fetch_words")
+            pf.value.gpu_cycles,
+            pf.value.counters.get("stash.fetch_words")
         );
         println!(
             "    8-word fetch: gpu cycles {:>7}  fetched words {:>7}",
-            wide.gpu_cycles,
-            wide.counters.get("stash.fetch_words")
+            wide.value.gpu_cycles,
+            wide.value.counters.get("stash.fetch_words")
         );
     }
+    println!(
+        "  (host: {:.1} ms)",
+        host_ms(&[r(8), r(9), r(10), r(11), r(12)])
+    );
     println!("  (prefetch helps dense mappings, wastes transfers on sparse ones —");
     println!("   the same trade-off that separates DMA from the stash in Figure 5)");
+
+    println!(
+        "\n[harness] {} ablation cells on {} thread(s) in {:.2?} ({:.1} ms simulating)",
+        jobs_len,
+        pool.threads(),
+        start.elapsed(),
+        host_ms(&results.iter().collect::<Vec<_>>())
+    );
 }

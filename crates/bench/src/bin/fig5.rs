@@ -3,15 +3,16 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin fig5            # all four panels
-//! cargo run --release -p bench --bin fig5 -- --panel time
+//! cargo run --release -p bench --bin fig5 -- --panel time --threads 4
 //! ```
 
-use bench::{average_reduction, print_panel, run_matrix, write_csv, FigurePanel};
+use bench::{average_reduction, cli, print_panel, run_matrix_parallel, write_csv, FigurePanel};
 use gpu::config::MemConfigKind;
 use workloads::suite;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let threads = cli::thread_count(&args);
     let panels: Vec<FigurePanel> = match args.iter().position(|a| a == "--panel") {
         Some(i) => {
             let name = args.get(i + 1).map(String::as_str).unwrap_or("");
@@ -25,22 +26,26 @@ fn main() {
 
     let kinds = MemConfigKind::FIGURE5;
     println!("Figure 5 — microbenchmarks on 1 GPU CU + 15 CPU cores");
-    let rows = run_matrix(&suite::micros(), &kinds);
+    let (rows, stats) = run_matrix_parallel(&suite::micros(), &kinds, threads);
+    println!("{}", stats.summary());
     if args.iter().any(|a| a == "--debug") {
         println!("\n-- raw cycles (gpu/cpu) --");
         for row in &rows {
             for (k, r) in &row.reports {
                 println!(
                     "{:<12}{:<10} gpu {:>10}  cpu {:>10}  picos {:>14}",
-                    row.workload, k.name(), r.gpu_cycles, r.cpu_cycles, r.total_picos
+                    row.workload,
+                    k.name(),
+                    r.gpu_cycles,
+                    r.cpu_cycles,
+                    r.total_picos
                 );
             }
         }
     }
     if let Some(i) = args.iter().position(|a| a == "--csv") {
-        let path = std::path::PathBuf::from(
-            args.get(i + 1).map(String::as_str).unwrap_or("fig5.csv"),
-        );
+        let path =
+            std::path::PathBuf::from(args.get(i + 1).map(String::as_str).unwrap_or("fig5.csv"));
         write_csv(&path, &rows, &kinds).expect("csv written");
         println!("wrote {}", path.display());
     }
@@ -49,7 +54,10 @@ fn main() {
     }
 
     println!("\n=== §6.2 headline comparisons (stash reduction vs …) ===");
-    for (panel, label) in [(FigurePanel::Time, "cycles"), (FigurePanel::Energy, "energy")] {
+    for (panel, label) in [
+        (FigurePanel::Time, "cycles"),
+        (FigurePanel::Energy, "energy"),
+    ] {
         let vs_scratch =
             average_reduction(&rows, panel, MemConfigKind::Stash, MemConfigKind::Scratch);
         let vs_cache = average_reduction(&rows, panel, MemConfigKind::Stash, MemConfigKind::Cache);

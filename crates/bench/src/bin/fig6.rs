@@ -3,15 +3,16 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin fig6            # both panels
-//! cargo run --release -p bench --bin fig6 -- --panel energy
+//! cargo run --release -p bench --bin fig6 -- --panel energy --threads 4
 //! ```
 
-use bench::{average_reduction, print_panel, run_matrix, write_csv, FigurePanel};
+use bench::{average_reduction, cli, print_panel, run_matrix_parallel, write_csv, FigurePanel};
 use gpu::config::MemConfigKind;
 use workloads::suite;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let threads = cli::thread_count(&args);
     let panels: Vec<FigurePanel> = match args.iter().position(|a| a == "--panel") {
         Some(i) => {
             let name = args.get(i + 1).map(String::as_str).unwrap_or("");
@@ -25,11 +26,11 @@ fn main() {
 
     let kinds = MemConfigKind::FIGURE6;
     println!("Figure 6 — applications on 15 GPU CUs + 1 CPU core");
-    let rows = run_matrix(&suite::applications(), &kinds);
+    let (rows, stats) = run_matrix_parallel(&suite::applications(), &kinds, threads);
+    println!("{}", stats.summary());
     if let Some(i) = args.iter().position(|a| a == "--csv") {
-        let path = std::path::PathBuf::from(
-            args.get(i + 1).map(String::as_str).unwrap_or("fig6.csv"),
-        );
+        let path =
+            std::path::PathBuf::from(args.get(i + 1).map(String::as_str).unwrap_or("fig6.csv"));
         write_csv(&path, &rows, &kinds).expect("csv written");
         println!("wrote {}", path.display());
     }
@@ -38,11 +39,13 @@ fn main() {
     }
 
     println!("\n=== §6.3 headline comparisons (StashG reduction vs …) ===");
-    for (panel, label) in [(FigurePanel::Time, "cycles"), (FigurePanel::Energy, "energy")] {
+    for (panel, label) in [
+        (FigurePanel::Time, "cycles"),
+        (FigurePanel::Energy, "energy"),
+    ] {
         let vs_scratch =
             average_reduction(&rows, panel, MemConfigKind::StashG, MemConfigKind::Scratch);
-        let vs_cache =
-            average_reduction(&rows, panel, MemConfigKind::StashG, MemConfigKind::Cache);
+        let vs_cache = average_reduction(&rows, panel, MemConfigKind::StashG, MemConfigKind::Cache);
         println!(
             "{label:<7} vs Scratch {vs_scratch:>3}%  vs Cache {vs_cache:>3}%   (paper: 10/12% cycles, 16/32% energy)"
         );

@@ -22,7 +22,14 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let (Some(name), Some(kind_s)) = (args.get(1), args.get(2)) else {
         eprintln!("usage: inspect <workload> <config>");
-        eprintln!("  workloads: {}", suite::all().iter().map(|w| w.name).collect::<Vec<_>>().join(", "));
+        eprintln!(
+            "  workloads: {}",
+            suite::all()
+                .iter()
+                .map(|w| w.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
         eprintln!(
             "  configs:   {}",
             MemConfigKind::ALL.map(|k| k.name()).join(", ")
@@ -38,11 +45,19 @@ fn main() {
         std::process::exit(2);
     };
 
+    // A single simulation is one job; it runs inline (the pool's serial
+    // path) but still reports its host cost like the matrix binaries.
     let program = (workload.build)(kind);
     let mut machine = Machine::new(workload.set.system_config(), kind);
+    let host = std::time::Instant::now();
     let report = machine.run(&program).expect("workload runs");
+    let host = host.elapsed();
 
-    println!("{} on {} ({:?} machine)\n", workload.name, kind, workload.set);
+    println!(
+        "{} on {} ({:?} machine)\n",
+        workload.name, kind, workload.set
+    );
+    println!("[harness] 1 job in {host:.2?}\n");
     println!("-- timing --");
     println!("  GPU cycles       {:>14}", report.gpu_cycles);
     println!("  CPU cycles       {:>14}", report.cpu_cycles);
@@ -79,7 +94,10 @@ fn main() {
         print!("   ");
         for col in 0..4 {
             let bars = (profile[row * 4 + col] * 8 / max) as usize;
-            print!(" {:<8}", "#".repeat(bars.max(usize::from(profile[row * 4 + col] > 0))));
+            print!(
+                " {:<8}",
+                "#".repeat(bars.max(usize::from(profile[row * 4 + col] > 0)))
+            );
         }
         println!();
     }

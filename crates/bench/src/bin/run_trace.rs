@@ -5,15 +5,26 @@
 //! cargo run --release -p bench --bin run-trace -- my_workload.trace
 //! cargo run --release -p bench --bin run-trace -- my_workload.trace Stash StashG
 //! ```
+//!
+//! The configurations run concurrently on the job pool (`--threads N` /
+//! `STASH_THREADS`); rows print in the requested order regardless.
 
+use bench::cli;
+use bench::pool::JobPool;
 use gpu::config::MemConfigKind;
 use gpu::machine::Machine;
 use workloads::trace::parse_trace;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let threads = cli::thread_count(&args);
+    let mut args = args;
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        args.drain(i..(i + 2).min(args.len()));
+    }
+    args.retain(|a| !a.starts_with("--threads="));
     let Some(path) = args.get(1) else {
-        eprintln!("usage: run-trace <file.trace> [configs...]");
+        eprintln!("usage: run-trace <file.trace> [configs...] [--threads N]");
         std::process::exit(2);
     };
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -42,21 +53,34 @@ fn main() {
         MemConfigKind::ALL.to_vec()
     };
 
+    let pool = JobPool::new(threads);
+    let workload = &workload;
+    let jobs: Vec<_> = kinds
+        .iter()
+        .map(|&kind| {
+            move || {
+                let mut machine = Machine::new(workload.set().system_config(), kind);
+                machine.run(&workload.build(kind))
+            }
+        })
+        .collect();
+    let results = pool.run(jobs);
+
     println!(
-        "{:<10}{:>14}{:>18}{:>12}{:>12}{:>14}",
-        "config", "time (ps)", "energy (fJ)", "instrs", "flits", "dram fetches"
+        "{:<10}{:>14}{:>18}{:>12}{:>12}{:>14}{:>10}",
+        "config", "time (ps)", "energy (fJ)", "instrs", "flits", "dram fetches", "host ms"
     );
-    for kind in kinds {
-        let mut machine = Machine::new(workload.set().system_config(), kind);
-        match machine.run(&workload.build(kind)) {
+    for (kind, result) in kinds.iter().zip(results) {
+        match result.value {
             Ok(report) => println!(
-                "{:<10}{:>14}{:>18}{:>12}{:>12}{:>14}",
+                "{:<10}{:>14}{:>18}{:>12}{:>12}{:>14}{:>10.1}",
                 kind.name(),
                 report.total_picos,
                 report.total_energy(),
                 report.gpu_instructions,
                 report.traffic.total_flits(),
                 report.counters.get("dram.line_fetch"),
+                result.host_time.as_secs_f64() * 1e3,
             ),
             Err(e) => println!("{:<10}error: {e}", kind.name()),
         }

@@ -12,7 +12,13 @@ fn main() {
             true, // stash: on hits
         ),
         ("Directly addressed", "No tag access", false, true, true),
-        ("Directly addressed", "No conflict misses", false, true, true),
+        (
+            "Directly addressed",
+            "No conflict misses",
+            false,
+            true,
+            true,
+        ),
         (
             "Compact storage",
             "Efficient use of SRAM storage",

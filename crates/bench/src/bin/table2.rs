@@ -19,13 +19,29 @@ fn main() {
         "  {:<44}{}, {}",
         "CUs (microbenchmarks, apps)", micro.gpu_cus, apps.gpu_cus
     );
-    println!("  {:<44}{} KB", "Scratchpad/Stash Size", c.scratchpad_bytes / 1024);
-    println!("  {:<44}{}", "Number of Banks in Stash/Scratchpad", c.local_banks);
+    println!(
+        "  {:<44}{} KB",
+        "Scratchpad/Stash Size",
+        c.scratchpad_bytes / 1024
+    );
+    println!(
+        "  {:<44}{}",
+        "Number of Banks in Stash/Scratchpad", c.local_banks
+    );
     println!("Memory Hierarchy Parameters");
-    println!("  {:<44}{} entries each", "TLB & RTLB (VP-map)", c.vp_map_entries);
+    println!(
+        "  {:<44}{} entries each",
+        "TLB & RTLB (VP-map)", c.vp_map_entries
+    );
     println!("  {:<44}{} entries", "Stash-map", c.stash_map_entries);
-    println!("  {:<44}{} cycles", "Stash address translation", c.stash_translation_cycles);
-    println!("  {:<44}{} cycle", "L1 and Stash hit latency", c.l1_hit_cycles);
+    println!(
+        "  {:<44}{} cycles",
+        "Stash address translation", c.stash_translation_cycles
+    );
+    println!(
+        "  {:<44}{} cycle",
+        "L1 and Stash hit latency", c.l1_hit_cycles
+    );
     let max_hops = 2 * (c.mesh_side as u64 - 1);
     println!(
         "  {:<44}{}-{} cycles",

@@ -1,0 +1,66 @@
+//! Shared command-line conventions for the experiment binaries.
+//!
+//! Every binary accepts `--threads N` (or the `STASH_THREADS` environment
+//! variable) to size the simulation job pool; unset, the pool uses every
+//! available core. Parallelism never changes results — see the
+//! determinism contract in [`crate::pool`].
+
+/// The usage line binaries print for the shared flags.
+pub const THREADS_USAGE: &str =
+    "--threads N   worker threads for the simulation pool (default: all cores;\n              \
+     also settable via STASH_THREADS)";
+
+/// Resolves the worker-thread count from `--threads N` / `--threads=N`,
+/// then `STASH_THREADS`, then the host's available parallelism.
+///
+/// Malformed values exit with usage (status 2), like the binaries' other
+/// argument errors.
+pub fn thread_count(args: &[String]) -> usize {
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        return parse_threads(args.get(i + 1).map(String::as_str).unwrap_or(""));
+    }
+    if let Some(eq) = args.iter().find_map(|a| a.strip_prefix("--threads=")) {
+        return parse_threads(eq);
+    }
+    if let Ok(env) = std::env::var("STASH_THREADS") {
+        return parse_threads(&env);
+    }
+    default_threads()
+}
+
+/// The host's available parallelism (1 if unknown).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn parse_threads(s: &str) -> usize {
+    match s.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("--threads/STASH_THREADS must be a positive integer, got {s:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn explicit_flag_wins() {
+        assert_eq!(thread_count(&args(&["fig5", "--threads", "3"])), 3);
+        assert_eq!(thread_count(&args(&["fig5", "--threads=7"])), 7);
+    }
+
+    #[test]
+    fn default_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

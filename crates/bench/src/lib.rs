@@ -1,15 +1,26 @@
 //! Experiment harness: runs the configuration matrix and formats every
 //! table and figure of the paper.
 //!
-//! The binaries (`fig5`, `fig6`, `table2`, `table3`, `ablation`) and the
-//! Criterion benches build on [`run_matrix`] / [`FigurePanel`]: run each
-//! workload on each configuration, normalize to the Scratch baseline
-//! (exactly as the paper's figures do), and print the rows.
+//! The binaries (`fig5`, `fig6`, `table1`–`table3`, `sweep`, `ablation`,
+//! `run-trace`, `inspect`) and the benches build on
+//! [`run_matrix_parallel`] / [`FigurePanel`]: fan the `(workload ×
+//! configuration)` cells out across a [`pool::JobPool`], normalize to
+//! the Scratch baseline (exactly as the paper's figures do), and print
+//! the rows. Parallelism never changes output: results are collected in
+//! input order and every simulation is deterministic, so an `N`-thread
+//! run is byte-identical to a serial one (see `tests/determinism.rs`).
+
+pub mod cli;
+pub mod pool;
+pub mod timing;
+
+use std::time::{Duration, Instant};
 
 use gpu::config::MemConfigKind;
 use gpu::machine::Machine;
 use gpu::report::RunReport;
 use noc::MsgClass;
+use pool::JobPool;
 use workloads::suite::Workload;
 
 /// One workload's reports across configurations.
@@ -42,7 +53,55 @@ impl MatrixRow {
     }
 }
 
-/// Runs `workload` on every configuration in `kinds`.
+/// Simulator-throughput measurements of one matrix run.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixStats {
+    /// Number of `(workload, configuration)` simulation jobs.
+    pub jobs: usize,
+    /// Worker threads the pool ran with.
+    pub threads: usize,
+    /// Wall-clock of the whole batch.
+    pub wall: Duration,
+    /// Summed per-job host time (the serial-equivalent cost).
+    pub busy: Duration,
+    /// Total simulated cycles (GPU + CPU) across all jobs.
+    pub sim_cycles: u64,
+}
+
+impl MatrixStats {
+    /// Jobs completed per host second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        self.jobs as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Simulated cycles per host second (simulator throughput).
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Ratio of serial-equivalent time to wall-clock (the realized
+    /// parallel speedup).
+    pub fn speedup(&self) -> f64 {
+        self.busy.as_secs_f64() / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// The throughput line the binaries print.
+    pub fn summary(&self) -> String {
+        format!(
+            "[harness] {} jobs on {} thread{} in {:.2?} — {:.1} jobs/s, \
+             {:.2} Msimcycles/s, speedup {:.2}x",
+            self.jobs,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+            self.wall,
+            self.jobs_per_sec(),
+            self.sim_cycles_per_sec() / 1e6,
+            self.speedup(),
+        )
+    }
+}
+
+/// Runs `workload` on every configuration in `kinds`, serially.
 ///
 /// # Panics
 ///
@@ -50,14 +109,7 @@ impl MatrixRow {
 pub fn run_workload(workload: &Workload, kinds: &[MemConfigKind]) -> MatrixRow {
     let reports = kinds
         .iter()
-        .map(|&kind| {
-            let program = (workload.build)(kind);
-            let mut machine = Machine::new(workload.set.system_config(), kind);
-            let report = machine
-                .run(&program)
-                .unwrap_or_else(|e| panic!("{} on {kind}: {e}", workload.name));
-            (kind, report)
-        })
+        .map(|&kind| (kind, run_cell(workload, kind)))
         .collect();
     MatrixRow {
         workload: workload.name,
@@ -65,9 +117,78 @@ pub fn run_workload(workload: &Workload, kinds: &[MemConfigKind]) -> MatrixRow {
     }
 }
 
-/// Runs several workloads over the configuration list.
+/// One cell of the matrix: `workload` on `kind`, a self-contained job.
+///
+/// # Panics
+///
+/// Panics if the simulation rejects the program (a workload/config bug).
+pub fn run_cell(workload: &Workload, kind: MemConfigKind) -> RunReport {
+    let program = (workload.build)(kind);
+    let mut machine = Machine::new(workload.set.system_config(), kind);
+    machine
+        .run(&program)
+        .unwrap_or_else(|e| panic!("{} on {kind}: {e}", workload.name))
+}
+
+/// Runs several workloads over the configuration list, serially.
+///
+/// The serial reference path: identical output to
+/// [`run_matrix_parallel`] at any thread count.
 pub fn run_matrix(workloads: &[Workload], kinds: &[MemConfigKind]) -> Vec<MatrixRow> {
-    workloads.iter().map(|w| run_workload(w, kinds)).collect()
+    run_matrix_parallel(workloads, kinds, 1).0
+}
+
+/// Fans the full `(workload × configuration)` matrix out across
+/// `threads` pool workers and reassembles the rows in input order.
+///
+/// Every cell is an independent [`Machine`], so scheduling cannot affect
+/// results; the returned rows are byte-identical to a serial run.
+///
+/// # Panics
+///
+/// Panics if any simulation rejects its program (a workload/config bug).
+pub fn run_matrix_parallel(
+    workloads: &[Workload],
+    kinds: &[MemConfigKind],
+    threads: usize,
+) -> (Vec<MatrixRow>, MatrixStats) {
+    let pool = JobPool::new(threads);
+    let start = Instant::now();
+    let jobs: Vec<_> = workloads
+        .iter()
+        .flat_map(|w| kinds.iter().map(move |&kind| (w, kind)))
+        .map(|(w, kind)| move || run_cell(w, kind))
+        .collect();
+    let jobs_len = jobs.len();
+    let results = pool.run(jobs);
+    let wall = start.elapsed();
+
+    let busy = results.iter().map(|r| r.host_time).sum();
+    let sim_cycles = results
+        .iter()
+        .map(|r| r.value.gpu_cycles + r.value.cpu_cycles)
+        .sum();
+    let mut reports = results.into_iter().map(|r| r.value);
+    let rows = workloads
+        .iter()
+        .map(|w| MatrixRow {
+            workload: w.name,
+            reports: kinds
+                .iter()
+                .map(|&kind| (kind, reports.next().expect("one report per cell")))
+                .collect(),
+        })
+        .collect();
+    (
+        rows,
+        MatrixStats {
+            jobs: jobs_len,
+            threads: pool.threads(),
+            wall,
+            busy,
+            sim_cycles,
+        },
+    )
 }
 
 /// Which quantity a figure panel plots.
@@ -113,7 +234,22 @@ impl FigurePanel {
         }
     }
 
+    /// The panel's raw quantity for one report.
+    pub fn raw(self, report: &RunReport) -> u64 {
+        match self {
+            FigurePanel::Time => report.total_picos,
+            FigurePanel::Energy => report.total_energy(),
+            FigurePanel::Instructions => report.gpu_instructions,
+            FigurePanel::Traffic => report.traffic.total_crossings(),
+        }
+    }
+
     /// The normalized percentage for one report (baseline = 100).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline quantity is zero; degenerate inputs should
+    /// go through [`FigurePanel::percent_or_baseline`].
     pub fn percent(self, report: &RunReport, baseline: &RunReport) -> u64 {
         match self {
             FigurePanel::Time => report.time_percent_of(baseline),
@@ -122,11 +258,26 @@ impl FigurePanel {
             FigurePanel::Traffic => report.traffic_percent_of(baseline),
         }
     }
+
+    /// Like [`FigurePanel::percent`], but a zero-quantity baseline
+    /// (possible for any panel in degenerate workloads — e.g. an empty
+    /// trace, or traffic-free microbenchmarks) normalizes to 100 instead
+    /// of panicking.
+    pub fn percent_or_baseline(self, report: &RunReport, baseline: &RunReport) -> u64 {
+        if self.raw(baseline) == 0 {
+            return 100;
+        }
+        self.percent(report, baseline)
+    }
 }
 
 /// Prints one panel as the paper's normalized bars (Scratch = 100%).
 pub fn print_panel(panel: FigurePanel, rows: &[MatrixRow], kinds: &[MemConfigKind]) {
     println!("\n=== {} (normalized to Scratch = 100) ===", panel.title());
+    if rows.is_empty() {
+        println!("(no workloads)");
+        return;
+    }
     print!("{:<12}", "workload");
     for k in kinds {
         print!("{:>10}", k.name());
@@ -137,7 +288,7 @@ pub fn print_panel(panel: FigurePanel, rows: &[MatrixRow], kinds: &[MemConfigKin
         print!("{:<12}", row.workload);
         let base = row.baseline();
         for (i, &k) in kinds.iter().enumerate() {
-            let pct = panel.percent(row.report(k), base);
+            let pct = panel.percent_or_baseline(row.report(k), base);
             sums[i] += pct;
             print!("{pct:>9}%");
         }
@@ -188,17 +339,21 @@ pub fn print_panel(panel: FigurePanel, rows: &[MatrixRow], kinds: &[MemConfigKin
 }
 
 /// Geometric-mean style summary the paper quotes in §6.2/§6.3: the
-/// average percentage-point reduction of `subject` vs `versus`.
+/// average percentage-point reduction of `subject` vs `versus`. Zero for
+/// an empty matrix.
 pub fn average_reduction(
     rows: &[MatrixRow],
     panel: FigurePanel,
     subject: MemConfigKind,
     versus: MemConfigKind,
 ) -> i64 {
+    if rows.is_empty() {
+        return 0;
+    }
     let mut total = 0i64;
     for row in rows {
-        let s = panel.percent(row.report(subject), row.baseline()) as i64;
-        let v = panel.percent(row.report(versus), row.baseline()) as i64;
+        let s = panel.percent_or_baseline(row.report(subject), row.baseline()) as i64;
+        let v = panel.percent_or_baseline(row.report(versus), row.baseline()) as i64;
         // Reduction relative to the comparison configuration.
         total += 100 - s * 100 / v.max(1);
     }
@@ -219,33 +374,35 @@ pub fn write_csv(
 ) -> std::io::Result<()> {
     use std::io::Write;
     let mut f = std::fs::File::create(path)?;
-    writeln!(
-        f,
+    f.write_all(csv_bytes(rows, kinds).as_bytes())
+}
+
+/// The CSV text [`write_csv`] produces (determinism tests compare these
+/// bytes across thread counts).
+pub fn csv_bytes(rows: &[MatrixRow], kinds: &[MemConfigKind]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    out.push_str(
         "workload,config,time_pct,energy_pct,instructions_pct,traffic_pct,\
          time_ps,energy_fj,gpu_instructions,flit_crossings,read_crossings,\
-         write_crossings,writeback_crossings"
-    )?;
+         write_crossings,writeback_crossings\n",
+    );
     for row in rows {
         let base = row.baseline();
-        // A zero-quantity baseline (possible for traffic in degenerate
-        // workloads) normalizes to 100 rather than panicking.
-        let safe = |panel: FigurePanel, r: &RunReport| {
-            if panel == FigurePanel::Traffic && base.traffic.total_crossings() == 0 {
-                return 100;
-            }
-            panel.percent(r, base)
-        };
         for &k in kinds {
             let r = row.report(k);
+            // A zero-quantity baseline (possible for every panel in
+            // degenerate workloads) normalizes to 100 rather than
+            // panicking.
             writeln!(
-                f,
+                out,
                 "{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 row.workload,
                 k.name(),
-                safe(FigurePanel::Time, r),
-                safe(FigurePanel::Energy, r),
-                safe(FigurePanel::Instructions, r),
-                safe(FigurePanel::Traffic, r),
+                FigurePanel::Time.percent_or_baseline(r, base),
+                FigurePanel::Energy.percent_or_baseline(r, base),
+                FigurePanel::Instructions.percent_or_baseline(r, base),
+                FigurePanel::Traffic.percent_or_baseline(r, base),
                 r.total_picos,
                 r.total_energy(),
                 r.gpu_instructions,
@@ -253,10 +410,11 @@ pub fn write_csv(
                 r.traffic.crossings(MsgClass::Read),
                 r.traffic.crossings(MsgClass::Write),
                 r.traffic.crossings(MsgClass::Writeback),
-            )?;
+            )
+            .expect("writing to String cannot fail");
         }
     }
-    Ok(())
+    out
 }
 
 #[cfg(test)]
@@ -278,7 +436,10 @@ mod tests {
         MatrixRow {
             workload: "fake",
             reports: vec![
-                (MemConfigKind::Scratch, fake_report(scratch.0, scratch.1, scratch.2)),
+                (
+                    MemConfigKind::Scratch,
+                    fake_report(scratch.0, scratch.1, scratch.2),
+                ),
                 (MemConfigKind::Stash, fake_report(stash.0, stash.1, stash.2)),
             ],
         }
@@ -308,10 +469,37 @@ mod tests {
     }
 
     #[test]
+    fn zero_baseline_normalizes_to_100_instead_of_panicking() {
+        // An all-zero baseline row: every panel quantity is degenerate.
+        let row = fake_row((0, 0, 0), (500, 500, 60));
+        let base = row.baseline();
+        let stash = row.report(MemConfigKind::Stash);
+        for panel in FigurePanel::FIG5 {
+            assert_eq!(panel.percent_or_baseline(stash, base), 100);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_prints_and_averages_without_panicking() {
+        print_panel(FigurePanel::Time, &[], &[MemConfigKind::Scratch]);
+        assert_eq!(
+            average_reduction(
+                &[],
+                FigurePanel::Time,
+                MemConfigKind::Stash,
+                MemConfigKind::Scratch,
+            ),
+            0
+        );
+        let csv = csv_bytes(&[], &[MemConfigKind::Scratch]);
+        assert_eq!(csv.lines().count(), 1, "header only");
+    }
+
+    #[test]
     fn average_reduction_over_rows() {
         let rows = vec![
-            fake_row((1000, 1000, 10), (500, 500, 10)),  // 50% reduction
-            fake_row((1000, 1000, 10), (750, 750, 10)),  // 25% reduction
+            fake_row((1000, 1000, 10), (500, 500, 10)), // 50% reduction
+            fake_row((1000, 1000, 10), (750, 750, 10)), // 25% reduction
         ];
         let avg = average_reduction(
             &rows,
@@ -328,7 +516,12 @@ mod tests {
         let dir = std::env::temp_dir().join("stash_repro_csv_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("out.csv");
-        write_csv(&path, &rows, &[MemConfigKind::Scratch, MemConfigKind::Stash]).unwrap();
+        write_csv(
+            &path,
+            &rows,
+            &[MemConfigKind::Scratch, MemConfigKind::Stash],
+        )
+        .unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3); // header + 2 configurations
@@ -336,6 +529,15 @@ mod tests {
         assert!(lines[1].starts_with("fake,Scratch,100"));
         assert!(lines[2].starts_with("fake,Stash,50"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_baseline_csv_writes_100_for_every_panel() {
+        let rows = vec![fake_row((0, 0, 0), (500, 500, 5))];
+        let csv = csv_bytes(&rows, &[MemConfigKind::Scratch, MemConfigKind::Stash]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[1].starts_with("fake,Scratch,100,100,100,100"));
+        assert!(lines[2].starts_with("fake,Stash,100,100,100,100"));
     }
 
     #[test]

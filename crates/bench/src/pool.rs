@@ -1,0 +1,192 @@
+//! A coarse-grain job pool for simulation runs.
+//!
+//! Every `(workload, configuration, sweep-point)` cell of the evaluation
+//! matrix is an independent simulation — each [`gpu::machine::Machine`]
+//! is fully self-contained state — so the harness fans cells out across
+//! OS threads and collects results back **in input order**. Determinism
+//! is the contract: a pooled run returns exactly what a serial loop over
+//! the same jobs would, byte for byte, regardless of thread count or
+//! scheduling (enforced by `tests/determinism.rs`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One completed job: its payload plus the host wall-clock it took.
+#[derive(Debug, Clone)]
+pub struct JobResult<T> {
+    /// The job's return value.
+    pub value: T,
+    /// Host wall-clock spent inside the job closure.
+    pub host_time: Duration,
+}
+
+/// A fixed-width pool of worker threads for a batch of jobs.
+///
+/// # Example
+///
+/// ```
+/// use bench::pool::JobPool;
+///
+/// let pool = JobPool::new(4);
+/// let jobs: Vec<_> = (0..10).map(|i| move || i * i).collect();
+/// let results = pool.run(jobs);
+/// let values: Vec<i32> = results.into_iter().map(|r| r.value).collect();
+/// assert_eq!(values, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct JobPool {
+    threads: usize,
+}
+
+impl JobPool {
+    /// Creates a pool with `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every job, returning results in the jobs' input order.
+    ///
+    /// With one worker the jobs run inline on the calling thread — the
+    /// serial reference path. With more, scoped threads pull jobs off a
+    /// shared index; result slots are keyed by job index, so completion
+    /// order never leaks into the output.
+    ///
+    /// # Panics
+    ///
+    /// A panicking job propagates after the batch (scoped-thread join),
+    /// matching a serial loop's abort-on-first-failure semantics.
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<JobResult<T>>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.threads == 1 || n == 1 {
+            return jobs
+                .into_iter()
+                .map(|job| {
+                    let start = Instant::now();
+                    let value = job();
+                    JobResult {
+                        value,
+                        host_time: start.elapsed(),
+                    }
+                })
+                .collect();
+        }
+
+        // Each job sits in its own slot; workers claim indices through an
+        // atomic cursor and deposit results into the matching result slot.
+        let job_slots: Vec<Mutex<Option<F>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let result_slots: Vec<Mutex<Option<JobResult<T>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let job = job_slots[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("job claimed twice");
+                    let start = Instant::now();
+                    let value = job();
+                    *result_slots[i].lock().expect("result slot poisoned") = Some(JobResult {
+                        value,
+                        host_time: start.elapsed(),
+                    });
+                });
+            }
+        });
+
+        result_slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("job never completed")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        // Jobs finish out of order (later jobs are cheaper), results
+        // must not.
+        let pool = JobPool::new(4);
+        let jobs: Vec<_> = (0..32u64)
+            .map(|i| {
+                move || {
+                    let mut acc = 0u64;
+                    for k in 0..(32 - i) * 1000 {
+                        acc = acc.wrapping_add(k).rotate_left(1);
+                    }
+                    (i, acc)
+                }
+            })
+            .collect();
+        let out = pool.run(jobs);
+        assert_eq!(out.len(), 32);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(r.value.0, i as u64);
+        }
+    }
+
+    #[test]
+    fn one_thread_matches_many_threads() {
+        let job_list = || (0..16u32).map(|i| move || i * 3 + 1).collect::<Vec<_>>();
+        let serial: Vec<u32> = JobPool::new(1)
+            .run(job_list())
+            .into_iter()
+            .map(|r| r.value)
+            .collect();
+        let parallel: Vec<u32> = JobPool::new(8)
+            .run(job_list())
+            .into_iter()
+            .map(|r| r.value)
+            .collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let out = JobPool::new(4).run(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(JobPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn host_time_is_recorded() {
+        let out = JobPool::new(2).run(vec![
+            || std::thread::sleep(Duration::from_millis(2)),
+            || std::thread::sleep(Duration::from_millis(2)),
+        ]);
+        assert!(out.iter().all(|r| r.host_time >= Duration::from_millis(1)));
+    }
+}

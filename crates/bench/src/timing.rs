@@ -1,0 +1,57 @@
+//! A minimal measurement harness for the `benches/` targets.
+//!
+//! The benches are plain `main()` binaries (`harness = false`): each
+//! calls [`bench`] per case, which runs the closure a fixed number of
+//! times and prints min / mean / max wall-clock. No statistics engine —
+//! the simulations are deterministic, so run-to-run noise is purely
+//! host-side and min is the robust figure.
+
+use std::time::{Duration, Instant};
+
+/// Samples per benchmark case.
+pub const SAMPLES: usize = 10;
+
+/// One measured case: timing summary over [`SAMPLES`] runs.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Fastest observed run.
+    pub min: Duration,
+    /// Mean over all runs.
+    pub mean: Duration,
+    /// Slowest observed run.
+    pub max: Duration,
+}
+
+/// Runs `f` [`SAMPLES`] times, prints a `name: min/mean/max` line, and
+/// returns the measurement. A result-consuming closure keeps the work
+/// from being optimized away.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
+    let mut times = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        let value = f();
+        times.push(start.elapsed());
+        std::hint::black_box(value);
+    }
+    let min = *times.iter().min().expect("SAMPLES > 0");
+    let max = *times.iter().max().expect("SAMPLES > 0");
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    println!("{name:<40} min {min:>10.2?}  mean {mean:>10.2?}  max {max:>10.2?}");
+    Measurement { min, mean, max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_measures() {
+        let mut calls = 0u32;
+        let m = bench("test-case", || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, SAMPLES as u32);
+        assert!(m.min <= m.mean && m.mean <= m.max);
+    }
+}

@@ -140,6 +140,9 @@ mod tests {
     fn iter_covers_all_components_in_order() {
         let acct = EnergyAccount::new();
         let labels: Vec<_> = acct.iter().map(|(c, _)| c.label()).collect();
-        assert_eq!(labels, vec!["GPU core+", "L1 D$", "Scratch/Stash", "L2 $", "N/W"]);
+        assert_eq!(
+            labels,
+            vec!["GPU core+", "L1 D$", "Scratch/Stash", "L2 $", "N/W"]
+        );
     }
 }

@@ -122,6 +122,8 @@ mod tests {
     fn table3_rows_cover_all_units() {
         let rows = EnergyModel::default().table3_rows();
         assert_eq!(rows.len(), 4);
-        assert!(rows.iter().any(|(n, _, m)| *n == "Scratchpad" && m.is_none()));
+        assert!(rows
+            .iter()
+            .any(|(n, _, m)| *n == "Scratchpad" && m.is_none()));
     }
 }

@@ -79,14 +79,15 @@ pub fn run_cpu_phase(mem: &mut MemorySystem, phase: &CpuPhase) -> Result<u64, Si
                     t += 1 + mem.cpu_access(core, *write, *vaddr);
                 }
                 CpuOp::StashMem { write, slot, word } => {
-                    let (map, _) = *core_maps
-                        .get(core)
-                        .and_then(|m| m.get(*slot))
-                        .ok_or_else(|| {
-                            SimError::InvalidMapping(format!(
-                                "CPU core {core} has no stash mapping slot {slot}"
-                            ))
-                        })?;
+                    let (map, _) =
+                        *core_maps
+                            .get(core)
+                            .and_then(|m| m.get(*slot))
+                            .ok_or_else(|| {
+                                SimError::InvalidMapping(format!(
+                                    "CPU core {core} has no stash mapping slot {slot}"
+                                ))
+                            })?;
                     let cost = mem.stash_tx(gpu_cus + core, *write, 0, &[*word], map)?;
                     t += 1 + cost.latency + cost.occupancy;
                 }

@@ -584,8 +584,7 @@ mod tests {
             tb
         };
         let blocks = [mk(0x10000), mk(0x90000), mk(0x110000)];
-        let refs: Vec<(usize, &ThreadBlock)> =
-            blocks.iter().enumerate().map(|(i, b)| (i, b)).collect();
+        let refs: Vec<(usize, &ThreadBlock)> = blocks.iter().enumerate().collect();
         let mut m = memsys(MemConfigKind::Stash);
         run_cu_blocks(&mut m, 0, &refs).unwrap();
         assert_eq!(m.counters().get("stash.addmap"), 3);

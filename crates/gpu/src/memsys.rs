@@ -30,9 +30,12 @@ use mem::scratchpad::Scratchpad;
 use mem::tile::TileMap;
 use noc::{Mesh, Message, MsgClass, Network, NodeId};
 use sim::config::SystemConfig;
-use sim::stats::Counters;
+use sim::stats::{Counter, Counters};
 use sim::SimError;
-use stash::{AddMapOutcome, LoadOutcome, MapIndex, Stash, StashConfig, StoreOutcome, UsageMode, WritebackWord};
+use stash::{
+    AddMapOutcome, LoadOutcome, MapIndex, Stash, StashConfig, StoreOutcome, UsageMode,
+    WritebackWord,
+};
 
 /// The cost of one memory transaction.
 ///
@@ -252,7 +255,7 @@ impl MemorySystem {
 
     fn llc_access(&mut self) {
         self.energy.add(Component::L2, self.model.l2_access);
-        self.counters.bump("llc.access");
+        self.counters.bump(Counter::LlcAccess);
     }
 
     /// Records `n` issued GPU warp instructions (GPU core+ energy).
@@ -295,12 +298,11 @@ impl MemorySystem {
     }
 
     fn cache_tx(&mut self, core: CoreId, write: bool, tx: &Transaction, charge_l1: bool) -> u64 {
-        let prefix: &'static str = if charge_l1 { "gpu.l1" } else { "cpu.l1" };
         self.counters.bump(match (charge_l1, write) {
-            (true, false) => "gpu.l1.load_tx",
-            (true, true) => "gpu.l1.store_tx",
-            (false, false) => "cpu.l1.load_tx",
-            (false, true) => "cpu.l1.store_tx",
+            (true, false) => Counter::GpuL1LoadTx,
+            (true, true) => Counter::GpuL1StoreTx,
+            (false, false) => Counter::CpuL1LoadTx,
+            (false, true) => Counter::CpuL1StoreTx,
         });
         // Physically indexed L1: a TLB access per transaction. The paper
         // does not charge CPU-side core/L1 energy (§5.2).
@@ -323,14 +325,17 @@ impl MemorySystem {
             if charge_l1 {
                 self.energy.add(Component::L1, self.model.l1_hit);
             }
-            let _ = prefix;
             return self.cfg.l1_hit_cycles;
         }
 
         if charge_l1 {
             self.energy.add(Component::L1, self.model.l1_miss);
         }
-        self.counters.bump(if charge_l1 { "gpu.l1.miss" } else { "cpu.l1.miss" });
+        self.counters.bump(if charge_l1 {
+            Counter::GpuL1Miss
+        } else {
+            Counter::CpuL1Miss
+        });
 
         // Allocate the tag, writing back any displaced registered words.
         let ensure = self.l1s[core.0].ensure_line(pas[0]);
@@ -360,7 +365,7 @@ impl MemorySystem {
                     let pa = line.word_addr(w);
                     let out = self.llc.register_word(line, w, Registration::Cache(core));
                     if let Some(prev) = out.previous {
-                        self.counters.bump("coherence.false_sharing_revocation");
+                        self.counters.bump(Counter::CoherenceFalseSharingRevocation);
                         revoked.push((prev, pa));
                     }
                     self.l1s[core.0].set_word(pa, mem::coherence::WordState::Registered);
@@ -380,7 +385,7 @@ impl MemorySystem {
         let (from_memory, skip) = self.llc.line_fill(line, core);
         self.llc_access();
         if from_memory {
-            self.counters.bump("dram.line_fetch");
+            self.counters.bump(Counter::DramLineFetch);
         }
         let supplied = self.l1s[core.0].words_per_line() - skip.len();
         self.send(my_node, home, Message::control(MsgClass::Read));
@@ -391,7 +396,11 @@ impl MemorySystem {
         );
         self.l1s[core.0].fill_line_shared(pas[0], &skip);
         let mut latency = self.round_trip(my_node, home)
-            + if from_memory { self.cfg.dram_extra_cycles } else { 0 };
+            + if from_memory {
+                self.cfg.dram_extra_cycles
+            } else {
+                0
+            };
 
         // Forward-fetch the needed words the LLC could not supply.
         for &pa in &pas {
@@ -420,7 +429,7 @@ impl MemorySystem {
             // moved between cache and stash across kernels). A registry
             // lookup round trip plus a local read; no data crosses the
             // network.
-            self.counters.bump("remote.self_forward");
+            self.counters.bump(Counter::RemoteSelfForward);
             self.send(rn, home, Message::control(MsgClass::Read));
             self.send(home, rn, Message::control(MsgClass::Read));
             self.llc_access();
@@ -434,7 +443,7 @@ impl MemorySystem {
             }
             return self.round_trip(rn, home) + self.cfg.l1_hit_cycles;
         }
-        self.counters.bump("remote.forward");
+        self.counters.bump(Counter::RemoteForward);
         let l1 = self.send(rn, home, Message::control(MsgClass::Read));
         let l2 = self.send(home, on, Message::control(MsgClass::Read));
         // Owner supplies the word; it keeps its registration (DeNovo).
@@ -446,7 +455,7 @@ impl MemorySystem {
                     self.energy.add(Component::LocalMem, self.model.stash_hit);
                     self.energy.add(Component::LocalMem, self.model.tlb_access);
                     if self.stashes[cu].remote_request(pa).is_none() {
-                        self.counters.bump("remote.stash_stale");
+                        self.counters.bump(Counter::RemoteStashStale);
                     }
                 }
             }
@@ -493,7 +502,7 @@ impl MemorySystem {
         for &w in words {
             self.llc.writeback_word(*line, w, core);
         }
-        self.counters.add("wb.cache_words", words.len() as u64);
+        self.counters.add(Counter::WbCacheWords, words.len() as u64);
     }
 
     // ------------------------------------------------------------------
@@ -503,14 +512,16 @@ impl MemorySystem {
     /// One warp scratchpad transaction on CU `cu` at byte offsets
     /// `base_bytes + 4 * lane_word` — direct addressed, never misses.
     pub fn scratch_tx(&mut self, cu: usize, base_bytes: usize, lane_words: &[u32]) -> u64 {
-        self.counters.bump("scratch.access");
+        self.counters.bump(Counter::ScratchAccess);
         self.energy
             .add(Component::LocalMem, self.model.scratchpad_access);
         let offsets: Vec<usize> = lane_words
             .iter()
             .map(|&w| base_bytes + w as usize * WORD_BYTES as usize)
             .collect();
-        self.scratchpads[cu].conflict_cycles(&offsets).max(self.cfg.l1_hit_cycles)
+        self.scratchpads[cu]
+            .conflict_cycles(&offsets)
+            .max(self.cfg.l1_hit_cycles)
     }
 
     /// Scratchpad allocation for a thread block (machine-level runtime).
@@ -519,11 +530,13 @@ impl MemorySystem {
     ///
     /// Returns [`SimError::OutOfRange`] if the space does not fit.
     pub fn scratch_alloc(&mut self, cu: usize, bytes: usize) -> Result<usize, SimError> {
-        self.scratchpads[cu].alloc(bytes).map_err(|short| SimError::OutOfRange {
-            what: "scratchpad allocation",
-            offset: bytes + short,
-            size: self.scratchpads[cu].capacity_bytes(),
-        })
+        self.scratchpads[cu]
+            .alloc(bytes)
+            .map_err(|short| SimError::OutOfRange {
+                what: "scratchpad allocation",
+                offset: bytes + short,
+                size: self.scratchpads[cu].capacity_bytes(),
+            })
     }
 
     /// Frees every scratchpad allocation on `cu` (wave boundary).
@@ -551,17 +564,20 @@ impl MemorySystem {
         mode: UsageMode,
     ) -> Result<AddMapOutcome, SimError> {
         let out = self.stashes[cu].add_map(tb, tile, base_word, mode)?;
-        self.counters.bump("stash.addmap");
+        self.counters.bump(Counter::StashAddMap);
         if out.replicates {
-            self.counters.bump("stash.addmap_replicated");
+            self.counters.bump(Counter::StashAddMapReplicated);
         }
         // Displaced-entry writebacks block the core; charged by the caller
         // via the returned outcome if desired (rare).
         let wbs = out.writebacks.clone();
         self.perform_stash_writebacks(cu, &wbs);
-        self.counters.add("stash.vp_fills", out.new_pages as u64);
-        self.energy
-            .add(Component::LocalMem, out.new_pages as u64 * self.model.tlb_access);
+        self.counters
+            .add(Counter::StashVpFills, out.new_pages as u64);
+        self.energy.add(
+            Component::LocalMem,
+            out.new_pages as u64 * self.model.tlb_access,
+        );
         Ok(out)
     }
 
@@ -580,7 +596,7 @@ impl MemorySystem {
         mode: UsageMode,
     ) -> Result<(), SimError> {
         let out = self.stashes[cu].chg_map(tb, slot, tile, mode)?;
-        self.counters.bump("stash.chgmap");
+        self.counters.bump(Counter::StashChgMap);
         let wbs = out.writebacks.clone();
         self.perform_stash_writebacks(cu, &wbs);
         if !out.registrations.is_empty() {
@@ -590,9 +606,12 @@ impl MemorySystem {
             let regs = out.registrations.clone();
             self.stash_global_fetches(cu, map, &[], &regs)?;
         }
-        self.counters.add("stash.vp_fills", out.new_pages as u64);
-        self.energy
-            .add(Component::LocalMem, out.new_pages as u64 * self.model.tlb_access);
+        self.counters
+            .add(Counter::StashVpFills, out.new_pages as u64);
+        self.energy.add(
+            Component::LocalMem,
+            out.new_pages as u64 * self.model.tlb_access,
+        );
         Ok(())
     }
 
@@ -616,11 +635,12 @@ impl MemorySystem {
         map: MapIndex,
     ) -> Result<TxCost, SimError> {
         let flits_before = self.net.traffic().total_flits();
-        self.counters.bump(if write { "stash.store_tx" } else { "stash.load_tx" });
-        let mut words: Vec<usize> = lane_words
-            .iter()
-            .map(|&w| base_word + w as usize)
-            .collect();
+        self.counters.bump(if write {
+            Counter::StashStoreTx
+        } else {
+            Counter::StashLoadTx
+        });
+        let mut words: Vec<usize> = lane_words.iter().map(|&w| base_word + w as usize).collect();
         words.sort_unstable();
         words.dedup();
 
@@ -664,7 +684,7 @@ impl MemorySystem {
                     LoadOutcome::Hit => {}
                     LoadOutcome::ReplicaHit { .. } => {
                         // One extra storage read for the internal copy.
-                        self.counters.bump("stash.replica_hit");
+                        self.counters.bump(Counter::StashReplicaHit);
                         self.energy.add(Component::LocalMem, self.model.stash_hit);
                     }
                     LoadOutcome::Miss { vaddr, writebacks } => {
@@ -675,11 +695,9 @@ impl MemorySystem {
                         // the miss to neighbouring mapped words.
                         let widen = self.stashes[cu].config().fetch_words;
                         if widen > 1 {
-                            for (nw, nva) in
-                                self.stashes[cu].prefetch_candidates(w, map, widen)
-                            {
+                            for (nw, nva) in self.stashes[cu].prefetch_candidates(w, map, widen) {
                                 if !load_fetches.iter().any(|&(x, _)| x == nw) {
-                                    self.counters.bump("stash.widened_fetch");
+                                    self.counters.bump(Counter::StashWidenedFetch);
                                     load_fetches.push((nw, nva));
                                 }
                             }
@@ -692,15 +710,19 @@ impl MemorySystem {
         // Local storage energy: hit vs miss per transaction (Table 3).
         self.energy.add(
             Component::LocalMem,
-            if missed { self.model.stash_miss } else { self.model.stash_hit },
+            if missed {
+                self.model.stash_miss
+            } else {
+                self.model.stash_hit
+            },
         );
         if missed {
-            self.counters.bump("stash.miss");
+            self.counters.bump(Counter::StashMiss);
             // Miss translation: VP-map TLB access + 6 ALU ops (10 cycles).
             self.energy.add(Component::LocalMem, self.model.tlb_access);
             latency += self.cfg.stash_translation_cycles;
         } else {
-            self.counters.bump("stash.hit");
+            self.counters.bump(Counter::StashHit);
         }
 
         latency += self.stash_global_fetches(cu, map, &load_fetches, &registrations)?;
@@ -749,10 +771,9 @@ impl MemorySystem {
                 match self.llc.load_word(line, widx) {
                     LlcLoadOutcome::Data { from_memory } => {
                         if from_memory {
-                            self.counters.bump("dram.line_fetch");
-                            lat = lat.max(
-                                self.round_trip(my_node, home) + self.cfg.dram_extra_cycles,
-                            );
+                            self.counters.bump(Counter::DramLineFetch);
+                            lat = lat
+                                .max(self.round_trip(my_node, home) + self.cfg.dram_extra_cycles);
                         }
                         supplied += 1;
                     }
@@ -762,9 +783,9 @@ impl MemorySystem {
                         // message pair covers the whole line group.
                         self_forwards += 1;
                         match reg {
-                            Registration::Stash { .. } => self
-                                .energy
-                                .add(Component::LocalMem, self.model.stash_hit),
+                            Registration::Stash { .. } => {
+                                self.energy.add(Component::LocalMem, self.model.stash_hit)
+                            }
                             Registration::Cache(_) => {
                                 self.energy.add(Component::L1, self.model.l1_hit)
                             }
@@ -777,7 +798,8 @@ impl MemorySystem {
                 self.stashes[cu].complete_load_fill(w);
             }
             if self_forwards > 0 {
-                self.counters.add("remote.self_forward", self_forwards as u64);
+                self.counters
+                    .add(Counter::RemoteSelfForward, self_forwards as u64);
                 self.send(home, my_node, Message::control(MsgClass::Read));
                 lat = lat.max(self.round_trip(my_node, home) + self.cfg.l1_hit_cycles);
             }
@@ -788,7 +810,8 @@ impl MemorySystem {
                     Message::data(MsgClass::Read, supplied * WORD_BYTES as usize),
                 );
             }
-            self.counters.add("stash.fetch_words", group.len() as u64);
+            self.counters
+                .add(Counter::StashFetchWords, group.len() as u64);
             extra = extra.max(lat);
         }
 
@@ -824,7 +847,8 @@ impl MemorySystem {
                 }
                 self.stashes[cu].complete_store_fill(w, map);
             }
-            self.counters.add("stash.register_words", group.len() as u64);
+            self.counters
+                .add(Counter::StashRegisterWords, group.len() as u64);
             extra = extra.max(self.round_trip(my_node, home));
         }
         Ok(extra)
@@ -863,7 +887,7 @@ impl MemorySystem {
             for pa in pas {
                 let widx = pa.word_in_line(line_bytes);
                 self.llc.writeback_word(line, widx, core);
-                self.counters.bump("wb.stash_words");
+                self.counters.bump(Counter::WbStashWords);
             }
         }
     }
@@ -872,7 +896,7 @@ impl MemorySystem {
     /// Global-unmapped modes): the stash behaves exactly like a
     /// scratchpad — direct addressing, bank conflicts, no global actions.
     pub fn stash_raw_tx(&mut self, _cu: usize, base_word: usize, lane_words: &[u32]) -> u64 {
-        self.counters.bump("stash.raw_access");
+        self.counters.bump(Counter::StashRawAccess);
         self.energy.add(Component::LocalMem, self.model.stash_hit);
         let banks = self.cfg.local_banks;
         let mut per_bank = vec![0u64; banks];
@@ -902,14 +926,14 @@ impl MemorySystem {
         if self.eager_stash_writebacks {
             for cu in 0..self.stashes.len() {
                 let wbs = self.stashes[cu].drain_writebacks();
-                self.counters.add("wb.eager_drained", wbs.len() as u64);
+                self.counters.add(Counter::WbEagerDrained, wbs.len() as u64);
                 self.perform_stash_writebacks(cu, &wbs);
             }
         }
         for s in &mut self.stashes {
             s.end_kernel();
         }
-        self.counters.bump("gpu.kernels");
+        self.counters.bump(Counter::GpuKernels);
     }
 
     /// §8 extension: eagerly fetches every unfetched word of a fresh
@@ -922,7 +946,8 @@ impl MemorySystem {
         if words.is_empty() {
             return Ok(0);
         }
-        self.counters.add("stash.prefetch_words", words.len() as u64);
+        self.counters
+            .add(Counter::StashPrefetchWords, words.len() as u64);
         self.energy.add(Component::LocalMem, self.model.stash_miss);
         self.energy.add(Component::LocalMem, self.model.tlb_access);
         let lat = self.stash_global_fetches(cu, map, &words, &[])?;
@@ -958,7 +983,7 @@ impl MemorySystem {
             }
         }
 
-        self.counters.add("dma.words", dma.word_count());
+        self.counters.add(Counter::DmaWords, dma.word_count());
         let mut issue = 0u64;
         let mut done = 0u64;
         for (line, pas) in by_line {
@@ -986,7 +1011,7 @@ impl MemorySystem {
                     match self.llc.load_word(line, widx) {
                         LlcLoadOutcome::Data { from_memory } => {
                             if from_memory {
-                                self.counters.bump("dram.line_fetch");
+                                self.counters.bump(Counter::DramLineFetch);
                                 lat += self.cfg.dram_extra_cycles;
                             }
                             supplied += 1;
@@ -1187,14 +1212,18 @@ mod tests {
     fn lazy_writeback_traffic_appears_on_reclaim() {
         let mut m = micro(MemConfigKind::Stash);
         let t1 = TileMap::new(VAddr(0x10000), 4, 16, 16, 0, 1).unwrap();
-        let out1 = m.stash_add_map(0, 0, t1, 0, UsageMode::MappedCoherent).unwrap();
+        let out1 = m
+            .stash_add_map(0, 0, t1, 0, UsageMode::MappedCoherent)
+            .unwrap();
         m.stash_tx(0, true, 0, &[0], out1.index).unwrap();
         m.end_thread_block(0, 0);
         m.end_kernel();
         assert_eq!(m.counters().get("wb.stash_words"), 0);
         // A new, different mapping reclaims the same stash space.
         let t2 = TileMap::new(VAddr(0x20000), 4, 16, 16, 0, 1).unwrap();
-        let out2 = m.stash_add_map(0, 1, t2, 0, UsageMode::MappedCoherent).unwrap();
+        let out2 = m
+            .stash_add_map(0, 1, t2, 0, UsageMode::MappedCoherent)
+            .unwrap();
         m.stash_tx(0, false, 0, &[0], out2.index).unwrap();
         assert_eq!(m.counters().get("wb.stash_words"), 1);
         assert!(m.traffic().messages(MsgClass::Writeback) > 0);
@@ -1248,7 +1277,9 @@ mod tests {
         assert!(lat > 0);
         assert_eq!(m.counters().get("stash.prefetch_words"), 64);
         // Every subsequent load hits.
-        let cost = m.stash_tx(0, false, 0, &(0..32).collect::<Vec<_>>(), out.index).unwrap();
+        let cost = m
+            .stash_tx(0, false, 0, &(0..32).collect::<Vec<_>>(), out.index)
+            .unwrap();
         assert_eq!(cost.latency, 1);
         assert_eq!(m.counters().get("stash.miss"), 0);
     }

@@ -287,7 +287,9 @@ mod tests {
                     per_core: vec![vec![CpuOp::Compute(1)]],
                     stash_maps: Vec::new(),
                 }),
-                Phase::Gpu(Kernel { blocks: vec![block()] }),
+                Phase::Gpu(Kernel {
+                    blocks: vec![block()],
+                }),
             ],
         };
         assert_eq!(p.gpu_instruction_count(), 15);

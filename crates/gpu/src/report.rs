@@ -6,7 +6,10 @@ use sim::clock::Picos;
 use sim::stats::Counters;
 
 /// The measured outcome of running one program on one configuration.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality is exact over every measured quantity — the parallel
+/// harness's determinism tests compare whole reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunReport {
     /// GPU cycles across all GPU phases (700 MHz domain).
     pub gpu_cycles: u64,
@@ -48,7 +51,10 @@ impl RunReport {
     ///
     /// Panics if the baseline consumed zero energy.
     pub fn energy_percent_of(&self, baseline: &RunReport) -> u64 {
-        assert!(baseline.total_energy() > 0, "baseline must have consumed energy");
+        assert!(
+            baseline.total_energy() > 0,
+            "baseline must have consumed energy"
+        );
         self.total_energy() * 100 / baseline.total_energy()
     }
 
@@ -58,7 +64,10 @@ impl RunReport {
     ///
     /// Panics if the baseline issued zero instructions.
     pub fn instructions_percent_of(&self, baseline: &RunReport) -> u64 {
-        assert!(baseline.gpu_instructions > 0, "baseline must have instructions");
+        assert!(
+            baseline.gpu_instructions > 0,
+            "baseline must have instructions"
+        );
         self.gpu_instructions * 100 / baseline.gpu_instructions
     }
 

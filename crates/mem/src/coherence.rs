@@ -77,8 +77,14 @@ mod tests {
 
     #[test]
     fn self_invalidation_keeps_only_registered() {
-        assert_eq!(WordState::Invalid.after_self_invalidate(), WordState::Invalid);
-        assert_eq!(WordState::Shared.after_self_invalidate(), WordState::Invalid);
+        assert_eq!(
+            WordState::Invalid.after_self_invalidate(),
+            WordState::Invalid
+        );
+        assert_eq!(
+            WordState::Shared.after_self_invalidate(),
+            WordState::Invalid
+        );
         assert_eq!(
             WordState::Registered.after_self_invalidate(),
             WordState::Registered

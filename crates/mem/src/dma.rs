@@ -72,9 +72,8 @@ impl DmaTransfer {
     /// Every global word address the transfer touches, in local order.
     pub fn word_vaddrs(&self) -> impl Iterator<Item = VAddr> + '_ {
         (0..self.word_count()).map(move |w| {
-            self.tile
-                .virt_of_local_offset(w * WORD_BYTES)
-                // virt_of_local_offset is per-byte; w*4 is word-aligned.
+            self.tile.virt_of_local_offset(w * WORD_BYTES)
+            // virt_of_local_offset is per-byte; w*4 is word-aligned.
         })
     }
 

@@ -277,8 +277,14 @@ mod tests {
     fn first_touch_fetches_from_memory_once() {
         let mut l = llc();
         let line = LineAddr(0x80);
-        assert_eq!(l.load_word(line, 3), LlcLoadOutcome::Data { from_memory: true });
-        assert_eq!(l.load_word(line, 4), LlcLoadOutcome::Data { from_memory: false });
+        assert_eq!(
+            l.load_word(line, 3),
+            LlcLoadOutcome::Data { from_memory: true }
+        );
+        assert_eq!(
+            l.load_word(line, 4),
+            LlcLoadOutcome::Data { from_memory: false }
+        );
         assert_eq!(l.dram_line_fetches(), 1);
     }
 
@@ -301,7 +307,10 @@ mod tests {
             other => panic!("expected forward, got {other:?}"),
         }
         // Other words of the line are still served by the LLC.
-        assert_eq!(l.load_word(line, 6), LlcLoadOutcome::Data { from_memory: false });
+        assert_eq!(
+            l.load_word(line, 6),
+            LlcLoadOutcome::Data { from_memory: false }
+        );
     }
 
     #[test]
@@ -327,7 +336,10 @@ mod tests {
         // The owner's writeback clears it.
         assert!(l.writeback_word(line, 2, CoreId(3)));
         assert_eq!(l.registration(line, 2), None);
-        assert_eq!(l.load_word(line, 2), LlcLoadOutcome::Data { from_memory: false });
+        assert_eq!(
+            l.load_word(line, 2),
+            LlcLoadOutcome::Data { from_memory: false }
+        );
     }
 
     #[test]
@@ -351,7 +363,10 @@ mod tests {
             Some(Registration::Cache(CoreId(4)))
         );
         assert_eq!(l.store_through(line, 0), None);
-        assert_eq!(l.load_word(line, 0), LlcLoadOutcome::Data { from_memory: false });
+        assert_eq!(
+            l.load_word(line, 0),
+            LlcLoadOutcome::Data { from_memory: false }
+        );
     }
 
     #[test]

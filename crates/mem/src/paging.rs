@@ -41,7 +41,10 @@ impl PageTable {
     ///
     /// Panics if `page_bytes` is not a power of two.
     pub fn new(page_bytes: u64) -> Self {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Self {
             page_bytes,
             frames: HashMap::new(),
@@ -185,7 +188,11 @@ mod tests {
         let mut dedup = frames.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert_eq!(dedup.len(), frames.len(), "frame allocation must be injective");
+        assert_eq!(
+            dedup.len(),
+            frames.len(),
+            "frame allocation must be injective"
+        );
     }
 
     #[test]

@@ -192,8 +192,7 @@ impl TileMap {
     /// Iterates over the global virtual address of every mapped element's
     /// field base, in local-offset order.
     pub fn iter_field_vaddrs(&self) -> impl Iterator<Item = VAddr> + '_ {
-        (0..self.total_elements())
-            .map(move |e| self.virt_of_local_offset(e * self.field_bytes))
+        (0..self.total_elements()).map(move |e| self.virt_of_local_offset(e * self.field_bytes))
     }
 
     /// The set of virtual pages the tile touches (sorted, deduplicated);
@@ -250,7 +249,10 @@ mod tests {
         let t = aos_2d();
         // Element (row 2, col 3): local offset (2*8+3)*8.
         let off = (2 * 8 + 3) * 8;
-        assert_eq!(t.virt_of_local_offset(off), VAddr(0x4000 + 2 * 1024 + 3 * 32));
+        assert_eq!(
+            t.virt_of_local_offset(off),
+            VAddr(0x4000 + 2 * 1024 + 3 * 32)
+        );
         // Second word of that field.
         assert_eq!(
             t.virt_of_local_offset(off + 4),

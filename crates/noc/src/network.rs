@@ -143,7 +143,8 @@ impl Network {
     /// one-way latency in cycles.
     pub fn send(&mut self, from: NodeId, to: NodeId, msg: Message) -> u64 {
         let hops = self.mesh.hops(from, to);
-        self.traffic.record(msg.class(), msg.flits() * hops, msg.flits());
+        self.traffic
+            .record(msg.class(), msg.flits() * hops, msg.flits());
         // Every router on the XY path sees the message's flits.
         for node in self.mesh.route(from, to) {
             self.router_flits[node.0] += msg.flits();
@@ -191,7 +192,11 @@ mod tests {
     #[test]
     fn crossings_scale_with_hops_and_flits() {
         let mut n = net();
-        n.send(NodeId(0), NodeId(15), Message::data(MsgClass::Writeback, 64));
+        n.send(
+            NodeId(0),
+            NodeId(15),
+            Message::data(MsgClass::Writeback, 64),
+        );
         // 5 flits * 6 hops.
         assert_eq!(n.traffic().crossings(MsgClass::Writeback), 30);
     }

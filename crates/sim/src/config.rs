@@ -159,7 +159,9 @@ impl SystemConfig {
         if !self.line_bytes.is_multiple_of(4) {
             return Err("line_bytes must be a multiple of the 4-byte word".into());
         }
-        if !self.stash_chunk_bytes.is_multiple_of(4) || self.stash_chunk_bytes > self.scratchpad_bytes {
+        if !self.stash_chunk_bytes.is_multiple_of(4)
+            || self.stash_chunk_bytes > self.scratchpad_bytes
+        {
             return Err("stash_chunk_bytes must be word-aligned and fit the stash".into());
         }
         if !self.threads_per_block.is_multiple_of(self.warp_size) {

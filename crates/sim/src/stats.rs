@@ -1,111 +1,245 @@
 //! Event counters used to build the paper's figures.
 //!
-//! Every subsystem accounts its events into a [`Counters`] table keyed by a
-//! static name; the bench harness then reads the named totals to assemble
-//! instruction-count, traffic, and energy panels. A tiny fixed-key table
-//! (sorted `Vec`) keeps lookups cheap and the output deterministic.
+//! Every subsystem accounts its events into a [`Counters`] table keyed by
+//! [`Counter`], a closed enum of every event the simulator can record; the
+//! bench harness then reads the totals to assemble instruction-count,
+//! traffic, and energy panels. The table is a flat array indexed by the
+//! counter's discriminant, so the hot-path [`Counters::bump`] is a single
+//! array increment — no string comparison, hashing, or search. Name-based
+//! lookups ([`Counters::get`], [`Counters::sum_prefix`]) remain available
+//! for report formatting and tests, off the hot path.
 
 use std::fmt;
 
-/// A table of named event counters.
+macro_rules! counters {
+    ($($(#[$meta:meta])* $variant:ident => $name:literal,)+) => {
+        /// Every event the simulator records, one variant per counter.
+        ///
+        /// Variants are declared in **name order** (asserted by test), so
+        /// discriminant order equals lexicographic name order and the flat
+        /// table iterates names sorted with no extra bookkeeping.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(usize)]
+        pub enum Counter {
+            $($(#[$meta])* $variant,)+
+        }
+
+        impl Counter {
+            /// Number of distinct counters.
+            pub const COUNT: usize = [$($name,)+].len();
+
+            /// Every counter, in name order.
+            pub const ALL: [Counter; Self::COUNT] = [$(Counter::$variant,)+];
+
+            const NAMES: [&'static str; Self::COUNT] = [$($name,)+];
+        }
+    };
+}
+
+counters! {
+    /// MESI-style line-granularity registration revoked another core's
+    /// word in the same line (the §4.3 false-sharing ablation).
+    CoherenceFalseSharingRevocation => "coherence.false_sharing_revocation",
+    /// CPU L1 load transactions.
+    CpuL1LoadTx => "cpu.l1.load_tx",
+    /// CPU L1 misses.
+    CpuL1Miss => "cpu.l1.miss",
+    /// CPU L1 store transactions.
+    CpuL1StoreTx => "cpu.l1.store_tx",
+    /// Words moved by DMA transfers (ScratchGD).
+    DmaWords => "dma.words",
+    /// LLC misses filled from memory.
+    DramLineFetch => "dram.line_fetch",
+    /// GPU kernel boundaries.
+    GpuKernels => "gpu.kernels",
+    /// GPU L1 load transactions.
+    GpuL1LoadTx => "gpu.l1.load_tx",
+    /// GPU L1 misses.
+    GpuL1Miss => "gpu.l1.miss",
+    /// GPU L1 store transactions.
+    GpuL1StoreTx => "gpu.l1.store_tx",
+    /// LLC bank accesses.
+    LlcAccess => "llc.access",
+    /// Three-leg forwards of a word registered at another core.
+    RemoteForward => "remote.forward",
+    /// Registry redirects back to the requesting core's other structure.
+    RemoteSelfForward => "remote.self_forward",
+    /// Remote stash requests whose RTLB translation had gone stale.
+    RemoteStashStale => "remote.stash_stale",
+    /// Scratchpad warp transactions.
+    ScratchAccess => "scratch.access",
+    /// `AddMap` operations.
+    StashAddMap => "stash.addmap",
+    /// `AddMap`s that replicated an existing mapping (§4.5).
+    StashAddMapReplicated => "stash.addmap_replicated",
+    /// `ChgMap` operations.
+    StashChgMap => "stash.chgmap",
+    /// Words fetched into the stash on load misses.
+    StashFetchWords => "stash.fetch_words",
+    /// Stash transactions that hit entirely.
+    StashHit => "stash.hit",
+    /// Stash load transactions.
+    StashLoadTx => "stash.load_tx",
+    /// Stash transactions with at least one missing word.
+    StashMiss => "stash.miss",
+    /// Words fetched by `AddMap`-time prefetch (§8 extension).
+    StashPrefetchWords => "stash.prefetch_words",
+    /// Accesses to unmapped stash space (scratchpad-like).
+    StashRawAccess => "stash.raw_access",
+    /// Words registered at the LLC on stash store misses.
+    StashRegisterWords => "stash.register_words",
+    /// Loads served from a §4.5 internal replica copy.
+    StashReplicaHit => "stash.replica_hit",
+    /// Stash store transactions.
+    StashStoreTx => "stash.store_tx",
+    /// VP-map entries filled.
+    StashVpFills => "stash.vp_fills",
+    /// Extra words pulled in by widened fetches (§8 extension).
+    StashWidenedFetch => "stash.widened_fetch",
+    /// Registered words written back on L1 evictions.
+    WbCacheWords => "wb.cache_words",
+    /// Dirty words drained eagerly at kernel end (ablation).
+    WbEagerDrained => "wb.eager_drained",
+    /// Stash words lazily written back on reclamation.
+    WbStashWords => "wb.stash_words",
+}
+
+impl Counter {
+    /// The counter's report name (dotted hierarchy, e.g. `stash.hit`).
+    pub fn name(self) -> &'static str {
+        Self::NAMES[self as usize]
+    }
+
+    /// Looks a counter up by its report name.
+    pub fn from_name(name: &str) -> Option<Counter> {
+        // NAMES is sorted (variants are declared in name order).
+        Self::NAMES.binary_search(&name).ok().map(|i| Self::ALL[i])
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A flat table of event counters, one slot per [`Counter`].
 ///
 /// # Example
 ///
 /// ```
-/// use sim::stats::Counters;
+/// use sim::stats::{Counter, Counters};
 ///
 /// let mut c = Counters::new();
-/// c.add("l1.hit", 3);
-/// c.add("l1.hit", 1);
-/// assert_eq!(c.get("l1.hit"), 4);
-/// assert_eq!(c.get("l1.miss"), 0);
+/// c.add(Counter::GpuL1Miss, 3);
+/// c.bump(Counter::GpuL1Miss);
+/// assert_eq!(c.value(Counter::GpuL1Miss), 4);
+/// assert_eq!(c.get("gpu.l1.miss"), 4);
+/// assert_eq!(c.get("gpu.l1.load_tx"), 0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Counters {
-    entries: Vec<(&'static str, u64)>,
+    values: [u64; Counter::COUNT],
+}
+
+impl Default for Counters {
+    fn default() -> Self {
+        Self {
+            values: [0; Counter::COUNT],
+        }
+    }
 }
 
 impl Counters {
-    /// Creates an empty counter table.
+    /// Creates an all-zero counter table.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Adds `n` to the counter named `key`, creating it at zero if absent.
-    pub fn add(&mut self, key: &'static str, n: u64) {
-        match self.entries.binary_search_by(|(k, _)| k.cmp(&key)) {
-            Ok(i) => self.entries[i].1 += n,
-            Err(i) => self.entries.insert(i, (key, n)),
-        }
+    /// Adds `n` to one counter. A single array-indexed add.
+    #[inline]
+    pub fn add(&mut self, counter: Counter, n: u64) {
+        self.values[counter as usize] += n;
     }
 
-    /// Increments the counter named `key` by one.
-    pub fn bump(&mut self, key: &'static str) {
-        self.add(key, 1);
+    /// Increments one counter. A single array-indexed increment.
+    #[inline]
+    pub fn bump(&mut self, counter: Counter) {
+        self.values[counter as usize] += 1;
     }
 
-    /// Returns the value of `key`, or zero if it was never touched.
+    /// The value of one counter.
+    #[inline]
+    pub fn value(&self, counter: Counter) -> u64 {
+        self.values[counter as usize]
+    }
+
+    /// Looks a counter up by report name; zero for unknown names.
+    ///
+    /// Reporting/diagnostics path — the simulator itself uses
+    /// [`Counters::value`].
     pub fn get(&self, key: &str) -> u64 {
-        self.entries
-            .binary_search_by(|(k, _)| (*k).cmp(key))
-            .map(|i| self.entries[i].1)
-            .unwrap_or(0)
+        Counter::from_name(key).map_or(0, |c| self.value(c))
     }
 
     /// Sums every counter whose name starts with `prefix`.
     pub fn sum_prefix(&self, prefix: &str) -> u64 {
-        self.entries
+        Counter::ALL
             .iter()
-            .filter(|(k, _)| k.starts_with(prefix))
-            .map(|(_, v)| v)
+            .filter(|c| c.name().starts_with(prefix))
+            .map(|&c| self.value(c))
             .sum()
     }
 
-    /// Iterates over `(name, value)` pairs in name order.
+    /// Iterates over `(name, value)` pairs of *touched* (nonzero)
+    /// counters, in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.entries.iter().copied()
+        Counter::ALL
+            .iter()
+            .map(|&c| (c.name(), self.value(c)))
+            .filter(|&(_, v)| v > 0)
     }
 
     /// Merges another counter table into this one.
     pub fn merge(&mut self, other: &Counters) {
-        for (k, v) in other.iter() {
-            self.add(k, v);
+        for (a, b) in self.values.iter_mut().zip(other.values.iter()) {
+            *a += b;
         }
     }
 
-    /// Number of distinct counters.
+    /// Number of touched (nonzero) counters.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.values.iter().filter(|&&v| v > 0).count()
     }
 
     /// Whether no counter has been touched.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.values.iter().all(|&v| v == 0)
     }
 }
 
 impl fmt::Display for Counters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.entries.is_empty() {
+        if self.is_empty() {
             return write!(f, "(no events)");
         }
-        for (k, v) in &self.entries {
+        for (k, v) in self.iter() {
             writeln!(f, "{k:<40} {v:>14}")?;
         }
         Ok(())
     }
 }
 
-impl Extend<(&'static str, u64)> for Counters {
-    fn extend<T: IntoIterator<Item = (&'static str, u64)>>(&mut self, iter: T) {
-        for (k, v) in iter {
-            self.add(k, v);
+impl Extend<(Counter, u64)> for Counters {
+    fn extend<T: IntoIterator<Item = (Counter, u64)>>(&mut self, iter: T) {
+        for (c, v) in iter {
+            self.add(c, v);
         }
     }
 }
 
-impl FromIterator<(&'static str, u64)> for Counters {
-    fn from_iter<T: IntoIterator<Item = (&'static str, u64)>>(iter: T) -> Self {
+impl FromIterator<(Counter, u64)> for Counters {
+    fn from_iter<T: IntoIterator<Item = (Counter, u64)>>(iter: T) -> Self {
         let mut c = Counters::new();
         c.extend(iter);
         c
@@ -117,51 +251,81 @@ mod tests {
     use super::*;
 
     #[test]
+    fn names_are_sorted_and_unique() {
+        // The binary search in `from_name` and the sortedness of `iter`
+        // both rest on the declaration order of the variants.
+        for pair in Counter::NAMES.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "{} must sort before {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn every_counter_roundtrips_through_its_name() {
+        for c in Counter::ALL {
+            assert_eq!(Counter::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Counter::from_name("no.such.counter"), None);
+    }
+
+    #[test]
     fn add_and_get() {
         let mut c = Counters::new();
-        c.add("a", 2);
-        c.bump("a");
-        assert_eq!(c.get("a"), 3);
+        c.add(Counter::StashHit, 2);
+        c.bump(Counter::StashHit);
+        assert_eq!(c.value(Counter::StashHit), 3);
+        assert_eq!(c.get("stash.hit"), 3);
+        assert_eq!(c.get("stash.miss"), 0);
         assert_eq!(c.get("missing"), 0);
     }
 
     #[test]
-    fn keys_stay_sorted() {
+    fn iter_is_name_ordered_and_skips_untouched() {
         let mut c = Counters::new();
-        for k in ["zeta", "alpha", "mid"] {
-            c.bump(k);
+        for counter in [Counter::WbStashWords, Counter::DmaWords, Counter::LlcAccess] {
+            c.bump(counter);
         }
         let keys: Vec<_> = c.iter().map(|(k, _)| k).collect();
-        assert_eq!(keys, vec!["alpha", "mid", "zeta"]);
+        assert_eq!(keys, vec!["dma.words", "llc.access", "wb.stash_words"]);
     }
 
     #[test]
     fn sum_prefix_selects_subtree() {
         let mut c = Counters::new();
-        c.add("noc.read", 5);
-        c.add("noc.write", 7);
-        c.add("l1.hit", 100);
-        assert_eq!(c.sum_prefix("noc."), 12);
-        assert_eq!(c.sum_prefix("l1."), 100);
+        c.add(Counter::StashHit, 5);
+        c.add(Counter::StashMiss, 7);
+        c.add(Counter::LlcAccess, 100);
+        assert_eq!(c.sum_prefix("stash."), 12);
+        assert_eq!(c.sum_prefix("llc."), 100);
         assert_eq!(c.sum_prefix("dram."), 0);
     }
 
     #[test]
     fn merge_accumulates() {
         let mut a = Counters::new();
-        a.add("x", 1);
+        a.add(Counter::GpuKernels, 1);
         let mut b = Counters::new();
-        b.add("x", 2);
-        b.add("y", 3);
+        b.add(Counter::GpuKernels, 2);
+        b.add(Counter::DmaWords, 3);
         a.merge(&b);
-        assert_eq!(a.get("x"), 3);
-        assert_eq!(a.get("y"), 3);
+        assert_eq!(a.value(Counter::GpuKernels), 3);
+        assert_eq!(a.value(Counter::DmaWords), 3);
     }
 
     #[test]
     fn collect_from_iterator() {
-        let c: Counters = [("a", 1), ("b", 2), ("a", 4)].into_iter().collect();
-        assert_eq!(c.get("a"), 5);
+        let c: Counters = [
+            (Counter::StashHit, 1),
+            (Counter::StashMiss, 2),
+            (Counter::StashHit, 4),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(c.value(Counter::StashHit), 5);
         assert_eq!(c.len(), 2);
     }
 
@@ -169,7 +333,19 @@ mod tests {
     fn display_nonempty() {
         let mut c = Counters::new();
         assert_eq!(c.to_string(), "(no events)");
-        c.add("k", 1);
-        assert!(c.to_string().contains('k'));
+        c.add(Counter::ScratchAccess, 1);
+        assert!(c.to_string().contains("scratch.access"));
+    }
+
+    #[test]
+    fn bump_is_a_plain_array_index() {
+        // The hot path must not allocate or search: bumping every counter
+        // once touches every slot exactly once.
+        let mut c = Counters::new();
+        for counter in Counter::ALL {
+            c.bump(counter);
+        }
+        assert_eq!(c.len(), Counter::COUNT);
+        assert!(c.iter().all(|(_, v)| v == 1));
     }
 }

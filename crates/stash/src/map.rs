@@ -85,7 +85,10 @@ impl StashMap {
     ///
     /// Panics if `capacity` is 0 or exceeds 256 (indices are a byte).
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0 && capacity <= 256, "capacity must fit a u8 index");
+        assert!(
+            capacity > 0 && capacity <= 256,
+            "capacity must fit a u8 index"
+        );
         Self {
             slots: vec![None; capacity],
             tail: 0,
@@ -215,7 +218,8 @@ mod tests {
     fn wrap_displaces_valid_entry() {
         let mut sm = StashMap::new(2);
         sm.push(tile(0x1000), 0, UsageMode::MappedCoherent).unwrap();
-        sm.push(tile(0x2000), 64, UsageMode::MappedCoherent).unwrap();
+        sm.push(tile(0x2000), 64, UsageMode::MappedCoherent)
+            .unwrap();
         let (idx, displaced) = sm.push(tile(0x3000), 0, UsageMode::MappedCoherent).unwrap();
         assert_eq!(idx, MapIndex(0));
         let d = displaced.expect("slot 0 held a valid entry");
@@ -226,7 +230,8 @@ mod tests {
     fn wrap_over_invalidated_entry_is_quiet() {
         let mut sm = StashMap::new(2);
         let (i0, _) = sm.push(tile(0x1000), 0, UsageMode::MappedCoherent).unwrap();
-        sm.push(tile(0x2000), 64, UsageMode::MappedCoherent).unwrap();
+        sm.push(tile(0x2000), 64, UsageMode::MappedCoherent)
+            .unwrap();
         sm.invalidate(i0);
         let (_, displaced) = sm.push(tile(0x3000), 0, UsageMode::MappedCoherent).unwrap();
         assert!(displaced.is_none());
@@ -236,10 +241,14 @@ mod tests {
     fn replication_is_detected() {
         let mut sm = StashMap::new(8);
         let (i0, _) = sm.push(tile(0x1000), 0, UsageMode::MappedCoherent).unwrap();
-        let (i1, _) = sm.push(tile(0x1000), 64, UsageMode::MappedCoherent).unwrap();
+        let (i1, _) = sm
+            .push(tile(0x1000), 64, UsageMode::MappedCoherent)
+            .unwrap();
         assert_eq!(sm.entry(i1).unwrap().reuse_of, Some(i0));
         // A different tile is not a replica.
-        let (i2, _) = sm.push(tile(0x9000), 128, UsageMode::MappedCoherent).unwrap();
+        let (i2, _) = sm
+            .push(tile(0x9000), 128, UsageMode::MappedCoherent)
+            .unwrap();
         assert_eq!(sm.entry(i2).unwrap().reuse_of, None);
     }
 

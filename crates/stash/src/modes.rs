@@ -23,7 +23,10 @@ impl UsageMode {
     /// Whether this mode carries a stash-to-global mapping (needs an
     /// `AddMap`).
     pub fn is_mapped(self) -> bool {
-        matches!(self, UsageMode::MappedCoherent | UsageMode::MappedNonCoherent)
+        matches!(
+            self,
+            UsageMode::MappedCoherent | UsageMode::MappedNonCoherent
+        )
     }
 
     /// Whether stores must be made globally visible (registration and

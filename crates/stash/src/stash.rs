@@ -287,7 +287,12 @@ impl Stash {
             .allocate(index)?;
 
         let replicates = self.cfg.replication_enabled
-            && self.map.entry(index).expect("just pushed").reuse_of.is_some();
+            && self
+                .map
+                .entry(index)
+                .expect("just pushed")
+                .reuse_of
+                .is_some();
         if !self.cfg.replication_enabled {
             self.map.entry_mut(index).expect("just pushed").reuse_of = None;
         }
@@ -655,7 +660,8 @@ impl Stash {
             let meta = self.storage.chunk_meta(chunk);
             if meta.writeback_pending || meta.dirty {
                 if let Some(idx) = meta.owner {
-                    self.storage.complete_chunk_writeback(chunk, WordState::Shared);
+                    self.storage
+                        .complete_chunk_writeback(chunk, WordState::Shared);
                     self.decrement_dirty(idx);
                 }
             }

@@ -59,7 +59,10 @@ impl StashStorage {
     /// not a whole number of words.
     pub fn new(capacity_bytes: usize, chunk_bytes: usize) -> Self {
         assert!(chunk_bytes > 0 && chunk_bytes.is_multiple_of(WORD_BYTES as usize));
-        assert!(capacity_bytes.is_multiple_of(chunk_bytes), "ragged chunking");
+        assert!(
+            capacity_bytes.is_multiple_of(chunk_bytes),
+            "ragged chunking"
+        );
         let words = capacity_bytes / WORD_BYTES as usize;
         let words_per_chunk = chunk_bytes / WORD_BYTES as usize;
         Self {

@@ -231,7 +231,10 @@ mod tests {
         }
         assert!(matches!(
             v.add_page(MapIndex(0), 99, Some(99)),
-            Err(SimError::TableFull { table: "VP-map", .. })
+            Err(SimError::TableFull {
+                table: "VP-map",
+                ..
+            })
         ));
         // Re-adding a covered page is not an overflow.
         v.add_page(MapIndex(2), 3, Some(3)).unwrap();

@@ -142,7 +142,9 @@ mod tests {
     fn two_kernels_over_all_input() {
         let p = program(MemConfigKind::Stash);
         assert_eq!(p.kernel_count(), 2);
-        let Phase::Gpu(k1) = &p.phases[0] else { panic!() };
+        let Phase::Gpu(k1) = &p.phases[0] else {
+            panic!()
+        };
         let staged: u64 = k1
             .blocks
             .iter()
@@ -155,8 +157,12 @@ mod tests {
     #[test]
     fn input_tiles_repeat_across_kernels() {
         let p = program(MemConfigKind::Stash);
-        let Phase::Gpu(k1) = &p.phases[0] else { panic!() };
-        let Phase::Gpu(k2) = &p.phases[1] else { panic!() };
+        let Phase::Gpu(k1) = &p.phases[0] else {
+            panic!()
+        };
+        let Phase::Gpu(k2) = &p.phases[1] else {
+            panic!()
+        };
         assert_eq!(
             k1.blocks[0].maps().next().unwrap().tile,
             k2.blocks[0].maps().next().unwrap().tile
@@ -166,7 +172,9 @@ mod tests {
     #[test]
     fn temporaries_bind_no_map_slot() {
         let p = program(MemConfigKind::Stash);
-        let Phase::Gpu(k1) = &p.phases[0] else { panic!() };
+        let Phase::Gpu(k1) = &p.phases[0] else {
+            panic!()
+        };
         // Two allocations (input tile + partial sums) but only one map.
         assert_eq!(k1.blocks[0].allocs.len(), 2);
         assert_eq!(k1.blocks[0].maps().count(), 1);
@@ -188,7 +196,9 @@ mod tests {
     #[test]
     fn cache_variant_has_no_local_ops() {
         let p = program(MemConfigKind::Cache);
-        let Phase::Gpu(k1) = &p.phases[0] else { panic!() };
+        let Phase::Gpu(k1) = &p.phases[0] else {
+            panic!()
+        };
         assert!(k1.blocks.iter().all(|b| b.allocs.is_empty()));
     }
 }

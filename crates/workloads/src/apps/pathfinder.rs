@@ -110,7 +110,9 @@ mod tests {
     #[test]
     fn halo_extends_staged_slices() {
         let p = program(MemConfigKind::Stash);
-        let Phase::Gpu(k) = &p.phases[0] else { panic!() };
+        let Phase::Gpu(k) = &p.phases[0] else {
+            panic!()
+        };
         // Interior blocks stage slice + 2×halo.
         let interior = k.blocks[1].maps().next().unwrap();
         assert_eq!(interior.tile.total_elements(), COLS_PER_BLOCK + 2 * HALO);
@@ -122,8 +124,12 @@ mod tests {
     #[test]
     fn buffers_alternate_between_rows() {
         let p = program(MemConfigKind::Stash);
-        let Phase::Gpu(k0) = &p.phases[0] else { panic!() };
-        let Phase::Gpu(k1) = &p.phases[1] else { panic!() };
+        let Phase::Gpu(k0) = &p.phases[0] else {
+            panic!()
+        };
+        let Phase::Gpu(k1) = &p.phases[1] else {
+            panic!()
+        };
         assert_ne!(
             k0.blocks[0].maps().next().unwrap().tile.global_base(),
             k1.blocks[0].maps().next().unwrap().tile.global_base()

@@ -96,7 +96,11 @@ pub fn program(kind: MemConfigKind) -> Program {
             // The C tile is written once, globally.
             tasks.push(TileTask {
                 reads: false,
-                ..TileTask::dense(c.tile_2d(bi * T * N + bj * T, T, T, N), Placement::Global, 1)
+                ..TileTask::dense(
+                    c.tile_2d(bi * T * N + bj * T, T, T, N),
+                    Placement::Global,
+                    1,
+                )
             });
             tasks
         })
@@ -113,14 +117,18 @@ mod tests {
     #[test]
     fn one_block_per_c_tile() {
         let p = program(MemConfigKind::Scratch);
-        let Phase::Gpu(k) = &p.phases[0] else { panic!() };
+        let Phase::Gpu(k) = &p.phases[0] else {
+            panic!()
+        };
         assert_eq!(k.blocks.len() as u64, (M / T) * (N / T));
     }
 
     #[test]
     fn k_steps_rebind_two_shared_slots() {
         let p = program(MemConfigKind::Stash);
-        let Phase::Gpu(k) = &p.phases[0] else { panic!() };
+        let Phase::Gpu(k) = &p.phases[0] else {
+            panic!()
+        };
         // Each block maps 2 tiles per k-step, but A and B tiles each share
         // one allocation/slot: the staging is AddMap + ChgMaps and stays
         // within the 4-entry map index table (§4.1.2).
@@ -133,7 +141,9 @@ mod tests {
     #[test]
     fn staged_words_per_block_fit_the_stash() {
         let p = program(MemConfigKind::Stash);
-        let Phase::Gpu(k) = &p.phases[0] else { panic!() };
+        let Phase::Gpu(k) = &p.phases[0] else {
+            panic!()
+        };
         assert!(k.blocks[0].local_words() * 4 <= 16 * 1024);
     }
 }

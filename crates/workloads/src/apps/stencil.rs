@@ -108,14 +108,18 @@ mod tests {
     #[test]
     fn one_block_per_tile_per_plane() {
         let p = program(MemConfigKind::Cache);
-        let Phase::Gpu(k) = &p.phases[0] else { panic!() };
+        let Phase::Gpu(k) = &p.phases[0] else {
+            panic!()
+        };
         assert_eq!(k.blocks.len() as u64, NZ * (NXY / T) * (NXY / T));
     }
 
     #[test]
     fn boundary_planes_have_one_z_neighbour() {
         let p = program(MemConfigKind::StashG);
-        let Phase::Gpu(k) = &p.phases[0] else { panic!() };
+        let Phase::Gpu(k) = &p.phases[0] else {
+            panic!()
+        };
         // Block 0 is at z = 0: plane tile + one z-neighbour + output.
         assert_eq!(k.blocks[0].maps().count(), 3);
         // An interior plane's block has both z-neighbours.
@@ -126,8 +130,12 @@ mod tests {
     #[test]
     fn buffers_swap_between_iterations() {
         let p = program(MemConfigKind::Stash);
-        let Phase::Gpu(k0) = &p.phases[0] else { panic!() };
-        let Phase::Gpu(k1) = &p.phases[1] else { panic!() };
+        let Phase::Gpu(k0) = &p.phases[0] else {
+            panic!()
+        };
+        let Phase::Gpu(k1) = &p.phases[1] else {
+            panic!()
+        };
         assert_ne!(
             k0.blocks[0].maps().next().unwrap().tile.global_base(),
             k1.blocks[0].maps().next().unwrap().tile.global_base()

@@ -94,7 +94,11 @@ pub fn program(kind: MemConfigKind) -> Program {
                 TileTask {
                     writes: false,
                     passes: 3, // three filter scales re-read the tile
-                    ..TileTask::dense(img.tile_2d(start, T, T, W), Placement::Local, DETECT_COMPUTE)
+                    ..TileTask::dense(
+                        img.tile_2d(start, T, T, W),
+                        Placement::Local,
+                        DETECT_COMPUTE,
+                    )
                 },
                 TileTask {
                     reads: false,
@@ -149,7 +153,9 @@ mod tests {
     #[test]
     fn detector_covers_the_image() {
         let p = program(MemConfigKind::Stash);
-        let Phase::Gpu(k) = &p.phases[1] else { panic!() };
+        let Phase::Gpu(k) = &p.phases[1] else {
+            panic!()
+        };
         assert_eq!(k.blocks.len() as u64, (H / T) * (W / T));
         let staged: u64 = k
             .blocks
@@ -163,7 +169,9 @@ mod tests {
     #[test]
     fn descriptor_gathers_are_sparse() {
         let p = program(MemConfigKind::Stash);
-        let Phase::Gpu(k) = &p.phases[2] else { panic!() };
+        let Phase::Gpu(k) = &p.phases[2] else {
+            panic!()
+        };
         // The neighbourhood window is mapped, but only the sampled words
         // are accessed: stash fetches ≤ 64 of 1024 mapped words.
         let tb = &k.blocks[0];
@@ -172,7 +180,11 @@ mod tests {
             .iter()
             .flat_map(|s| s.warps.iter().flatten())
             .filter_map(|op| match op {
-                gpu::program::WarpOp::LocalMem { lanes, write: false, .. } => Some(lanes.len()),
+                gpu::program::WarpOp::LocalMem {
+                    lanes,
+                    write: false,
+                    ..
+                } => Some(lanes.len()),
                 _ => None,
             })
             .sum();
@@ -181,9 +193,6 @@ mod tests {
 
     #[test]
     fn deterministic_across_calls() {
-        assert_eq!(
-            program(MemConfigKind::Cache),
-            program(MemConfigKind::Cache)
-        );
+        assert_eq!(program(MemConfigKind::Cache), program(MemConfigKind::Cache));
     }
 }

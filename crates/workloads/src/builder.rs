@@ -219,10 +219,7 @@ impl WorkloadBuilder {
             let words = task.tile.local_words();
             let id = match task.share {
                 Some(key) => {
-                    if let Some(&(_, id)) = group_alloc
-                        .iter()
-                        .find(|(k, _)| *k == Some(key))
-                    {
+                    if let Some(&(_, id)) = group_alloc.iter().find(|(k, _)| *k == Some(key)) {
                         tb.allocs[id.0].words = tb.allocs[id.0].words.max(words);
                         id
                     } else {
@@ -333,7 +330,11 @@ impl WorkloadBuilder {
                     Some(sel) => chunk.iter().copied().filter(|w| sel.contains(w)).collect(),
                     None => chunk.clone(),
                 };
-                let index_cost = if local { LOCAL_INDEX_COST } else { GLOBAL_INDEX_COST };
+                let index_cost = if local {
+                    LOCAL_INDEX_COST
+                } else {
+                    GLOBAL_INDEX_COST
+                };
                 ops.push(WarpOp::Compute(task.compute_per_iter + index_cost));
                 if active.is_empty() {
                     continue;
@@ -493,12 +494,21 @@ mod tests {
     fn stash_lowering_has_no_copies() {
         let b = WorkloadBuilder::new(MemConfigKind::Stash);
         let tb = b.lower_block(&[TileTask::dense(array().tile(0, 256), Placement::Local, 4)]);
-        assert_eq!(count_ops(&tb, |op| matches!(op, WarpOp::GlobalMem { .. })), 0);
-        assert_eq!(count_ops(&tb, |op| matches!(op, WarpOp::LocalMem { .. })), 16);
+        assert_eq!(
+            count_ops(&tb, |op| matches!(op, WarpOp::GlobalMem { .. })),
+            0
+        );
+        assert_eq!(
+            count_ops(&tb, |op| matches!(op, WarpOp::LocalMem { .. })),
+            16
+        );
         assert_eq!(tb.maps().count(), 1);
         // Far fewer instructions than the Scratch lowering (Figure 5c).
-        let scratch = WorkloadBuilder::new(MemConfigKind::Scratch)
-            .lower_block(&[TileTask::dense(array().tile(0, 256), Placement::Local, 4)]);
+        let scratch = WorkloadBuilder::new(MemConfigKind::Scratch).lower_block(&[TileTask::dense(
+            array().tile(0, 256),
+            Placement::Local,
+            4,
+        )]);
         assert!(tb.instruction_count() < scratch.instruction_count() * 3 / 4);
     }
 
@@ -506,8 +516,14 @@ mod tests {
     fn cache_lowering_is_all_global() {
         let b = WorkloadBuilder::new(MemConfigKind::Cache);
         let tb = b.lower_block(&[TileTask::dense(array().tile(0, 256), Placement::Local, 4)]);
-        assert_eq!(count_ops(&tb, |op| matches!(op, WarpOp::LocalMem { .. })), 0);
-        assert_eq!(count_ops(&tb, |op| matches!(op, WarpOp::GlobalMem { .. })), 16);
+        assert_eq!(
+            count_ops(&tb, |op| matches!(op, WarpOp::LocalMem { .. })),
+            0
+        );
+        assert_eq!(
+            count_ops(&tb, |op| matches!(op, WarpOp::GlobalMem { .. })),
+            16
+        );
         assert!(tb.allocs.is_empty());
     }
 
@@ -518,7 +534,10 @@ mod tests {
         let dmas: Vec<_> = tb.stages.iter().flat_map(|s| s.dmas.iter()).collect();
         assert_eq!(dmas.len(), 1);
         assert!(dmas[0].load && dmas[0].store);
-        assert_eq!(count_ops(&tb, |op| matches!(op, WarpOp::GlobalMem { .. })), 0);
+        assert_eq!(
+            count_ops(&tb, |op| matches!(op, WarpOp::GlobalMem { .. })),
+            0
+        );
     }
 
     #[test]
@@ -576,7 +595,7 @@ mod tests {
             })
             .sum();
         assert_eq!(touched, 6); // 3 words × (read + write)
-        // Scratch: the copy loops still move all 256 words, twice.
+                                // Scratch: the copy loops still move all 256 words, twice.
         let scratch_tb =
             WorkloadBuilder::new(MemConfigKind::Scratch).lower_block(std::slice::from_ref(&task));
         let copied: usize = scratch_tb

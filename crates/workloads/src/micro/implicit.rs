@@ -6,7 +6,9 @@
 //! eager bulk writeback); the stash moves data implicitly on a miss and
 //! leaves the dirty data registered for the CPUs to pull on demand.
 
-use crate::builder::{cpu_sweep, kernel_from_blocks, AosArray, Placement, TileTask, WorkloadBuilder};
+use crate::builder::{
+    cpu_sweep, kernel_from_blocks, AosArray, Placement, TileTask, WorkloadBuilder,
+};
 use gpu::config::MemConfigKind;
 use gpu::program::{Phase, Program};
 use mem::addr::VAddr;
@@ -92,7 +94,10 @@ mod tests {
         let stash = program(MemConfigKind::Stash).gpu_instruction_count();
         // §6.2: "Stash executes 40% fewer instructions than Scratch".
         let pct = stash * 100 / scratch;
-        assert!((50..=70).contains(&pct), "stash/scratch instructions = {pct}%");
+        assert!(
+            (50..=70).contains(&pct),
+            "stash/scratch instructions = {pct}%"
+        );
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! stash (and the DMA engine) move `A` directly between the LLC and local
 //! memory, so `B`'s second pass still hits.
 
-use crate::builder::{cpu_sweep, kernel_from_blocks, AosArray, Placement, TileTask, WorkloadBuilder};
+use crate::builder::{
+    cpu_sweep, kernel_from_blocks, AosArray, Placement, TileTask, WorkloadBuilder,
+};
 use gpu::config::MemConfigKind;
 use gpu::program::{Phase, Program};
 use mem::addr::VAddr;

@@ -8,7 +8,9 @@
 //! registered data live across kernels through lazy writebacks and the
 //! §4.5 replication/adoption path.
 
-use crate::builder::{cpu_sweep, kernel_from_blocks, AosArray, Placement, TileTask, WorkloadBuilder};
+use crate::builder::{
+    cpu_sweep, kernel_from_blocks, AosArray, Placement, TileTask, WorkloadBuilder,
+};
 use gpu::config::MemConfigKind;
 use gpu::program::{Phase, Program};
 use mem::addr::VAddr;
@@ -109,6 +111,9 @@ mod tests {
             p.gpu_instruction_count() / KERNELS as u64
         };
         let stash = program(MemConfigKind::Stash).gpu_instruction_count() / KERNELS as u64;
-        assert!(stash < one, "stash must issue fewer instructions per kernel");
+        assert!(
+            stash < one,
+            "stash must issue fewer instructions per kernel"
+        );
     }
 }

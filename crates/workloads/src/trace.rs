@@ -37,7 +37,9 @@
 //! assert_eq!(program.kernel_count(), 1);
 //! ```
 
-use crate::builder::{cpu_sweep, kernel_from_blocks, AosArray, Placement, TileTask, WorkloadBuilder};
+use crate::builder::{
+    cpu_sweep, kernel_from_blocks, AosArray, Placement, TileTask, WorkloadBuilder,
+};
 use crate::suite::WorkloadSet;
 use gpu::config::MemConfigKind;
 use gpu::program::{Phase, Program};
@@ -106,7 +108,11 @@ impl TraceWorkload {
                         .collect();
                     phases.push(Phase::Gpu(kernel_from_blocks(&builder, lowered)));
                 }
-                TracePhase::CpuSweep { array, cores, write } => {
+                TracePhase::CpuSweep {
+                    array,
+                    cores,
+                    write,
+                } => {
                     let a = self.arrays.get(array).expect("validated by parser");
                     phases.push(Phase::Cpu(cpu_sweep(a, *cores, *write)));
                 }
@@ -190,15 +196,18 @@ pub fn parse_trace(text: &str) -> Result<TraceWorkload, String> {
                 let mut field_off = 0u64;
                 let mut field = 4u64;
                 for tok in &rest[1..] {
-                    let (k, v) = parse_kv(tok)
-                        .ok_or_else(|| format!("line {line_no}: expected key=value, got `{tok}`"))?;
+                    let (k, v) = parse_kv(tok).ok_or_else(|| {
+                        format!("line {line_no}: expected key=value, got `{tok}`")
+                    })?;
                     let v = parse_num(v, k, line_no)?;
                     match k {
                         "elems" => elems = Some(v),
                         "object" => object = v,
                         "field_off" => field_off = v,
                         "field" => field = v,
-                        other => return Err(format!("line {line_no}: unknown array key `{other}`")),
+                        other => {
+                            return Err(format!("line {line_no}: unknown array key `{other}`"))
+                        }
                     }
                 }
                 let elems =
@@ -234,7 +243,11 @@ pub fn parse_trace(text: &str) -> Result<TraceWorkload, String> {
                     "r" => (true, false),
                     "w" => (false, true),
                     "rw" => (true, true),
-                    other => return Err(format!("line {line_no}: mode must be r|w|rw, got `{other}`")),
+                    other => {
+                        return Err(format!(
+                            "line {line_no}: mode must be r|w|rw, got `{other}`"
+                        ))
+                    }
                 };
                 let placement = match *placement {
                     "local" => Placement::Local,
@@ -261,8 +274,9 @@ pub fn parse_trace(text: &str) -> Result<TraceWorkload, String> {
                 let mut rows = None;
                 let mut stride = None;
                 for tok in opts {
-                    let (k, v) = parse_kv(tok)
-                        .ok_or_else(|| format!("line {line_no}: expected key=value, got `{tok}`"))?;
+                    let (k, v) = parse_kv(tok).ok_or_else(|| {
+                        format!("line {line_no}: expected key=value, got `{tok}`")
+                    })?;
                     let v = parse_num(v, k, line_no)?;
                     match k {
                         "passes" => task.passes = v as u32,
@@ -308,12 +322,20 @@ pub fn parse_trace(text: &str) -> Result<TraceWorkload, String> {
                         return Err(format!("line {line_no}: unknown cpu_sweep option `{tok}`"));
                     }
                 }
-                phases.push(TracePhase::CpuSweep { array, cores, write });
+                phases.push(TracePhase::CpuSweep {
+                    array,
+                    cores,
+                    write,
+                });
             }
             other => return Err(format!("line {line_no}: unknown directive `{other}`")),
         }
     }
-    Ok(TraceWorkload { set, arrays, phases })
+    Ok(TraceWorkload {
+        set,
+        arrays,
+        phases,
+    })
 }
 
 #[cfg(test)]
@@ -385,13 +407,13 @@ mod tests {
 
     #[test]
     fn arrays_get_disjoint_bases() {
-        let tw = parse_trace(
-            "array a elems=1000 object=64\narray b elems=1000 object=64",
-        )
-        .unwrap();
+        let tw = parse_trace("array a elems=1000 object=64\narray b elems=1000 object=64").unwrap();
         let a = tw.array("a").unwrap();
         let b = tw.array("b").unwrap();
-        assert!(b.base.0 >= a.base.0 + a.footprint_bytes() || a.base.0 >= b.base.0 + b.footprint_bytes());
+        assert!(
+            b.base.0 >= a.base.0 + a.footprint_bytes()
+                || a.base.0 >= b.base.0 + b.footprint_bytes()
+        );
     }
 
     #[test]

@@ -51,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut cache_flits = 0;
     let mut stash_flits = 0;
-    for kind in [MemConfigKind::Cache, MemConfigKind::Scratch, MemConfigKind::Stash] {
+    for kind in [
+        MemConfigKind::Cache,
+        MemConfigKind::Scratch,
+        MemConfigKind::Stash,
+    ] {
         let mut machine = Machine::new(SystemConfig::for_microbenchmarks(), kind);
         let report = machine.run(&program(kind))?;
         let read_flits = report.traffic.flits(MsgClass::Read);

@@ -126,8 +126,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if use_stash { "CPU stash" } else { "CPU cache" },
             report.cpu_cycles,
             report.traffic.flits(stash_repro::noc::MsgClass::Read),
-            report.counters.get("remote.forward")
-                + report.counters.get("remote.self_forward"),
+            report.counters.get("remote.forward") + report.counters.get("remote.self_forward"),
         );
     }
     println!("\n(the CPU stash maps only the 4-byte fields: no line fills, no L1");

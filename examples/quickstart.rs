@@ -62,10 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stash_maps: Vec::new(),
     };
     let program = Program {
-        phases: vec![
-            Phase::Gpu(Kernel { blocks: vec![tb] }),
-            Phase::Cpu(cpu),
-        ],
+        phases: vec![Phase::Gpu(Kernel { blocks: vec![tb] }), Phase::Cpu(cpu)],
     };
 
     let mut machine = Machine::new(SystemConfig::for_microbenchmarks(), MemConfigKind::Stash);

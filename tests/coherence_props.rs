@@ -1,8 +1,11 @@
-//! Property-based tests on the core data structures and protocol
-//! invariants, driven by proptest.
+//! Property-style tests on the core data structures and protocol
+//! invariants, driven by the simulator's own deterministic PRNG
+//! (`sim::rng::SplitMix64`) — every trial is a pure function of its
+//! seed, so failures reproduce exactly and no external test-harness
+//! dependency is needed.
 
-use proptest::prelude::*;
-use stash_repro::mem::addr::{PAddr, VAddr};
+use sim::rng::SplitMix64;
+use stash_repro::mem::addr::{LineAddr, PAddr, VAddr};
 use stash_repro::mem::cache::DenovoCache;
 use stash_repro::mem::coherence::WordState;
 use stash_repro::mem::llc::{CoreId, Llc, LlcLoadOutcome, Registration};
@@ -13,47 +16,62 @@ use stash_repro::stash::{LoadOutcome, Stash, StashConfig, StoreOutcome, UsageMod
 // TileMap: translation is a bijection over the mapped words.
 // ---------------------------------------------------------------------
 
-fn tile_strategy() -> impl Strategy<Value = TileMap> {
-    // field words, extra object words, row elems, rows, stride padding.
-    (1u64..4, 0u64..8, 1u64..32, 1u64..8, 0u64..64).prop_map(
-        |(fw, extra, row_elems, rows, pad)| {
-            let field = fw * 4;
-            let object = field + extra * 4;
-            let stride = row_elems * object + pad * 4;
-            TileMap::new(VAddr(0x10_0000), field, object, row_elems, stride, rows)
-                .expect("generated geometry is valid")
-        },
-    )
+/// A random valid tile geometry: field words, extra object words, row
+/// elements, rows, stride padding.
+fn random_tile(rng: &mut SplitMix64) -> TileMap {
+    let fw = 1 + rng.next_below(3);
+    let extra = rng.next_below(8);
+    let row_elems = 1 + rng.next_below(31);
+    let rows = 1 + rng.next_below(7);
+    let pad = rng.next_below(64);
+    let field = fw * 4;
+    let object = field + extra * 4;
+    let stride = row_elems * object + pad * 4;
+    TileMap::new(VAddr(0x10_0000), field, object, row_elems, stride, rows)
+        .expect("generated geometry is valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn tile_forward_reverse_roundtrip(tile in tile_strategy()) {
+#[test]
+fn tile_forward_reverse_roundtrip() {
+    for seed in 0..256u64 {
+        let tile = random_tile(&mut SplitMix64::new(seed));
         for off in (0..tile.local_bytes()).step_by(4) {
             let va = tile.virt_of_local_offset(off);
-            prop_assert_eq!(tile.local_offset_of_virt(va), Some(off));
+            assert_eq!(tile.local_offset_of_virt(va), Some(off), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn tile_unmapped_bytes_reverse_to_none(tile in tile_strategy()) {
+#[test]
+fn tile_unmapped_bytes_reverse_to_none() {
+    for seed in 0..256u64 {
+        let tile = random_tile(&mut SplitMix64::new(seed));
         // Bytes of each object beyond the field are not in the stash.
         if tile.object_bytes() > tile.field_bytes() {
             let first_unmapped = tile.global_base().add(tile.field_bytes());
-            prop_assert_eq!(tile.local_offset_of_virt(first_unmapped), None);
+            assert_eq!(
+                tile.local_offset_of_virt(first_unmapped),
+                None,
+                "seed {seed}"
+            );
         }
         // Below the base is never mapped.
-        prop_assert_eq!(tile.local_offset_of_virt(VAddr(0x10_0000 - 4)), None);
+        assert_eq!(
+            tile.local_offset_of_virt(VAddr(0x10_0000 - 4)),
+            None,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn tile_field_addresses_are_disjoint(tile in tile_strategy()) {
+#[test]
+fn tile_field_addresses_are_disjoint() {
+    for seed in 0..256u64 {
+        let tile = random_tile(&mut SplitMix64::new(seed));
         let mut addrs: Vec<u64> = tile.iter_field_vaddrs().map(|v| v.0).collect();
         addrs.sort_unstable();
         addrs.dedup();
-        prop_assert_eq!(addrs.len() as u64, tile.total_elements());
+        assert_eq!(addrs.len() as u64, tile.total_elements(), "seed {seed}");
     }
 }
 
@@ -61,26 +79,29 @@ proptest! {
 // DenovoCache: registered words are never silently lost.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn cache_never_drops_registered_words(
-        accesses in prop::collection::vec((0u64..64, any::<bool>()), 1..200)
-    ) {
+#[test]
+fn cache_never_drops_registered_words() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::new(seed);
         // A small cache (4 sets × 2 ways) under random word ops over 64
         // lines: every store is either still Registered in the cache or
         // was reported through an eviction.
         let mut cache = DenovoCache::new(512, 2, 64);
         let mut live: std::collections::HashSet<u64> = std::collections::HashSet::new();
         let mut written_back = 0usize;
-        for (line_idx, write) in accesses {
+        let accesses = 1 + rng.next_below(199);
+        for _ in 0..accesses {
+            let line_idx = rng.next_below(64);
+            let write = rng.chance(1, 2);
             let pa = PAddr(line_idx * 64);
             let out = cache.ensure_line(pa);
             if let Some(ev) = out.evicted {
                 for w in ev.registered_words {
                     let addr = ev.line.word_addr(w);
-                    prop_assert!(live.remove(&addr.0), "evicted a word that was not live");
+                    assert!(
+                        live.remove(&addr.0),
+                        "seed {seed}: evicted a word that was not live"
+                    );
                     written_back += 1;
                 }
             }
@@ -89,33 +110,50 @@ proptest! {
                 live.insert(pa.0);
             }
         }
-        prop_assert_eq!(cache.registered_words().len() + written_back,
-            live.len() + written_back);
+        assert_eq!(
+            cache.registered_words().len() + written_back,
+            live.len() + written_back,
+            "seed {seed}"
+        );
         for addr in live {
-            prop_assert_eq!(cache.word_state(PAddr(addr)), WordState::Registered);
+            assert_eq!(
+                cache.word_state(PAddr(addr)),
+                WordState::Registered,
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn self_invalidation_is_idempotent(
-        states in prop::collection::vec(0u8..3, 16)
-    ) {
+#[test]
+fn self_invalidation_is_idempotent() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::new(seed);
         let mut cache = DenovoCache::new(512, 2, 64);
         let base = PAddr(0x1000);
         cache.ensure_line(base);
-        for (i, s) in states.iter().enumerate() {
-            let st = match s { 0 => WordState::Invalid, 1 => WordState::Shared, _ => WordState::Registered };
-            cache.set_word(PAddr(base.0 + i as u64 * 4), st);
+        for i in 0..16u64 {
+            let st = match rng.next_below(3) {
+                0 => WordState::Invalid,
+                1 => WordState::Shared,
+                _ => WordState::Registered,
+            };
+            cache.set_word(PAddr(base.0 + i * 4), st);
         }
         cache.self_invalidate();
-        let snapshot: Vec<WordState> =
-            (0..16).map(|i| cache.word_state(PAddr(base.0 + i * 4))).collect();
+        let snapshot: Vec<WordState> = (0..16)
+            .map(|i| cache.word_state(PAddr(base.0 + i * 4)))
+            .collect();
         cache.self_invalidate();
-        let again: Vec<WordState> =
-            (0..16).map(|i| cache.word_state(PAddr(base.0 + i * 4))).collect();
-        prop_assert_eq!(snapshot.clone(), again);
+        let again: Vec<WordState> = (0..16)
+            .map(|i| cache.word_state(PAddr(base.0 + i * 4)))
+            .collect();
+        assert_eq!(snapshot, again, "seed {seed}");
         // And nothing Shared survived.
-        prop_assert!(snapshot.iter().all(|&s| s != WordState::Shared));
+        assert!(
+            snapshot.iter().all(|&s| s != WordState::Shared),
+            "seed {seed}"
+        );
     }
 }
 
@@ -123,42 +161,51 @@ proptest! {
 // LLC registry: exactly one owner per word, writebacks only from owners.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn registry_has_single_owner_semantics(
-        ops in prop::collection::vec((0u64..8, 0usize..16, 0usize..4, any::<bool>()), 1..300)
-    ) {
+#[test]
+fn registry_has_single_owner_semantics() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::new(seed);
         let mut llc = Llc::new(16, 64);
         let mut owner: std::collections::HashMap<(u64, usize), usize> =
             std::collections::HashMap::new();
-        for (line_idx, word, core, write) in ops {
-            let line = stash_repro::mem::addr::LineAddr(line_idx * 64);
+        let ops = 1 + rng.next_below(299);
+        for _ in 0..ops {
+            let line_idx = rng.next_below(8);
+            let word = rng.next_below(16) as usize;
+            let core = rng.next_below(4) as usize;
+            let write = rng.chance(1, 2);
+            let line = LineAddr(line_idx * 64);
             if write {
                 let out = llc.register_word(line, word, Registration::Cache(CoreId(core)));
                 // The displaced owner reported by the LLC matches ours.
                 let expect = owner.get(&(line_idx, word)).copied().filter(|&c| c != core);
-                prop_assert_eq!(out.previous.map(|r| r.core().0), expect);
+                assert_eq!(out.previous.map(|r| r.core().0), expect, "seed {seed}");
                 owner.insert((line_idx, word), core);
             } else {
                 match llc.load_word(line, word) {
                     LlcLoadOutcome::Forward(r) => {
-                        prop_assert_eq!(Some(&r.core().0), owner.get(&(line_idx, word)));
+                        assert_eq!(
+                            Some(&r.core().0),
+                            owner.get(&(line_idx, word)),
+                            "seed {seed}"
+                        );
                     }
                     LlcLoadOutcome::Data { .. } => {
-                        prop_assert!(!owner.contains_key(&(line_idx, word)));
+                        assert!(!owner.contains_key(&(line_idx, word)), "seed {seed}");
                     }
                 }
             }
         }
         // Writebacks from the true owner clear registration; others don't.
         for ((line_idx, word), core) in owner {
-            let line = stash_repro::mem::addr::LineAddr(line_idx * 64);
-            prop_assert!(!llc.writeback_word(line, word, CoreId(core + 1)));
-            prop_assert!(llc.writeback_word(line, word, CoreId(core)));
+            let line = LineAddr(line_idx * 64);
+            assert!(
+                !llc.writeback_word(line, word, CoreId(core + 1)),
+                "seed {seed}"
+            );
+            assert!(llc.writeback_word(line, word, CoreId(core)), "seed {seed}");
             let cleared = matches!(llc.load_word(line, word), LlcLoadOutcome::Data { .. });
-            prop_assert!(cleared);
+            assert!(cleared, "seed {seed}");
         }
     }
 }
@@ -167,29 +214,23 @@ proptest! {
 // Stash: the RTLB guarantee and writeback conservation.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// §4.1.4: remote requests never miss in the RTLB — every word the
-    /// registry believes a stash holds can be reverse-translated and
-    /// found, across arbitrary map/access/kernel sequences.
-    #[test]
-    fn rtlb_never_misses_for_registered_words(
-        rounds in prop::collection::vec(
-            (0u64..8, 1u64..64, prop::collection::vec((0u64..64, any::<bool>()), 0..24)),
-            1..12
-        )
-    ) {
+/// §4.1.4: remote requests never miss in the RTLB — every word the
+/// registry believes a stash holds can be reverse-translated and found,
+/// across arbitrary map/access/kernel sequences.
+#[test]
+fn rtlb_never_misses_for_registered_words() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::new(seed);
         let mut stash = Stash::new(StashConfig::default());
         // Shadow: words we believe are Registered, by physical address.
         let mut registered: std::collections::HashMap<u64, usize> =
             std::collections::HashMap::new();
-        let page = 4096u64;
-        for (tb, (base_sel, elems, accesses)) in rounds.into_iter().enumerate() {
-            let tile = TileMap::new(
-                VAddr(0x100_0000 + base_sel * 0x10_0000),
-                4, 16, elems, 0, 1,
-            ).unwrap();
+        let rounds = 1 + rng.next_below(11);
+        for tb in 0..rounds as usize {
+            let base_sel = rng.next_below(8);
+            let elems = 1 + rng.next_below(63);
+            let tile =
+                TileMap::new(VAddr(0x100_0000 + base_sel * 0x10_0000), 4, 16, elems, 0, 1).unwrap();
             let Ok(out) = stash.add_map(tb, tile, 0, UsageMode::MappedCoherent) else {
                 // Table limits reached — acceptable terminal state.
                 break;
@@ -200,12 +241,16 @@ proptest! {
             for wb in &out.writebacks {
                 registered.remove(&(wb.vaddr.0 + 0x8000_0000));
             }
-            for (word_sel, write) in accesses {
-                let word = (word_sel % elems) as usize;
+            let accesses = rng.next_below(24);
+            for _ in 0..accesses {
+                let word = rng.next_below(elems) as usize;
+                let write = rng.chance(1, 2);
                 if write {
                     match stash.store(word, out.index).unwrap() {
                         StoreOutcome::Hit => {}
-                        StoreOutcome::Miss { vaddr, writebacks, .. } => {
+                        StoreOutcome::Miss {
+                            vaddr, writebacks, ..
+                        } => {
                             for wb in &writebacks {
                                 registered.remove(&(wb.vaddr.0 + 0x8000_0000));
                             }
@@ -232,10 +277,9 @@ proptest! {
             // THE GUARANTEE: every word still registered (per our shadow)
             // is reachable through the VP-map's reverse translation.
             for &pa in registered.keys() {
-                let _ = page;
-                prop_assert!(
+                assert!(
                     stash.remote_request(PAddr(pa)).is_some(),
-                    "remote request missed for pa {pa:#x}"
+                    "seed {seed}: remote request missed for pa {pa:#x}"
                 );
             }
         }

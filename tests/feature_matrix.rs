@@ -172,7 +172,11 @@ fn writebacks_are_lazy() {
     m.stash_tx(0, true, 0, &[0], map).unwrap();
     m.end_thread_block(0, 0);
     m.end_kernel();
-    assert_eq!(m.counters().get("wb.stash_words"), 0, "kernel end writes nothing back");
+    assert_eq!(
+        m.counters().get("wb.stash_words"),
+        0,
+        "kernel end writes nothing back"
+    );
     // A different mapping reclaims the space: now the writeback happens.
     let tile2 = TileMap::new(VAddr(0x90_0000), 4, 16, 64, 0, 1).unwrap();
     let out = m
@@ -200,6 +204,9 @@ fn data_survives_kernel_boundaries() {
         .unwrap();
     assert!(k2.replicates);
     let cost = m.stash_tx(0, false, 0, &[0, 1, 2, 3], k2.index).unwrap();
-    assert_eq!(cost.latency, 1, "kernel 2 hits on kernel 1's registered data");
+    assert_eq!(
+        cost.latency, 1,
+        "kernel 2 hits on kernel 1's registered data"
+    );
     assert_eq!(m.counters().get("stash.fetch_words"), 0);
 }

@@ -22,7 +22,11 @@ fn micro_reports(name: &str) -> [(MemConfigKind, RunReport); 4] {
 }
 
 fn report_for(reports: &[(MemConfigKind, RunReport)], kind: MemConfigKind) -> &RunReport {
-    &reports.iter().find(|(k, _)| *k == kind).expect("simulated").1
+    &reports
+        .iter()
+        .find(|(k, _)| *k == kind)
+        .expect("simulated")
+        .1
 }
 
 /// §6.2: the stash outperforms scratchpad and cache on *every*
