@@ -6,7 +6,7 @@
 //! cargo run --release -p bench --bin fig5 -- --panel time --threads 4
 //! ```
 
-use bench::{average_reduction, cli, print_panel, run_matrix_parallel, write_csv, FigurePanel};
+use bench::{average_reduction, cli, print_panel, run_matrix_verified, write_csv, FigurePanel};
 use gpu::config::MemConfigKind;
 use workloads::suite;
 
@@ -24,9 +24,13 @@ fn main() {
         None => FigurePanel::FIG5.to_vec(),
     };
 
+    let verify = cli::verify_flag(&args);
     let kinds = MemConfigKind::FIGURE5;
     println!("Figure 5 — microbenchmarks on 1 GPU CU + 15 CPU cores");
-    let (rows, stats) = run_matrix_parallel(&suite::micros(), &kinds, threads);
+    if verify {
+        println!("(runtime invariant oracle on — checking after every transition)");
+    }
+    let (rows, stats) = run_matrix_verified(&suite::micros(), &kinds, threads, verify);
     println!("{}", stats.summary());
     if args.iter().any(|a| a == "--debug") {
         println!("\n-- raw cycles (gpu/cpu) --");

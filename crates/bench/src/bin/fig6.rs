@@ -6,7 +6,7 @@
 //! cargo run --release -p bench --bin fig6 -- --panel energy --threads 4
 //! ```
 
-use bench::{average_reduction, cli, print_panel, run_matrix_parallel, write_csv, FigurePanel};
+use bench::{average_reduction, cli, print_panel, run_matrix_verified, write_csv, FigurePanel};
 use gpu::config::MemConfigKind;
 use workloads::suite;
 
@@ -24,9 +24,13 @@ fn main() {
         None => vec![FigurePanel::Time, FigurePanel::Energy],
     };
 
+    let verify = cli::verify_flag(&args);
     let kinds = MemConfigKind::FIGURE6;
     println!("Figure 6 — applications on 15 GPU CUs + 1 CPU core");
-    let (rows, stats) = run_matrix_parallel(&suite::applications(), &kinds, threads);
+    if verify {
+        println!("(runtime invariant oracle on — checking after every transition)");
+    }
+    let (rows, stats) = run_matrix_verified(&suite::applications(), &kinds, threads, verify);
     println!("{}", stats.summary());
     if let Some(i) = args.iter().position(|a| a == "--csv") {
         let path =

@@ -1,0 +1,83 @@
+//! Static DRF linting of workload programs (see `verify::lint`).
+//!
+//! ```text
+//! cargo run --release -p bench --bin lint                  # built-in suite
+//! cargo run --release -p bench --bin lint -- my.trace      # plus a trace file
+//! ```
+//!
+//! DeNovo guarantees sequential consistency only for data-race-free
+//! programs, so every shipped workload must lint clean: the binary walks
+//! all eleven suite workloads under every memory configuration and flags
+//! cross-thread-block races, cross-core CPU races, CPU stale reads
+//! across GPU kernels, and out-of-bounds stash-map / index expressions.
+//! Trace files given as arguments are linted the same way, with
+//! diagnostics naming their arrays.
+//!
+//! Exits 1 if any diagnostic is produced (including on a trace file —
+//! the linter is a gate, not a report).
+
+use gpu::config::MemConfigKind;
+use verify::{lint_program, symbols_for_trace, Symbols};
+use workloads::suite;
+use workloads::trace::parse_trace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut total = 0usize;
+
+    println!(
+        "=== linting built-in suite ({} workloads) ===",
+        suite::all().len()
+    );
+    let empty = Symbols::new();
+    for workload in suite::all() {
+        for kind in MemConfigKind::ALL {
+            let program = (workload.build)(kind);
+            let diags = lint_program(&program, &empty);
+            for d in &diags {
+                println!("{}/{}: {d}", workload.name, kind.name());
+            }
+            total += diags.len();
+        }
+    }
+    if total == 0 {
+        println!("suite is clean");
+    }
+
+    for path in &args[1..] {
+        println!("\n=== linting {path} ===");
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let trace = parse_trace(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        });
+        let symbols = symbols_for_trace(&trace);
+        let mut file_diags = 0usize;
+        for kind in MemConfigKind::ALL {
+            let program = trace.try_build(kind).unwrap_or_else(|e| {
+                eprintln!("{path} on {kind}: {e}");
+                std::process::exit(2);
+            });
+            let diags = lint_program(&program, &symbols);
+            for d in &diags {
+                println!("{}: {d}", kind.name());
+            }
+            file_diags += diags.len();
+        }
+        if file_diags == 0 {
+            println!("{path} is clean");
+        }
+        total += file_diags;
+    }
+
+    if total > 0 {
+        eprintln!(
+            "\n{total} diagnostic{} — lint FAILED",
+            if total == 1 { "" } else { "s" }
+        );
+        std::process::exit(1);
+    }
+}

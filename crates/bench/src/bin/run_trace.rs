@@ -18,13 +18,14 @@ use workloads::trace::parse_trace;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let threads = cli::thread_count(&args);
+    let verify = cli::verify_flag(&args);
     let mut args = args;
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         args.drain(i..(i + 2).min(args.len()));
     }
-    args.retain(|a| !a.starts_with("--threads="));
+    args.retain(|a| !a.starts_with("--threads=") && a != "--verify");
     let Some(path) = args.get(1) else {
-        eprintln!("usage: run-trace <file.trace> [configs...] [--threads N]");
+        eprintln!("usage: run-trace <file.trace> [configs...] [--threads N] [--verify]");
         std::process::exit(2);
     };
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -60,6 +61,7 @@ fn main() {
         .map(|&kind| {
             move || {
                 let mut machine = Machine::new(workload.set().system_config(), kind);
+                machine.memory_mut().set_verify(verify);
                 machine.run(&workload.build(kind))
             }
         })

@@ -10,6 +10,16 @@ pub const THREADS_USAGE: &str =
     "--threads N   worker threads for the simulation pool (default: all cores;\n              \
      also settable via STASH_THREADS)";
 
+/// The usage line for the runtime invariant oracle flag.
+pub const VERIFY_USAGE: &str =
+    "--verify      cross-check protocol invariants (single registered owner,\n              \
+     registry/owner agreement) after every memory-system transition; slow";
+
+/// True when `--verify` appears in the arguments (or `STASH_VERIFY=1`).
+pub fn verify_flag(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--verify") || std::env::var("STASH_VERIFY").is_ok_and(|v| v == "1")
+}
+
 /// Resolves the worker-thread count from `--threads N` / `--threads=N`,
 /// then `STASH_THREADS`, then the host's available parallelism.
 ///
@@ -62,5 +72,11 @@ mod tests {
     #[test]
     fn default_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn verify_flag_only_set_when_asked() {
+        assert!(verify_flag(&args(&["fig5", "--verify"])));
+        assert!(!verify_flag(&args(&["fig5", "--threads", "3"])));
     }
 }

@@ -10,6 +10,8 @@
 //! input order and every simulation is deterministic, so an `N`-thread
 //! run is byte-identical to a serial one (see `tests/determinism.rs`).
 
+#![forbid(unsafe_code)]
+
 pub mod cli;
 pub mod pool;
 pub mod timing;
@@ -123,8 +125,21 @@ pub fn run_workload(workload: &Workload, kinds: &[MemConfigKind]) -> MatrixRow {
 ///
 /// Panics if the simulation rejects the program (a workload/config bug).
 pub fn run_cell(workload: &Workload, kind: MemConfigKind) -> RunReport {
+    run_cell_verified(workload, kind, false)
+}
+
+/// [`run_cell`] with the runtime invariant oracle optionally enabled
+/// (`--verify` on the binaries): the memory system then cross-checks the
+/// protocol invariants after every transition.
+///
+/// # Panics
+///
+/// Panics if the simulation rejects the program, or — with `verify` on —
+/// if the oracle finds an invariant violation.
+pub fn run_cell_verified(workload: &Workload, kind: MemConfigKind, verify: bool) -> RunReport {
     let program = (workload.build)(kind);
     let mut machine = Machine::new(workload.set.system_config(), kind);
+    machine.memory_mut().set_verify(verify);
     machine
         .run(&program)
         .unwrap_or_else(|e| panic!("{} on {kind}: {e}", workload.name))
@@ -152,12 +167,28 @@ pub fn run_matrix_parallel(
     kinds: &[MemConfigKind],
     threads: usize,
 ) -> (Vec<MatrixRow>, MatrixStats) {
+    run_matrix_verified(workloads, kinds, threads, false)
+}
+
+/// [`run_matrix_parallel`] with the runtime invariant oracle optionally
+/// enabled on every cell (the binaries' `--verify` flag).
+///
+/// # Panics
+///
+/// Panics if any simulation rejects its program, or — with `verify` on —
+/// if the oracle finds an invariant violation in any cell.
+pub fn run_matrix_verified(
+    workloads: &[Workload],
+    kinds: &[MemConfigKind],
+    threads: usize,
+    verify: bool,
+) -> (Vec<MatrixRow>, MatrixStats) {
     let pool = JobPool::new(threads);
     let start = Instant::now();
     let jobs: Vec<_> = workloads
         .iter()
         .flat_map(|w| kinds.iter().map(move |&kind| (w, kind)))
-        .map(|(w, kind)| move || run_cell(w, kind))
+        .map(|(w, kind)| move || run_cell_verified(w, kind, verify))
         .collect();
     let jobs_len = jobs.len();
     let results = pool.run(jobs);

@@ -23,6 +23,8 @@
 //! assert!(acct.component(Component::L1) > acct.component(Component::LocalMem));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod account;
 pub mod model;
 pub mod table3;

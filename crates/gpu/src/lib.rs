@@ -42,6 +42,8 @@
 //! assert!(report.gpu_cycles > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod coalescer;
 pub mod config;
 pub mod cpu;

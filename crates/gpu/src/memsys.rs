@@ -69,6 +69,7 @@ pub struct MemorySystem {
     gpu_instructions: u64,
     eager_stash_writebacks: bool,
     line_grain_registration: bool,
+    verify: bool,
 }
 
 impl MemorySystem {
@@ -122,8 +123,150 @@ impl MemorySystem {
             gpu_instructions: 0,
             eager_stash_writebacks: false,
             line_grain_registration: false,
+            verify: false,
             cfg,
             kind,
+        }
+    }
+
+    /// Enables the runtime invariant oracle: after every architectural
+    /// transition, the L1s, stashes, and LLC registry are cross-checked
+    /// against DeNovo's global invariants — at most one Registered holder
+    /// per word, every Registered copy matched by a registry entry naming
+    /// its structure, and every registry entry backed by a core that
+    /// really holds the word. Verification walks every registered word
+    /// after every transaction, so use it for correctness runs (the
+    /// bench binaries' `--verify` flag), not for timing numbers.
+    ///
+    /// # Panics
+    ///
+    /// Once enabled, any subsequent operation that leaves the hierarchy
+    /// in an invariant-violating state panics with the violated invariant
+    /// and the operation that exposed it.
+    pub fn set_verify(&mut self, on: bool) {
+        self.verify = on;
+    }
+
+    /// Whether the runtime invariant oracle is enabled.
+    pub fn verify_enabled(&self) -> bool {
+        self.verify
+    }
+
+    /// The invariant oracle (see [`Self::set_verify`]). Split into the
+    /// owner→registry direction (every Registered word in an L1 or stash
+    /// has a matching registry entry — and no two structures hold the
+    /// same word Registered) and the registry→owner direction (every
+    /// registry entry names a structure that holds the word Registered).
+    fn check_invariants(&mut self, context: &str) {
+        let line_bytes = self.cfg.line_bytes as u64;
+        // Holder of each Registered word seen so far (SWMR witness).
+        let mut holders: std::collections::HashMap<(LineAddr, usize), String> =
+            std::collections::HashMap::new();
+
+        // Owner → registry: L1-held Registered words.
+        for (c, l1) in self.l1s.iter().enumerate() {
+            for pa in l1.registered_words() {
+                let line = pa.line(line_bytes);
+                let w = pa.word_in_line(line_bytes);
+                let holder = format!("core {c}'s L1");
+                if let Some(prev) = holders.insert((line, w), holder.clone()) {
+                    panic!(
+                        "verify[{context}]: SWMR violated at {pa:?}: \
+                         word Registered in both {prev} and {holder}"
+                    );
+                }
+                let reg = self.llc.registration(line, w);
+                assert!(
+                    reg == Some(Registration::Cache(CoreId(c))),
+                    "verify[{context}]: {holder} holds {pa:?} Registered \
+                     but the registry entry is {reg:?}"
+                );
+            }
+        }
+
+        // Owner → registry: stash-held Registered words. The stash
+        // reports them with virtual addresses; translate through its
+        // VP-map with the page table as fallback (the same path real
+        // writebacks take). The per-stash owned sets feed the registry
+        // direction below: after a remap (ChgMap / next kernel's AddMap)
+        // the Registered word lives in the *old* chunk awaiting its lazy
+        // writeback, while reverse translation finds the new mapping.
+        let mut stash_owned: Vec<std::collections::HashSet<(LineAddr, usize)>> =
+            vec![std::collections::HashSet::new(); self.stashes.len()];
+        for (c, owned) in stash_owned.iter_mut().enumerate() {
+            for wb in self.stashes[c].pending_writebacks() {
+                let pa = self.stashes[c]
+                    .translate(wb.vaddr)
+                    .unwrap_or_else(|| self.pt.translate(wb.vaddr));
+                let line = pa.line(line_bytes);
+                let w = pa.word_in_line(line_bytes);
+                let holder = format!("core {c}'s stash");
+                if let Some(prev) = holders.insert((line, w), holder.clone()) {
+                    panic!(
+                        "verify[{context}]: SWMR violated at {pa:?}: \
+                         word Registered in both {prev} and {holder}"
+                    );
+                }
+                let reg = self.llc.registration(line, w);
+                assert!(
+                    matches!(reg, Some(Registration::Stash { core, .. }) if core == CoreId(c)),
+                    "verify[{context}]: {holder} holds {pa:?} (va {:?}) \
+                     Registered but the registry entry is {reg:?}",
+                    wb.vaddr
+                );
+                owned.insert((line, w));
+            }
+        }
+
+        // Registry → owner: every registration names a live holder.
+        for (line, w, reg) in self.llc.registered_words() {
+            let pa = line.word_addr(w);
+            match reg {
+                Registration::Cache(core) => {
+                    let st = self.l1s[core.0].word_state(pa);
+                    assert!(
+                        st == mem::coherence::WordState::Registered,
+                        "verify[{context}]: registry says {core} holds {pa:?} \
+                         Registered in its L1, but the L1 word state is {st}"
+                    );
+                }
+                Registration::Stash { core, .. } => {
+                    assert!(
+                        core.0 < self.stashes.len(),
+                        "verify[{context}]: registry names core {core}'s stash \
+                         for {pa:?} but that core has no stash"
+                    );
+                    // A remapped word's Registered copy lives in the old
+                    // chunk until its lazy writeback drains; the
+                    // owner-direction sweep above already matched it to
+                    // this registry entry, so it needs no lookup here.
+                    if stash_owned[core.0].contains(&(line, w)) {
+                        continue;
+                    }
+                    // Otherwise the owner must locate the word by VP-map
+                    // reverse translation, exactly as a forwarded request
+                    // would. A lost reverse translation (counted as
+                    // remote.stash_stale on the forward path) leaves the
+                    // word unlocatable; the data-holding check only
+                    // applies when the stash can still find it.
+                    if let Some(word) = self.stashes[core.0].remote_request(pa) {
+                        let st = self.stashes[core.0].word_state(word);
+                        assert!(
+                            st == mem::coherence::WordState::Registered,
+                            "verify[{context}]: registry says {core}'s stash \
+                             holds {pa:?} Registered, but stash word {word} \
+                             is {st}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn verify_after(&mut self, context: &str) {
+        if self.verify {
+            self.check_invariants(context);
         }
     }
 
@@ -278,6 +421,7 @@ impl MemorySystem {
         let core = self.cu_core(cu);
         let flits_before = self.net.traffic().total_flits();
         let latency = self.cache_tx(core, write, tx, true);
+        self.verify_after("gpu_global_tx");
         TxCost {
             latency,
             occupancy: (self.net.traffic().total_flits() - flits_before).div_ceil(2),
@@ -294,6 +438,7 @@ impl MemorySystem {
         };
         let flits_before = self.net.traffic().total_flits();
         let latency = self.cache_tx(core, write, &tx, false);
+        self.verify_after("cpu_access");
         latency + (self.net.traffic().total_flits() - flits_before)
     }
 
@@ -530,13 +675,7 @@ impl MemorySystem {
     ///
     /// Returns [`SimError::OutOfRange`] if the space does not fit.
     pub fn scratch_alloc(&mut self, cu: usize, bytes: usize) -> Result<usize, SimError> {
-        self.scratchpads[cu]
-            .alloc(bytes)
-            .map_err(|short| SimError::OutOfRange {
-                what: "scratchpad allocation",
-                offset: bytes + short,
-                size: self.scratchpads[cu].capacity_bytes(),
-            })
+        self.scratchpads[cu].alloc(bytes)
     }
 
     /// Frees every scratchpad allocation on `cu` (wave boundary).
@@ -578,6 +717,7 @@ impl MemorySystem {
             Component::LocalMem,
             out.new_pages as u64 * self.model.tlb_access,
         );
+        self.verify_after("stash_add_map");
         Ok(out)
     }
 
@@ -612,6 +752,7 @@ impl MemorySystem {
             Component::LocalMem,
             out.new_pages as u64 * self.model.tlb_access,
         );
+        self.verify_after("stash_chg_map");
         Ok(())
     }
 
@@ -682,7 +823,12 @@ impl MemorySystem {
             } else {
                 match self.stashes[cu].load(w, map)? {
                     LoadOutcome::Hit => {}
-                    LoadOutcome::ReplicaHit { .. } => {
+                    LoadOutcome::ReplicaHit { writebacks, .. } => {
+                        // Reclaiming the chunk for the replica may have
+                        // displaced an older mapping's dirty words; those
+                        // writebacks must reach the LLC even though no
+                        // fetch follows, or their registrations go stale.
+                        self.perform_stash_writebacks(cu, &writebacks);
                         // One extra storage read for the internal copy.
                         self.counters.bump(Counter::StashReplicaHit);
                         self.energy.add(Component::LocalMem, self.model.stash_hit);
@@ -726,6 +872,7 @@ impl MemorySystem {
         }
 
         latency += self.stash_global_fetches(cu, map, &load_fetches, &registrations)?;
+        self.verify_after("stash_tx");
         Ok(TxCost {
             latency,
             occupancy: (self.net.traffic().total_flits() - flits_before).div_ceil(2),
@@ -915,6 +1062,7 @@ impl MemorySystem {
         if let Some(s) = self.stashes.get_mut(cu) {
             s.end_thread_block(tb);
         }
+        self.verify_after("end_thread_block");
     }
 
     /// Kernel boundary: self-invalidation in GPU L1s and stashes;
@@ -934,6 +1082,7 @@ impl MemorySystem {
             s.end_kernel();
         }
         self.counters.bump(Counter::GpuKernels);
+        self.verify_after("end_kernel");
     }
 
     /// §8 extension: eagerly fetches every unfetched word of a fresh
@@ -951,6 +1100,7 @@ impl MemorySystem {
         self.energy.add(Component::LocalMem, self.model.stash_miss);
         self.energy.add(Component::LocalMem, self.model.tlb_access);
         let lat = self.stash_global_fetches(cu, map, &words, &[])?;
+        self.verify_after("stash_prefetch_mapping");
         // Pipelined like a DMA transfer: inject at 2 flits/cycle.
         Ok(lat + (words.len() as u64).div_ceil(4))
     }
@@ -1044,6 +1194,7 @@ impl MemorySystem {
             done = done.max(issue + lat);
             issue += flits.div_ceil(2);
         }
+        self.verify_after("dma_transfer");
         done.max(issue)
     }
 
@@ -1300,6 +1451,63 @@ mod tests {
         w.gpu_global_tx(1, true, &tx(&[0x5004]));
         assert_eq!(w.counters().get("coherence.false_sharing_revocation"), 0);
         assert_eq!(w.llc().words_registered_to(CoreId(0)), 1);
+    }
+
+    #[test]
+    fn verify_oracle_accepts_correct_mixed_traffic() {
+        for kind in MemConfigKind::ALL {
+            let mut m = micro(kind);
+            m.set_verify(true);
+            assert!(m.verify_enabled());
+            // Cache traffic: two CUs and a CPU contending on one line.
+            m.gpu_global_tx(0, true, &tx(&[0x1000, 0x1004]));
+            m.cpu_access(0, false, VAddr(0x1000));
+            m.cpu_access(1, true, VAddr(0x1008));
+            m.gpu_global_tx(0, false, &tx(&[0x1008]));
+            if kind.uses_stash() {
+                let tile = TileMap::new(VAddr(0x10000), 4, 16, 16, 0, 1).unwrap();
+                let out = m
+                    .stash_add_map(0, 0, tile, 0, UsageMode::MappedCoherent)
+                    .unwrap();
+                m.stash_tx(0, true, 0, &[0, 1], out.index).unwrap();
+                m.stash_tx(0, false, 0, &[2], out.index).unwrap();
+                m.end_thread_block(0, 0);
+                // Lazily-held registered stash data survives the boundary.
+                m.end_kernel();
+                m.cpu_access(0, false, VAddr(0x10000));
+            }
+            if kind.uses_dma() {
+                let tile = TileMap::new(VAddr(0x20000), 4, 16, 16, 0, 1).unwrap();
+                m.dma_transfer(0, &tile, false);
+                m.dma_transfer(0, &tile, true);
+            }
+            m.end_kernel();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "registry says")]
+    fn verify_oracle_rejects_phantom_registration() {
+        let mut m = micro(MemConfigKind::Cache);
+        m.set_verify(true);
+        // Corrupt the registry directly: claim core 3's L1 owns a word it
+        // never stored to. The next checked operation must panic.
+        m.llc
+            .register_word(LineAddr(0x4000), 0, Registration::Cache(CoreId(3)));
+        m.cpu_access(0, false, VAddr(0x8000));
+    }
+
+    #[test]
+    #[should_panic(expected = "Registered but the registry entry")]
+    fn verify_oracle_rejects_lost_registration() {
+        let mut m = micro(MemConfigKind::Cache);
+        m.set_verify(true);
+        m.gpu_global_tx(0, true, &tx(&[0x1000]));
+        // Corrupt the registry the other way: drop CU 0's registration
+        // while its L1 still holds the word Registered.
+        let line = m.pt.translate(VAddr(0x1000)).line(64);
+        m.llc.writeback_word(line, 0, CoreId(0));
+        m.cpu_access(0, false, VAddr(0x8000));
     }
 
     #[test]

@@ -29,6 +29,8 @@
 //! assert_eq!(pt.translate(VAddr(0x1_2345)), pa); // stable mapping
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod addr;
 pub mod cache;
 pub mod coherence;

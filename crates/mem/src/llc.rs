@@ -253,6 +253,28 @@ impl Llc {
             .filter(|w| matches!(w, WordTag::Registered(r) if r.core() == core))
             .count()
     }
+
+    /// Every currently-registered word, as `(line, word index, owner)`,
+    /// sorted by address — the registry side of the invariant checks (the
+    /// runtime oracle walks this to confirm each registration names a core
+    /// that really holds the word Registered).
+    pub fn registered_words(&self) -> Vec<(LineAddr, usize, Registration)> {
+        let mut out: Vec<(LineAddr, usize, Registration)> = self
+            .lines
+            .iter()
+            .flat_map(|(&line, l)| {
+                l.words
+                    .iter()
+                    .enumerate()
+                    .filter_map(move |(i, w)| match w {
+                        WordTag::Registered(r) => Some((line, i, *r)),
+                        WordTag::Valid => None,
+                    })
+            })
+            .collect();
+        out.sort_by_key(|&(line, word, _)| (line, word));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -366,6 +388,80 @@ mod tests {
         assert_eq!(
             l.load_word(line, 0),
             LlcLoadOutcome::Data { from_memory: false }
+        );
+    }
+
+    #[test]
+    fn evict_while_registered_transfers_cleanly() {
+        // Registration transfer while the old owner's eviction writeback is
+        // in flight: core 1 owns the word, core 2 registers (revoking 1),
+        // and only *then* does core 1's eviction writeback arrive. The
+        // stale writeback must be dropped, leaving core 2 the owner.
+        let mut l = llc();
+        let line = LineAddr(0x200);
+        l.register_word(line, 0, Registration::Cache(CoreId(1)));
+        let out = l.register_word(line, 0, Registration::Cache(CoreId(2)));
+        assert_eq!(out.previous, Some(Registration::Cache(CoreId(1))));
+        // Core 1's late eviction writeback: dropped, registry untouched.
+        assert!(!l.writeback_word(line, 0, CoreId(1)));
+        assert_eq!(
+            l.registration(line, 0),
+            Some(Registration::Cache(CoreId(2)))
+        );
+        // Loads still forward to the real owner.
+        assert!(matches!(l.load_word(line, 0), LlcLoadOutcome::Forward(r)
+            if r.core() == CoreId(2)));
+    }
+
+    #[test]
+    fn re_register_after_owner_writeback_starts_fresh() {
+        // Owner writes back (word becomes Valid at the LLC), then the same
+        // core stores again: the new registration must report no previous
+        // owner — the transfer protocol must not see a phantom old copy.
+        let mut l = llc();
+        let line = LineAddr(0x240);
+        l.register_word(line, 3, Registration::Cache(CoreId(7)));
+        assert!(l.writeback_word(line, 3, CoreId(7)));
+        assert_eq!(l.registration(line, 3), None);
+        let out = l.register_word(line, 3, Registration::Cache(CoreId(7)));
+        assert_eq!(out.previous, None);
+        assert!(!out.from_memory); // line stayed resident across the cycle
+        assert_eq!(
+            l.registration(line, 3),
+            Some(Registration::Cache(CoreId(7)))
+        );
+    }
+
+    #[test]
+    fn registered_words_enumerates_sorted_registry() {
+        let mut l = llc();
+        l.register_word(LineAddr(0x80), 2, Registration::Cache(CoreId(1)));
+        l.register_word(
+            LineAddr(0x40),
+            5,
+            Registration::Stash {
+                core: CoreId(2),
+                map_index: 1,
+            },
+        );
+        l.register_word(LineAddr(0x40), 1, Registration::Cache(CoreId(3)));
+        // A writeback removes its entry from the enumeration.
+        l.register_word(LineAddr(0xC0), 0, Registration::Cache(CoreId(4)));
+        l.writeback_word(LineAddr(0xC0), 0, CoreId(4));
+        assert_eq!(
+            l.registered_words(),
+            vec![
+                (LineAddr(0x40), 1, Registration::Cache(CoreId(3))),
+                (
+                    LineAddr(0x40),
+                    5,
+                    Registration::Stash {
+                        core: CoreId(2),
+                        map_index: 1
+                    }
+                ),
+                (LineAddr(0x80), 2, Registration::Cache(CoreId(1))),
+            ]
         );
     }
 

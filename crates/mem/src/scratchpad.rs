@@ -7,6 +7,7 @@
 //! the memory system's behaviour depends only on addresses and states.
 
 use crate::addr::WORD_BYTES;
+use sim::SimError;
 
 /// A banked scratchpad (CUDA "shared memory").
 ///
@@ -34,15 +35,30 @@ impl Scratchpad {
     ///
     /// # Panics
     ///
-    /// Panics if either parameter is zero.
+    /// Panics if either parameter is zero; [`Self::try_new`] reports the
+    /// same condition as an error instead.
     pub fn new(capacity_bytes: usize, banks: usize) -> Self {
-        assert!(capacity_bytes > 0 && banks > 0);
-        Self {
+        Self::try_new(capacity_bytes, banks).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a scratchpad of `capacity_bytes` with `banks` banks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if either parameter is zero.
+    pub fn try_new(capacity_bytes: usize, banks: usize) -> Result<Self, SimError> {
+        if capacity_bytes == 0 || banks == 0 {
+            return Err(SimError::Config(format!(
+                "scratchpad needs nonzero capacity and banks \
+                 (got {capacity_bytes} B, {banks} banks)"
+            )));
+        }
+        Ok(Self {
             capacity_bytes,
             banks,
             allocated_bytes: 0,
             accesses: 0,
-        }
+        })
     }
 
     /// Capacity in bytes.
@@ -65,12 +81,17 @@ impl Scratchpad {
     ///
     /// # Errors
     ///
-    /// Returns the shortfall if the space does not fit — the runtime would
-    /// then limit thread-block occupancy, which the GPU model handles.
-    pub fn alloc(&mut self, bytes: usize) -> Result<usize, usize> {
+    /// Returns [`SimError::OutOfRange`] if the space does not fit — the
+    /// runtime would then limit thread-block occupancy, which the GPU
+    /// model handles.
+    pub fn alloc(&mut self, bytes: usize) -> Result<usize, SimError> {
         let bytes = bytes.next_multiple_of(WORD_BYTES as usize);
         if self.allocated_bytes + bytes > self.capacity_bytes {
-            return Err(self.allocated_bytes + bytes - self.capacity_bytes);
+            return Err(SimError::OutOfRange {
+                what: "scratchpad allocation",
+                offset: self.allocated_bytes + bytes,
+                size: self.capacity_bytes,
+            });
         }
         let base = self.allocated_bytes;
         self.allocated_bytes += bytes;
@@ -135,9 +156,28 @@ mod tests {
         let b = s.alloc(8 * 1024).unwrap();
         assert_eq!(a, 0);
         assert_eq!(b, 8 * 1024);
-        assert_eq!(s.alloc(4), Err(4));
+        match s.alloc(4) {
+            Err(SimError::OutOfRange { offset, size, .. }) => {
+                assert_eq!(offset, 16 * 1024 + 4);
+                assert_eq!(size, 16 * 1024);
+            }
+            other => panic!("expected OutOfRange, got {other:?}"),
+        }
         s.free_all();
         assert_eq!(s.alloc(16 * 1024).unwrap(), 0);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_parameters() {
+        assert!(matches!(
+            Scratchpad::try_new(0, 32),
+            Err(SimError::Config(_))
+        ));
+        assert!(matches!(
+            Scratchpad::try_new(1024, 0),
+            Err(SimError::Config(_))
+        ));
+        assert!(Scratchpad::try_new(1024, 32).is_ok());
     }
 
     #[test]

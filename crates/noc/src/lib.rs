@@ -23,6 +23,8 @@
 //! assert_eq!(hops, 6);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod message;
 pub mod network;
 pub mod topology;

@@ -24,6 +24,8 @@
 //! assert_eq!(cfg.l1_bytes, 32 * 1024);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod config;
 pub mod error;

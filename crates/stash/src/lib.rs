@@ -49,6 +49,8 @@
 //! assert!(!stash.load(0, m.index).unwrap().missed());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod index_table;
 pub mod map;
 pub mod modes;

@@ -81,6 +81,9 @@ pub enum LoadOutcome {
     ReplicaHit {
         /// The stash word the data was copied from.
         from_word: usize,
+        /// Lazy writebacks triggered by reclaiming this word's chunk;
+        /// they must be performed even though no fetch follows.
+        writebacks: Vec<WritebackWord>,
     },
     /// Miss: the orchestrator must fetch `vaddr` (word granularity) and
     /// then call [`Stash::complete_load_fill`]. Any `writebacks` (lazy
@@ -433,7 +436,10 @@ impl Stash {
                     self.storage.set_word_state(word, WordState::Shared);
                     let chunk = self.storage.chunk_of(word);
                     self.storage.assign_chunk(chunk, map);
-                    return Ok(LoadOutcome::ReplicaHit { from_word: from });
+                    return Ok(LoadOutcome::ReplicaHit {
+                        from_word: from,
+                        writebacks,
+                    });
                 }
             }
         }
@@ -906,16 +912,25 @@ impl Stash {
         Some(writebacks)
     }
 
+    /// The stash word holding `va`, if any mapping covers it. When two
+    /// mappings hold copies of the same address (an older entry's
+    /// Registered copy awaiting lazy writeback plus a fresh replica), the
+    /// Registered copy wins: remote requests and surrenders must act on
+    /// the authoritative word, not a Shared replica.
     fn find_word_for_vaddr(&self, va: VAddr) -> Option<usize> {
+        let mut fallback = None;
         for (idx, entry) in self.map.iter_valid() {
             if let Some(local_off) = entry.tile.local_offset_of_virt(va) {
                 let word = entry.stash_base_word + (local_off / WORD_BYTES) as usize;
                 if self.storage.chunk_meta(self.storage.chunk_of(word)).owner == Some(idx) {
-                    return Some(word);
+                    if self.storage.word_state(word) == WordState::Registered {
+                        return Some(word);
+                    }
+                    fallback.get_or_insert(word);
                 }
             }
         }
-        None
+        fallback
     }
 }
 
@@ -1050,12 +1065,60 @@ mod tests {
         let m2 = s.add_map(1, t, 64, UsageMode::MappedCoherent).unwrap();
         assert!(m2.replicates);
         match s.load(64 + 2, m2.index).unwrap() {
-            LoadOutcome::ReplicaHit { from_word } => assert_eq!(from_word, 2),
+            LoadOutcome::ReplicaHit {
+                from_word,
+                writebacks,
+            } => {
+                assert_eq!(from_word, 2);
+                assert!(writebacks.is_empty());
+            }
             other => panic!("expected replica hit, got {other:?}"),
         }
         // A word the old mapping never loaded still misses.
         assert!(s.load(64 + 3, m2.index).unwrap().missed());
         drop(m1);
+    }
+
+    #[test]
+    fn replica_hit_carries_displaced_writebacks() {
+        let mut s = stash();
+        // An older block's dirty, sealed data occupies the chunk the
+        // replica will land in.
+        let old = s
+            .add_map(0, tile(0x8000, 16), 64, UsageMode::MappedCoherent)
+            .unwrap();
+        assert!(s.store(66, old.index).unwrap().missed());
+        s.complete_store_fill(66, old.index);
+        s.end_thread_block(0);
+        // A live mapping holds the word the replica copies from.
+        let src = s
+            .add_map(1, tile(0x1000, 16), 0, UsageMode::MappedCoherent)
+            .unwrap();
+        assert!(s.load(2, src.index).unwrap().missed());
+        s.complete_load_fill(2);
+        // The same tile mapped again over the sealed chunk: the replica
+        // hit must surface the displaced dirty word, not drop it — a
+        // dropped writeback leaves its LLC registration stale forever.
+        let m2 = s
+            .add_map(2, tile(0x1000, 16), 64, UsageMode::MappedCoherent)
+            .unwrap();
+        assert!(m2.replicates);
+        match s.load(66, m2.index).unwrap() {
+            LoadOutcome::ReplicaHit {
+                from_word,
+                writebacks,
+            } => {
+                assert_eq!(from_word, 2);
+                assert_eq!(
+                    writebacks,
+                    vec![WritebackWord {
+                        stash_word: 66,
+                        vaddr: VAddr(0x8020),
+                    }]
+                );
+            }
+            other => panic!("expected replica hit, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Protocol verification layer for the stash reproduction.
+//!
+//! Three coordinated analyses guard the DeNovo coherence protocol the
+//! timing model is built on (paper §4.3–§4.4):
+//!
+//! 1. [`model`] — an exhaustive **model checker** that enumerates every
+//!    reachable protocol state of one word across N cores plus the LLC
+//!    registry, driving loads, stores, evictions, self-invalidations,
+//!    registration transfers, DMA fills, and lazy stash writebacks from
+//!    reset via BFS. It asserts the global invariants (single Registered
+//!    owner, registry/owner agreement, the data-value invariant via a
+//!    monotonic write timestamp, no lost writebacks) and prints a minimal
+//!    counterexample event trace on violation. Mutation hooks
+//!    deliberately break individual transitions to prove the checker
+//!    actually catches each class of bug.
+//! 2. The **runtime invariant oracle** in `gpu::memsys` (enabled with
+//!    `MemSystem::set_verify`, or `--verify` on the bench binaries)
+//!    cross-checks the same invariants against the real L1/stash/LLC
+//!    structures after every transition of a workload run. The
+//!    `oracle_matrix` integration test in this crate exercises it over
+//!    the full Figure 5 matrix.
+//! 3. [`lint`] — a static **DRF linter** over the workload IR that flags
+//!    cross-thread-block races, cross-core CPU races, CPU stale reads
+//!    across unsynchronized GPU/CPU phase boundaries, and out-of-bounds
+//!    stash-map / AoS index expressions, before any simulation runs.
+//!
+//! DeNovo's guarantees hold only for data-race-free programs, so the
+//! three layers complement each other: the model checker proves the
+//! protocol rules sound, the oracle proves the implementation follows
+//! them on real runs, and the linter proves the inputs satisfy the DRF
+//! precondition those proofs assume.
+
+#![forbid(unsafe_code)]
+
+pub mod lint;
+pub mod model;
+
+pub use lint::{lint_program, Diagnostic, Rule, Symbols};
+pub use model::{check, CheckStats, Counterexample, Event, Mutation, MAX_VERSION};
+
+use workloads::trace::TraceWorkload;
+
+/// Builds a diagnostic symbol table from a trace workload's arrays.
+pub fn symbols_for_trace(trace: &TraceWorkload) -> Symbols {
+    let mut symbols = Symbols::new();
+    for (name, array) in trace.arrays() {
+        symbols.add(name, array.base, array.footprint_bytes());
+    }
+    symbols
+}

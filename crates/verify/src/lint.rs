@@ -1,0 +1,814 @@
+//! Static DRF linter over the workload IR.
+//!
+//! DeNovo guarantees coherence only for **data-race-free** programs
+//! (§4.3): within one kernel there is no inter-thread-block
+//! synchronization, and CPU L1s are never self-invalidated, so a racy
+//! [`Program`] silently produces garbage timing rather than an error.
+//! This pass finds those inputs *before* simulation:
+//!
+//! * **Cross-block races** — word-granularity conflicting accesses
+//!   (≥ 1 write) from different thread blocks of the same kernel. A
+//!   block's global footprint is its `GlobalMem` lanes, its `LocalMem`
+//!   lanes translated through the stage's active tile bindings (mapped
+//!   stash data *is* global data), and its DMA tiles.
+//! * **Cross-core CPU races** — the same, between the concurrent
+//!   per-core op streams of one CPU phase.
+//! * **CPU stale reads** — a CPU core re-reads a word it still holds
+//!   Shared after another agent overwrote it. Kernel boundaries
+//!   self-invalidate GPU L1s and stashes but never CPU L1s, so this is
+//!   the unsynchronized CPU/GPU phase-overlap hazard of the
+//!   implementation.
+//! * **Out-of-bounds indices** — `LocalMem`/`StashMem` lanes beyond the
+//!   allocation or mapped tile, tiles larger than their allocation, and
+//!   (when symbols are provided) tiles extending past their array.
+//!
+//! Diagnostics name the array (via [`Symbols`], falling back to raw
+//! addresses), the conflicting word range, and the two conflicting
+//! tasks. Read-read sharing is never reported.
+
+use gpu::program::{CpuOp, CpuPhase, Kernel, Phase, Program, ThreadBlock, WarpOp};
+use mem::addr::{VAddr, WORD_BYTES};
+use mem::tile::TileMap;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Which rule a diagnostic comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Conflicting accesses from two thread blocks of one kernel.
+    CrossBlockRace,
+    /// Conflicting accesses from two cores of one CPU phase.
+    CpuRace,
+    /// A CPU core re-reads a word another agent overwrote while the
+    /// core still held it Shared (CPUs never self-invalidate).
+    CpuStaleRead,
+    /// An index expression escapes its allocation, mapping, or array.
+    OutOfBounds,
+}
+
+impl Rule {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::CrossBlockRace => "cross-block-race",
+            Rule::CpuRace => "cpu-race",
+            Rule::CpuStaleRead => "cpu-stale-read",
+            Rule::OutOfBounds => "out-of-bounds",
+        }
+    }
+}
+
+/// One linter finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Full message: array, word range, and the two conflicting tasks.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.rule.name(), self.message)
+    }
+}
+
+/// Array names for diagnostics: `(name, base, footprint)` triples.
+///
+/// Built from a trace workload's arrays (or any other source of symbol
+/// information); an empty table degrades diagnostics to raw hex ranges.
+#[derive(Debug, Clone, Default)]
+pub struct Symbols {
+    entries: Vec<(String, u64, u64)>, // (name, base byte addr, bytes)
+}
+
+impl Symbols {
+    /// An empty table.
+    pub fn new() -> Symbols {
+        Symbols::default()
+    }
+
+    /// Registers an array covering `[base, base + bytes)`.
+    pub fn add(&mut self, name: &str, base: VAddr, bytes: u64) {
+        self.entries.push((name.to_string(), base.0, bytes));
+    }
+
+    /// The array containing byte address `addr`, with the element word
+    /// index inside it.
+    fn locate(&self, addr: u64) -> Option<(&str, u64)> {
+        self.entries
+            .iter()
+            .find(|(_, base, bytes)| addr >= *base && addr < base + bytes)
+            .map(|(name, base, _)| (name.as_str(), (addr - base) / WORD_BYTES))
+    }
+
+    /// Formats a word range `[lo, hi]` (inclusive, in global word
+    /// numbers) as `name[words a..b]` or a raw address range.
+    fn range(&self, lo: u64, hi: u64) -> String {
+        match self.locate(lo * WORD_BYTES) {
+            Some((name, w)) => {
+                let span = hi - lo;
+                format!("{name}[word {w}..{}]", w + span)
+            }
+            None => format!("{:#x}..{:#x}", lo * WORD_BYTES, (hi + 1) * WORD_BYTES),
+        }
+    }
+}
+
+/// Per-word access record inside one concurrency group (kernel or CPU
+/// phase): enough readers/writers to decide any conflict.
+#[derive(Debug, Clone, Copy, Default)]
+struct WordAccess {
+    writer: Option<u32>,
+    readers: [Option<u32>; 2],
+}
+
+impl WordAccess {
+    /// Records an access; returns the conflicting task on a race.
+    fn record(&mut self, task: u32, write: bool) -> Option<(u32, bool)> {
+        if write {
+            if let Some(w) = self.writer {
+                if w != task {
+                    return Some((w, true));
+                }
+            }
+            if let Some(r) = self.readers.iter().flatten().find(|&&r| r != task) {
+                return Some((*r, false));
+            }
+            self.writer = Some(task);
+            None
+        } else {
+            if let Some(w) = self.writer {
+                if w != task {
+                    return Some((w, true));
+                }
+            }
+            match self.readers {
+                [None, _] => self.readers[0] = Some(task),
+                [Some(r), None] if r != task => self.readers[1] = Some(task),
+                _ => {}
+            }
+            None
+        }
+    }
+}
+
+/// Conflict detector for one concurrency group; words are global word
+/// numbers (`byte address / 4`).
+struct Group<'a> {
+    words: HashMap<u64, WordAccess>,
+    /// Conflicting word numbers per unordered task pair.
+    conflicts: HashMap<(u32, u32), (Vec<u64>, bool)>,
+    label: &'a dyn Fn(u32) -> String,
+}
+
+impl<'a> Group<'a> {
+    fn new(label: &'a dyn Fn(u32) -> String) -> Group<'a> {
+        Group {
+            words: HashMap::new(),
+            conflicts: HashMap::new(),
+            label,
+        }
+    }
+
+    fn access(&mut self, task: u32, word: u64, write: bool) {
+        if let Some((other, other_writes)) = self.words.entry(word).or_default().record(task, write)
+        {
+            let key = (task.min(other), task.max(other));
+            let e = self.conflicts.entry(key).or_default();
+            e.0.push(word);
+            e.1 |= write || other_writes;
+        }
+    }
+
+    fn access_tile(&mut self, task: u32, tile: &TileMap, write: bool) {
+        for (va, words) in tile_field_words(tile) {
+            for w in 0..words {
+                self.access(task, va.0 / WORD_BYTES + w, write);
+            }
+        }
+    }
+
+    /// Drains the recorded conflicts into diagnostics.
+    fn diagnostics(self, rule: Rule, symbols: &Symbols, out: &mut Vec<Diagnostic>) {
+        let mut pairs: Vec<_> = self.conflicts.into_iter().collect();
+        pairs.sort_by_key(|&(k, _)| k);
+        for ((a, b), (mut words, any_write)) in pairs {
+            if !any_write {
+                continue; // read-read sharing is fine
+            }
+            words.sort_unstable();
+            words.dedup();
+            let (lo, hi) = (words[0], *words.last().expect("nonempty"));
+            out.push(Diagnostic {
+                rule,
+                message: format!(
+                    "{} and {} both access {} ({} conflicting word{}) with at least \
+                     one write and no intervening synchronization",
+                    (self.label)(a),
+                    (self.label)(b),
+                    symbols.range(lo, hi),
+                    words.len(),
+                    if words.len() == 1 { "" } else { "s" },
+                ),
+            });
+        }
+    }
+}
+
+/// `(field base vaddr, words per field)` for every element of a tile.
+fn tile_field_words(tile: &TileMap) -> impl Iterator<Item = (VAddr, u64)> + '_ {
+    let words = tile.words_per_field();
+    tile.iter_field_vaddrs().map(move |va| (va, words))
+}
+
+/// Lints `program`, returning every diagnostic found (empty = clean).
+///
+/// `symbols` (optionally built from a trace workload's arrays via
+/// [`crate::symbols_for_trace`]) only improves messages; detection does
+/// not depend on it.
+pub fn lint_program(program: &Program, symbols: &Symbols) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut stale = StaleTracker::default();
+    let mut kernel_idx = 0usize;
+    for (phase_idx, phase) in program.phases.iter().enumerate() {
+        match phase {
+            Phase::Gpu(kernel) => {
+                lint_kernel(kernel, kernel_idx, symbols, &mut stale, &mut out);
+                kernel_idx += 1;
+            }
+            Phase::Cpu(cpu) => lint_cpu_phase(cpu, phase_idx, symbols, &mut stale, &mut out),
+        }
+    }
+    out
+}
+
+fn lint_kernel(
+    kernel: &Kernel,
+    kernel_idx: usize,
+    symbols: &Symbols,
+    stale: &mut StaleTracker,
+    out: &mut Vec<Diagnostic>,
+) {
+    let label = move |b: u32| format!("kernel {kernel_idx} block {b}");
+    let mut group = Group::new(&label);
+    let mut writes: Vec<u64> = Vec::new();
+    for (b, block) in kernel.blocks.iter().enumerate() {
+        lint_block(
+            block,
+            b as u32,
+            kernel_idx,
+            symbols,
+            &mut group,
+            &mut writes,
+            out,
+        );
+    }
+    group.diagnostics(Rule::CrossBlockRace, symbols, out);
+    stale.gpu_writes(&writes, kernel_idx);
+}
+
+/// Walks one thread block, feeding the kernel's conflict group and the
+/// cross-phase write set, and checking index bounds.
+fn lint_block(
+    block: &ThreadBlock,
+    task: u32,
+    kernel_idx: usize,
+    symbols: &Symbols,
+    group: &mut Group<'_>,
+    writes: &mut Vec<u64>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let here = |stage: usize| format!("kernel {kernel_idx} block {task} stage {stage}");
+    // Map-index-table bindings accumulate as stages progress (AddMap on
+    // first binding, ChgMap on rebinding).
+    let mut bindings: HashMap<usize, TileMap> = HashMap::new();
+    for (si, stage) in block.stages.iter().enumerate() {
+        for m in &stage.maps {
+            let alloc_words = block.allocs.get(m.alloc.0).map_or(0, |a| a.words);
+            if m.tile.local_words() > alloc_words {
+                out.push(Diagnostic {
+                    rule: Rule::OutOfBounds,
+                    message: format!(
+                        "{}: mapped tile needs {} local words but allocation {} has {}",
+                        here(si),
+                        m.tile.local_words(),
+                        m.alloc.0,
+                        alloc_words
+                    ),
+                });
+            }
+            check_tile_in_symbol(&m.tile, &here(si), symbols, out);
+            if m.mode.is_mapped() {
+                bindings.insert(m.slot, m.tile);
+            }
+        }
+        for d in &stage.dmas {
+            check_tile_in_symbol(&d.tile, &here(si), symbols, out);
+            if d.load {
+                group.access_tile(task, &d.tile, false);
+            }
+            if d.store {
+                group.access_tile(task, &d.tile, true);
+                collect_tile_words(&d.tile, writes);
+            }
+        }
+        for op in stage.warps.iter().flatten() {
+            match op {
+                WarpOp::Compute(_) => {}
+                WarpOp::GlobalMem { write, lanes } => {
+                    for va in lanes {
+                        let w = va.0 / WORD_BYTES;
+                        group.access(task, w, *write);
+                        if *write {
+                            writes.push(w);
+                        }
+                    }
+                }
+                WarpOp::LocalMem {
+                    write,
+                    alloc,
+                    slot,
+                    lanes,
+                } => {
+                    let alloc_words = block.allocs.get(alloc.0).map_or(0, |a| a.words);
+                    let tile = bindings.get(slot);
+                    for &lane in lanes {
+                        let lane = u64::from(lane);
+                        let limit = tile.map_or(alloc_words, TileMap::local_words);
+                        if lane >= limit {
+                            out.push(Diagnostic {
+                                rule: Rule::OutOfBounds,
+                                message: format!(
+                                    "{}: local index {lane} outside {} (size {limit} words)",
+                                    here(si),
+                                    if tile.is_some() {
+                                        "its mapped tile"
+                                    } else {
+                                        "its allocation"
+                                    },
+                                ),
+                            });
+                            continue;
+                        }
+                        if let Some(tile) = tile {
+                            // Mapped stash words are global data.
+                            let va = tile.virt_of_local_offset(lane * WORD_BYTES);
+                            let w = va.0 / WORD_BYTES;
+                            group.access(task, w, *write);
+                            if *write {
+                                writes.push(w);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn lint_cpu_phase(
+    cpu: &CpuPhase,
+    phase_idx: usize,
+    symbols: &Symbols,
+    stale: &mut StaleTracker,
+    out: &mut Vec<Diagnostic>,
+) {
+    let label = move |c: u32| format!("phase {phase_idx} core {c}");
+    let mut group = Group::new(&label);
+    for (c, ops) in cpu.per_core.iter().enumerate() {
+        let maps = cpu.stash_maps.get(c);
+        for op in ops {
+            match op {
+                CpuOp::Compute(_) => {}
+                CpuOp::Mem { write, vaddr } => {
+                    let w = vaddr.0 / WORD_BYTES;
+                    group.access(c as u32, w, *write);
+                    stale.cpu_access(c, w, *write, phase_idx, symbols, out);
+                }
+                CpuOp::StashMem { write, slot, word } => {
+                    let Some(tile) = maps.and_then(|m| m.get(*slot)) else {
+                        out.push(Diagnostic {
+                            rule: Rule::OutOfBounds,
+                            message: format!(
+                                "phase {phase_idx} core {c}: StashMem slot {slot} has no \
+                                 mapping in the phase's stash_maps"
+                            ),
+                        });
+                        continue;
+                    };
+                    if u64::from(*word) >= tile.local_words() {
+                        out.push(Diagnostic {
+                            rule: Rule::OutOfBounds,
+                            message: format!(
+                                "phase {phase_idx} core {c}: stash index {word} outside its \
+                                 mapped tile (size {} words)",
+                                tile.local_words()
+                            ),
+                        });
+                        continue;
+                    }
+                    let va = tile.virt_of_local_offset(u64::from(*word) * WORD_BYTES);
+                    // CPU stashes self-invalidate at kernel boundaries, so
+                    // they feed the race rule but not the stale tracker.
+                    group.access(c as u32, va.0 / WORD_BYTES, *write);
+                }
+            }
+        }
+    }
+    // Writes by one core stale other cores' cached copies.
+    for (c, ops) in cpu.per_core.iter().enumerate() {
+        for op in ops {
+            if let CpuOp::Mem { write: true, vaddr } = op {
+                stale.foreign_write(vaddr.0 / WORD_BYTES, c, phase_idx);
+            }
+        }
+    }
+    group.diagnostics(Rule::CpuRace, symbols, out);
+}
+
+fn check_tile_in_symbol(tile: &TileMap, task: &str, symbols: &Symbols, out: &mut Vec<Diagnostic>) {
+    let Some((name, _)) = symbols.locate(tile.global_base().0) else {
+        return;
+    };
+    for (va, words) in tile_field_words(tile) {
+        let last = va.0 + words * WORD_BYTES - 1;
+        if symbols.locate(last).map(|(n, _)| n) != Some(name) {
+            out.push(Diagnostic {
+                rule: Rule::OutOfBounds,
+                message: format!(
+                    "{task}: tile at {:#x} extends past the end of array {name}",
+                    tile.global_base().0
+                ),
+            });
+            return;
+        }
+    }
+}
+
+fn collect_tile_words(tile: &TileMap, out: &mut Vec<u64>) {
+    for (va, words) in tile_field_words(tile) {
+        for w in 0..words {
+            out.push(va.0 / WORD_BYTES + w);
+        }
+    }
+}
+
+/// Cross-phase tracker for the CPU stale-read hazard.
+///
+/// Per word: the bitmask of CPU cores holding a Shared copy, the mask of
+/// those copies that have since been overwritten, and who staled them.
+#[derive(Debug, Default)]
+struct StaleTracker {
+    /// word → (shared-copy core mask, stale-copy core mask).
+    words: HashMap<u64, (u64, u64)>,
+    /// word → description of the last writer that staled copies.
+    staler: HashMap<u64, String>,
+    /// Reported (core, word) pairs, to avoid repeats.
+    reported: HashSet<(usize, u64)>,
+}
+
+impl StaleTracker {
+    /// A GPU kernel wrote these words: every CPU Shared copy goes stale.
+    fn gpu_writes(&mut self, words: &[u64], kernel_idx: usize) {
+        for &w in words {
+            if let Some((shared, stale)) = self.words.get_mut(&w) {
+                if *shared != 0 {
+                    *stale |= *shared;
+                    self.staler.insert(w, format!("kernel {kernel_idx}"));
+                }
+            }
+        }
+    }
+
+    /// A CPU core's write stales *other* cores' copies (DeNovo revokes
+    /// only the registered owner; Shared copies linger).
+    fn foreign_write(&mut self, word: u64, writer: usize, phase_idx: usize) {
+        if let Some((shared, stale)) = self.words.get_mut(&word) {
+            let others = *shared & !(1u64 << (writer % 64));
+            if others != 0 {
+                *stale |= others;
+                self.staler
+                    .insert(word, format!("phase {phase_idx} core {writer}"));
+            }
+        }
+    }
+
+    fn cpu_access(
+        &mut self,
+        core: usize,
+        word: u64,
+        write: bool,
+        phase_idx: usize,
+        symbols: &Symbols,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let bit = 1u64 << (core % 64);
+        let entry = self.words.entry(word).or_default();
+        if write {
+            // The store registers: our copy is fresh again, and on a later
+            // revocation it drops to Invalid (a later read re-fetches).
+            entry.0 &= !bit;
+            entry.1 &= !bit;
+            return;
+        }
+        if entry.1 & bit != 0 {
+            if self.reported.insert((core, word)) {
+                let writer = self
+                    .staler
+                    .get(&word)
+                    .cloned()
+                    .unwrap_or_else(|| "another agent".to_string());
+                out.push(Diagnostic {
+                    rule: Rule::CpuStaleRead,
+                    message: format!(
+                        "phase {phase_idx} core {core} reads {} from its cache, but {writer} \
+                         overwrote it and CPU L1s are never self-invalidated",
+                        symbols.range(word, word)
+                    ),
+                });
+            }
+            return;
+        }
+        entry.0 |= bit;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu::program::{AllocId, Kernel, LocalAlloc, MapReq, Stage, ThreadBlock};
+    use stash::UsageMode;
+
+    fn global_op(write: bool, base: u64, words: u64) -> WarpOp {
+        WarpOp::GlobalMem {
+            write,
+            lanes: (0..words).map(|w| VAddr(base + w * 4)).collect(),
+        }
+    }
+
+    fn block_with(ops: Vec<WarpOp>) -> ThreadBlock {
+        let mut tb = ThreadBlock::new();
+        let mut stage = Stage::new(1);
+        stage.warps[0] = ops;
+        tb.stages.push(stage);
+        tb
+    }
+
+    fn one_kernel(blocks: Vec<ThreadBlock>) -> Program {
+        Program {
+            phases: vec![Phase::Gpu(Kernel { blocks })],
+        }
+    }
+
+    #[test]
+    fn disjoint_blocks_are_clean() {
+        let p = one_kernel(vec![
+            block_with(vec![global_op(true, 0x1000, 8)]),
+            block_with(vec![global_op(true, 0x2000, 8)]),
+        ]);
+        assert!(lint_program(&p, &Symbols::new()).is_empty());
+    }
+
+    #[test]
+    fn read_read_sharing_is_clean() {
+        let p = one_kernel(vec![
+            block_with(vec![global_op(false, 0x1000, 8)]),
+            block_with(vec![global_op(false, 0x1000, 8)]),
+        ]);
+        assert!(lint_program(&p, &Symbols::new()).is_empty());
+    }
+
+    #[test]
+    fn write_write_overlap_is_a_race() {
+        let p = one_kernel(vec![
+            block_with(vec![global_op(true, 0x1000, 8)]),
+            block_with(vec![global_op(true, 0x1010, 8)]),
+        ]);
+        let diags = lint_program(&p, &Symbols::new());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::CrossBlockRace);
+        assert!(diags[0].message.contains("block 0"));
+        assert!(diags[0].message.contains("block 1"));
+        assert!(diags[0].message.contains("4 conflicting words"));
+    }
+
+    #[test]
+    fn read_write_overlap_is_a_race_with_symbol_name() {
+        let mut symbols = Symbols::new();
+        symbols.add("data", VAddr(0x1000), 0x100);
+        let p = one_kernel(vec![
+            block_with(vec![global_op(false, 0x1000, 4)]),
+            block_with(vec![global_op(true, 0x1008, 4)]),
+        ]);
+        let diags = lint_program(&p, &symbols);
+        assert_eq!(diags.len(), 1);
+        assert!(
+            diags[0].message.contains("data[word"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn same_block_write_is_not_a_race() {
+        let p = one_kernel(vec![block_with(vec![
+            global_op(true, 0x1000, 8),
+            global_op(false, 0x1000, 8),
+        ])]);
+        assert!(lint_program(&p, &Symbols::new()).is_empty());
+    }
+
+    #[test]
+    fn mapped_stash_tiles_race_like_global_accesses() {
+        // Two blocks map overlapping tiles coherently and write them.
+        let tile = TileMap::new(VAddr(0x4000), 4, 4, 16, 0, 1).unwrap();
+        let mut blocks = Vec::new();
+        for _ in 0..2 {
+            let mut tb = ThreadBlock::new();
+            tb.allocs.push(LocalAlloc { words: 16 });
+            let mut stage = Stage::new(1);
+            stage.maps.push(MapReq {
+                slot: 0,
+                alloc: AllocId(0),
+                tile,
+                mode: UsageMode::MappedCoherent,
+            });
+            stage.warps[0] = vec![WarpOp::LocalMem {
+                write: true,
+                alloc: AllocId(0),
+                slot: 0,
+                lanes: (0..16).collect(),
+            }];
+            tb.stages.push(stage);
+            blocks.push(tb);
+        }
+        let diags = lint_program(&one_kernel(blocks), &Symbols::new());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::CrossBlockRace);
+    }
+
+    #[test]
+    fn local_index_out_of_bounds_is_flagged() {
+        let mut tb = ThreadBlock::new();
+        tb.allocs.push(LocalAlloc { words: 8 });
+        let mut stage = Stage::new(1);
+        stage.warps[0] = vec![WarpOp::LocalMem {
+            write: false,
+            alloc: AllocId(0),
+            slot: 0,
+            lanes: vec![7, 8],
+        }];
+        tb.stages.push(stage);
+        let diags = lint_program(&one_kernel(vec![tb]), &Symbols::new());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::OutOfBounds);
+        assert!(diags[0].message.contains("index 8"));
+    }
+
+    #[test]
+    fn tile_larger_than_allocation_is_flagged() {
+        let tile = TileMap::new(VAddr(0x4000), 4, 4, 16, 0, 1).unwrap();
+        let mut tb = ThreadBlock::new();
+        tb.allocs.push(LocalAlloc { words: 8 });
+        let mut stage = Stage::new(1);
+        stage.maps.push(MapReq {
+            slot: 0,
+            alloc: AllocId(0),
+            tile,
+            mode: UsageMode::MappedCoherent,
+        });
+        tb.stages.push(stage);
+        let diags = lint_program(&one_kernel(vec![tb]), &Symbols::new());
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == Rule::OutOfBounds && d.message.contains("16 local words")));
+    }
+
+    #[test]
+    fn tile_past_array_end_is_flagged_with_symbols() {
+        let mut symbols = Symbols::new();
+        symbols.add("short", VAddr(0x4000), 32); // 8 words
+        let tile = TileMap::new(VAddr(0x4000), 4, 4, 16, 0, 1).unwrap(); // 16 words
+        let mut tb = ThreadBlock::new();
+        tb.allocs.push(LocalAlloc { words: 16 });
+        let mut stage = Stage::new(1);
+        stage.maps.push(MapReq {
+            slot: 0,
+            alloc: AllocId(0),
+            tile,
+            mode: UsageMode::MappedCoherent,
+        });
+        tb.stages.push(stage);
+        let diags = lint_program(&one_kernel(vec![tb]), &symbols);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == Rule::OutOfBounds && d.message.contains("past the end")));
+    }
+
+    #[test]
+    fn cpu_cores_conflicting_in_one_phase_race() {
+        let p = Program {
+            phases: vec![Phase::Cpu(CpuPhase {
+                per_core: vec![
+                    vec![CpuOp::Mem {
+                        write: true,
+                        vaddr: VAddr(0x1000),
+                    }],
+                    vec![CpuOp::Mem {
+                        write: false,
+                        vaddr: VAddr(0x1000),
+                    }],
+                ],
+                stash_maps: Vec::new(),
+            })],
+        };
+        let diags = lint_program(&p, &Symbols::new());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::CpuRace);
+    }
+
+    #[test]
+    fn cpu_stale_read_across_gpu_kernel_is_flagged() {
+        let read = CpuOp::Mem {
+            write: false,
+            vaddr: VAddr(0x1000),
+        };
+        let p = Program {
+            phases: vec![
+                // Phase 0: CPU core 0 caches the word (Shared).
+                Phase::Cpu(CpuPhase {
+                    per_core: vec![vec![read]],
+                    stash_maps: Vec::new(),
+                }),
+                // Phase 1: a GPU kernel overwrites it.
+                Phase::Gpu(Kernel {
+                    blocks: vec![block_with(vec![global_op(true, 0x1000, 1)])],
+                }),
+                // Phase 2: the CPU re-reads its stale copy.
+                Phase::Cpu(CpuPhase {
+                    per_core: vec![vec![read]],
+                    stash_maps: Vec::new(),
+                }),
+            ],
+        };
+        let diags = lint_program(&p, &Symbols::new());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::CpuStaleRead);
+        assert!(
+            diags[0].message.contains("kernel 0"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn cpu_rewrite_clears_staleness() {
+        // The CPU *writes* first (Registered), so the GPU's later write
+        // revokes the copy and the final read re-fetches fresh data.
+        let p = Program {
+            phases: vec![
+                Phase::Cpu(CpuPhase {
+                    per_core: vec![vec![CpuOp::Mem {
+                        write: true,
+                        vaddr: VAddr(0x1000),
+                    }]],
+                    stash_maps: Vec::new(),
+                }),
+                Phase::Gpu(Kernel {
+                    blocks: vec![block_with(vec![global_op(true, 0x1000, 1)])],
+                }),
+                Phase::Cpu(CpuPhase {
+                    per_core: vec![vec![CpuOp::Mem {
+                        write: false,
+                        vaddr: VAddr(0x1000),
+                    }]],
+                    stash_maps: Vec::new(),
+                }),
+            ],
+        };
+        assert!(lint_program(&p, &Symbols::new()).is_empty());
+    }
+
+    #[test]
+    fn dma_store_tiles_conflict_across_blocks() {
+        let tile = TileMap::new(VAddr(0x8000), 4, 4, 8, 0, 1).unwrap();
+        let mut blocks = Vec::new();
+        for _ in 0..2 {
+            let mut tb = ThreadBlock::new();
+            tb.allocs.push(LocalAlloc { words: 8 });
+            let mut stage = Stage::new(1);
+            stage.dmas.push(gpu::program::DmaReq {
+                alloc: AllocId(0),
+                tile,
+                load: false,
+                store: true,
+            });
+            tb.stages.push(stage);
+            blocks.push(tb);
+        }
+        let diags = lint_program(&one_kernel(blocks), &Symbols::new());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::CrossBlockRace);
+    }
+}

@@ -1,0 +1,83 @@
+//! The DRF linter is silent on every shipped workload and loud on a
+//! seeded racy trace — the acceptance gate for `verify::lint`.
+
+use gpu::config::MemConfigKind;
+use verify::{lint_program, symbols_for_trace, Rule, Symbols};
+use workloads::suite;
+use workloads::trace::parse_trace;
+
+#[test]
+fn shipped_suite_is_race_free_under_every_configuration() {
+    let empty = Symbols::new();
+    for workload in suite::all() {
+        for kind in MemConfigKind::ALL {
+            let program = (workload.build)(kind);
+            let diags = lint_program(&program, &empty);
+            assert!(
+                diags.is_empty(),
+                "{} on {kind} flagged:\n{}",
+                workload.name,
+                diags
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
+    }
+}
+
+#[test]
+fn seeded_racy_trace_is_flagged_in_every_configuration() {
+    // Two thread blocks of one kernel read-modify-write overlapping
+    // element ranges of `a` (128..256 is written by both) with no
+    // synchronization between blocks — a textbook cross-block data race.
+    let trace = parse_trace(
+        "array a elems=1024 object=4
+         kernel
+         block
+         task a 0 256 rw global
+         block
+         task a 128 256 rw global",
+    )
+    .unwrap();
+    let symbols = symbols_for_trace(&trace);
+    for kind in MemConfigKind::ALL {
+        let program = trace.try_build(kind).unwrap();
+        let diags = lint_program(&program, &symbols);
+        assert!(
+            diags.iter().any(|d| d.rule == Rule::CrossBlockRace),
+            "racy trace not flagged on {kind}: {diags:?}"
+        );
+        // The diagnostic names the array and the conflicting tasks.
+        let text = diags
+            .iter()
+            .find(|d| d.rule == Rule::CrossBlockRace)
+            .unwrap()
+            .to_string();
+        assert!(text.contains("a[word"), "no symbolized range in: {text}");
+        assert!(
+            text.contains("block 0") && text.contains("block 1"),
+            "{text}"
+        );
+    }
+}
+
+#[test]
+fn clean_trace_with_disjoint_blocks_is_silent() {
+    let trace = parse_trace(
+        "array a elems=1024 object=4
+         kernel
+         block
+         task a 0 256 rw global
+         block
+         task a 256 256 rw global",
+    )
+    .unwrap();
+    let symbols = symbols_for_trace(&trace);
+    for kind in MemConfigKind::ALL {
+        let program = trace.try_build(kind).unwrap();
+        let diags = lint_program(&program, &symbols);
+        assert!(diags.is_empty(), "clean trace flagged on {kind}: {diags:?}");
+    }
+}

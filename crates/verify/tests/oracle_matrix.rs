@@ -1,0 +1,32 @@
+//! The runtime invariant oracle over the full Figure 5 matrix.
+//!
+//! Every microbenchmark × configuration cell runs with
+//! `MemorySystem::set_verify(true)`, so the oracle cross-checks the
+//! protocol invariants (single Registered owner, registry/owner
+//! agreement, no lost registrations) after every memory-system
+//! transition of the real simulation — not just the abstracted model
+//! the checker in `verify::model` explores.
+
+use gpu::config::MemConfigKind;
+use gpu::machine::Machine;
+use workloads::suite;
+
+#[test]
+fn figure5_matrix_passes_under_the_oracle() {
+    for workload in suite::micros() {
+        for kind in MemConfigKind::FIGURE5 {
+            let program = (workload.build)(kind);
+            let mut machine = Machine::new(workload.set.system_config(), kind);
+            machine.memory_mut().set_verify(true);
+            assert!(machine.memory().verify_enabled());
+            let report = machine
+                .run(&program)
+                .unwrap_or_else(|e| panic!("{} on {kind}: {e}", workload.name));
+            assert!(
+                report.gpu_instructions > 0,
+                "{} on {kind} simulated no GPU work",
+                workload.name
+            );
+        }
+    }
+}

@@ -18,6 +18,8 @@
 //! [`micro`] and [`apps`] modules parameterize it per benchmark; the
 //! [`suite`] module is the registry the bench harness iterates.
 
+#![forbid(unsafe_code)]
+
 pub mod apps;
 pub mod builder;
 pub mod micro;

@@ -44,6 +44,7 @@ use crate::suite::WorkloadSet;
 use gpu::config::MemConfigKind;
 use gpu::program::{Phase, Program};
 use mem::addr::VAddr;
+use sim::error::SimError;
 use std::collections::HashMap;
 
 /// A parsed trace: a configuration-independent workload description.
@@ -89,14 +90,36 @@ impl TraceWorkload {
         self.arrays.get(name)
     }
 
+    /// All declared arrays, sorted by name (diagnostics, symbol tables).
+    pub fn arrays(&self) -> Vec<(&str, &AosArray)> {
+        let mut out: Vec<(&str, &AosArray)> =
+            self.arrays.iter().map(|(n, a)| (n.as_str(), a)).collect();
+        out.sort_by_key(|&(n, _)| n);
+        out
+    }
+
     /// Lowers the trace for one memory configuration.
     ///
     /// # Panics
     ///
-    /// Panics if a task exceeds its array's bounds (the parser validates
-    /// names and syntax; geometry is checked at lowering time by the
-    /// tile constructors).
+    /// Panics if a task exceeds its array's bounds; [`Self::try_build`]
+    /// reports the same condition as an error instead.
     pub fn build(&self, kind: MemConfigKind) -> Program {
+        self.try_build(kind)
+            .unwrap_or_else(|e| panic!("trace not buildable: {e}"))
+    }
+
+    /// Lowers the trace for one memory configuration, reporting tasks
+    /// that exceed their array's bounds as errors.
+    ///
+    /// The parser validates names and syntax; element-range geometry can
+    /// only be checked here, against the declared array sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] naming the array and the offending
+    /// element range.
+    pub fn try_build(&self, kind: MemConfigKind) -> Result<Program, SimError> {
         let builder = WorkloadBuilder::new(kind);
         let mut phases = Vec::with_capacity(self.phases.len());
         for phase in &self.phases {
@@ -104,8 +127,13 @@ impl TraceWorkload {
                 TracePhase::Kernel(blocks) => {
                     let lowered: Vec<Vec<TileTask>> = blocks
                         .iter()
-                        .map(|tasks| tasks.iter().map(|t| self.lower(t)).collect())
-                        .collect();
+                        .map(|tasks| {
+                            tasks
+                                .iter()
+                                .map(|t| self.lower(t))
+                                .collect::<Result<_, _>>()
+                        })
+                        .collect::<Result<_, _>>()?;
                     phases.push(Phase::Gpu(kernel_from_blocks(&builder, lowered)));
                 }
                 TracePhase::CpuSweep {
@@ -118,23 +146,33 @@ impl TraceWorkload {
                 }
             }
         }
-        Program { phases }
+        Ok(Program { phases })
     }
 
-    fn lower(&self, t: &TraceTask) -> TileTask {
+    fn lower(&self, t: &TraceTask) -> Result<TileTask, SimError> {
         let a = self.arrays.get(&t.array).expect("validated by parser");
+        let last = match t.rows {
+            Some((rows, stride)) => t.start + (rows.max(1) - 1) * stride + t.count,
+            None => t.start + t.count,
+        };
+        if last > a.elems {
+            return Err(SimError::Config(format!(
+                "task on array `{}` reaches element {last} but the array has {} elements",
+                t.array, a.elems
+            )));
+        }
         let tile = match t.rows {
             Some((rows, stride)) => a.tile_2d(t.start, t.count, rows, stride),
             None => a.tile(t.start, t.count),
         };
-        TileTask {
+        Ok(TileTask {
             reads: t.reads,
             writes: t.writes,
             passes: t.passes,
             compute_per_iter: t.compute,
             share: t.share,
             ..TileTask::dense(tile, t.placement, t.compute)
-        }
+        })
     }
 }
 
@@ -156,10 +194,14 @@ fn parse_num(s: &str, what: &str, line_no: usize) -> Result<u64, String> {
 ///
 /// # Errors
 ///
-/// Returns a message naming the offending line for syntax errors, unknown
-/// directives or arrays, tasks outside any `kernel`/`block`, or invalid
-/// geometry.
-pub fn parse_trace(text: &str) -> Result<TraceWorkload, String> {
+/// Returns [`SimError::Config`] with a message naming the offending line
+/// for syntax errors, unknown directives or arrays, tasks outside any
+/// `kernel`/`block`, or invalid geometry.
+pub fn parse_trace(text: &str) -> Result<TraceWorkload, SimError> {
+    parse_trace_impl(text).map_err(SimError::Config)
+}
+
+fn parse_trace_impl(text: &str) -> Result<TraceWorkload, String> {
     let mut set = WorkloadSet::Micro;
     let mut arrays: HashMap<String, AosArray> = HashMap::new();
     let mut next_base: u64 = 0x1000_0000;
@@ -386,23 +428,116 @@ mod tests {
         let t = "array m elems=4096 object=4\nkernel\nblock\ntask m 0 16 r local rows=16 stride=64";
         assert!(parse_trace(t).is_ok());
         let t = "array m elems=4096 object=4\nkernel\nblock\ntask m 0 16 r local rows=16";
-        assert!(parse_trace(t).unwrap_err().contains("together"));
+        assert!(parse_trace(t).unwrap_err().to_string().contains("together"));
     }
 
     #[test]
     fn errors_name_the_line() {
-        let err = parse_trace("array a elems=16\nkernel\ntask a 0 8 rw local").unwrap_err();
+        let err = parse_trace("array a elems=16\nkernel\ntask a 0 8 rw local")
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("line 3"), "{err}");
         assert!(err.contains("outside a block"), "{err}");
 
-        let err = parse_trace("task x 0 8 rw local").unwrap_err();
+        let err = parse_trace("task x 0 8 rw local").unwrap_err().to_string();
         assert!(err.contains("line 1"), "{err}");
 
-        let err = parse_trace("array a elems=16\nkernel\nblock\ntask b 0 8 rw local").unwrap_err();
+        let err = parse_trace("array a elems=16\nkernel\nblock\ntask b 0 8 rw local")
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("unknown array"), "{err}");
 
-        let err = parse_trace("bogus").unwrap_err();
+        let err = parse_trace("bogus").unwrap_err().to_string();
         assert!(err.contains("unknown directive"), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_are_config_errors() {
+        // All parse failures surface as SimError::Config, so callers can
+        // match on the variant.
+        for bad in [
+            "bogus",
+            "machine neither",
+            "array a",
+            "array a elems=16\narray a elems=16",
+            "array a elems=nope",
+            "task a 0 8 rw local",
+        ] {
+            match parse_trace(bad) {
+                Err(SimError::Config(_)) => {}
+                other => panic!("expected Config error for `{bad}`, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_directives_are_rejected() {
+        // Missing task fields.
+        let err = parse_trace("array a elems=16\nkernel\nblock\ntask a 0 8")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("task <array>"), "{err}");
+        // Non-key=value option.
+        let err = parse_trace("array a elems=16\nkernel\nblock\ntask a 0 8 rw local passes")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("key=value"), "{err}");
+        // Unknown option key.
+        let err = parse_trace("array a elems=16\nkernel\nblock\ntask a 0 8 rw local warp=3")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown task key"), "{err}");
+        // Unknown array key.
+        let err = parse_trace("array a elems=16 size=4")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown array key"), "{err}");
+        // block with no kernel, cpu_sweep details.
+        let err = parse_trace("block").unwrap_err().to_string();
+        assert!(err.contains("outside a kernel"), "{err}");
+        let err = parse_trace("cpu_sweep").unwrap_err().to_string();
+        assert!(err.contains("needs an array"), "{err}");
+        let err = parse_trace("array a elems=16\ncpu_sweep b")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown array"), "{err}");
+        let err = parse_trace("array a elems=16\ncpu_sweep a sideways")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown cpu_sweep option"), "{err}");
+    }
+
+    #[test]
+    fn bad_mode_and_placement_are_rejected() {
+        let err = parse_trace("array a elems=16\nkernel\nblock\ntask a 0 8 x local")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("mode must be r|w|rw"), "{err}");
+        let err = parse_trace("array a elems=16\nkernel\nblock\ntask a 0 8 rw stack")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("placement must be local|global|temp"), "{err}");
+    }
+
+    #[test]
+    fn try_build_rejects_out_of_bounds_tasks() {
+        let tw = parse_trace("array a elems=16\nkernel\nblock\ntask a 8 16 rw local").unwrap();
+        let err = tw.try_build(MemConfigKind::Stash).unwrap_err().to_string();
+        assert!(err.contains("element 24"), "{err}");
+        assert!(err.contains("16 elements"), "{err}");
+
+        // 2-D: the last row's end is what matters.
+        let tw = parse_trace(
+            "array m elems=256 object=4\nkernel\nblock\ntask m 0 16 r local rows=16 stride=17",
+        )
+        .unwrap();
+        assert!(tw.try_build(MemConfigKind::Stash).is_err());
+
+        // In-bounds traces build for every configuration.
+        let tw = parse_trace("array a elems=16\nkernel\nblock\ntask a 8 8 rw local").unwrap();
+        for kind in MemConfigKind::ALL {
+            assert!(tw.try_build(kind).is_ok(), "{kind}");
+        }
     }
 
     #[test]

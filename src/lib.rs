@@ -40,6 +40,8 @@
 //! assert!(ours.total_energy() < base.total_energy());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use energy;
 pub use gpu;
 pub use mem;
