@@ -1,0 +1,286 @@
+//! Static placement advisor, cross-validated against the simulator.
+//!
+//! ```text
+//! cargo run --release -p bench --bin advise                 # built-in suite
+//! cargo run --release -p bench --bin advise -- my.trace     # trace files only
+//! cargo run --release -p bench --bin advise -- --json       # machine-readable
+//! ```
+//!
+//! For every workload (the eleven built-in suite workloads by default, or
+//! the trace files given as arguments) the binary:
+//!
+//! 1. runs the static analyzer (`verify::analyze`) over the figure's
+//!    configuration set, producing access-pattern notes, one counter/cost
+//!    [`verify::Prediction`] per configuration, and a recommended
+//!    placement;
+//! 2. runs the simulator on the same matrix cells (concurrently, on the
+//!    job pool — `--threads N` / `STASH_THREADS`);
+//! 3. cross-validates: exact counters and instruction counts must match
+//!    the measurement exactly, modeled counters within the documented
+//!    tolerances, and the recommendation must be the measured-best
+//!    configuration or a documented tie (`verify::validate_prediction`,
+//!    `verify::recommendation_ok`).
+//!
+//! Exits 1 on any validation or recommendation failure, so the binary is
+//! its own CI gate. `--verify` additionally turns on the runtime protocol
+//! oracle during the simulation runs.
+
+use bench::cli;
+use bench::pool::JobPool;
+use gpu::config::MemConfigKind;
+use gpu::machine::Machine;
+use gpu::program::Program;
+use gpu::report::RunReport;
+use verify::{
+    analyze_workload, recommendation_ok, symbols_for_trace, validate_prediction, Analysis, Symbols,
+};
+use workloads::suite::{self, WorkloadSet};
+
+/// One matrix cell: the prediction's estimate vs the simulator.
+struct Cell {
+    kind: MemConfigKind,
+    est_picos: u64,
+    measured_picos: Option<u64>,
+    errors: Vec<String>,
+}
+
+/// The advisor's full output for one workload.
+struct Outcome {
+    name: String,
+    set: WorkloadSet,
+    analysis: Analysis,
+    cells: Vec<Cell>,
+    measured_best: Option<MemConfigKind>,
+    rec_ok: bool,
+}
+
+impl Outcome {
+    fn failures(&self) -> usize {
+        let cell_errors: usize = self.cells.iter().map(|c| c.errors.len()).sum();
+        cell_errors + usize::from(!self.rec_ok)
+    }
+}
+
+fn set_name(set: WorkloadSet) -> &'static str {
+    match set {
+        WorkloadSet::Micro => "micro",
+        WorkloadSet::Apps => "apps",
+    }
+}
+
+/// Analyzes one workload, simulates its figure matrix row, and
+/// cross-validates the two.
+fn advise_one(
+    pool: &JobPool,
+    name: &str,
+    set: WorkloadSet,
+    build: &(dyn Fn(MemConfigKind) -> Program + Sync),
+    symbols: &Symbols,
+    verify: bool,
+) -> Outcome {
+    let sys = set.system_config();
+    let kinds = set.figure_kinds();
+    let analysis = analyze_workload(build, &sys, kinds, symbols);
+
+    let jobs: Vec<_> = kinds
+        .iter()
+        .map(|&kind| {
+            let sys = sys.clone();
+            move || {
+                let mut machine = Machine::new(sys, kind);
+                machine.memory_mut().set_verify(verify);
+                machine.run(&build(kind))
+            }
+        })
+        .collect();
+    let results = pool.run(jobs);
+
+    let mut cells = Vec::new();
+    let mut measured: Vec<(MemConfigKind, u64)> = Vec::new();
+    for (pred, result) in analysis.predictions.iter().zip(results) {
+        match result.value {
+            Ok(report) => {
+                let report: RunReport = report;
+                measured.push((pred.kind, report.total_picos));
+                cells.push(Cell {
+                    kind: pred.kind,
+                    est_picos: pred.est_picos,
+                    measured_picos: Some(report.total_picos),
+                    errors: validate_prediction(pred, &report),
+                });
+            }
+            Err(e) => cells.push(Cell {
+                kind: pred.kind,
+                est_picos: pred.est_picos,
+                measured_picos: None,
+                errors: vec![format!("simulation failed: {e}")],
+            }),
+        }
+    }
+
+    let complete = measured.len() == kinds.len();
+    let measured_best = measured.iter().min_by_key(|&&(_, t)| t).map(|&(k, _)| k);
+    let rec_ok = complete && recommendation_ok(analysis.recommended, &measured);
+    Outcome {
+        name: name.to_string(),
+        set,
+        analysis,
+        cells,
+        measured_best,
+        rec_ok,
+    }
+}
+
+fn print_text(o: &Outcome) {
+    println!(
+        "\n=== {} ({} machine, {} configurations) ===",
+        o.name,
+        set_name(o.set),
+        o.cells.len()
+    );
+    for n in &o.analysis.notes {
+        println!("  {n}");
+    }
+    println!(
+        "  {:<10}{:>16}{:>16}  validation",
+        "config", "predicted (ps)", "measured (ps)"
+    );
+    for c in &o.cells {
+        let measured = c
+            .measured_picos
+            .map_or_else(|| "-".to_string(), |t| t.to_string());
+        let status = if c.errors.is_empty() {
+            "ok".to_string()
+        } else {
+            format!("{} error(s)", c.errors.len())
+        };
+        println!(
+            "  {:<10}{:>16}{:>16}  {status}",
+            c.kind.name(),
+            c.est_picos,
+            measured
+        );
+        for e in &c.errors {
+            println!("      {e}");
+        }
+    }
+    let best = o
+        .measured_best
+        .map_or_else(|| "-".to_string(), |k| k.name().to_string());
+    println!(
+        "  recommended {}; measured best {best} — {}",
+        o.analysis.recommended.name(),
+        if o.rec_ok { "agreement OK" } else { "MISMATCH" }
+    );
+}
+
+fn print_json(outcomes: &[Outcome], failures: usize) {
+    println!("{{");
+    println!("  \"workloads\": [");
+    for (i, o) in outcomes.iter().enumerate() {
+        println!("    {{");
+        println!("      \"name\": \"{}\",", cli::json_escape(&o.name));
+        println!("      \"set\": \"{}\",", set_name(o.set));
+        println!("      \"notes\": [");
+        for (j, n) in o.analysis.notes.iter().enumerate() {
+            let comma = if j + 1 < o.analysis.notes.len() {
+                ","
+            } else {
+                ""
+            };
+            println!(
+                "        {{\"kind\": \"{}\", \"message\": \"{}\"}}{comma}",
+                n.kind.name(),
+                cli::json_escape(&n.message)
+            );
+        }
+        println!("      ],");
+        println!("      \"configs\": [");
+        for (j, c) in o.cells.iter().enumerate() {
+            let comma = if j + 1 < o.cells.len() { "," } else { "" };
+            let measured = c
+                .measured_picos
+                .map_or_else(|| "null".to_string(), |t| t.to_string());
+            let errors: Vec<String> = c
+                .errors
+                .iter()
+                .map(|e| format!("\"{}\"", cli::json_escape(e)))
+                .collect();
+            println!(
+                "        {{\"config\": \"{}\", \"predicted_picos\": {}, \
+                 \"measured_picos\": {measured}, \"errors\": [{}]}}{comma}",
+                c.kind.name(),
+                c.est_picos,
+                errors.join(", ")
+            );
+        }
+        println!("      ],");
+        println!(
+            "      \"recommended\": \"{}\",",
+            o.analysis.recommended.name()
+        );
+        let best = o
+            .measured_best
+            .map_or_else(|| "null".to_string(), |k| format!("\"{}\"", k.name()));
+        println!("      \"measured_best\": {best},");
+        println!("      \"recommendation_ok\": {}", o.rec_ok);
+        let comma = if i + 1 < outcomes.len() { "," } else { "" };
+        println!("    }}{comma}");
+    }
+    println!("  ],");
+    println!("  \"failures\": {failures}");
+    println!("}}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads = cli::thread_count(&args);
+    let verify = cli::verify_flag(&args);
+    let json = cli::json_flag(&args);
+    let mut args = args;
+    cli::strip_common_flags(&mut args);
+
+    let pool = JobPool::new(threads);
+    let mut outcomes = Vec::new();
+
+    if args.len() > 1 {
+        for path in &args[1..] {
+            let trace = cli::load_trace(path);
+            let symbols = symbols_for_trace(&trace);
+            let build = |kind| trace.build(kind);
+            outcomes.push(advise_one(
+                &pool,
+                path,
+                trace.set(),
+                &build,
+                &symbols,
+                verify,
+            ));
+        }
+    } else {
+        let empty = Symbols::new();
+        for w in suite::all() {
+            outcomes.push(advise_one(&pool, w.name, w.set, &w.build, &empty, verify));
+        }
+    }
+
+    let failures: usize = outcomes.iter().map(Outcome::failures).sum();
+    if json {
+        print_json(&outcomes, failures);
+    } else {
+        for o in &outcomes {
+            print_text(o);
+        }
+        if failures == 0 {
+            println!("\nall predictions validated; all recommendations agree with measurement");
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "\n{failures} cross-validation failure{} — advise FAILED",
+            if failures == 1 { "" } else { "s" }
+        );
+        std::process::exit(1);
+    }
+}

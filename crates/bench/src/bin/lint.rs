@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release -p bench --bin lint                  # built-in suite
 //! cargo run --release -p bench --bin lint -- my.trace      # plus a trace file
+//! cargo run --release -p bench --bin lint -- --json        # machine-readable
 //! ```
 //!
 //! DeNovo guarantees sequential consistency only for data-race-free
@@ -13,47 +14,64 @@
 //! Trace files given as arguments are linted the same way, with
 //! diagnostics naming their arrays.
 //!
+//! With `--json` the same diagnostics print as one JSON object
+//! (`{"diagnostics": [{source, config, rule, message}...], "total": N}`).
+//!
 //! Exits 1 if any diagnostic is produced (including on a trace file —
 //! the linter is a gate, not a report).
 
+use bench::cli;
 use gpu::config::MemConfigKind;
-use verify::{lint_program, symbols_for_trace, Symbols};
+use verify::{lint_program, symbols_for_trace, Diagnostic, Symbols};
 use workloads::suite;
-use workloads::trace::parse_trace;
+
+struct Finding {
+    source: String,
+    config: MemConfigKind,
+    diagnostic: Diagnostic,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let mut total = 0usize;
+    let json = cli::json_flag(&args);
+    let mut args = args;
+    cli::strip_common_flags(&mut args);
 
-    println!(
-        "=== linting built-in suite ({} workloads) ===",
-        suite::all().len()
-    );
+    let mut findings: Vec<Finding> = Vec::new();
+
+    if !json {
+        println!(
+            "=== linting built-in suite ({} workloads) ===",
+            suite::all().len()
+        );
+    }
     let empty = Symbols::new();
+    let mut suite_diags = 0usize;
     for workload in suite::all() {
         for kind in MemConfigKind::ALL {
             let program = (workload.build)(kind);
-            let diags = lint_program(&program, &empty);
-            for d in &diags {
-                println!("{}/{}: {d}", workload.name, kind.name());
+            for d in lint_program(&program, &empty) {
+                if !json {
+                    println!("{}/{}: {d}", workload.name, kind.name());
+                }
+                suite_diags += 1;
+                findings.push(Finding {
+                    source: workload.name.to_string(),
+                    config: kind,
+                    diagnostic: d,
+                });
             }
-            total += diags.len();
         }
     }
-    if total == 0 {
+    if !json && suite_diags == 0 {
         println!("suite is clean");
     }
 
     for path in &args[1..] {
-        println!("\n=== linting {path} ===");
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            std::process::exit(2);
-        });
-        let trace = parse_trace(&text).unwrap_or_else(|e| {
-            eprintln!("{path}: {e}");
-            std::process::exit(2);
-        });
+        if !json {
+            println!("\n=== linting {path} ===");
+        }
+        let trace = cli::load_trace(path);
         let symbols = symbols_for_trace(&trace);
         let mut file_diags = 0usize;
         for kind in MemConfigKind::ALL {
@@ -61,16 +79,40 @@ fn main() {
                 eprintln!("{path} on {kind}: {e}");
                 std::process::exit(2);
             });
-            let diags = lint_program(&program, &symbols);
-            for d in &diags {
-                println!("{}: {d}", kind.name());
+            for d in lint_program(&program, &symbols) {
+                if !json {
+                    println!("{}: {d}", kind.name());
+                }
+                file_diags += 1;
+                findings.push(Finding {
+                    source: path.clone(),
+                    config: kind,
+                    diagnostic: d,
+                });
             }
-            file_diags += diags.len();
         }
-        if file_diags == 0 {
+        if !json && file_diags == 0 {
             println!("{path} is clean");
         }
-        total += file_diags;
+    }
+
+    let total = findings.len();
+    if json {
+        println!("{{");
+        println!("  \"diagnostics\": [");
+        for (i, f) in findings.iter().enumerate() {
+            let comma = if i + 1 < total { "," } else { "" };
+            println!(
+                "    {{\"source\": \"{}\", \"config\": \"{}\", \"rule\": \"{}\", \"message\": \"{}\"}}{comma}",
+                cli::json_escape(&f.source),
+                f.config.name(),
+                f.diagnostic.rule.name(),
+                cli::json_escape(&f.diagnostic.message),
+            );
+        }
+        println!("  ],");
+        println!("  \"total\": {total}");
+        println!("}}");
     }
 
     if total > 0 {

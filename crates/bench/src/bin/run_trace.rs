@@ -13,43 +13,21 @@ use bench::cli;
 use bench::pool::JobPool;
 use gpu::config::MemConfigKind;
 use gpu::machine::Machine;
-use workloads::trace::parse_trace;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let threads = cli::thread_count(&args);
     let verify = cli::verify_flag(&args);
     let mut args = args;
-    if let Some(i) = args.iter().position(|a| a == "--threads") {
-        args.drain(i..(i + 2).min(args.len()));
-    }
-    args.retain(|a| !a.starts_with("--threads=") && a != "--verify");
+    cli::strip_common_flags(&mut args);
     let Some(path) = args.get(1) else {
         eprintln!("usage: run-trace <file.trace> [configs...] [--threads N] [--verify]");
         std::process::exit(2);
     };
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        std::process::exit(2);
-    });
-    let workload = parse_trace(&text).unwrap_or_else(|e| {
-        eprintln!("{path}: {e}");
-        std::process::exit(2);
-    });
+    let workload = cli::load_trace(path);
 
     let kinds: Vec<MemConfigKind> = if args.len() > 2 {
-        args[2..]
-            .iter()
-            .map(|s| {
-                MemConfigKind::ALL
-                    .into_iter()
-                    .find(|k| k.name().eq_ignore_ascii_case(s))
-                    .unwrap_or_else(|| {
-                        eprintln!("unknown configuration {s}");
-                        std::process::exit(2);
-                    })
-            })
-            .collect()
+        args[2..].iter().map(|s| cli::config_by_name(s)).collect()
     } else {
         MemConfigKind::ALL.to_vec()
     };

@@ -15,9 +15,77 @@ pub const VERIFY_USAGE: &str =
     "--verify      cross-check protocol invariants (single registered owner,\n              \
      registry/owner agreement) after every memory-system transition; slow";
 
+/// The usage line for machine-readable output.
+pub const JSON_USAGE: &str = "--json        emit machine-readable JSON instead of the text report";
+
 /// True when `--verify` appears in the arguments (or `STASH_VERIFY=1`).
 pub fn verify_flag(args: &[String]) -> bool {
     args.iter().any(|a| a == "--verify") || std::env::var("STASH_VERIFY").is_ok_and(|v| v == "1")
+}
+
+/// True when `--json` appears in the arguments.
+pub fn json_flag(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--json")
+}
+
+/// Removes the shared flags (`--threads N`, `--threads=N`, `--verify`,
+/// `--json`) from `args`, leaving only the binary name and positional
+/// operands. Read the flags first with [`thread_count`] / [`verify_flag`] /
+/// [`json_flag`]; this only cleans up for positional parsing.
+pub fn strip_common_flags(args: &mut Vec<String>) {
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        args.drain(i..(i + 2).min(args.len()));
+    }
+    args.retain(|a| !a.starts_with("--threads=") && a != "--verify" && a != "--json");
+}
+
+/// Reads and parses a trace file, exiting with status 2 (like the
+/// binaries' other argument errors) if it cannot be read or parsed.
+pub fn load_trace(path: &str) -> workloads::trace::TraceWorkload {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    workloads::trace::parse_trace(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Resolves a configuration name (case-insensitive), exiting with status 2
+/// and the list of valid names if it is unknown.
+pub fn config_by_name(s: &str) -> gpu::config::MemConfigKind {
+    gpu::config::MemConfigKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(s))
+        .unwrap_or_else(|| {
+            let names: Vec<_> = gpu::config::MemConfigKind::ALL
+                .into_iter()
+                .map(|k| k.name())
+                .collect();
+            eprintln!(
+                "unknown configuration {s} (expected one of {})",
+                names.join(", ")
+            );
+            std::process::exit(2);
+        })
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Resolves the worker-thread count from `--threads N` / `--threads=N`,
@@ -78,5 +146,43 @@ mod tests {
     fn verify_flag_only_set_when_asked() {
         assert!(verify_flag(&args(&["fig5", "--verify"])));
         assert!(!verify_flag(&args(&["fig5", "--threads", "3"])));
+    }
+
+    #[test]
+    fn json_flag_only_set_when_asked() {
+        assert!(json_flag(&args(&["advise", "--json"])));
+        assert!(!json_flag(&args(&["advise", "a.trace"])));
+    }
+
+    #[test]
+    fn strip_common_flags_leaves_positionals() {
+        let mut a = args(&[
+            "run-trace",
+            "--threads",
+            "3",
+            "x.trace",
+            "--verify",
+            "Stash",
+        ]);
+        strip_common_flags(&mut a);
+        assert_eq!(a, args(&["run-trace", "x.trace", "Stash"]));
+
+        let mut b = args(&["advise", "--threads=2", "--json", "y.trace"]);
+        strip_common_flags(&mut b);
+        assert_eq!(b, args(&["advise", "y.trace"]));
+    }
+
+    #[test]
+    fn config_names_resolve_case_insensitively() {
+        use gpu::config::MemConfigKind;
+        assert_eq!(config_by_name("stash"), MemConfigKind::Stash);
+        assert_eq!(config_by_name("ScratchGD"), MemConfigKind::ScratchGD);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 }

@@ -1,7 +1,7 @@
 //! A minimal measurement harness for the `benches/` targets.
 //!
 //! The benches are plain `main()` binaries (`harness = false`): each
-//! calls [`bench`] per case, which runs the closure a fixed number of
+//! calls [`bench()`] per case, which runs the closure a fixed number of
 //! times and prints min / mean / max wall-clock. No statistics engine —
 //! the simulations are deterministic, so run-to-run noise is purely
 //! host-side and min is the robust figure.

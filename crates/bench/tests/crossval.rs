@@ -1,0 +1,72 @@
+//! Cross-validation of the static analyzer against the simulator over
+//! the full Figure 5/6 workload matrix.
+//!
+//! For every suite workload and every configuration its figure compares,
+//! the static [`verify::Prediction`] must agree with the measured run:
+//! exact counters and instruction totals exactly, modeled counters within
+//! the tolerances documented on [`verify::analyze`], and the advisor's
+//! recommended placement must be the measured-best configuration or a
+//! documented tie (within `TIE_THRESHOLD_PCT` of the best runtime).
+//!
+//! The `advise` binary runs the same checks as a CI gate; this test keeps
+//! them enforced under plain `cargo test` as well.
+
+use gpu::config::MemConfigKind;
+use gpu::machine::Machine;
+use verify::{analyze_workload, recommendation_ok, validate_prediction, Symbols};
+use workloads::suite::{self, WorkloadSet};
+
+/// Cross-validates every workload of `set` over its figure's matrix row;
+/// returns human-readable failure lines (empty = everything agreed).
+fn crossval(set: WorkloadSet) -> Vec<String> {
+    let sys = set.system_config();
+    let kinds = set.figure_kinds();
+    let symbols = Symbols::new();
+    let mut failures = Vec::new();
+    for w in suite::all().iter().filter(|w| w.set == set) {
+        let analysis = analyze_workload(w.build, &sys, kinds, &symbols);
+        let mut measured: Vec<(MemConfigKind, u64)> = Vec::new();
+        for pred in &analysis.predictions {
+            let mut machine = Machine::new(sys.clone(), pred.kind);
+            let report = machine
+                .run(&(w.build)(pred.kind))
+                .unwrap_or_else(|e| panic!("{}/{} failed to simulate: {e}", w.name, pred.kind));
+            measured.push((pred.kind, report.total_picos));
+            for err in validate_prediction(pred, &report) {
+                failures.push(format!("{}/{}: {err}", w.name, pred.kind));
+            }
+        }
+        if !recommendation_ok(analysis.recommended, &measured) {
+            let best = measured
+                .iter()
+                .min_by_key(|&&(_, t)| t)
+                .map(|&(k, _)| k)
+                .expect("non-empty matrix row");
+            failures.push(format!(
+                "{}: recommended {} but measured best is {best} (outside the tie threshold)",
+                w.name, analysis.recommended
+            ));
+        }
+    }
+    failures
+}
+
+#[test]
+fn figure5_micros_cross_validate() {
+    let failures = crossval(WorkloadSet::Micro);
+    assert!(
+        failures.is_empty(),
+        "Figure 5 cross-validation failures:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn figure6_apps_cross_validate() {
+    let failures = crossval(WorkloadSet::Apps);
+    assert!(
+        failures.is_empty(),
+        "Figure 6 cross-validation failures:\n{}",
+        failures.join("\n")
+    );
+}

@@ -101,4 +101,41 @@ mod tests {
         assert_eq!(txs[1].line_va, VAddr(0x1000));
         assert_eq!(txs[0].words.len(), 2);
     }
+
+    #[test]
+    fn duplicates_among_distinct_lanes_do_not_add_transactions() {
+        // 16 pairs of duplicate lanes over one line: every second lane
+        // repeats its predecessor's address. Still one transaction with
+        // the 16 distinct words, exactly as if each appeared once.
+        let lanes: Vec<VAddr> = (0..32).map(|i| VAddr(0x3000 + (i / 2) * 4)).collect();
+        let txs = coalesce(&lanes, 64);
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].words.len(), 16);
+        assert_eq!(txs[0].words[0], VAddr(0x3000));
+        assert_eq!(txs[0].words[15], VAddr(0x303c));
+    }
+
+    #[test]
+    fn unaligned_warp_straddles_a_line_boundary() {
+        // Unit-stride words starting 8 B before a line boundary: the warp
+        // spans three lines (2 + 16 + 14 words), not the aligned two.
+        let lanes: Vec<VAddr> = (0..32).map(|i| VAddr(0x1038 + i * 4)).collect();
+        let txs = coalesce(&lanes, 64);
+        assert_eq!(txs.len(), 3);
+        assert_eq!(txs[0].line_va, VAddr(0x1000));
+        assert_eq!(txs[0].words.len(), 2);
+        assert_eq!(txs[1].line_va, VAddr(0x1040));
+        assert_eq!(txs[1].words.len(), 16);
+        assert_eq!(txs[2].line_va, VAddr(0x1080));
+        assert_eq!(txs[2].words.len(), 14);
+    }
+
+    #[test]
+    fn single_lane_warp_is_one_single_word_transaction() {
+        // A one-lane warp (divergent tail) still costs a full transaction.
+        let txs = coalesce(&[VAddr(0x4004)], 64);
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].line_va, VAddr(0x4000));
+        assert_eq!(txs[0].words, vec![VAddr(0x4004)]);
+    }
 }

@@ -46,6 +46,27 @@ pub struct StashConfig {
     pub fetch_words: usize,
 }
 
+impl StashConfig {
+    /// Storage capacity in words.
+    #[must_use]
+    pub fn capacity_words(&self) -> usize {
+        self.capacity_bytes / WORD_BYTES as usize
+    }
+
+    /// Writeback-chunk granularity in words.
+    #[must_use]
+    pub fn chunk_words(&self) -> usize {
+        (self.chunk_bytes / WORD_BYTES as usize).max(1)
+    }
+
+    /// Rounds an allocation up to whole chunks — the granularity at which
+    /// the wave allocator hands out stash space.
+    #[must_use]
+    pub fn chunk_rounded(&self, words: usize) -> usize {
+        words.next_multiple_of(self.chunk_words())
+    }
+}
+
 impl Default for StashConfig {
     fn default() -> Self {
         Self {
@@ -937,6 +958,17 @@ impl Stash {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn config_geometry_helpers() {
+        let cfg = StashConfig::default();
+        assert_eq!(cfg.capacity_words(), 4096);
+        assert_eq!(cfg.chunk_words(), 16);
+        assert_eq!(cfg.chunk_rounded(0), 0);
+        assert_eq!(cfg.chunk_rounded(1), 16);
+        assert_eq!(cfg.chunk_rounded(16), 16);
+        assert_eq!(cfg.chunk_rounded(17), 32);
+    }
 
     fn tile(base: u64, elems: u64) -> TileMap {
         // One 4-byte field of a 16-byte object, linear array.

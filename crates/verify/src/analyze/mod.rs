@@ -1,0 +1,505 @@
+//! Static access-pattern analysis and placement advice.
+//!
+//! The analyzer family consumes the same lowered [`Program`] IR the
+//! simulator executes and produces two kinds of output:
+//!
+//! * **Diagnostics** ([`Note`]s, in the style of [`crate::lint`]):
+//!   symbolized statements about the access pattern — poor coalescing,
+//!   footprint-vs-capacity thrashing, copy loops without reuse, data
+//!   written but never re-read, redundant DMA.
+//! * **Predictions** ([`predict::Prediction`]s): per-configuration
+//!   counter and cost estimates, from which [`analyze_workload`] derives
+//!   a recommended [`MemConfigKind`] placement.
+//!
+//! # Prediction-vs-measurement contract
+//!
+//! Every prediction is checkable against a simulator [`RunReport`] with
+//! [`validate_prediction`]:
+//!
+//! * [`Prediction::exact`] counters and the instruction count must match
+//!   the simulator **exactly** — they are structural facts.
+//! * [`Prediction::modeled`] counters come from a functional replay that
+//!   deliberately simplifies scheduling (a wave's blocks interleave at
+//!   stage granularity, not cycle by cycle), so they must agree within
+//!   [`MODELED_REL_TOL_PCT`] percent (plus [`MODELED_ABS_SLACK`] events
+//!   of absolute slack for small counts).
+//! * The advisor's recommendation must be the measured-best
+//!   configuration, or within [`TIE_THRESHOLD_PCT`] percent of it
+//!   (a documented tie).
+//!
+//! The sub-modules are usable on their own: [`reuse`] for word-granular
+//! reuse-distance and scope classification, [`coalesce`] for static
+//! coalescing efficiency, [`waste`] for dead data movement, and
+//! [`predict`] for counter/cost prediction.
+
+pub mod coalesce;
+pub mod predict;
+pub mod reuse;
+pub mod waste;
+
+use crate::lint::Symbols;
+use gpu::config::MemConfigKind;
+use gpu::program::Program;
+use gpu::report::RunReport;
+use mem::addr::{VAddr, WORD_BYTES};
+use predict::Prediction;
+use sim::config::SystemConfig;
+use stash::StashConfig;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Relative tolerance (percent of the measured value) for modeled
+/// counters.
+pub const MODELED_REL_TOL_PCT: u64 = 40;
+
+/// Absolute slack (events) added to the modeled tolerance so tiny
+/// counters do not fail on scheduling noise.
+pub const MODELED_ABS_SLACK: u64 = 128;
+
+/// Two configurations whose measured runtimes are within this many
+/// percent of each other count as a tie for the advisor.
+pub const TIE_THRESHOLD_PCT: u64 = 5;
+
+/// Category of an analyzer diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoteKind {
+    /// A strided global stream wasting transaction capacity.
+    PoorCoalescing,
+    /// A footprint that limits residency or exceeds a capacity.
+    CapacityThrash,
+    /// Data written but never re-read — lazy writeback wins.
+    LazyWritebackWin,
+    /// A word overwritten with no intervening read.
+    DeadStore,
+    /// An explicit copy loop whose data the body does not reuse.
+    CopyNoReuse,
+    /// A DMA transfer whose data the block never touches.
+    RedundantDma,
+    /// Informational reuse-scope profile of the access stream.
+    ReuseProfile,
+}
+
+impl NoteKind {
+    /// Stable kebab-case name (mirrors [`crate::lint::Rule::name`]).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            NoteKind::PoorCoalescing => "poor-coalescing",
+            NoteKind::CapacityThrash => "capacity-thrash",
+            NoteKind::LazyWritebackWin => "lazy-writeback-win",
+            NoteKind::DeadStore => "dead-store",
+            NoteKind::CopyNoReuse => "copy-no-reuse",
+            NoteKind::RedundantDma => "redundant-dma",
+            NoteKind::ReuseProfile => "reuse-profile",
+        }
+    }
+}
+
+/// One analyzer diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Note {
+    /// The category.
+    pub kind: NoteKind,
+    /// Human-readable, symbolized description.
+    pub message: String,
+}
+
+impl fmt::Display for Note {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.kind.name(), self.message)
+    }
+}
+
+/// The full analyzer output for one workload.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Symbolized diagnostics about the access pattern.
+    pub notes: Vec<Note>,
+    /// One prediction per requested configuration, in input order.
+    pub predictions: Vec<Prediction>,
+    /// The configuration the cost model ranks fastest.
+    pub recommended: MemConfigKind,
+}
+
+/// Names the array holding `word` (a global word index), or its address.
+fn word_region(symbols: &Symbols, word: u64) -> String {
+    match symbols.locate(word * WORD_BYTES) {
+        Some((name, _)) => format!("array `{name}`"),
+        None => format!("{:#x}", word * WORD_BYTES),
+    }
+}
+
+fn region_of(symbols: &Symbols, va: VAddr) -> String {
+    word_region(symbols, va.0 / WORD_BYTES)
+}
+
+/// Builds the symbolized diagnostics for one workload (see module docs
+/// for which lowering feeds which analysis).
+fn workload_notes<F: Fn(MemConfigKind) -> Program>(
+    build: F,
+    sys: &SystemConfig,
+    kinds: &[MemConfigKind],
+    symbols: &Symbols,
+) -> Vec<Note> {
+    let mut notes = Vec::new();
+    let pick = |want: MemConfigKind| kinds.contains(&want).then(|| build(want));
+    let wpl = sys.words_per_line() as u64;
+
+    // Coalescing: judged on the all-global (cache) lowering, where every
+    // access shows its raw lane addresses.
+    let coalesce_program =
+        pick(MemConfigKind::Cache).unwrap_or_else(|| build(*kinds.first().expect("kinds")));
+    for (s, distinct) in
+        coalesce::coalescing_by_region(&coalesce_program, symbols, sys.line_bytes as u64)
+    {
+        if s.extra_transactions() == 0 {
+            continue;
+        }
+        let stride = match s.stride_bytes {
+            Some(b) => format!("stride-{b} B"),
+            None => "irregular".to_string(),
+        };
+        let wpt = s.words_per_transaction_x100(distinct);
+        notes.push(Note {
+            kind: NoteKind::PoorCoalescing,
+            message: format!(
+                "array `{}`: {stride} global stream, {}.{:02}/{wpl} words per transaction \
+                 — {} extra transactions vs contiguous",
+                s.region,
+                wpt / 100,
+                wpt % 100,
+                s.extra_transactions()
+            ),
+        });
+    }
+
+    // Reuse and waste: judged on the stash lowering when available — its
+    // event stream is the pure access pattern, free of copy-loop noise.
+    let ref_program = pick(MemConfigKind::Stash)
+        .or_else(|| pick(MemConfigKind::StashG))
+        .unwrap_or_else(|| build(*kinds.first().expect("kinds")));
+    let events = reuse::word_events(&ref_program);
+    let summary = reuse::classify_events(&events);
+    if summary.accesses > 0 {
+        notes.push(Note {
+            kind: NoteKind::ReuseProfile,
+            message: format!(
+                "{} word accesses over {} distinct words — {} intra-task, {} cross-task, \
+                 {} cross-phase reuses",
+                summary.accesses,
+                summary.distinct_words,
+                summary.intra_task,
+                summary.cross_task,
+                summary.cross_phase
+            ),
+        });
+        // Footprint vs the L1: more distinct words than the cache holds
+        // means the cache configuration thrashes on capacity.
+        let bytes = summary.distinct_words * WORD_BYTES;
+        if bytes > sys.l1_bytes as u64 {
+            notes.push(Note {
+                kind: NoteKind::CapacityThrash,
+                message: format!(
+                    "working set of {} KB exceeds the {} KB L1 — expect capacity misses \
+                     in the cache configuration",
+                    bytes / 1024,
+                    sys.l1_bytes / 1024
+                ),
+            });
+        }
+    }
+    let waste = waste::store_waste(&events);
+    if !waste.unread.is_empty() {
+        notes.push(Note {
+            kind: NoteKind::LazyWritebackWin,
+            message: format!(
+                "{} words (first: {}) written but never re-read — lazy chunked \
+                 writeback avoids {} eagerly written-back words",
+                waste.unread.len(),
+                word_region(symbols, waste.unread[0]),
+                waste.unread.len()
+            ),
+        });
+    }
+    if !waste.dead.is_empty() {
+        let total: u64 = waste.dead.iter().map(|&(_, n)| n).sum();
+        notes.push(Note {
+            kind: NoteKind::DeadStore,
+            message: format!(
+                "{total} stores to {} words (first: {}) overwritten before any read",
+                waste.dead.len(),
+                word_region(symbols, waste.dead[0].0)
+            ),
+        });
+    }
+    let temp_words = waste::write_only_temp_words(&ref_program);
+    if temp_words > 0 {
+        notes.push(Note {
+            kind: NoteKind::DeadStore,
+            message: format!(
+                "{temp_words} temporary local words written but never read within their block"
+            ),
+        });
+    }
+
+    // Footprint vs local capacity: chunk-rounded, the granularity the
+    // wave allocator hands out (shared with the stash crate).
+    let stash_cfg = StashConfig {
+        capacity_bytes: sys.scratchpad_bytes,
+        chunk_bytes: sys.stash_chunk_bytes,
+        ..StashConfig::default()
+    };
+    let mut worst_block_words = 0u64;
+    for phase in &ref_program.phases {
+        if let gpu::program::Phase::Gpu(kernel) = phase {
+            for tb in &kernel.blocks {
+                let words: u64 = tb
+                    .allocs
+                    .iter()
+                    .map(|a| stash_cfg.chunk_rounded(a.words as usize) as u64)
+                    .sum();
+                worst_block_words = worst_block_words.max(words);
+            }
+        }
+    }
+    if worst_block_words > 0 {
+        let capacity = stash_cfg.capacity_words() as u64;
+        let resident = (capacity / worst_block_words.max(1)).max(1);
+        if worst_block_words > capacity {
+            notes.push(Note {
+                kind: NoteKind::CapacityThrash,
+                message: format!(
+                    "a thread block's {worst_block_words} chunk-rounded local words exceed \
+                     the {capacity}-word scratchpad/stash"
+                ),
+            });
+        } else if (resident as usize) < sys.max_blocks_per_cu {
+            notes.push(Note {
+                kind: NoteKind::CapacityThrash,
+                message: format!(
+                    "local footprint of {worst_block_words} words limits residency to \
+                     {resident} blocks per CU (of {})",
+                    sys.max_blocks_per_cu
+                ),
+            });
+        }
+    }
+
+    // Copy loops: judged on the explicit-copy (scratch) lowering.
+    if let Some(scratch_program) = pick(MemConfigKind::Scratch) {
+        // region -> (blocks, copied words)
+        let mut by_region: HashMap<String, (u64, u64)> = HashMap::new();
+        for site in waste::copy_sites(&scratch_program) {
+            if site.no_reuse() {
+                let e = by_region
+                    .entry(region_of(symbols, site.global_base))
+                    .or_default();
+                e.0 += 1;
+                e.1 += site.copied_lanes;
+            }
+        }
+        let mut regions: Vec<_> = by_region.into_iter().collect();
+        regions.sort();
+        for (region, (blocks, words)) in regions {
+            notes.push(Note {
+                kind: NoteKind::CopyNoReuse,
+                message: format!(
+                    "{region}: explicit copy-in of {words} words across {blocks} blocks \
+                     with no reuse — a stash mapping or DMA removes the copy loop"
+                ),
+            });
+        }
+    }
+
+    // Redundant DMA: judged on the DMA lowering.
+    if let Some(dma_program) = pick(MemConfigKind::ScratchGD) {
+        let mut by_region: HashMap<String, u64> = HashMap::new();
+        for w in waste::redundant_dma(&dma_program) {
+            *by_region
+                .entry(region_of(symbols, w.global_base))
+                .or_default() += 1;
+        }
+        let mut regions: Vec<_> = by_region.into_iter().collect();
+        regions.sort();
+        for (region, count) in regions {
+            notes.push(Note {
+                kind: NoteKind::RedundantDma,
+                message: format!(
+                    "{region}: {count} DMA transfers move data the block never touches"
+                ),
+            });
+        }
+    }
+
+    notes
+}
+
+/// Runs the full analysis for one workload: diagnostics from the
+/// pattern-revealing lowerings, one [`Prediction`] per configuration in
+/// `kinds`, and the cost model's recommended placement.
+///
+/// # Panics
+///
+/// Panics if `kinds` is empty.
+#[must_use]
+pub fn analyze_workload<F: Fn(MemConfigKind) -> Program>(
+    build: F,
+    sys: &SystemConfig,
+    kinds: &[MemConfigKind],
+    symbols: &Symbols,
+) -> Analysis {
+    assert!(!kinds.is_empty(), "need at least one configuration");
+    let predictions: Vec<Prediction> = kinds
+        .iter()
+        .map(|&k| predict::predict(&build(k), sys, k))
+        .collect();
+    let recommended = recommend(&predictions);
+    Analysis {
+        notes: workload_notes(build, sys, kinds, symbols),
+        predictions,
+        recommended,
+    }
+}
+
+/// The configuration the cost model ranks fastest (first wins ties).
+///
+/// # Panics
+///
+/// Panics if `predictions` is empty.
+#[must_use]
+pub fn recommend(predictions: &[Prediction]) -> MemConfigKind {
+    predictions
+        .iter()
+        .min_by_key(|p| p.est_picos)
+        .expect("at least one prediction")
+        .kind
+}
+
+fn within_tolerance(predicted: u64, measured: u64) -> bool {
+    let tol = (measured * MODELED_REL_TOL_PCT / 100).max(MODELED_ABS_SLACK);
+    predicted.abs_diff(measured) <= tol
+}
+
+/// Checks a prediction against a simulator report, returning one message
+/// per violated contract clause (empty = fully validated).
+#[must_use]
+pub fn validate_prediction(pred: &Prediction, report: &RunReport) -> Vec<String> {
+    let mut errors = Vec::new();
+    if pred.gpu_instructions != report.gpu_instructions {
+        errors.push(format!(
+            "{}: gpu_instructions predicted {} but measured {}",
+            pred.kind, pred.gpu_instructions, report.gpu_instructions
+        ));
+    }
+    for &(c, v) in &pred.exact {
+        let m = report.counters.value(c);
+        if v != m {
+            errors.push(format!(
+                "{}: {c:?} predicted {v} but measured {m} (exact counter)",
+                pred.kind
+            ));
+        }
+    }
+    for &(c, v) in &pred.modeled {
+        let m = report.counters.value(c);
+        if !within_tolerance(v, m) {
+            errors.push(format!(
+                "{}: {c:?} predicted {v} but measured {m} \
+                 (outside ±{MODELED_REL_TOL_PCT}% / ±{MODELED_ABS_SLACK})",
+                pred.kind
+            ));
+        }
+    }
+    errors
+}
+
+/// Whether `recommended` is the measured-best configuration or within
+/// the documented tie threshold of it.
+///
+/// # Panics
+///
+/// Panics if `measured` is empty or does not contain `recommended`.
+#[must_use]
+pub fn recommendation_ok(recommended: MemConfigKind, measured: &[(MemConfigKind, u64)]) -> bool {
+    let best = measured
+        .iter()
+        .map(|&(_, t)| t)
+        .min()
+        .expect("at least one measurement");
+    let rec = measured
+        .iter()
+        .find(|&&(k, _)| k == recommended)
+        .map(|&(_, t)| t)
+        .expect("recommended configuration was measured");
+    rec * 100 <= best * (100 + TIE_THRESHOLD_PCT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu::machine::Machine;
+
+    fn implicit() -> workloads::suite::Workload {
+        workloads::suite::all()
+            .into_iter()
+            .find(|w| w.name == "implicit")
+            .expect("suite has the implicit microbenchmark")
+    }
+
+    #[test]
+    fn analysis_produces_notes_and_predictions() {
+        let w = implicit();
+        let sys = SystemConfig::for_microbenchmarks();
+        let a = analyze_workload(w.build, &sys, &MemConfigKind::FIGURE5, &Symbols::new());
+        assert_eq!(a.predictions.len(), 4);
+        assert!(
+            MemConfigKind::FIGURE5.contains(&a.recommended),
+            "recommendation {} must come from the analyzed set",
+            a.recommended
+        );
+        assert!(!a.notes.is_empty(), "implicit's AoS stream must be flagged");
+        for n in &a.notes {
+            // Display forms are the lint style: "[kind] message".
+            assert!(n.to_string().starts_with('['), "{n}");
+        }
+    }
+
+    #[test]
+    fn exact_counters_match_the_simulator() {
+        let w = implicit();
+        let sys = SystemConfig::for_microbenchmarks();
+        for kind in MemConfigKind::FIGURE5 {
+            let program = (w.build)(kind);
+            let pred = predict::predict(&program, &sys, kind);
+            let report = Machine::new(sys.clone(), kind)
+                .run(&program)
+                .expect("implicit runs clean");
+            let errors: Vec<String> = validate_prediction(&pred, &report)
+                .into_iter()
+                .filter(|e| e.contains("exact counter") || e.contains("gpu_instructions"))
+                .collect();
+            assert!(errors.is_empty(), "{kind}: {errors:?}");
+        }
+    }
+
+    #[test]
+    fn tolerance_accepts_close_and_rejects_far() {
+        assert!(within_tolerance(100, 100));
+        assert!(within_tolerance(0, MODELED_ABS_SLACK));
+        assert!(within_tolerance(1400, 1000));
+        assert!(!within_tolerance(2000, 1000));
+    }
+
+    #[test]
+    fn recommendation_tie_rule() {
+        let measured = [
+            (MemConfigKind::Scratch, 1000),
+            (MemConfigKind::Cache, 960),
+            (MemConfigKind::Stash, 950),
+        ];
+        assert!(recommendation_ok(MemConfigKind::Stash, &measured));
+        // 960 is within 5% of 950: a documented tie.
+        assert!(recommendation_ok(MemConfigKind::Cache, &measured));
+        assert!(!recommendation_ok(MemConfigKind::Scratch, &measured));
+    }
+}

@@ -1,0 +1,420 @@
+//! Waste detection: data movement the access pattern never pays back.
+//!
+//! Four classes, each mapping to a paper argument for one configuration:
+//!
+//! * **Dead stores** — a global word stored twice with no intervening
+//!   read; the first store's visibility was pure overhead.
+//! * **Unread writebacks** — words whose final write is never re-read
+//!   by any later task or phase. A cache writes these back line by line
+//!   on eviction and a scratchpad copies them out explicitly; the
+//!   stash's lazy chunked writeback (§4.2) is the cheap way out.
+//! * **Copy loops without reuse** — an explicit scratchpad copy-in
+//!   whose words the body then reads at most once: the staging moved
+//!   every word through the core for nothing (§2's "implicit" case —
+//!   stash mapping or DMA wins).
+//! * **Redundant DMA** — a DMA preload whose allocation the block never
+//!   reads, or a DMA writeback it never writes.
+
+use gpu::program::{DmaReq, Phase, Program, WarpOp};
+use mem::addr::VAddr;
+use std::collections::{HashMap, HashSet};
+
+use super::reuse::WordEvent;
+
+/// Dead-store and unread-writeback totals over an event stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreWaste {
+    /// `(word, dead store count)` for words overwritten before a read.
+    pub dead: Vec<(u64, u64)>,
+    /// Words whose final write no later access reads.
+    pub unread: Vec<u64>,
+}
+
+/// Scans an event stream (from [`super::reuse::word_events`]) for dead
+/// stores and never-re-read final writes.
+#[must_use]
+pub fn store_waste(events: &[WordEvent]) -> StoreWaste {
+    #[derive(Default)]
+    struct WordInfo {
+        dead: u64,
+        written: bool,
+        read_since_write: bool,
+    }
+    let mut words: HashMap<u64, WordInfo> = HashMap::new();
+    for e in events {
+        let info = words.entry(e.word).or_default();
+        if e.write {
+            if info.written && !info.read_since_write {
+                info.dead += 1;
+            }
+            info.written = true;
+            info.read_since_write = false;
+        } else if info.written {
+            info.read_since_write = true;
+        }
+    }
+    let mut dead: Vec<(u64, u64)> = words
+        .iter()
+        .filter(|(_, i)| i.dead > 0)
+        .map(|(&w, i)| (w, i.dead))
+        .collect();
+    dead.sort_unstable();
+    let mut unread: Vec<u64> = words
+        .iter()
+        .filter(|(_, i)| i.written && !i.read_since_write)
+        .map(|(&w, _)| w)
+        .collect();
+    unread.sort_unstable();
+    StoreWaste { dead, unread }
+}
+
+/// One explicit copy-in site (per thread block and allocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopySite {
+    /// Phase index of the kernel.
+    pub phase: u32,
+    /// Thread-block index within the kernel.
+    pub block: u32,
+    /// Words moved by the copy-in loops.
+    pub copied_lanes: u64,
+    /// Body reads of the copied allocation (copy-out reads excluded).
+    pub body_read_lanes: u64,
+    /// First global address the copy loads from (for symbolization).
+    pub global_base: VAddr,
+}
+
+impl CopySite {
+    /// True when each copied word is read at most once — the staging
+    /// bought no reuse.
+    #[must_use]
+    pub fn no_reuse(&self) -> bool {
+        self.body_read_lanes <= self.copied_lanes
+    }
+}
+
+/// Finds explicit copy-in loops and how often the body re-reads their
+/// data.
+///
+/// The scratchpad lowering emits a copy-in as a `GlobalMem` load
+/// immediately followed by a `LocalMem` store of the same words, and a
+/// copy-out as a `LocalMem` load immediately followed by a `GlobalMem`
+/// store; the scan recognizes those adjacent pairs in each warp's
+/// stream and attributes the remaining `LocalMem` reads to the body.
+#[must_use]
+pub fn copy_sites(program: &Program) -> Vec<CopySite> {
+    let mut out = Vec::new();
+    for (pi, phase) in program.phases.iter().enumerate() {
+        let Phase::Gpu(kernel) = phase else {
+            continue;
+        };
+        for (b, block) in kernel.blocks.iter().enumerate() {
+            // allocation id → (copied lanes, body reads, first global va)
+            let mut per_alloc: HashMap<usize, (u64, u64, VAddr)> = HashMap::new();
+            for ops in block.stages.iter().flat_map(|s| s.warps.iter()) {
+                let mut i = 0;
+                while i < ops.len() {
+                    match (&ops[i], ops.get(i + 1)) {
+                        // Copy-in: global load + local store.
+                        (
+                            WarpOp::GlobalMem {
+                                write: false,
+                                lanes: glanes,
+                            },
+                            Some(WarpOp::LocalMem {
+                                write: true, alloc, ..
+                            }),
+                        ) if !glanes.is_empty() => {
+                            let e = per_alloc.entry(alloc.0).or_insert((0, 0, glanes[0]));
+                            e.0 += glanes.len() as u64;
+                            i += 2;
+                        }
+                        // Copy-out: local load + global store.
+                        (
+                            WarpOp::LocalMem { write: false, .. },
+                            Some(WarpOp::GlobalMem { write: true, .. }),
+                        ) => {
+                            i += 2;
+                        }
+                        (
+                            WarpOp::LocalMem {
+                                write: false,
+                                alloc,
+                                lanes,
+                                ..
+                            },
+                            _,
+                        ) => {
+                            let e = per_alloc.entry(alloc.0).or_insert((0, 0, VAddr(0)));
+                            e.1 += lanes.len() as u64;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            for (_, (copied, body_reads, base)) in per_alloc {
+                if copied > 0 {
+                    out.push(CopySite {
+                        phase: u32::try_from(pi).unwrap_or(u32::MAX),
+                        block: u32::try_from(b).unwrap_or(u32::MAX),
+                        copied_lanes: copied,
+                        body_read_lanes: body_reads,
+                        global_base: base,
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by_key(|s| (s.phase, s.block, s.global_base.0));
+    out
+}
+
+/// One DMA request whose data the block never touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaWaste {
+    /// Phase index of the kernel.
+    pub phase: u32,
+    /// Thread-block index within the kernel.
+    pub block: u32,
+    /// The unused preload (`load`) or writeback (`store`) direction.
+    pub unused_load: bool,
+    /// See `unused_load`.
+    pub unused_store: bool,
+    /// The tile's global base (for symbolization).
+    pub global_base: VAddr,
+}
+
+/// Finds DMA requests transferring data the block never reads (loads)
+/// or never writes (stores).
+#[must_use]
+pub fn redundant_dma(program: &Program) -> Vec<DmaWaste> {
+    let mut out = Vec::new();
+    for (pi, phase) in program.phases.iter().enumerate() {
+        let Phase::Gpu(kernel) = phase else {
+            continue;
+        };
+        for (b, block) in kernel.blocks.iter().enumerate() {
+            let mut read_allocs: HashSet<usize> = HashSet::new();
+            let mut written_allocs: HashSet<usize> = HashSet::new();
+            for op in block.stages.iter().flat_map(|s| s.warps.iter().flatten()) {
+                if let WarpOp::LocalMem { write, alloc, .. } = op {
+                    if *write {
+                        written_allocs.insert(alloc.0);
+                    } else {
+                        read_allocs.insert(alloc.0);
+                    }
+                }
+            }
+            let dma_reqs = block.stages.iter().flat_map(|s| s.dmas.iter());
+            for req in dma_reqs {
+                let DmaReq {
+                    alloc,
+                    tile,
+                    load,
+                    store,
+                } = req;
+                let unused_load = *load && !read_allocs.contains(&alloc.0);
+                let unused_store = *store && !written_allocs.contains(&alloc.0);
+                if unused_load || unused_store {
+                    out.push(DmaWaste {
+                        phase: u32::try_from(pi).unwrap_or(u32::MAX),
+                        block: u32::try_from(b).unwrap_or(u32::MAX),
+                        unused_load,
+                        unused_store,
+                        global_base: tile.global_base(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Counts unmapped-temporary local words that are written but never
+/// read within their block — dead private data.
+#[must_use]
+pub fn write_only_temp_words(program: &Program) -> u64 {
+    let mut total = 0u64;
+    for phase in &program.phases {
+        let Phase::Gpu(kernel) = phase else {
+            continue;
+        };
+        for block in &kernel.blocks {
+            let mapped: HashSet<usize> = block.maps().map(|m| m.alloc.0).collect();
+            // alloc → (written lanes, read lanes)
+            let mut temps: HashMap<usize, (HashSet<u32>, HashSet<u32>)> = HashMap::new();
+            for op in block.stages.iter().flat_map(|s| s.warps.iter().flatten()) {
+                let WarpOp::LocalMem {
+                    write,
+                    alloc,
+                    lanes,
+                    ..
+                } = op
+                else {
+                    continue;
+                };
+                if mapped.contains(&alloc.0) {
+                    continue;
+                }
+                let e = temps.entry(alloc.0).or_default();
+                for &lane in lanes {
+                    if *write {
+                        e.0.insert(lane);
+                    } else {
+                        e.1.insert(lane);
+                    }
+                }
+            }
+            for (written, read) in temps.values() {
+                total += written.iter().filter(|l| !read.contains(l)).count() as u64;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::reuse::word_events;
+    use super::*;
+    use gpu::program::{AllocId, Kernel, LocalAlloc, Stage, ThreadBlock};
+    use mem::tile::TileMap;
+
+    fn block_with(ops: Vec<WarpOp>) -> ThreadBlock {
+        let mut tb = ThreadBlock::new();
+        tb.allocs.push(LocalAlloc { words: 32 });
+        let mut stage = Stage::new(1);
+        stage.warps[0] = ops;
+        tb.stages.push(stage);
+        tb
+    }
+
+    fn one_kernel(blocks: Vec<ThreadBlock>) -> Program {
+        Program {
+            phases: vec![Phase::Gpu(Kernel { blocks })],
+        }
+    }
+
+    fn global(write: bool, base: u64, words: u64) -> WarpOp {
+        WarpOp::GlobalMem {
+            write,
+            lanes: (0..words).map(|w| VAddr(base + w * 4)).collect(),
+        }
+    }
+
+    fn local(write: bool, lanes: std::ops::Range<u32>) -> WarpOp {
+        WarpOp::LocalMem {
+            write,
+            alloc: AllocId(0),
+            slot: usize::MAX,
+            lanes: lanes.collect(),
+        }
+    }
+
+    #[test]
+    fn double_store_without_read_is_dead() {
+        let p = one_kernel(vec![block_with(vec![
+            global(true, 0x1000, 4),
+            global(true, 0x1000, 4),
+        ])]);
+        let waste = store_waste(&word_events(&p));
+        assert_eq!(waste.dead.len(), 4);
+        assert_eq!(waste.dead[0], (0x1000 / 4, 1));
+        // The final writes are also never re-read.
+        assert_eq!(waste.unread.len(), 4);
+    }
+
+    #[test]
+    fn store_then_read_is_not_dead() {
+        let p = one_kernel(vec![block_with(vec![
+            global(true, 0x1000, 4),
+            global(false, 0x1000, 4),
+            global(true, 0x1000, 4),
+        ])]);
+        let waste = store_waste(&word_events(&p));
+        assert!(waste.dead.is_empty());
+        assert_eq!(waste.unread.len(), 4, "final writes are unread");
+    }
+
+    #[test]
+    fn copy_without_reuse_is_flagged() {
+        // Copy-in of 8 words, body reads them once, copy-out.
+        let p = one_kernel(vec![block_with(vec![
+            WarpOp::Compute(4),
+            global(false, 0x1000, 8),
+            local(true, 0..8),
+            WarpOp::Compute(3),
+            local(false, 0..8), // body read (one use per word)
+            local(true, 0..8),  // body write
+            WarpOp::Compute(4),
+            local(false, 0..8), // copy-out read
+            global(true, 0x1000, 8),
+        ])]);
+        let sites = copy_sites(&p);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].copied_lanes, 8);
+        assert_eq!(sites[0].body_read_lanes, 8);
+        assert!(sites[0].no_reuse());
+    }
+
+    #[test]
+    fn copy_with_reuse_is_clean() {
+        // Body reads each copied word twice (two passes).
+        let p = one_kernel(vec![block_with(vec![
+            global(false, 0x1000, 8),
+            local(true, 0..8),
+            local(false, 0..8),
+            local(false, 0..8),
+        ])]);
+        let sites = copy_sites(&p);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].body_read_lanes, 16);
+        assert!(!sites[0].no_reuse());
+    }
+
+    #[test]
+    fn dma_load_with_unread_allocation_is_redundant() {
+        let tile = TileMap::new(VAddr(0x4000), 4, 4, 8, 0, 1).unwrap();
+        let mut tb = ThreadBlock::new();
+        tb.allocs.push(LocalAlloc { words: 8 });
+        let mut stage = Stage::new(1);
+        stage.dmas.push(DmaReq {
+            alloc: AllocId(0),
+            tile,
+            load: true,
+            store: false,
+        });
+        // The block computes but never touches the preloaded data.
+        stage.warps[0] = vec![WarpOp::Compute(8)];
+        tb.stages.push(stage);
+        let waste = redundant_dma(&one_kernel(vec![tb]));
+        assert_eq!(waste.len(), 1);
+        assert!(waste[0].unused_load && !waste[0].unused_store);
+    }
+
+    #[test]
+    fn used_dma_is_clean() {
+        let tile = TileMap::new(VAddr(0x4000), 4, 4, 8, 0, 1).unwrap();
+        let mut tb = ThreadBlock::new();
+        tb.allocs.push(LocalAlloc { words: 8 });
+        let mut stage = Stage::new(1);
+        stage.dmas.push(DmaReq {
+            alloc: AllocId(0),
+            tile,
+            load: true,
+            store: true,
+        });
+        stage.warps[0] = vec![local(false, 0..8), local(true, 0..8)];
+        tb.stages.push(stage);
+        assert!(redundant_dma(&one_kernel(vec![tb])).is_empty());
+    }
+
+    #[test]
+    fn write_only_temp_is_counted() {
+        let p = one_kernel(vec![block_with(vec![
+            local(true, 0..8),
+            local(false, 0..4), // half the words are read back
+        ])]);
+        assert_eq!(write_only_temp_words(&p), 4);
+    }
+}

@@ -1,6 +1,6 @@
 //! Protocol verification layer for the stash reproduction.
 //!
-//! Three coordinated analyses guard the DeNovo coherence protocol the
+//! Four coordinated analyses guard the DeNovo coherence protocol the
 //! timing model is built on (paper §4.3–§4.4):
 //!
 //! 1. [`model`] — an exhaustive **model checker** that enumerates every
@@ -23,18 +23,31 @@
 //!    cross-thread-block races, cross-core CPU races, CPU stale reads
 //!    across unsynchronized GPU/CPU phase boundaries, and out-of-bounds
 //!    stash-map / AoS index expressions, before any simulation runs.
+//! 4. [`analyze`] — a static **access-pattern analyzer and placement
+//!    advisor** over the same IR: word-granular reuse-distance analysis,
+//!    static coalescing efficiency (via the machine's own coalescer),
+//!    footprint-vs-capacity thrash prediction, waste detection (dead
+//!    stores, copy loops without reuse, redundant DMA), and a
+//!    per-configuration counter/cost predictor whose output is
+//!    cross-validated against simulator runs.
 //!
 //! DeNovo's guarantees hold only for data-race-free programs, so the
-//! three layers complement each other: the model checker proves the
-//! protocol rules sound, the oracle proves the implementation follows
-//! them on real runs, and the linter proves the inputs satisfy the DRF
-//! precondition those proofs assume.
+//! layers complement each other: the model checker proves the protocol
+//! rules sound, the oracle proves the implementation follows them on
+//! real runs, the linter proves the inputs satisfy the DRF precondition
+//! those proofs assume, and the analyzer predicts — and the simulator
+//! confirms — what the protocol costs on each placement.
 
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 pub mod lint;
 pub mod model;
 
+pub use analyze::predict::Prediction;
+pub use analyze::{
+    analyze_workload, recommend, recommendation_ok, validate_prediction, Analysis, Note, NoteKind,
+};
 pub use lint::{lint_program, Diagnostic, Rule, Symbols};
 pub use model::{check, CheckStats, Counterexample, Event, Mutation, MAX_VERSION};
 

@@ -95,7 +95,7 @@ impl Symbols {
 
     /// The array containing byte address `addr`, with the element word
     /// index inside it.
-    fn locate(&self, addr: u64) -> Option<(&str, u64)> {
+    pub(crate) fn locate(&self, addr: u64) -> Option<(&str, u64)> {
         self.entries
             .iter()
             .find(|(_, base, bytes)| addr >= *base && addr < base + bytes)
@@ -104,7 +104,7 @@ impl Symbols {
 
     /// Formats a word range `[lo, hi]` (inclusive, in global word
     /// numbers) as `name[words a..b]` or a raw address range.
-    fn range(&self, lo: u64, hi: u64) -> String {
+    pub(crate) fn range(&self, lo: u64, hi: u64) -> String {
         match self.locate(lo * WORD_BYTES) {
             Some((name, w)) => {
                 let span = hi - lo;

@@ -31,6 +31,15 @@ impl WorkloadSet {
             WorkloadSet::Apps => &apps::ALL,
         }
     }
+
+    /// The configurations this set's figure compares (Figure 5 for the
+    /// microbenchmarks, Figure 6 for the applications).
+    pub fn figure_kinds(self) -> &'static [MemConfigKind] {
+        match self {
+            WorkloadSet::Micro => &MemConfigKind::FIGURE5,
+            WorkloadSet::Apps => &MemConfigKind::FIGURE6,
+        }
+    }
 }
 
 /// A named workload: a program factory over memory configurations.

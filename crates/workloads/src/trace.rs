@@ -36,6 +36,34 @@
 //! let program = tw.build(MemConfigKind::Stash);
 //! assert_eq!(program.kernel_count(), 1);
 //! ```
+//!
+//! A trace can also interleave GPU kernels with CPU phases and revisit
+//! the same array tile from a later kernel — the pattern behind the
+//! stash's cross-kernel reuse (§4.5) and the `reuse` microbenchmark.
+//! Each `kernel` directive opens a new kernel; `cpu_sweep` inserts a
+//! CPU phase reading (or, with `write`, writing) every element of an
+//! array between them:
+//!
+//! ```
+//! use gpu::config::MemConfigKind;
+//! use gpu::program::Phase;
+//! use workloads::trace::parse_trace;
+//!
+//! let tw = parse_trace(
+//!     "array grid elems=512 object=4
+//!      kernel                       # kernel 1 registers the tile
+//!      block
+//!      task grid 0 512 rw local
+//!      cpu_sweep grid cores=2       # CPU reads the GPU's output
+//!      kernel                       # kernel 2 re-reads the same tile:
+//!      block                        #   stash hits, cache re-fetches,
+//!      task grid 0 512 r local      #   scratch re-copies
+//! ",
+//! ).unwrap();
+//! let program = tw.build(MemConfigKind::Stash);
+//! assert_eq!(program.kernel_count(), 2);
+//! assert!(matches!(program.phases[1], Phase::Cpu(_)));
+//! ```
 
 use crate::builder::{
     cpu_sweep, kernel_from_blocks, AosArray, Placement, TileTask, WorkloadBuilder,
