@@ -109,12 +109,19 @@ fn advise_one(
                     errors: validate_prediction(pred, &report),
                 });
             }
-            Err(e) => cells.push(Cell {
-                kind: pred.kind,
-                est_picos: pred.est_picos,
-                measured_picos: None,
-                errors: vec![format!("simulation failed: {e}")],
-            }),
+            Err(e) => {
+                // A watchdog deadlock prints its in-flight diagnostic
+                // dump on stderr right away; the failure still flows into
+                // the cell's error list (and the nonzero exit).
+                let context = format!("advise: {name} on {}", pred.kind.name());
+                let _ = cli::sim_failure_status(&context, &e);
+                cells.push(Cell {
+                    kind: pred.kind,
+                    est_picos: pred.est_picos,
+                    measured_picos: None,
+                    errors: vec![format!("simulation failed: {e}")],
+                });
+            }
         }
     }
 

@@ -1,0 +1,232 @@
+//! Chaos harness: fuzz deterministic fault schedules across the Figure 5
+//! matrix (or trace files) and enforce the no-silent-corruption contract.
+//!
+//! ```text
+//! cargo run --release -p bench --bin chaos -- --seeds 64
+//! cargo run --release -p bench --bin chaos -- examples/histogram.trace --seeds 8
+//! cargo run --release -p bench --bin chaos -- --seeds 16 --no-resilience
+//! ```
+//!
+//! Every `(workload, configuration, seed)` run is classified against a
+//! fault-free golden replay as **recovered** (bit-identical architectural
+//! state), **detected** (watchdog / oracle / parity flag), or a **silent
+//! escape**. Escapes are contract violations: the binary prints them and
+//! exits 1. `--no-resilience` / `--no-parity` disable the machinery to
+//! demonstrate the escape classes it closes (expect a nonzero exit).
+
+use bench::chaos::{run_campaign, CampaignConfig, CellRun, Outcome, Target};
+use bench::cli;
+use gpu::config::MemConfigKind;
+use workloads::suite;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaos [trace files...] [--seeds N] [--no-resilience] [--no-parity] [flags]\n\
+         --seeds N     fault seeds per matrix cell (default 16; seeds are S..S+N\n              \
+         with S from --fault-seed, default 1)\n\
+         --no-resilience  disable retry/timeout/fallback machinery (demonstrates escapes)\n\
+         --no-parity   disable the parity/ECC detection model (demonstrates escapes)\n\
+         {}\n{}\n{}\n{}",
+        cli::FAULT_SEED_USAGE,
+        cli::THREADS_USAGE,
+        cli::VERIFY_USAGE,
+        cli::JSON_USAGE
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            usage();
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        return Some(v);
+    }
+    let prefix = format!("{flag}=");
+    if let Some(i) = args.iter().position(|a| a.starts_with(&prefix)) {
+        let v = args.remove(i)[prefix.len()..].to_string();
+        return Some(v);
+    }
+    None
+}
+
+fn print_json(cells: &[CellRun], escapes: usize) {
+    println!("{{");
+    println!("  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let detail = match &c.outcome {
+            Outcome::Detected(d) => format!(", \"detector\": \"{}\"", d.label()),
+            Outcome::SilentEscape(why) => {
+                format!(", \"leak\": \"{}\"", cli::json_escape(why))
+            }
+            Outcome::Recovered => String::new(),
+        };
+        println!(
+            "    {{\"workload\": \"{}\", \"config\": \"{}\", \"seed\": {}, \
+             \"outcome\": \"{}\"{detail}, \"injected\": {}, \"retries\": {}}}{comma}",
+            cli::json_escape(&c.workload),
+            c.kind.name(),
+            c.seed,
+            c.outcome.label(),
+            c.injected,
+            c.retries,
+        );
+    }
+    println!("  ],");
+    println!("  \"escapes\": {escapes}");
+    println!("}}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads = cli::thread_count(&args);
+    let verify = cli::verify_flag(&args);
+    let json = cli::json_flag(&args);
+    let seed_base = cli::fault_seed(&args).unwrap_or(1);
+    let mut args = args;
+    cli::strip_common_flags(&mut args);
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+
+    let seed_count: u64 = match flag_value(&mut args, "--seeds") {
+        Some(v) => v.parse().unwrap_or_else(|_| usage()),
+        None => 16,
+    };
+    let resilience = !args.iter().any(|a| a == "--no-resilience");
+    let parity = !args.iter().any(|a| a == "--no-parity");
+    args.retain(|a| a != "--no-resilience" && a != "--no-parity");
+    if args.iter().any(|a| a.starts_with("--")) {
+        usage();
+    }
+
+    // Targets: the trace files given, or the Figure 5 microbenchmarks.
+    let traces: Vec<(String, workloads::trace::TraceWorkload)> = args[1..]
+        .iter()
+        .map(|p| (p.clone(), cli::load_trace(p)))
+        .collect();
+    let micros = suite::micros();
+    let mut targets: Vec<Target<'_>> = Vec::new();
+    let mut kinds: Vec<MemConfigKind> = MemConfigKind::FIGURE5.to_vec();
+    let builders: Vec<_> = traces
+        .iter()
+        .map(|(_, t)| move |kind| t.build(kind))
+        .collect();
+    if traces.is_empty() {
+        for w in &micros {
+            targets.push(Target {
+                name: w.name.to_string(),
+                sys: w.set.system_config(),
+                build: &w.build,
+            });
+        }
+    } else {
+        kinds = traces[0].1.set().figure_kinds().to_vec();
+        for ((path, trace), build) in traces.iter().zip(&builders) {
+            targets.push(Target {
+                name: path.clone(),
+                sys: trace.set().system_config(),
+                build,
+            });
+        }
+    }
+
+    let mut cfg = CampaignConfig::new((seed_base..seed_base + seed_count).collect(), threads);
+    cfg.verify = verify;
+    cfg.resilience = resilience;
+    cfg.parity = parity;
+
+    if !json {
+        println!(
+            "chaos — {} workload(s) × {} config(s) × {} seed(s), resilience {}, parity {}",
+            targets.len(),
+            kinds.len(),
+            seed_count,
+            if resilience { "on" } else { "OFF" },
+            if parity { "on" } else { "OFF" },
+        );
+    }
+
+    let campaign = run_campaign(&targets, &kinds, &cfg).unwrap_or_else(|e| {
+        eprintln!("chaos: {e}");
+        std::process::exit(2);
+    });
+
+    let escapes = campaign.escapes();
+    if json {
+        print_json(&campaign.cells, escapes.len());
+    } else {
+        let name_width = targets
+            .iter()
+            .map(|t| t.name.len())
+            .max()
+            .unwrap_or(0)
+            .max("workload".len())
+            + 2;
+        println!(
+            "{:<name_width$}{:<10}{:>10}{:>11}{:>10}{:>8}",
+            "workload", "config", "recovered", "detected", "escapes", "faults"
+        );
+        for t in &targets {
+            for &kind in &kinds {
+                let cell_of = |c: &&CellRun| c.workload == t.name && c.kind == kind;
+                let runs: Vec<&CellRun> = campaign.cells.iter().filter(|c| cell_of(c)).collect();
+                let recovered = runs
+                    .iter()
+                    .filter(|c| c.outcome == Outcome::Recovered)
+                    .count();
+                let detected = runs
+                    .iter()
+                    .filter(|c| matches!(c.outcome, Outcome::Detected(_)))
+                    .count();
+                let escaped = runs.len() - recovered - detected;
+                let injected: u64 = runs.iter().map(|c| c.injected).sum();
+                println!(
+                    "{:<name_width$}{:<10}{:>10}{:>11}{:>10}{:>8}",
+                    t.name,
+                    kind.name(),
+                    recovered,
+                    detected,
+                    escaped,
+                    injected
+                );
+            }
+        }
+        println!(
+            "\ntotal: {} runs — {} recovered, {} detected, {} escape(s); \
+             {} fault(s) injected, {} retry(ies)",
+            campaign.cells.len(),
+            campaign.recovered(),
+            campaign.detected(),
+            escapes.len(),
+            campaign.total_injected(),
+            campaign.total_retries(),
+        );
+    }
+
+    if !escapes.is_empty() {
+        for c in &escapes {
+            let why = match &c.outcome {
+                Outcome::SilentEscape(why) => why.as_str(),
+                _ => unreachable!("escapes() only returns silent escapes"),
+            };
+            eprintln!(
+                "ESCAPE: {} on {} seed {}: {why}",
+                c.workload,
+                c.kind.name(),
+                c.seed
+            );
+        }
+        eprintln!(
+            "\n{} silent-corruption escape(s) — the no-silent-corruption contract is violated",
+            escapes.len()
+        );
+        std::process::exit(1);
+    }
+    if !json {
+        println!("no silent-corruption escapes — contract holds");
+    }
+}

@@ -6,7 +6,7 @@
 //! cargo run --release -p bench --bin fig6 -- --panel energy --threads 4
 //! ```
 
-use bench::{average_reduction, cli, print_panel, run_matrix_verified, write_csv, FigurePanel};
+use bench::{average_reduction, cli, print_panel, run_matrix_checked, write_csv, FigurePanel};
 use gpu::config::MemConfigKind;
 use workloads::suite;
 
@@ -30,7 +30,11 @@ fn main() {
     if verify {
         println!("(runtime invariant oracle on — checking after every transition)");
     }
-    let (rows, stats) = run_matrix_verified(&suite::applications(), &kinds, threads, verify);
+    let (rows, stats) = run_matrix_checked(&suite::applications(), &kinds, threads, verify)
+        .unwrap_or_else(|e| {
+            let context = format!("fig6: {} on {}", e.workload, e.kind.name());
+            std::process::exit(cli::sim_failure_status(&context, &e.error));
+        });
     println!("{}", stats.summary());
     if let Some(i) = args.iter().position(|a| a == "--csv") {
         let path =

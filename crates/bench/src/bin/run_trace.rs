@@ -13,15 +13,19 @@ use bench::cli;
 use bench::pool::JobPool;
 use gpu::config::MemConfigKind;
 use gpu::machine::Machine;
+use sim::fault::FaultConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let threads = cli::thread_count(&args);
     let verify = cli::verify_flag(&args);
+    let fault_seed = cli::fault_seed(&args);
     let mut args = args;
     cli::strip_common_flags(&mut args);
     let Some(path) = args.get(1) else {
-        eprintln!("usage: run-trace <file.trace> [configs...] [--threads N] [--verify]");
+        eprintln!(
+            "usage: run-trace <file.trace> [configs...] [--threads N] [--verify] [--fault-seed S]"
+        );
         std::process::exit(2);
     };
     let workload = cli::load_trace(path);
@@ -40,6 +44,11 @@ fn main() {
             move || {
                 let mut machine = Machine::new(workload.set().system_config(), kind);
                 machine.memory_mut().set_verify(verify);
+                if let Some(seed) = fault_seed {
+                    machine
+                        .memory_mut()
+                        .set_fault_injector(FaultConfig::chaos(seed));
+                }
                 machine.run(&workload.build(kind))
             }
         })
@@ -50,6 +59,7 @@ fn main() {
         "{:<10}{:>14}{:>18}{:>12}{:>12}{:>14}{:>10}",
         "config", "time (ps)", "energy (fJ)", "instrs", "flits", "dram fetches", "host ms"
     );
+    let mut status = 0;
     for (kind, result) in kinds.iter().zip(results) {
         match result.value {
             Ok(report) => println!(
@@ -62,7 +72,14 @@ fn main() {
                 report.counters.get("dram.line_fetch"),
                 result.host_time.as_secs_f64() * 1e3,
             ),
-            Err(e) => println!("{:<10}error: {e}", kind.name()),
+            Err(e) => {
+                println!("{:<10}error: {e}", kind.name());
+                let context = format!("run-trace: {path} on {}", kind.name());
+                status = status.max(cli::sim_failure_status(&context, &e));
+            }
         }
+    }
+    if status != 0 {
+        std::process::exit(status);
     }
 }

@@ -1,0 +1,429 @@
+//! The chaos harness: fuzz deterministic fault schedules across a
+//! workload matrix and enforce the no-silent-corruption contract.
+//!
+//! For every `(workload, configuration)` cell the harness first runs a
+//! fault-free **golden** replay and records its architectural-state
+//! digest. It then re-runs the cell once per fault seed with the chaos
+//! schedule installed and classifies each injected run:
+//!
+//! * **Recovered** — the run completed and its architectural state is
+//!   bit-identical to the golden digest (retries, duplicate suppression,
+//!   NACK/resend and parity correction absorbed every fault).
+//! * **Detected** — a detector flagged the fault: the no-progress
+//!   watchdog ([`sim::SimError::Deadlock`]), the runtime invariant
+//!   oracle (a caught panic), or the parity/ECC model.
+//! * **Silent escape** — the run completed, diverged from golden (or
+//!   carried surviving corrupt words), and no detector fired. This is
+//!   the contract violation the harness exists to catch; the `chaos`
+//!   binary exits 1 if any occur.
+//!
+//! Everything is deterministic: the same targets, seeds, and switches
+//! produce bit-identical [`CellRun::fingerprint`]s at any `--threads`
+//! setting (enforced by `tests/chaos_determinism.rs`).
+
+use crate::pool::JobPool;
+use gpu::config::MemConfigKind;
+use gpu::machine::Machine;
+use gpu::program::Program;
+use sim::config::SystemConfig;
+use sim::fault::{FaultConfig, FaultEvent};
+use sim::stats::Counters;
+use sim::SimError;
+
+/// A workload the campaign stresses: a named program factory plus the
+/// machine configuration it runs on.
+pub struct Target<'a> {
+    /// Display name (suite name or trace path).
+    pub name: String,
+    /// Machine configuration for this workload.
+    pub sys: SystemConfig,
+    /// Builds the program for one memory configuration.
+    pub build: &'a (dyn Fn(MemConfigKind) -> Program + Sync),
+}
+
+/// Which detector flagged a non-recovered run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detector {
+    /// The no-progress watchdog tripped ([`SimError::Deadlock`]).
+    Watchdog,
+    /// A panic was caught — in practice the runtime invariant oracle.
+    Oracle,
+    /// The parity/ECC model flagged corruption during the run.
+    Parity,
+}
+
+impl Detector {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Detector::Watchdog => "watchdog",
+            Detector::Oracle => "oracle",
+            Detector::Parity => "parity",
+        }
+    }
+}
+
+/// How one injected run resolved against its golden replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Architectural state converged bit-identically to golden.
+    Recovered,
+    /// A detector flagged the fault.
+    Detected(Detector),
+    /// Diverged (or carried surviving corruption) with no flag — the
+    /// contract violation. The string says what leaked.
+    SilentEscape(String),
+}
+
+impl Outcome {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Recovered => "recovered",
+            Outcome::Detected(_) => "detected",
+            Outcome::SilentEscape(_) => "ESCAPE",
+        }
+    }
+}
+
+/// One injected run's classified result.
+#[derive(Debug, Clone)]
+pub struct CellRun {
+    /// Workload name.
+    pub workload: String,
+    /// Memory configuration.
+    pub kind: MemConfigKind,
+    /// Fault seed of this run.
+    pub seed: u64,
+    /// The classification.
+    pub outcome: Outcome,
+    /// Total injected faults (sum of the `fault.*` injection counters).
+    pub injected: u64,
+    /// Retries the resilience machinery performed.
+    pub retries: u64,
+    /// Deterministic fingerprint of the run: state digest, touched
+    /// counters, and the full fault trace. Bit-identical across thread
+    /// counts for identical seed + config.
+    pub fingerprint: String,
+}
+
+/// A whole campaign's classified results, in deterministic
+/// `(target, kind, seed)` order.
+#[derive(Debug)]
+pub struct Campaign {
+    /// Every injected run.
+    pub cells: Vec<CellRun>,
+}
+
+impl Campaign {
+    /// Runs classified as recovered.
+    pub fn recovered(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.outcome == Outcome::Recovered)
+            .count()
+    }
+
+    /// Runs flagged by a detector.
+    pub fn detected(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.outcome, Outcome::Detected(_)))
+            .count()
+    }
+
+    /// The silent-corruption escapes (must be empty for the contract).
+    pub fn escapes(&self) -> Vec<&CellRun> {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.outcome, Outcome::SilentEscape(_)))
+            .collect()
+    }
+
+    /// Total faults injected across the campaign.
+    pub fn total_injected(&self) -> u64 {
+        self.cells.iter().map(|c| c.injected).sum()
+    }
+
+    /// Total retries performed across the campaign.
+    pub fn total_retries(&self) -> u64 {
+        self.cells.iter().map(|c| c.retries).sum()
+    }
+}
+
+/// Campaign switches (the `chaos` binary's flags).
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Fault seeds to run per cell.
+    pub seeds: Vec<u64>,
+    /// Worker threads for the job pool.
+    pub threads: usize,
+    /// Run the runtime invariant oracle inside every cell.
+    pub verify: bool,
+    /// Leave the retry/fallback machinery on (`false` demonstrates the
+    /// escape classes the machinery exists to close).
+    pub resilience: bool,
+    /// Leave the parity/ECC detection model on.
+    pub parity: bool,
+}
+
+impl CampaignConfig {
+    /// The binary's defaults: resilience and parity on, oracle off.
+    pub fn new(seeds: Vec<u64>, threads: usize) -> Self {
+        CampaignConfig {
+            seeds,
+            threads,
+            verify: false,
+            resilience: true,
+            parity: true,
+        }
+    }
+
+    fn fault(&self, seed: u64) -> FaultConfig {
+        let mut cfg = FaultConfig::chaos(seed);
+        if !self.resilience {
+            cfg = cfg.without_resilience();
+        }
+        if !self.parity {
+            cfg = cfg.without_parity();
+        }
+        cfg
+    }
+}
+
+/// What one simulation job observed (before classification).
+enum RawRun {
+    Done {
+        digest: u64,
+        remaining: usize,
+        counters: Box<Counters>,
+        trace_fp: String,
+    },
+    Deadlocked {
+        site: &'static str,
+        attempts: u32,
+    },
+    Failed(String),
+}
+
+fn render_trace(trace: &[FaultEvent]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for e in trace {
+        write!(s, "{}:{:?}:{}:{};", e.site, e.kind, e.seq, e.attempt)
+            .expect("writing to String cannot fail");
+    }
+    s
+}
+
+fn render_counters(counters: &Counters) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for (name, value) in counters.iter() {
+        write!(s, "{name}={value};").expect("writing to String cannot fail");
+    }
+    s
+}
+
+fn run_one(
+    target: &Target<'_>,
+    kind: MemConfigKind,
+    fault: Option<FaultConfig>,
+    verify: bool,
+) -> RawRun {
+    let mut machine = Machine::new(target.sys.clone(), kind);
+    machine.memory_mut().set_verify(verify);
+    if let Some(cfg) = fault {
+        machine.memory_mut().set_fault_injector(cfg);
+    }
+    match machine.run(&(target.build)(kind)) {
+        Ok(_) => {
+            let mem = machine.memory();
+            RawRun::Done {
+                digest: mem.state_digest(),
+                remaining: mem.remaining_corruption(),
+                counters: Box::new(mem.counters().clone()),
+                trace_fp: mem
+                    .fault_injector()
+                    .map(|inj| render_trace(inj.trace()))
+                    .unwrap_or_default(),
+            }
+        }
+        Err(SimError::Deadlock { site, attempts, .. }) => RawRun::Deadlocked { site, attempts },
+        Err(e) => RawRun::Failed(e.to_string()),
+    }
+}
+
+fn classify(raw: Result<RawRun, String>, golden_digest: u64) -> (Outcome, u64, u64, String) {
+    match raw {
+        Err(panic_msg) => (
+            Outcome::Detected(Detector::Oracle),
+            0,
+            0,
+            format!("panic:{panic_msg}"),
+        ),
+        Ok(RawRun::Deadlocked { site, attempts }) => (
+            Outcome::Detected(Detector::Watchdog),
+            0,
+            0,
+            format!("deadlock:{site}:{attempts}"),
+        ),
+        Ok(RawRun::Failed(msg)) => (
+            // An unexpected non-watchdog error under injection is not a
+            // proven corruption, but it is not a proven recovery either —
+            // count it against the contract so it gets investigated.
+            Outcome::SilentEscape(format!("unexpected simulation error: {msg}")),
+            0,
+            0,
+            format!("error:{msg}"),
+        ),
+        Ok(RawRun::Done {
+            digest,
+            remaining,
+            counters,
+            trace_fp,
+        }) => {
+            let injected = counters.get("fault.drop_injected")
+                + counters.get("fault.dup_injected")
+                + counters.get("fault.delay_injected")
+                + counters.get("fault.flip_injected")
+                + counters.get("fault.wb_lost")
+                + counters.get("fault.dma_truncated");
+            let retries = counters.get("resilience.retry");
+            let flagged =
+                counters.get("fault.parity_detected") + counters.get("fault.scrub_detected");
+            let outcome = if remaining > 0 {
+                Outcome::SilentEscape(format!(
+                    "{remaining} corrupt word(s) survived to the end of the run undetected"
+                ))
+            } else if digest == golden_digest {
+                Outcome::Recovered
+            } else if flagged > 0 {
+                Outcome::Detected(Detector::Parity)
+            } else {
+                Outcome::SilentEscape(
+                    "architectural state diverged from the golden replay with no detector fired"
+                        .to_string(),
+                )
+            };
+            let fingerprint = format!(
+                "digest:{digest:016x};{}trace:{trace_fp}",
+                render_counters(&counters)
+            );
+            (outcome, injected, retries, fingerprint)
+        }
+    }
+}
+
+/// Runs the full campaign: golden replays first, then every
+/// `(target, kind, seed)` cell with injection, classified against the
+/// golden digests.
+///
+/// # Errors
+///
+/// Returns a message if any *golden* (fault-free) run fails or panics —
+/// the matrix must be healthy before injection means anything.
+pub fn run_campaign(
+    targets: &[Target<'_>],
+    kinds: &[MemConfigKind],
+    cfg: &CampaignConfig,
+) -> Result<Campaign, String> {
+    let pool = JobPool::new(cfg.threads);
+
+    // Phase 1: fault-free golden digests, one per (target, kind).
+    let golden_jobs: Vec<_> = targets
+        .iter()
+        .flat_map(|t| kinds.iter().map(move |&kind| (t, kind)))
+        .map(|(t, kind)| move || run_one(t, kind, None, cfg.verify))
+        .collect();
+    let mut golden = Vec::with_capacity(golden_jobs.len());
+    for (i, result) in pool.run_catching(golden_jobs).into_iter().enumerate() {
+        let t = &targets[i / kinds.len()];
+        let kind = kinds[i % kinds.len()];
+        let context = format!("golden run of {} on {}", t.name, kind.name());
+        match result {
+            Ok(r) => match r.value {
+                RawRun::Done { digest, .. } => golden.push(digest),
+                RawRun::Deadlocked { site, attempts } => {
+                    return Err(format!(
+                        "{context}: watchdog tripped at {site} after {attempts} attempts \
+                         without injection"
+                    ))
+                }
+                RawRun::Failed(msg) => return Err(format!("{context}: {msg}")),
+            },
+            Err(p) => return Err(format!("{context}: {p}")),
+        }
+    }
+
+    // Phase 2: injected runs, every (target, kind, seed).
+    let mut meta = Vec::new();
+    let mut jobs = Vec::new();
+    for (cell, (t, kind)) in targets
+        .iter()
+        .flat_map(|t| kinds.iter().map(move |&kind| (t, kind)))
+        .enumerate()
+    {
+        for &seed in &cfg.seeds {
+            meta.push((t.name.clone(), kind, seed, golden[cell]));
+            let fault = cfg.fault(seed);
+            jobs.push(move || run_one(t, kind, Some(fault), cfg.verify));
+        }
+    }
+    let results = pool.run_catching(jobs);
+
+    let cells = meta
+        .into_iter()
+        .zip(results)
+        .map(|((workload, kind, seed, golden_digest), result)| {
+            let raw = match result {
+                Ok(r) => Ok(r.value),
+                Err(p) => Err(p.message),
+            };
+            let (outcome, injected, retries, fingerprint) = classify(raw, golden_digest);
+            CellRun {
+                workload,
+                kind,
+                seed,
+                outcome,
+                injected,
+                retries,
+                fingerprint,
+            }
+        })
+        .collect();
+    Ok(Campaign { cells })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::suite;
+
+    #[test]
+    fn resilient_chaos_on_one_micro_has_no_escapes() {
+        let w = suite::micros()[0];
+        let target = Target {
+            name: w.name.to_string(),
+            sys: w.set.system_config(),
+            build: &w.build,
+        };
+        let cfg = CampaignConfig::new(vec![1, 2], 2);
+        let campaign =
+            run_campaign(&[target], &[MemConfigKind::Stash], &cfg).expect("golden runs clean");
+        assert_eq!(campaign.cells.len(), 2);
+        assert!(
+            campaign.escapes().is_empty(),
+            "resilient runs must never escape: {:?}",
+            campaign.escapes()
+        );
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(Outcome::Recovered.label(), "recovered");
+        assert_eq!(Outcome::Detected(Detector::Watchdog).label(), "detected");
+        assert_eq!(Outcome::SilentEscape("x".into()).label(), "ESCAPE");
+        assert_eq!(Detector::Parity.label(), "parity");
+    }
+}

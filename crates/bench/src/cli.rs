@@ -18,6 +18,11 @@ pub const VERIFY_USAGE: &str =
 /// The usage line for machine-readable output.
 pub const JSON_USAGE: &str = "--json        emit machine-readable JSON instead of the text report";
 
+/// The usage line for deterministic fault injection.
+pub const FAULT_SEED_USAGE: &str =
+    "--fault-seed S  inject the deterministic chaos fault schedule seeded by S\n              \
+     (also settable via STASH_FAULT_SEED); omitted = no injection";
+
 /// True when `--verify` appears in the arguments (or `STASH_VERIFY=1`).
 pub fn verify_flag(args: &[String]) -> bool {
     args.iter().any(|a| a == "--verify") || std::env::var("STASH_VERIFY").is_ok_and(|v| v == "1")
@@ -29,14 +34,70 @@ pub fn json_flag(args: &[String]) -> bool {
 }
 
 /// Removes the shared flags (`--threads N`, `--threads=N`, `--verify`,
-/// `--json`) from `args`, leaving only the binary name and positional
-/// operands. Read the flags first with [`thread_count`] / [`verify_flag`] /
-/// [`json_flag`]; this only cleans up for positional parsing.
+/// `--json`, `--fault-seed S`, `--fault-seed=S`) from `args`, leaving only
+/// the binary name and positional operands. Read the flags first with
+/// [`thread_count`] / [`verify_flag`] / [`json_flag`] / [`fault_seed`];
+/// this only cleans up for positional parsing.
 pub fn strip_common_flags(args: &mut Vec<String>) {
-    if let Some(i) = args.iter().position(|a| a == "--threads") {
-        args.drain(i..(i + 2).min(args.len()));
+    for flag in ["--threads", "--fault-seed"] {
+        if let Some(i) = args.iter().position(|a| a == flag) {
+            args.drain(i..(i + 2).min(args.len()));
+        }
     }
-    args.retain(|a| !a.starts_with("--threads=") && a != "--verify" && a != "--json");
+    args.retain(|a| {
+        !a.starts_with("--threads=")
+            && !a.starts_with("--fault-seed=")
+            && a != "--verify"
+            && a != "--json"
+    });
+}
+
+/// The fault-injection seed from `--fault-seed S` / `--fault-seed=S`,
+/// then `STASH_FAULT_SEED`; `None` means injection stays off.
+///
+/// Malformed values exit with usage (status 2), like the binaries' other
+/// argument errors.
+pub fn fault_seed(args: &[String]) -> Option<u64> {
+    if let Some(i) = args.iter().position(|a| a == "--fault-seed") {
+        return Some(parse_fault_seed(
+            args.get(i + 1).map(String::as_str).unwrap_or(""),
+        ));
+    }
+    if let Some(eq) = args.iter().find_map(|a| a.strip_prefix("--fault-seed=")) {
+        return Some(parse_fault_seed(eq));
+    }
+    if let Ok(env) = std::env::var("STASH_FAULT_SEED") {
+        return Some(parse_fault_seed(&env));
+    }
+    None
+}
+
+fn parse_fault_seed(s: &str) -> u64 {
+    s.parse::<u64>().unwrap_or_else(|_| {
+        eprintln!("--fault-seed/STASH_FAULT_SEED must be an unsigned integer, got {s:?}");
+        std::process::exit(2);
+    })
+}
+
+/// Reports a simulation failure on stderr and picks the process exit
+/// status: a no-progress watchdog trip ([`sim::SimError::Deadlock`])
+/// prints its in-flight diagnostic dump and exits 3; any other simulation
+/// error exits 1.
+pub fn sim_failure_status(context: &str, error: &sim::SimError) -> i32 {
+    if let sim::SimError::Deadlock {
+        site,
+        attempts,
+        dump,
+    } = error
+    {
+        eprintln!("{context}: no-progress watchdog tripped at {site} after {attempts} attempts");
+        eprintln!("--- in-flight diagnostic dump ---");
+        eprintln!("{dump}");
+        3
+    } else {
+        eprintln!("{context}: {error}");
+        1
+    }
 }
 
 /// Reads and parses a trace file, exiting with status 2 (like the
@@ -170,6 +231,29 @@ mod tests {
         let mut b = args(&["advise", "--threads=2", "--json", "y.trace"]);
         strip_common_flags(&mut b);
         assert_eq!(b, args(&["advise", "y.trace"]));
+
+        let mut c = args(&["chaos", "--fault-seed", "9", "--fault-seed=11", "z.trace"]);
+        strip_common_flags(&mut c);
+        assert_eq!(c, args(&["chaos", "z.trace"]));
+    }
+
+    #[test]
+    fn fault_seed_parses_both_spellings() {
+        assert_eq!(fault_seed(&args(&["fig5", "--fault-seed", "42"])), Some(42));
+        assert_eq!(fault_seed(&args(&["fig5", "--fault-seed=7"])), Some(7));
+        assert_eq!(fault_seed(&args(&["fig5"])), None);
+    }
+
+    #[test]
+    fn deadlock_failure_reports_status_3() {
+        let e = sim::SimError::Deadlock {
+            site: "cache.load",
+            attempts: 9,
+            dump: "in-flight: none".to_string(),
+        };
+        assert_eq!(sim_failure_status("test", &e), 3);
+        let other = sim::SimError::Config("bad".to_string());
+        assert_eq!(sim_failure_status("test", &other), 1);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod cli;
 pub mod pool;
 pub mod timing;
@@ -23,6 +24,7 @@ use gpu::machine::Machine;
 use gpu::report::RunReport;
 use noc::MsgClass;
 use pool::JobPool;
+use sim::SimError;
 use workloads::suite::Workload;
 
 /// One workload's reports across configurations.
@@ -137,13 +139,49 @@ pub fn run_cell(workload: &Workload, kind: MemConfigKind) -> RunReport {
 /// Panics if the simulation rejects the program, or — with `verify` on —
 /// if the oracle finds an invariant violation.
 pub fn run_cell_verified(workload: &Workload, kind: MemConfigKind, verify: bool) -> RunReport {
+    try_run_cell(workload, kind, verify)
+        .unwrap_or_else(|e| panic!("{} on {kind}: {e}", workload.name))
+}
+
+/// [`run_cell_verified`] with simulation failures returned as values —
+/// in particular a no-progress watchdog trip ([`SimError::Deadlock`]),
+/// which carries its in-flight diagnostic dump for the caller to print.
+///
+/// # Errors
+///
+/// Returns the simulation's error (configuration, mapping, or watchdog
+/// deadlock) instead of panicking.
+pub fn try_run_cell(
+    workload: &Workload,
+    kind: MemConfigKind,
+    verify: bool,
+) -> Result<RunReport, SimError> {
     let program = (workload.build)(kind);
     let mut machine = Machine::new(workload.set.system_config(), kind);
     machine.memory_mut().set_verify(verify);
-    machine
-        .run(&program)
-        .unwrap_or_else(|e| panic!("{} on {kind}: {e}", workload.name))
+    machine.run(&program)
 }
+
+/// A failed matrix cell: which `(workload, configuration)` pair died and
+/// why. The binaries print a watchdog deadlock's diagnostic dump and exit
+/// nonzero via [`cli::sim_failure_status`].
+#[derive(Debug)]
+pub struct MatrixCellError {
+    /// The failing cell's workload name.
+    pub workload: &'static str,
+    /// The failing cell's configuration.
+    pub kind: MemConfigKind,
+    /// The simulation error.
+    pub error: SimError,
+}
+
+impl std::fmt::Display for MatrixCellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} on {}: {}", self.workload, self.kind, self.error)
+    }
+}
+
+impl std::error::Error for MatrixCellError {}
 
 /// Runs several workloads over the configuration list, serially.
 ///
@@ -183,23 +221,52 @@ pub fn run_matrix_verified(
     threads: usize,
     verify: bool,
 ) -> (Vec<MatrixRow>, MatrixStats) {
+    run_matrix_checked(workloads, kinds, threads, verify).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_matrix_verified`] with simulation failures returned as values:
+/// the first failing cell (in matrix order) comes back as a
+/// [`MatrixCellError`] instead of a panic, so the binaries can print a
+/// watchdog deadlock's diagnostic dump and exit nonzero.
+///
+/// # Errors
+///
+/// Returns the first cell (in `workloads × kinds` order) whose simulation
+/// failed.
+pub fn run_matrix_checked(
+    workloads: &[Workload],
+    kinds: &[MemConfigKind],
+    threads: usize,
+    verify: bool,
+) -> Result<(Vec<MatrixRow>, MatrixStats), MatrixCellError> {
     let pool = JobPool::new(threads);
     let start = Instant::now();
     let jobs: Vec<_> = workloads
         .iter()
         .flat_map(|w| kinds.iter().map(move |&kind| (w, kind)))
-        .map(|(w, kind)| move || run_cell_verified(w, kind, verify))
+        .map(|(w, kind)| move || (w.name, kind, try_run_cell(w, kind, verify)))
         .collect();
     let jobs_len = jobs.len();
     let results = pool.run(jobs);
     let wall = start.elapsed();
 
     let busy = results.iter().map(|r| r.host_time).sum();
-    let sim_cycles = results
-        .iter()
-        .map(|r| r.value.gpu_cycles + r.value.cpu_cycles)
-        .sum();
-    let mut reports = results.into_iter().map(|r| r.value);
+    let mut reports = Vec::with_capacity(results.len());
+    for r in results {
+        let (workload, kind, outcome) = r.value;
+        match outcome {
+            Ok(report) => reports.push(report),
+            Err(error) => {
+                return Err(MatrixCellError {
+                    workload,
+                    kind,
+                    error,
+                })
+            }
+        }
+    }
+    let sim_cycles = reports.iter().map(|r| r.gpu_cycles + r.cpu_cycles).sum();
+    let mut reports = reports.into_iter();
     let rows = workloads
         .iter()
         .map(|w| MatrixRow {
@@ -210,7 +277,7 @@ pub fn run_matrix_verified(
                 .collect(),
         })
         .collect();
-    (
+    Ok((
         rows,
         MatrixStats {
             jobs: jobs_len,
@@ -219,7 +286,7 @@ pub fn run_matrix_verified(
             busy,
             sim_cycles,
         },
-    )
+    ))
 }
 
 /// Which quantity a figure panel plots.

@@ -21,6 +21,34 @@ pub struct JobResult<T> {
     pub host_time: Duration,
 }
 
+/// A pooled job panicked: its result slot is poisoned and carries the
+/// panic payload instead of a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanicked {
+    /// Index of the job in the input batch.
+    pub job: usize,
+    /// The panic message (or a placeholder for non-string payloads).
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.job, self.message)
+    }
+}
+
+impl std::error::Error for JobPanicked {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// A fixed-width pool of worker threads for a batch of jobs.
 ///
 /// # Example
@@ -125,6 +153,41 @@ impl JobPool {
             })
             .collect()
     }
+
+    /// Like [`JobPool::run`], but a panicking job yields a poisoned-slot
+    /// [`JobPanicked`] error instead of tearing down the whole batch — the
+    /// remaining jobs still run and return. Result order is still the
+    /// jobs' input order.
+    ///
+    /// This is the right entry point for fault-injection campaigns, where
+    /// a job *deliberately* drives the simulator into invariant panics:
+    /// one tripped oracle must not discard the rest of the campaign.
+    pub fn run_catching<T, F>(&self, jobs: Vec<F>) -> Vec<Result<JobResult<T>, JobPanicked>>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let wrapped: Vec<_> = jobs
+            .into_iter()
+            .map(|job| {
+                move || {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(job))
+                        .map_err(panic_message)
+                }
+            })
+            .collect();
+        self.run(wrapped)
+            .into_iter()
+            .enumerate()
+            .map(|(job, r)| match r.value {
+                Ok(value) => Ok(JobResult {
+                    value,
+                    host_time: r.host_time,
+                }),
+                Err(message) => Err(JobPanicked { job, message }),
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +242,34 @@ mod tests {
     #[test]
     fn zero_threads_clamps_to_one() {
         assert_eq!(JobPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn panicking_job_poisons_only_its_own_slot() {
+        // Silence the default panic hook for the deliberate panics below.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let pool = JobPool::new(4);
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..8u32)
+            .map(|i| {
+                Box::new(move || {
+                    assert!(i != 3, "deliberate failure in job 3");
+                    i * 10
+                }) as Box<dyn FnOnce() -> u32 + Send>
+            })
+            .collect();
+        let out = pool.run_catching(jobs);
+        std::panic::set_hook(prev);
+        assert_eq!(out.len(), 8);
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                let err = r.as_ref().unwrap_err();
+                assert_eq!(err.job, 3);
+                assert!(err.message.contains("deliberate failure"), "{err}");
+            } else {
+                assert_eq!(r.as_ref().unwrap().value, i as u32 * 10);
+            }
+        }
     }
 
     #[test]

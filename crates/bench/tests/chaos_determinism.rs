@@ -1,0 +1,126 @@
+//! Property tests for the chaos harness (DESIGN.md §9).
+//!
+//! * Determinism: the same fault seeds and switches produce bit-identical
+//!   outcomes, counters, and retry traces at any `--threads` setting.
+//! * Contract: with resilience and parity on, no run silently escapes.
+//! * Escape classes: with resilience off, the campaign flags (or
+//!   exposes) at least one run — the machinery is load-bearing.
+//! * Zero-rate injection: a quiescent injector is observationally
+//!   identical to running with no injector at all.
+
+use bench::chaos::{run_campaign, Campaign, CampaignConfig, Outcome, Target};
+use gpu::config::MemConfigKind;
+use gpu::machine::Machine;
+use sim::fault::FaultConfig;
+use workloads::suite;
+
+const KINDS: [MemConfigKind; 2] = [MemConfigKind::Cache, MemConfigKind::Stash];
+
+/// Runs a two-workload campaign over [`KINDS`] with the given switches.
+fn campaign(seeds: &[u64], threads: usize, resilience: bool, parity: bool) -> Campaign {
+    let micros = suite::micros();
+    let picked = [micros[0], micros[2]];
+    let targets: Vec<Target<'_>> = picked
+        .iter()
+        .map(|w| Target {
+            name: w.name.to_string(),
+            sys: w.set.system_config(),
+            build: &w.build,
+        })
+        .collect();
+    let mut cfg = CampaignConfig::new(seeds.to_vec(), threads);
+    cfg.resilience = resilience;
+    cfg.parity = parity;
+    run_campaign(&targets, &KINDS, &cfg).expect("golden runs clean")
+}
+
+#[test]
+fn identical_seeds_are_bit_identical_across_thread_counts() {
+    let serial = campaign(&[1, 2, 3], 1, true, true);
+    let threaded = campaign(&[1, 2, 3], 4, true, true);
+    assert_eq!(serial.cells.len(), threaded.cells.len());
+    for (a, b) in serial.cells.iter().zip(&threaded.cells) {
+        assert_eq!(
+            (a.workload.as_str(), a.kind, a.seed),
+            (b.workload.as_str(), b.kind, b.seed)
+        );
+        assert_eq!(
+            a.outcome,
+            b.outcome,
+            "{} on {} seed {}: outcome depends on thread count",
+            a.workload,
+            a.kind.name(),
+            a.seed
+        );
+        assert_eq!(
+            a.fingerprint,
+            b.fingerprint,
+            "{} on {} seed {}: digest/counters/trace depend on thread count",
+            a.workload,
+            a.kind.name(),
+            a.seed
+        );
+        assert_eq!((a.injected, a.retries), (b.injected, b.retries));
+    }
+}
+
+#[test]
+fn resilient_campaign_never_escapes() {
+    let c = campaign(&[1, 2, 3, 4], 4, true, true);
+    let escapes = c.escapes();
+    assert!(
+        escapes.is_empty(),
+        "silent escapes with full resilience: {escapes:?}"
+    );
+    assert!(c.total_injected() > 0, "chaos rates injected nothing");
+}
+
+#[test]
+fn disabling_resilience_surfaces_non_recovered_runs() {
+    let c = campaign(&[1, 2, 3, 4], 4, false, true);
+    let non_recovered = c
+        .cells
+        .iter()
+        .filter(|cell| cell.outcome != Outcome::Recovered)
+        .count();
+    assert!(
+        non_recovered > 0,
+        "resilience off should trip the watchdog or leak state on some seed"
+    );
+}
+
+#[test]
+fn quiescent_injector_matches_fault_free_run() {
+    let w = suite::micros()[0];
+    for kind in KINDS {
+        let program = (w.build)(kind);
+
+        let mut plain = Machine::new(w.set.system_config(), kind);
+        let plain_report = plain.run(&program).expect("fault-free run");
+
+        let mut quiet = Machine::new(w.set.system_config(), kind);
+        quiet
+            .memory_mut()
+            .set_fault_injector(FaultConfig::quiescent(7));
+        let quiet_report = quiet.run(&program).expect("zero-rate run");
+
+        assert_eq!(
+            plain.memory().state_digest(),
+            quiet.memory().state_digest(),
+            "{}: zero-rate injector changed architectural state",
+            kind.name()
+        );
+        assert_eq!(
+            plain_report.total_picos,
+            quiet_report.total_picos,
+            "{}: zero-rate injector changed timing",
+            kind.name()
+        );
+        assert_eq!(
+            plain_report.counters,
+            quiet_report.counters,
+            "{}: zero-rate injector changed counters",
+            kind.name()
+        );
+    }
+}

@@ -76,7 +76,7 @@ pub fn run_cpu_phase(mem: &mut MemorySystem, phase: &CpuPhase) -> Result<u64, Si
             match op {
                 CpuOp::Compute(n) => t += u64::from(*n),
                 CpuOp::Mem { write, vaddr } => {
-                    t += 1 + mem.cpu_access(core, *write, *vaddr);
+                    t += 1 + mem.cpu_access(core, *write, *vaddr)?;
                 }
                 CpuOp::StashMem { write, slot, word } => {
                     let (map, _) =

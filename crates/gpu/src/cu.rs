@@ -20,6 +20,7 @@ use crate::coalescer::coalesce;
 use crate::config::MemConfigKind;
 use crate::memsys::MemorySystem;
 use crate::program::{Stage, ThreadBlock, WarpOp};
+use mem::tile::TileMap;
 use sim::SimError;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -27,10 +28,20 @@ use std::collections::BinaryHeap;
 /// Per-thread-block runtime state during a wave.
 struct BlockCtx {
     tb_id: usize,
-    /// Base (scratchpad bytes or stash words) per allocation.
+    /// Base (scratchpad bytes or stash words) per allocation. An
+    /// allocation the wave allocator could not fit carries the sentinel
+    /// base `capacity_words` (no valid base can equal it) — its mapped
+    /// accesses degrade to the cache path.
     alloc_bases: Vec<usize>,
     /// Which map slots are already bound (AddMap done; later = ChgMap).
     bound_slots: Vec<bool>,
+    /// Tiles for slots that degraded to the cache path because the stash
+    /// could not allocate (wave overflow, full map table/chunk ring).
+    fallback_tiles: Vec<Option<TileMap>>,
+    /// Once any AddMap has degraded, all later AddMaps of this block do
+    /// too — binding a subset would skew the stash's slot numbering
+    /// against the program's declared slots.
+    degraded: bool,
     /// Current stage index.
     stage: usize,
     /// Warps still running in the current stage.
@@ -109,16 +120,17 @@ fn run_wave(
                 mem.scratch_alloc(cu, alloc.words as usize * 4)?
             } else if kind.uses_stash() {
                 let words = (alloc.words as usize).next_multiple_of(chunk_words);
-                let base = stash_next_word;
-                if base + words > capacity_words {
-                    return Err(SimError::OutOfRange {
-                        what: "stash wave allocation",
-                        offset: base + words,
-                        size: capacity_words,
-                    });
+                if stash_next_word + words > capacity_words {
+                    // Graceful degradation: no stash space left for this
+                    // allocation. Mark it with the sentinel base; mapped
+                    // accesses re-issue down the plain cache path instead
+                    // of aborting the run.
+                    capacity_words
+                } else {
+                    let base = stash_next_word;
+                    stash_next_word = base + words;
+                    base
                 }
-                stash_next_word = base + words;
-                base
             } else {
                 0 // Cache configuration: allocations unused.
             };
@@ -135,6 +147,8 @@ fn run_wave(
             tb_id,
             alloc_bases,
             bound_slots: vec![false; max_slot],
+            fallback_tiles: vec![None; max_slot],
+            degraded: false,
             stage: 0,
             warps_left: 0,
             stage_end: wave_start,
@@ -260,19 +274,45 @@ fn start_stage(
     port_free: &mut u64,
 ) -> Result<(), SimError> {
     if kind.uses_stash() {
+        let capacity_words = mem.config().scratchpad_bytes / 4;
         for req in &stage.maps {
             if ctx.bound_slots[req.slot] {
                 mem.stash_chg_map(cu, ctx.tb_id, req.slot, req.tile, req.mode)?;
+            } else if ctx.degraded || ctx.alloc_bases[req.alloc.0] >= capacity_words {
+                // Graceful degradation: either the wave allocator had no
+                // room for this allocation (sentinel base) or an earlier
+                // AddMap of this block already degraded — binding only a
+                // subset would skew the stash's slot numbering against
+                // the program's declared slots. Remember the tile so the
+                // slot's accesses take the plain cache path.
+                ctx.fallback_tiles[req.slot] = Some(req.tile);
+                ctx.degraded = true;
+                mem.note_stash_fallback();
             } else {
-                let out = mem.stash_add_map(
+                match mem.stash_add_map(
                     cu,
                     ctx.tb_id,
                     req.tile,
                     ctx.alloc_bases[req.alloc.0],
                     req.mode,
-                )?;
-                debug_assert_eq!(out.slot, req.slot, "slots must bind in declaration order");
-                ctx.bound_slots[req.slot] = true;
+                ) {
+                    Ok(out) => {
+                        debug_assert_eq!(
+                            out.slot, req.slot,
+                            "slots must bind in declaration order"
+                        );
+                        ctx.bound_slots[req.slot] = true;
+                    }
+                    // Structure exhaustion (full map table / chunk ring)
+                    // degrades to the cache path instead of killing the
+                    // run; real errors still propagate.
+                    Err(SimError::TableFull { .. } | SimError::OutOfRange { .. }) => {
+                        ctx.fallback_tiles[req.slot] = Some(req.tile);
+                        ctx.degraded = true;
+                        mem.note_stash_fallback();
+                    }
+                    Err(e) => return Err(e),
+                }
             }
             // One AddMap/ChgMap instruction per call (§3.1, Figure 1b).
             mem.note_gpu_instructions(1);
@@ -291,7 +331,7 @@ fn start_stage(
                 let warps = stage.warps.len().max(1) as u64;
                 mem.note_gpu_instructions(warps);
                 // Core-granularity blocking: occupy the shared port.
-                *port_free += mem.dma_transfer(cu, &req.tile, false);
+                *port_free += mem.dma_transfer(cu, &req.tile, false)?;
             }
         }
     }
@@ -312,7 +352,7 @@ fn finish_stage_dma(
             if req.store {
                 let warps = block.stages[stage].warps.len().max(1) as u64;
                 mem.note_gpu_instructions(warps);
-                *port_free += mem.dma_transfer(cu, &req.tile, true);
+                *port_free += mem.dma_transfer(cu, &req.tile, true)?;
             }
         }
     }
@@ -339,7 +379,7 @@ fn execute_op(
             let mut lat = 0u64;
             let mut occupancy = 0u64;
             for tx in &txs {
-                let cost = mem.gpu_global_tx(cu, *write, tx);
+                let cost = mem.gpu_global_tx(cu, *write, tx)?;
                 lat = lat.max(cost.latency);
                 occupancy += cost.occupancy;
             }
@@ -365,8 +405,23 @@ fn execute_op(
                         Ok((1 + cost.occupancy, cost.latency))
                     }
                     None => {
-                        let lat = mem.stash_raw_tx(cu, base, lanes);
-                        Ok((1, lat))
+                        if let Some(tile) = ctx.fallback_tiles.get(*slot).copied().flatten() {
+                            // Degraded slot: re-issue through the plain
+                            // cache hierarchy using the tile's mapping.
+                            let cost = mem.stash_fallback_tx(cu, *write, &tile, lanes)?;
+                            Ok((1 + cost.occupancy, cost.latency))
+                        } else if base >= mem.config().scratchpad_bytes / 4 {
+                            // Oversized allocation with no global mapping:
+                            // nowhere to degrade to.
+                            Err(SimError::OutOfRange {
+                                what: "stash wave allocation",
+                                offset: base,
+                                size: mem.config().scratchpad_bytes / 4,
+                            })
+                        } else {
+                            let lat = mem.stash_raw_tx(cu, base, lanes);
+                            Ok((1, lat))
+                        }
                     }
                 }
             } else if kind.uses_scratchpad() {
@@ -593,9 +648,37 @@ mod tests {
     }
 
     #[test]
-    fn oversized_stash_allocation_errors() {
+    fn oversized_stash_allocation_falls_back_to_cache_path() {
         let mut m = memsys(MemConfigKind::Stash);
         let tb = stash_block(8192); // 32 KB of words in a 16 KB stash
+        let cycles = run_cu_blocks(&mut m, 0, &[(0, &tb)]).unwrap();
+        assert!(cycles > 0);
+        // The allocation could not fit: no map bound, both accesses took
+        // the cache path instead.
+        assert_eq!(m.counters().get("stash.addmap"), 0);
+        assert_eq!(m.counters().get("resilience.stash_fallback"), 1);
+        assert_eq!(m.counters().get("resilience.fallback_tx"), 2);
+        assert!(
+            m.counters().get("gpu.l1.load_tx") + m.counters().get("gpu.l1.store_tx") > 0,
+            "fallback accesses must flow through the L1"
+        );
+    }
+
+    #[test]
+    fn oversized_unmapped_allocation_errors() {
+        // An oversized allocation with no global mapping has nowhere to
+        // degrade to — the error must still surface.
+        let mut m = memsys(MemConfigKind::Stash);
+        let mut tb = ThreadBlock::new();
+        tb.allocs.push(LocalAlloc { words: 8192 });
+        let mut stage = Stage::new(1);
+        stage.warps[0] = vec![WarpOp::LocalMem {
+            write: false,
+            alloc: AllocId(0),
+            slot: 0,
+            lanes: vec![0],
+        }];
+        tb.stages.push(stage);
         assert!(run_cu_blocks(&mut m, 0, &[(0, &tb)]).is_err());
     }
 }

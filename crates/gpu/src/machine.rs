@@ -68,6 +68,10 @@ impl Machine {
                 Phase::Cpu(cpu) => cpu_cycles += run_cpu_phase(&mut self.mem, cpu)?,
             }
         }
+        // End-of-run scrub: any injected corruption still latent in the
+        // LLC or a stash is surfaced (parity on) before reporting, so a
+        // fault-free report implies clean architectural state.
+        self.mem.scrub_faults();
         let cfg = self.mem.config();
         let total_picos =
             cfg.gpu_clock.cycles_to_picos(gpu_cycles) + cfg.cpu_clock.cycles_to_picos(cpu_cycles);
@@ -101,7 +105,7 @@ impl Machine {
             }
             kernel_cycles = kernel_cycles.max(run_cu_blocks(&mut self.mem, cu, blocks)?);
         }
-        self.mem.end_kernel();
+        self.mem.end_kernel()?;
         Ok(kernel_cycles + self.mem.config().kernel_launch_cycles)
     }
 }

@@ -18,7 +18,7 @@
 //! (in [`crate::cu`]) and in DMA's blocking transfers; router queueing is
 //! not modelled (see DESIGN.md).
 
-use crate::coalescer::Transaction;
+use crate::coalescer::{coalesce, Transaction};
 use crate::config::MemConfigKind;
 use energy::{Component, EnergyAccount, EnergyModel};
 use mem::addr::{LineAddr, PAddr, VAddr, WORD_BYTES};
@@ -28,8 +28,9 @@ use mem::llc::{CoreId, Llc, LlcLoadOutcome, Registration};
 use mem::paging::PageTable;
 use mem::scratchpad::Scratchpad;
 use mem::tile::TileMap;
-use noc::{Mesh, Message, MsgClass, Network, NodeId};
+use noc::{Attempt, Delivery, Mesh, Message, MsgClass, Network, NodeId};
 use sim::config::SystemConfig;
+use sim::fault::{FaultConfig, FaultInjector, FaultKind};
 use sim::stats::{Counter, Counters};
 use sim::SimError;
 use stash::{
@@ -70,6 +71,7 @@ pub struct MemorySystem {
     eager_stash_writebacks: bool,
     line_grain_registration: bool,
     verify: bool,
+    fault: Option<FaultInjector>,
 }
 
 impl MemorySystem {
@@ -124,6 +126,7 @@ impl MemorySystem {
             eager_stash_writebacks: false,
             line_grain_registration: false,
             verify: false,
+            fault: None,
             cfg,
             kind,
         }
@@ -150,6 +153,161 @@ impl MemorySystem {
     /// Whether the runtime invariant oracle is enabled.
     pub fn verify_enabled(&self) -> bool {
         self.verify
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection & resilience (chaos substrate)
+    // ------------------------------------------------------------------
+
+    /// Installs a deterministic fault-injection schedule. Call before any
+    /// accesses. With no injector installed (the default) every
+    /// fault/resilience path short-circuits on a single `Option` check —
+    /// the machinery is overhead-free and all results are bit-identical
+    /// to a fault-free build.
+    pub fn set_fault_injector(&mut self, cfg: FaultConfig) {
+        self.fault = Some(FaultInjector::new(cfg));
+    }
+
+    /// The installed fault injector, if any (the chaos harness reads the
+    /// config and deterministic event trace back out).
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref()
+    }
+
+    /// Whether the parity/ECC detection model is active.
+    fn parity_on(&self) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.config().parity)
+    }
+
+    /// Records a stash allocation failure that degraded to the plain
+    /// cache path (graceful degradation; the CU model reports the event
+    /// when it rebinds the slot).
+    pub fn note_stash_fallback(&mut self) {
+        self.counters.bump(Counter::ResilienceStashFallback);
+    }
+
+    /// Corrupt words that survived every read check and the end-of-run
+    /// scrub. Any nonzero value is a silent-corruption escape — the chaos
+    /// harness's zero-tolerance gate.
+    pub fn remaining_corruption(&self) -> usize {
+        self.llc.corrupt_word_count()
+            + self
+                .stashes
+                .iter()
+                .map(Stash::corrupt_word_count)
+                .sum::<usize>()
+    }
+
+    /// End-of-run parity scrub: with the parity model on, sweeps the LLC
+    /// and every stash for corrupt words (counted as
+    /// `fault.scrub_detected`). With parity off the sweep is skipped —
+    /// whatever is corrupt stays corrupt, which is exactly what
+    /// [`Self::remaining_corruption`] reports.
+    pub fn scrub_faults(&mut self) {
+        if !self.parity_on() {
+            return;
+        }
+        let mut found = self.llc.scrub();
+        for s in &mut self.stashes {
+            found += s.scrub();
+        }
+        self.counters.add(Counter::FaultScrubDetected, found as u64);
+    }
+
+    /// An FNV-1a digest of the architectural state the protocol is
+    /// responsible for: the LLC registry and resident lines, each L1's
+    /// registered words, and each stash's pending writebacks, all in
+    /// canonical (sorted) order. Latency, energy, and traffic are
+    /// deliberately excluded — retries repeat *accounting*, never state —
+    /// so a recovered faulty run digests identically to its fault-free
+    /// golden replay.
+    pub fn state_digest(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn put(h: &mut u64, v: u64) {
+            for b in v.to_le_bytes() {
+                *h = (*h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (line, word, reg) in self.llc.registered_words() {
+            put(&mut h, line.0);
+            put(&mut h, word as u64);
+            match reg {
+                Registration::Cache(core) => {
+                    put(&mut h, 0);
+                    put(&mut h, core.0 as u64);
+                }
+                Registration::Stash { core, map_index } => {
+                    put(&mut h, 1);
+                    put(&mut h, core.0 as u64);
+                    put(&mut h, map_index as u64);
+                }
+            }
+        }
+        for line in self.llc.resident_line_addrs() {
+            put(&mut h, line.0);
+        }
+        for l1 in &self.l1s {
+            for pa in l1.registered_words() {
+                put(&mut h, pa.0);
+            }
+            put(&mut h, u64::MAX); // per-core separator
+        }
+        for s in &self.stashes {
+            let mut wbs: Vec<(usize, u64)> = s
+                .pending_writebacks()
+                .iter()
+                .map(|wb| (wb.stash_word, wb.vaddr.0))
+                .collect();
+            wbs.sort_unstable();
+            for (w, va) in wbs {
+                put(&mut h, w as u64);
+                put(&mut h, va);
+            }
+            put(&mut h, u64::MAX);
+        }
+        h
+    }
+
+    /// A human-readable dump of in-flight protocol state for the
+    /// no-progress watchdog: which request stalled, what every core still
+    /// holds registered, and what the retry counters saw. Attached to
+    /// [`SimError::Deadlock`] so a tripped run is diagnosable rather than
+    /// a hang.
+    fn diagnostic_dump(&self, site: &'static str, seq: u64, from: NodeId, to: NodeId) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "request seq {seq} at {site} (node {} -> node {}) undeliverable;",
+            from.0, to.0
+        );
+        let _ = write!(
+            out,
+            " llc: {} registered words, {} resident lines;",
+            self.llc.registered_words().len(),
+            self.llc.resident_line_addrs().len()
+        );
+        for (c, l1) in self.l1s.iter().enumerate() {
+            let n = l1.registered_words().len();
+            if n > 0 {
+                let _ = write!(out, " l1[{c}]: {n} registered;");
+            }
+        }
+        for (c, s) in self.stashes.iter().enumerate() {
+            let n = s.pending_writebacks().len();
+            if n > 0 {
+                let _ = write!(out, " stash[{c}]: {n} pending writebacks;");
+            }
+        }
+        let _ = write!(
+            out,
+            " retries {}, timeouts {}, fault events {}",
+            self.counters.get("resilience.retry"),
+            self.counters.get("resilience.timeout"),
+            self.fault.as_ref().map_or(0, |f| f.trace().len())
+        );
+        out
     }
 
     /// The invariant oracle (see [`Self::set_verify`]). Split into the
@@ -396,6 +554,219 @@ impl MemorySystem {
         self.net.send(from, to, msg)
     }
 
+    /// Sends one request message under the installed fault schedule;
+    /// returns `(send_latency, extra_wait)` — the network latency of the
+    /// delivering attempt plus any injected delay / timeout / backoff
+    /// cycles on top of it. Without an injector this is exactly
+    /// [`Self::send`] with zero extra — the fast path the zero-overhead
+    /// guarantee rests on.
+    ///
+    /// With an injector, the message gets a per-machine sequence number
+    /// and may be delayed, duplicated (double-charged traffic; the
+    /// receiver's sequence check suppresses the copy when resilience is
+    /// on — the synchronous model applies state transitions exactly once
+    /// either way), or dropped. A drop times out and retries with bounded
+    /// exponential backoff until delivered or the retry budget runs out;
+    /// with resilience off the first drop trips the watchdog immediately.
+    ///
+    /// **Schedule invariance:** every fault-handling wait — injected
+    /// delay, timeout, backoff — is *accounting only* (counters, energy,
+    /// traffic); the returned latency is always the fault-free send
+    /// latency. The warp scheduler orders waves by completion time, so a
+    /// latency perturbation would change the interleaving and hence the
+    /// cache-eviction order, making the final state legitimately diverge
+    /// from the fault-free golden replay. Keeping the schedule
+    /// bit-identical is what lets the chaos harness compare architectural
+    /// digests directly: any divergence is real corruption, never an
+    /// artifact of reordering. Retries likewise repeat only accounting —
+    /// the caller applies architectural state changes once, after this
+    /// returns.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] when the message cannot be delivered — the
+    /// simulator surfaces no-progress as a diagnosable error, never a
+    /// hang.
+    fn send_reliable(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: Message,
+        site: &'static str,
+    ) -> Result<u64, SimError> {
+        if self.fault.is_none() {
+            return Ok(self.send(from, to, msg));
+        }
+        let (resilient, policy) = {
+            let cfg = self.fault.as_ref().expect("injector checked").config();
+            (cfg.resilience, cfg.retry)
+        };
+        let seq = self.fault.as_mut().expect("injector checked").next_seq();
+        let flit_energy = msg.flits() * self.net.mesh().hops(from, to) * self.model.noc_flit_hop;
+        let mut attempt: u32 = 1;
+        loop {
+            self.energy.add(Component::Noc, flit_energy);
+            let delivery = self.net.send_faulty(
+                from,
+                to,
+                msg,
+                self.fault.as_mut().expect("injector checked"),
+                Attempt { site, seq, attempt },
+            );
+            match delivery {
+                Delivery::Delivered { latency } => return Ok(latency),
+                Delivery::Delayed { latency, .. } => {
+                    self.counters.bump(Counter::FaultDelayInjected);
+                    return Ok(latency);
+                }
+                Delivery::Duplicated { latency } => {
+                    // The duplicate's flits burn NoC energy too.
+                    self.energy.add(Component::Noc, flit_energy);
+                    self.counters.bump(Counter::FaultDupInjected);
+                    if resilient {
+                        self.counters.bump(Counter::ResilienceDupSuppressed);
+                    }
+                    return Ok(latency);
+                }
+                Delivery::Dropped => {
+                    self.counters.bump(Counter::FaultDropInjected);
+                    if !resilient || attempt > policy.max_retries {
+                        return Err(SimError::Deadlock {
+                            site,
+                            attempts: attempt,
+                            dump: self.diagnostic_dump(site, seq, from, to),
+                        });
+                    }
+                    self.counters.bump(Counter::ResilienceTimeout);
+                    attempt += 1;
+                    self.counters.bump(Counter::ResilienceRetry);
+                    let backoff = policy.backoff(attempt - 1);
+                    self.counters.add(Counter::ResilienceBackoffCycles, backoff);
+                    self.fault.as_mut().expect("injector checked").log(
+                        site,
+                        FaultKind::Retry,
+                        seq,
+                        attempt,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Sends a fire-and-forget writeback. Writebacks have no response to
+    /// time out on, so they suffer only the loss fault: a lost writeback
+    /// is re-sent (the dirty chunk is still held) when resilience is on,
+    /// or silently vanishes when it is off — the caller must then skip
+    /// the LLC update, leaving the stale registration the digest and
+    /// oracle expose. Returns whether the message (eventually) arrived.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] when the resilient retry budget runs out.
+    fn send_writeback(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: Message,
+        site: &'static str,
+    ) -> Result<bool, SimError> {
+        if self.fault.is_none() {
+            self.send(from, to, msg);
+            return Ok(true);
+        }
+        let (resilient, policy) = {
+            let cfg = self.fault.as_ref().expect("injector checked").config();
+            (cfg.resilience, cfg.retry)
+        };
+        let seq = self.fault.as_mut().expect("injector checked").next_seq();
+        let mut attempt: u32 = 1;
+        loop {
+            self.send(from, to, msg);
+            if !self
+                .fault
+                .as_mut()
+                .expect("injector checked")
+                .lose_writeback(site)
+            {
+                return Ok(true);
+            }
+            self.counters.bump(Counter::FaultWbLost);
+            if !resilient {
+                return Ok(false);
+            }
+            if attempt > policy.max_retries {
+                return Err(SimError::Deadlock {
+                    site,
+                    attempts: attempt,
+                    dump: self.diagnostic_dump(site, seq, from, to),
+                });
+            }
+            attempt += 1;
+            self.counters.bump(Counter::ResilienceRetry);
+            let backoff = policy.backoff(attempt - 1);
+            self.counters.add(Counter::ResilienceBackoffCycles, backoff);
+            self.fault.as_mut().expect("injector checked").log(
+                site,
+                FaultKind::Retry,
+                seq,
+                attempt,
+            );
+        }
+    }
+
+    /// Draws a flip for a data word arriving at the LLC; corrupt words
+    /// join the ground-truth set the parity model checks against.
+    fn maybe_flip_llc(&mut self, site: &'static str, line: LineAddr, word: usize) {
+        if let Some(inj) = self.fault.as_mut() {
+            if inj.flip_word(site) {
+                self.llc.corrupt_word(line, word);
+                self.counters.bump(Counter::FaultFlipInjected);
+            }
+        }
+    }
+
+    /// Draws a flip for a data word filled into CU `cu`'s stash.
+    fn maybe_flip_stash(&mut self, site: &'static str, cu: usize, word: usize) {
+        if let Some(inj) = self.fault.as_mut() {
+            if inj.flip_word(site) {
+                self.stashes[cu].flip_word(word);
+                self.counters.bump(Counter::FaultFlipInjected);
+            }
+        }
+    }
+
+    /// Parity-checked read of an LLC word. Detection is free in time —
+    /// the model charges no latency for the check itself (DESIGN.md §9's
+    /// detection-vs-recovery contract).
+    fn llc_parity_read(&mut self, line: LineAddr, word: usize) {
+        if self.parity_on() && self.llc.check_parity(line, word) {
+            self.counters.bump(Counter::FaultParityDetected);
+        }
+    }
+
+    /// An overwriting store to an LLC word silently repairs corruption.
+    fn llc_overwrite(&mut self, line: LineAddr, word: usize) {
+        if self.fault.is_some() && self.llc.clear_corrupt(line, word) {
+            self.counters.bump(Counter::FaultFlipOverwritten);
+        }
+    }
+
+    /// Parity-checked read of a stash word.
+    fn stash_parity_read(&mut self, cu: usize, word: usize) {
+        if self.parity_on() && self.stashes[cu].check_parity(word) {
+            self.counters.bump(Counter::FaultParityDetected);
+        }
+    }
+
+    /// An overwriting store/fill to a stash word silently repairs
+    /// corruption (also clears stale markers left by a lost writeback
+    /// whose chunk got recycled).
+    fn stash_overwrite(&mut self, cu: usize, word: usize) {
+        if self.fault.is_some() && self.stashes[cu].take_corrupt(word) {
+            self.counters.bump(Counter::FaultFlipOverwritten);
+        }
+    }
+
     fn llc_access(&mut self) {
         self.energy.add(Component::L2, self.model.l2_access);
         self.counters.bump(Counter::LlcAccess);
@@ -417,32 +788,89 @@ impl MemorySystem {
     // ------------------------------------------------------------------
 
     /// One coalesced global-memory transaction from GPU CU `cu`.
-    pub fn gpu_global_tx(&mut self, cu: usize, write: bool, tx: &Transaction) -> TxCost {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] when a request is undeliverable under the
+    /// installed fault schedule.
+    pub fn gpu_global_tx(
+        &mut self,
+        cu: usize,
+        write: bool,
+        tx: &Transaction,
+    ) -> Result<TxCost, SimError> {
         let core = self.cu_core(cu);
         let flits_before = self.net.traffic().total_flits();
-        let latency = self.cache_tx(core, write, tx, true);
+        let latency = self.cache_tx(core, write, tx, true)?;
         self.verify_after("gpu_global_tx");
-        TxCost {
+        Ok(TxCost {
             latency,
             occupancy: (self.net.traffic().total_flits() - flits_before).div_ceil(2),
-        }
+        })
     }
 
     /// A single-word CPU access. The (serial, single-outstanding-miss)
     /// CPU folds injection occupancy into the returned latency.
-    pub fn cpu_access(&mut self, cpu: usize, write: bool, va: VAddr) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] when a request is undeliverable under the
+    /// installed fault schedule.
+    pub fn cpu_access(&mut self, cpu: usize, write: bool, va: VAddr) -> Result<u64, SimError> {
         let core = self.cpu_core(cpu);
         let tx = Transaction {
             line_va: va.align_down(self.cfg.line_bytes as u64),
             words: vec![va.align_down(WORD_BYTES)],
         };
         let flits_before = self.net.traffic().total_flits();
-        let latency = self.cache_tx(core, write, &tx, false);
+        let latency = self.cache_tx(core, write, &tx, false)?;
         self.verify_after("cpu_access");
-        latency + (self.net.traffic().total_flits() - flits_before)
+        Ok(latency + (self.net.traffic().total_flits() - flits_before))
     }
 
-    fn cache_tx(&mut self, core: CoreId, write: bool, tx: &Transaction, charge_l1: bool) -> u64 {
+    /// Graceful degradation: a warp access that *should* have gone
+    /// through a stash mapping, re-issued down the plain cache path
+    /// because the stash could not allocate (map table full or chunk
+    /// ring oversubscribed). The tile's addressing still locates the
+    /// data in global memory and the ordinary DeNovo cache protocol
+    /// provides coherence, so the run completes with cache-config
+    /// semantics instead of aborting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Deadlock`] from the underlying sends.
+    pub fn stash_fallback_tx(
+        &mut self,
+        cu: usize,
+        write: bool,
+        tile: &TileMap,
+        lane_words: &[u32],
+    ) -> Result<TxCost, SimError> {
+        self.counters.bump(Counter::ResilienceFallbackTx);
+        let core = self.cu_core(cu);
+        let flits_before = self.net.traffic().total_flits();
+        let vas: Vec<VAddr> = lane_words
+            .iter()
+            .map(|&w| tile.virt_of_local_offset(u64::from(w) * WORD_BYTES))
+            .collect();
+        let mut latency = 0u64;
+        for t in coalesce(&vas, self.cfg.line_bytes as u64) {
+            latency = latency.max(self.cache_tx(core, write, &t, true)?);
+        }
+        self.verify_after("stash_fallback_tx");
+        Ok(TxCost {
+            latency,
+            occupancy: (self.net.traffic().total_flits() - flits_before).div_ceil(2),
+        })
+    }
+
+    fn cache_tx(
+        &mut self,
+        core: CoreId,
+        write: bool,
+        tx: &Transaction,
+        charge_l1: bool,
+    ) -> Result<u64, SimError> {
         self.counters.bump(match (charge_l1, write) {
             (true, false) => Counter::GpuL1LoadTx,
             (true, true) => Counter::GpuL1StoreTx,
@@ -470,7 +898,7 @@ impl MemorySystem {
             if charge_l1 {
                 self.energy.add(Component::L1, self.model.l1_hit);
             }
-            return self.cfg.l1_hit_cycles;
+            return Ok(self.cfg.l1_hit_cycles);
         }
 
         if charge_l1 {
@@ -485,7 +913,7 @@ impl MemorySystem {
         // Allocate the tag, writing back any displaced registered words.
         let ensure = self.l1s[core.0].ensure_line(pas[0]);
         if let Some(ev) = ensure.evicted {
-            self.evict_writeback(core, &ev.line, &ev.registered_words);
+            self.evict_writeback(core, &ev.line, &ev.registered_words)?;
         }
 
         let my_node = self.node_of(core);
@@ -500,6 +928,9 @@ impl MemorySystem {
             for &pa in &pas {
                 let w = pa.word_in_line(self.cfg.line_bytes as u64);
                 let out = self.llc.register_word(line, w, Registration::Cache(core));
+                // Registration makes the LLC copy stale: any corruption
+                // there is overwritten by the eventual writeback.
+                self.llc_overwrite(line, w);
                 if let Some(prev) = out.previous {
                     revoked.push((prev, pa));
                 }
@@ -517,12 +948,17 @@ impl MemorySystem {
                 }
             }
             self.llc_access();
-            self.send(my_node, home, Message::control(MsgClass::Write));
+            self.send_reliable(
+                my_node,
+                home,
+                Message::control(MsgClass::Write),
+                "cache.store",
+            )?;
             self.send(home, my_node, Message::control(MsgClass::Write));
             for &(prev, pa) in &revoked {
-                self.invalidate_previous_owner(prev, pa, home);
+                self.invalidate_previous_owner(prev, pa, home)?;
             }
-            return self.round_trip(my_node, home);
+            return Ok(self.round_trip(my_node, home));
         }
 
         // Load miss: fill the whole line from the LLC, word-fill anything
@@ -533,12 +969,25 @@ impl MemorySystem {
             self.counters.bump(Counter::DramLineFetch);
         }
         let supplied = self.l1s[core.0].words_per_line() - skip.len();
-        self.send(my_node, home, Message::control(MsgClass::Read));
+        self.send_reliable(
+            my_node,
+            home,
+            Message::control(MsgClass::Read),
+            "cache.load",
+        )?;
         self.send(
             home,
             my_node,
             Message::data(MsgClass::Read, supplied * WORD_BYTES as usize),
         );
+        // Parity-check every word the LLC supplied into the fill.
+        if self.fault.is_some() {
+            for w in 0..self.l1s[core.0].words_per_line() {
+                if !skip.contains(&w) {
+                    self.llc_parity_read(line, w);
+                }
+            }
+        }
         self.l1s[core.0].fill_line_shared(pas[0], &skip);
         let mut latency = self.round_trip(my_node, home)
             + if from_memory {
@@ -554,16 +1003,21 @@ impl MemorySystem {
                 continue;
             }
             if let LlcLoadOutcome::Forward(reg) = self.llc.load_word(line, w) {
-                let flat = self.forward_fetch(core, pa, reg);
+                let flat = self.forward_fetch(core, pa, reg)?;
                 self.l1s[core.0].set_word(pa, mem::coherence::WordState::Shared);
                 latency = latency.max(flat);
             }
         }
-        latency
+        Ok(latency)
     }
 
     /// Three-leg forwarding of one word registered at another core (§4.3).
-    fn forward_fetch(&mut self, requester: CoreId, pa: PAddr, reg: Registration) -> u64 {
+    fn forward_fetch(
+        &mut self,
+        requester: CoreId,
+        pa: PAddr,
+        reg: Registration,
+    ) -> Result<u64, SimError> {
         let owner = reg.core();
         let rn = self.node_of(requester);
         let home = self.home_of(pa.line(self.cfg.line_bytes as u64));
@@ -575,7 +1029,7 @@ impl MemorySystem {
             // lookup round trip plus a local read; no data crosses the
             // network.
             self.counters.bump(Counter::RemoteSelfForward);
-            self.send(rn, home, Message::control(MsgClass::Read));
+            self.send_reliable(rn, home, Message::control(MsgClass::Read), "forward.req")?;
             self.send(home, rn, Message::control(MsgClass::Read));
             self.llc_access();
             match reg {
@@ -586,10 +1040,10 @@ impl MemorySystem {
                     self.energy.add(Component::L1, self.model.l1_hit);
                 }
             }
-            return self.round_trip(rn, home) + self.cfg.l1_hit_cycles;
+            return Ok(self.round_trip(rn, home) + self.cfg.l1_hit_cycles);
         }
         self.counters.bump(Counter::RemoteForward);
-        let l1 = self.send(rn, home, Message::control(MsgClass::Read));
+        let l1 = self.send_reliable(rn, home, Message::control(MsgClass::Read), "forward.req")?;
         let l2 = self.send(home, on, Message::control(MsgClass::Read));
         // Owner supplies the word; it keeps its registration (DeNovo).
         match reg {
@@ -611,14 +1065,26 @@ impl MemorySystem {
             }
         }
         let l3 = self.send(on, rn, Message::data(MsgClass::Read, WORD_BYTES as usize));
-        self.cfg.remote_base_cycles + l1 + l2 + l3
+        Ok(self.cfg.remote_base_cycles + l1 + l2 + l3)
     }
 
     /// Invalidates the previous owner of a word whose registration moved.
-    fn invalidate_previous_owner(&mut self, prev: Registration, pa: PAddr, home: NodeId) {
+    /// The invalidation is a protocol-critical message: a drop without
+    /// resilience fail-stops (watchdog) rather than leaving two owners.
+    fn invalidate_previous_owner(
+        &mut self,
+        prev: Registration,
+        pa: PAddr,
+        home: NodeId,
+    ) -> Result<(), SimError> {
         let owner = prev.core();
         let on = self.node_of(owner);
-        self.send(home, on, Message::control(MsgClass::Write));
+        self.send_reliable(
+            home,
+            on,
+            Message::control(MsgClass::Write),
+            "coherence.invalidate",
+        )?;
         match prev {
             Registration::Stash { core, .. } => {
                 if core.0 < self.stashes.len() {
@@ -629,25 +1095,41 @@ impl MemorySystem {
                 self.l1s[owner_core.0].downgrade_word(pa, mem::coherence::WordState::Invalid);
             }
         }
+        Ok(())
     }
 
     /// Writes back a displaced line's registered words (L1 eviction).
-    fn evict_writeback(&mut self, core: CoreId, line: &LineAddr, words: &[usize]) {
+    fn evict_writeback(
+        &mut self,
+        core: CoreId,
+        line: &LineAddr,
+        words: &[usize],
+    ) -> Result<(), SimError> {
         if words.is_empty() {
-            return;
+            return Ok(());
         }
         let my_node = self.node_of(core);
         let home = self.home_of(*line);
-        self.send(
+        let delivered = self.send_writeback(
             my_node,
             home,
             Message::data(MsgClass::Writeback, words.len() * WORD_BYTES as usize),
-        );
+            "cache.evict_wb",
+        )?;
         self.llc_access();
+        if !delivered {
+            // The lost writeback's registrations stay behind in the
+            // registry while the L1 line is gone — the stale-state escape
+            // class the digest and oracle expose.
+            return Ok(());
+        }
         for &w in words {
-            self.llc.writeback_word(*line, w, core);
+            if self.llc.writeback_word(*line, w, core) {
+                self.maybe_flip_llc("cache.evict_wb", *line, w);
+            }
         }
         self.counters.add(Counter::WbCacheWords, words.len() as u64);
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -710,7 +1192,7 @@ impl MemorySystem {
         // Displaced-entry writebacks block the core; charged by the caller
         // via the returned outcome if desired (rare).
         let wbs = out.writebacks.clone();
-        self.perform_stash_writebacks(cu, &wbs);
+        self.perform_stash_writebacks(cu, &wbs)?;
         self.counters
             .add(Counter::StashVpFills, out.new_pages as u64);
         self.energy.add(
@@ -738,7 +1220,7 @@ impl MemorySystem {
         let out = self.stashes[cu].chg_map(tb, slot, tile, mode)?;
         self.counters.bump(Counter::StashChgMap);
         let wbs = out.writebacks.clone();
-        self.perform_stash_writebacks(cu, &wbs);
+        self.perform_stash_writebacks(cu, &wbs)?;
         if !out.registrations.is_empty() {
             let map = self.stashes[cu]
                 .resolve_slot(tb, slot)
@@ -805,37 +1287,45 @@ impl MemorySystem {
         for &w in &words {
             if write {
                 match self.stashes[cu].store(w, map)? {
-                    StoreOutcome::Hit => {}
+                    StoreOutcome::Hit => {
+                        // Stores silently overwrite (and so repair) a
+                        // corrupt word without detecting it.
+                        self.stash_overwrite(cu, w);
+                    }
                     StoreOutcome::Miss {
                         vaddr,
                         writebacks,
                         needs_registration,
                     } => {
                         missed = true;
-                        self.perform_stash_writebacks(cu, &writebacks);
+                        self.perform_stash_writebacks(cu, &writebacks)?;
                         if needs_registration {
                             registrations.push((w, vaddr));
                         } else {
                             self.stashes[cu].complete_store_fill(w, map);
+                            self.stash_overwrite(cu, w);
                         }
                     }
                 }
             } else {
                 match self.stashes[cu].load(w, map)? {
-                    LoadOutcome::Hit => {}
+                    LoadOutcome::Hit => {
+                        self.stash_parity_read(cu, w);
+                    }
                     LoadOutcome::ReplicaHit { writebacks, .. } => {
                         // Reclaiming the chunk for the replica may have
                         // displaced an older mapping's dirty words; those
                         // writebacks must reach the LLC even though no
                         // fetch follows, or their registrations go stale.
-                        self.perform_stash_writebacks(cu, &writebacks);
+                        self.perform_stash_writebacks(cu, &writebacks)?;
                         // One extra storage read for the internal copy.
                         self.counters.bump(Counter::StashReplicaHit);
                         self.energy.add(Component::LocalMem, self.model.stash_hit);
+                        self.stash_parity_read(cu, w);
                     }
                     LoadOutcome::Miss { vaddr, writebacks } => {
                         missed = true;
-                        self.perform_stash_writebacks(cu, &writebacks);
+                        self.perform_stash_writebacks(cu, &writebacks)?;
                         load_fetches.push((w, vaddr));
                         // §8 flexible communication granularity: widen
                         // the miss to neighbouring mapped words.
@@ -908,7 +1398,12 @@ impl MemorySystem {
         }
         for (line, group) in by_line {
             let home = self.home_of(line);
-            self.send(my_node, home, Message::control(MsgClass::Read));
+            self.send_reliable(
+                my_node,
+                home,
+                Message::control(MsgClass::Read),
+                "stash.fetch",
+            )?;
             self.llc_access();
             let mut lat = self.round_trip(my_node, home);
             let mut supplied = 0usize;
@@ -922,6 +1417,7 @@ impl MemorySystem {
                             lat = lat
                                 .max(self.round_trip(my_node, home) + self.cfg.dram_extra_cycles);
                         }
+                        self.llc_parity_read(line, widx);
                         supplied += 1;
                     }
                     LlcLoadOutcome::Forward(reg) if reg.core() == core => {
@@ -939,10 +1435,14 @@ impl MemorySystem {
                         }
                     }
                     LlcLoadOutcome::Forward(reg) => {
-                        lat = lat.max(self.forward_fetch(core, pa, reg));
+                        lat = lat.max(self.forward_fetch(core, pa, reg)?);
                     }
                 }
                 self.stashes[cu].complete_load_fill(w);
+                // The fill overwrites any stale corruption marker, then
+                // the arriving word may itself be flipped in flight.
+                self.stash_overwrite(cu, w);
+                self.maybe_flip_stash("stash.fetch", cu, w);
             }
             if self_forwards > 0 {
                 self.counters
@@ -976,7 +1476,12 @@ impl MemorySystem {
         }
         for (line, group) in by_line {
             let home = self.home_of(line);
-            self.send(my_node, home, Message::control(MsgClass::Write));
+            self.send_reliable(
+                my_node,
+                home,
+                Message::control(MsgClass::Write),
+                "stash.register",
+            )?;
             self.send(home, my_node, Message::control(MsgClass::Write));
             self.llc_access();
             for &(w, pa) in &group {
@@ -989,10 +1494,12 @@ impl MemorySystem {
                         map_index: map.0,
                     },
                 );
+                self.llc_overwrite(line, widx);
                 if let Some(prev) = out.previous {
-                    self.invalidate_previous_owner(prev, pa, home);
+                    self.invalidate_previous_owner(prev, pa, home)?;
                 }
                 self.stashes[cu].complete_store_fill(w, map);
+                self.stash_overwrite(cu, w);
             }
             self.counters
                 .add(Counter::StashRegisterWords, group.len() as u64);
@@ -1002,41 +1509,67 @@ impl MemorySystem {
     }
 
     /// Sends a batch of stash writebacks (lazy or blocking) to the LLC.
-    fn perform_stash_writebacks(&mut self, cu: usize, wbs: &[WritebackWord]) {
+    fn perform_stash_writebacks(
+        &mut self,
+        cu: usize,
+        wbs: &[WritebackWord],
+    ) -> Result<(), SimError> {
         if wbs.is_empty() {
-            return;
+            return Ok(());
         }
         let core = CoreId(cu);
         let my_node = self.node_of(core);
         let line_bytes = self.cfg.line_bytes as u64;
-        let mut by_line: Vec<(LineAddr, Vec<PAddr>)> = Vec::new();
+        let mut by_line: Vec<(LineAddr, Vec<(PAddr, usize)>)> = Vec::new();
         for wb in wbs {
             let pa = self.stashes[cu]
                 .translate(wb.vaddr)
                 .unwrap_or_else(|| self.pt.translate(wb.vaddr));
             let line = pa.line(line_bytes);
             match by_line.iter_mut().find(|(l, _)| *l == line) {
-                Some((_, v)) => v.push(pa),
-                None => by_line.push((line, vec![pa])),
+                Some((_, v)) => v.push((pa, wb.stash_word)),
+                None => by_line.push((line, vec![(pa, wb.stash_word)])),
             }
         }
-        for (line, pas) in by_line {
+        for (line, group) in by_line {
             let home = self.home_of(line);
             // One storage read + VP-map translation per chunk-batch.
             self.energy.add(Component::LocalMem, self.model.stash_hit);
             self.energy.add(Component::LocalMem, self.model.tlb_access);
-            self.send(
+            let delivered = self.send_writeback(
                 my_node,
                 home,
-                Message::data(MsgClass::Writeback, pas.len() * WORD_BYTES as usize),
-            );
+                Message::data(MsgClass::Writeback, group.len() * WORD_BYTES as usize),
+                "stash.wb",
+            )?;
             self.llc_access();
-            for pa in pas {
+            if !delivered {
+                // Lost: the data never reaches the LLC and the stale
+                // registrations remain (escape class). Corrupt markers
+                // stay in the stash until the words are refilled or the
+                // scrub sweeps them.
+                continue;
+            }
+            for (pa, sw) in group {
                 let widx = pa.word_in_line(line_bytes);
-                self.llc.writeback_word(line, widx, core);
+                let was_corrupt = self.fault.is_some() && self.stashes[cu].take_corrupt(sw);
+                let accepted = self.llc.writeback_word(line, widx, core);
+                if accepted {
+                    if was_corrupt {
+                        // The writeback carries the corruption onward.
+                        self.llc.corrupt_word(line, widx);
+                    } else {
+                        self.llc_overwrite(line, widx);
+                        self.maybe_flip_llc("stash.wb", line, widx);
+                    }
+                } else if was_corrupt {
+                    // A stale writeback is discarded, corruption and all.
+                    self.counters.bump(Counter::FaultFlipOverwritten);
+                }
                 self.counters.bump(Counter::WbStashWords);
             }
         }
+        Ok(())
     }
 
     /// A warp access to *unmapped* stash space (§3.3's Temporary /
@@ -1067,7 +1600,12 @@ impl MemorySystem {
 
     /// Kernel boundary: self-invalidation in GPU L1s and stashes;
     /// scratchpad allocations are freed by the machine's allocator.
-    pub fn end_kernel(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] when an eager writeback is undeliverable
+    /// under the installed fault schedule.
+    pub fn end_kernel(&mut self) -> Result<(), SimError> {
         for cu in 0..self.cfg.gpu_cus {
             self.l1s[cu].self_invalidate();
         }
@@ -1075,7 +1613,7 @@ impl MemorySystem {
             for cu in 0..self.stashes.len() {
                 let wbs = self.stashes[cu].drain_writebacks();
                 self.counters.add(Counter::WbEagerDrained, wbs.len() as u64);
-                self.perform_stash_writebacks(cu, &wbs);
+                self.perform_stash_writebacks(cu, &wbs)?;
             }
         }
         for s in &mut self.stashes {
@@ -1083,6 +1621,7 @@ impl MemorySystem {
         }
         self.counters.bump(Counter::GpuKernels);
         self.verify_after("end_kernel");
+        Ok(())
     }
 
     /// §8 extension: eagerly fetches every unfetched word of a fresh
@@ -1090,7 +1629,7 @@ impl MemorySystem {
     /// charged like a DMA preload by the CU model.
     pub fn stash_prefetch_mapping(&mut self, cu: usize, map: MapIndex) -> Result<u64, SimError> {
         let wbs = self.stashes[cu].claim_chunks(map);
-        self.perform_stash_writebacks(cu, &wbs);
+        self.perform_stash_writebacks(cu, &wbs)?;
         let words = self.stashes[cu].unfetched_words(map);
         if words.is_empty() {
             return Ok(0);
@@ -1111,7 +1650,23 @@ impl MemorySystem {
 
     /// Runs a blocking DMA transfer of `tile` on CU `cu`; returns the
     /// transfer's completion latency in cycles.
-    pub fn dma_transfer(&mut self, cu: usize, tile: &TileMap, store: bool) -> u64 {
+    ///
+    /// Under a fault schedule the engine may deliver only a prefix of the
+    /// transfer. With resilience on, the engine's length check NACKs the
+    /// short transfer and the lost tail is re-sent — every word still
+    /// lands, at a timeout + backoff + resend cost. With resilience off
+    /// the tail words silently never move: the truncation escape class.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] when a request is undeliverable under the
+    /// installed fault schedule.
+    pub fn dma_transfer(
+        &mut self,
+        cu: usize,
+        tile: &TileMap,
+        store: bool,
+    ) -> Result<u64, SimError> {
         let dir = if store {
             DmaDirection::ScratchToGlobal
         } else {
@@ -1121,10 +1676,34 @@ impl MemorySystem {
         let core = self.cu_core(cu);
         let my_node = self.node_of(core);
         let line_bytes = self.cfg.line_bytes as u64;
+        let site = if store { "dma.store" } else { "dma.load" };
 
-        // Group the tile's words by physical line.
+        let mut truncated_tail = 0u64;
+        let vaddrs: Vec<VAddr> = match self
+            .fault
+            .as_mut()
+            .and_then(|inj| inj.truncate_dma(site, dma.word_count()))
+        {
+            Some(delivered) => {
+                self.counters.bump(Counter::FaultDmaTruncated);
+                let resilient = self.fault.as_ref().is_some_and(|f| f.config().resilience);
+                let (head, tail) = dma.split_at_truncation(delivered);
+                if resilient {
+                    // The resend makes the transfer whole: state for
+                    // every word is applied (once), the penalty is pure
+                    // accounting after the loop.
+                    truncated_tail = tail.len() as u64;
+                    dma.word_vaddrs().collect()
+                } else {
+                    head
+                }
+            }
+            None => dma.word_vaddrs().collect(),
+        };
+
+        // Group the transferred words by physical line.
         let mut by_line: Vec<(LineAddr, Vec<PAddr>)> = Vec::new();
-        for va in dma.word_vaddrs() {
+        for &va in &vaddrs {
             let pa = self.pt.translate(va);
             let line = pa.line(line_bytes);
             match by_line.iter_mut().find(|(l, _)| *l == line) {
@@ -1133,27 +1712,32 @@ impl MemorySystem {
             }
         }
 
-        self.counters.add(Counter::DmaWords, dma.word_count());
+        self.counters.add(Counter::DmaWords, vaddrs.len() as u64);
         let mut issue = 0u64;
         let mut done = 0u64;
         for (line, pas) in by_line {
             let home = self.home_of(line);
             let mut lat = self.round_trip(my_node, home);
             if store {
-                self.send(
+                self.send_reliable(
                     my_node,
                     home,
                     Message::data(MsgClass::Write, pas.len() * WORD_BYTES as usize),
-                );
+                    site,
+                )?;
                 self.llc_access();
                 for pa in &pas {
                     let widx = pa.word_in_line(line_bytes);
                     if let Some(prev) = self.llc.store_through(line, widx) {
-                        self.invalidate_previous_owner(prev, *pa, home);
+                        self.invalidate_previous_owner(prev, *pa, home)?;
                     }
+                    // A DMA store overwrites the LLC word, then the
+                    // arriving data may itself be flipped in flight.
+                    self.llc_overwrite(line, widx);
+                    self.maybe_flip_llc(site, line, widx);
                 }
             } else {
-                self.send(my_node, home, Message::control(MsgClass::Read));
+                self.send_reliable(my_node, home, Message::control(MsgClass::Read), site)?;
                 self.llc_access();
                 let mut supplied = 0usize;
                 for pa in &pas {
@@ -1164,10 +1748,11 @@ impl MemorySystem {
                                 self.counters.bump(Counter::DramLineFetch);
                                 lat += self.cfg.dram_extra_cycles;
                             }
+                            self.llc_parity_read(line, widx);
                             supplied += 1;
                         }
                         LlcLoadOutcome::Forward(reg) => {
-                            lat = lat.max(self.forward_fetch(core, *pa, reg));
+                            lat = lat.max(self.forward_fetch(core, *pa, reg)?);
                         }
                     }
                 }
@@ -1194,8 +1779,38 @@ impl MemorySystem {
             done = done.max(issue + lat);
             issue += flits.div_ceil(2);
         }
+        let total = done.max(issue);
+        if truncated_tail > 0 {
+            // Length-check NACK round trip, one backoff, then the tail
+            // re-sends as a single burst to its first line's home. The
+            // whole recovery is accounting-only (counters, energy,
+            // traffic): the returned latency stays the fault-free value
+            // so the warp schedule matches the golden replay.
+            let policy = self.fault.as_ref().expect("truncated").config().retry;
+            self.counters.bump(Counter::ResilienceNack);
+            self.counters.bump(Counter::ResilienceRetry);
+            let backoff = policy.backoff(1);
+            self.counters.add(Counter::ResilienceBackoffCycles, backoff);
+            let (_, tail) = dma.split_at_truncation(dma.word_count() - truncated_tail);
+            let first_line = self.pt.translate(tail[0]).line(line_bytes);
+            let home = self.home_of(first_line);
+            self.send(my_node, home, Message::control(MsgClass::Write));
+            self.send(home, my_node, Message::control(MsgClass::Write));
+            self.send(
+                my_node,
+                home,
+                Message::data(
+                    if store {
+                        MsgClass::Write
+                    } else {
+                        MsgClass::Read
+                    },
+                    truncated_tail as usize * WORD_BYTES as usize,
+                ),
+            );
+        }
         self.verify_after("dma_transfer");
-        done.max(issue)
+        Ok(total)
     }
 
     // ------------------------------------------------------------------
@@ -1257,33 +1872,36 @@ mod tests {
     fn cache_load_miss_then_hit() {
         let mut m = micro(MemConfigKind::Cache);
         let t = tx(&[0x1000]);
-        let miss = m.gpu_global_tx(0, false, &t);
+        let miss = m.gpu_global_tx(0, false, &t).unwrap();
         assert!(miss.latency > m.config().l1_hit_cycles);
         assert!(miss.occupancy > 0, "a miss injects flits");
-        let hit = m.gpu_global_tx(0, false, &t);
+        let hit = m.gpu_global_tx(0, false, &t).unwrap();
         assert_eq!(hit.latency, m.config().l1_hit_cycles);
         assert_eq!(hit.occupancy, 0, "hits stay inside the CU");
         assert_eq!(m.counters().get("gpu.l1.miss"), 1);
         // The whole line was filled: a neighbouring word also hits.
-        assert_eq!(m.gpu_global_tx(0, false, &tx(&[0x1004])).latency, 1);
+        assert_eq!(
+            m.gpu_global_tx(0, false, &tx(&[0x1004])).unwrap().latency,
+            1
+        );
     }
 
     #[test]
     fn cache_store_registers_at_llc() {
         let mut m = micro(MemConfigKind::Cache);
-        m.gpu_global_tx(0, true, &tx(&[0x2000]));
+        m.gpu_global_tx(0, true, &tx(&[0x2000])).unwrap();
         // Some word of some line is registered to CU 0.
         assert_eq!(m.llc().words_registered_to(CoreId(0)), 1);
         // A store hit afterwards.
-        assert_eq!(m.gpu_global_tx(0, true, &tx(&[0x2000])).latency, 1);
+        assert_eq!(m.gpu_global_tx(0, true, &tx(&[0x2000])).unwrap().latency, 1);
     }
 
     #[test]
     fn cpu_read_of_gpu_written_word_forwards() {
         let mut m = micro(MemConfigKind::Cache);
-        m.gpu_global_tx(0, true, &tx(&[0x3000]));
+        m.gpu_global_tx(0, true, &tx(&[0x3000])).unwrap();
         let before = m.counters().get("remote.forward");
-        m.cpu_access(0, false, VAddr(0x3000));
+        m.cpu_access(0, false, VAddr(0x3000)).unwrap();
         assert_eq!(m.counters().get("remote.forward"), before + 1);
     }
 
@@ -1317,11 +1935,11 @@ mod tests {
             .unwrap();
         m.stash_tx(0, true, 0, &[0], out.index).unwrap();
         m.end_thread_block(0, 0);
-        m.end_kernel();
+        m.end_kernel().unwrap();
         // The data was NOT written back (lazy): the CPU read forwards.
         assert_eq!(m.counters().get("wb.stash_words"), 0);
         let before = m.counters().get("remote.forward");
-        m.cpu_access(0, false, VAddr(0x10000));
+        m.cpu_access(0, false, VAddr(0x10000)).unwrap();
         assert_eq!(m.counters().get("remote.forward"), before + 1);
     }
 
@@ -1340,7 +1958,7 @@ mod tests {
     fn dma_moves_whole_tile() {
         let mut m = micro(MemConfigKind::ScratchGD);
         let tile = TileMap::new(VAddr(0x10000), 4, 16, 64, 0, 1).unwrap();
-        let lat = m.dma_transfer(0, &tile, false);
+        let lat = m.dma_transfer(0, &tile, false).unwrap();
         assert!(lat > 0);
         assert_eq!(m.counters().get("dma.words"), 64);
         // 64 elements of 16-byte objects span 16 lines: 16 request pairs.
@@ -1351,11 +1969,11 @@ mod tests {
     fn dma_store_revokes_stale_registrations() {
         let mut m = micro(MemConfigKind::ScratchGD);
         // A GPU global store registers a word...
-        m.gpu_global_tx(0, true, &tx(&[0x10000]));
+        m.gpu_global_tx(0, true, &tx(&[0x10000])).unwrap();
         assert_eq!(m.llc().words_registered_to(CoreId(0)), 1);
         // ...then a DMA store of the same tile writes through and revokes.
         let tile = TileMap::new(VAddr(0x10000), 4, 16, 4, 0, 1).unwrap();
-        m.dma_transfer(0, &tile, true);
+        m.dma_transfer(0, &tile, true).unwrap();
         assert_eq!(m.llc().words_registered_to(CoreId(0)), 0);
     }
 
@@ -1368,7 +1986,7 @@ mod tests {
             .unwrap();
         m.stash_tx(0, true, 0, &[0], out1.index).unwrap();
         m.end_thread_block(0, 0);
-        m.end_kernel();
+        m.end_kernel().unwrap();
         assert_eq!(m.counters().get("wb.stash_words"), 0);
         // A new, different mapping reclaims the same stash space.
         let t2 = TileMap::new(VAddr(0x20000), 4, 16, 16, 0, 1).unwrap();
@@ -1390,12 +2008,12 @@ mod tests {
             .unwrap();
         m.stash_tx(0, true, 0, &[0, 1, 2], out.index).unwrap();
         m.end_thread_block(0, 0);
-        m.end_kernel();
+        m.end_kernel().unwrap();
         // The dirty words were flushed at the boundary (scratchpad-like),
         // so the CPU read hits the LLC instead of forwarding.
         assert_eq!(m.counters().get("wb.stash_words"), 3);
         let before = m.counters().get("remote.forward");
-        m.cpu_access(0, false, VAddr(0x10000));
+        m.cpu_access(0, false, VAddr(0x10000)).unwrap();
         assert_eq!(m.counters().get("remote.forward"), before);
     }
 
@@ -1441,14 +2059,14 @@ mod tests {
         m.set_line_grain_registration(true);
         // Two CUs store to different words of the same line: the second
         // store revokes the first core's whole-line registration.
-        m.gpu_global_tx(0, true, &tx(&[0x5000]));
-        m.gpu_global_tx(1, true, &tx(&[0x5004]));
+        m.gpu_global_tx(0, true, &tx(&[0x5000])).unwrap();
+        m.gpu_global_tx(1, true, &tx(&[0x5004])).unwrap();
         assert!(m.counters().get("coherence.false_sharing_revocation") > 0);
         assert_eq!(m.llc().words_registered_to(CoreId(0)), 0);
         // Word-granular DeNovo has no such revocations.
         let mut w = MemorySystem::new(SystemConfig::for_applications(), MemConfigKind::Cache);
-        w.gpu_global_tx(0, true, &tx(&[0x5000]));
-        w.gpu_global_tx(1, true, &tx(&[0x5004]));
+        w.gpu_global_tx(0, true, &tx(&[0x5000])).unwrap();
+        w.gpu_global_tx(1, true, &tx(&[0x5004])).unwrap();
         assert_eq!(w.counters().get("coherence.false_sharing_revocation"), 0);
         assert_eq!(w.llc().words_registered_to(CoreId(0)), 1);
     }
@@ -1460,10 +2078,10 @@ mod tests {
             m.set_verify(true);
             assert!(m.verify_enabled());
             // Cache traffic: two CUs and a CPU contending on one line.
-            m.gpu_global_tx(0, true, &tx(&[0x1000, 0x1004]));
-            m.cpu_access(0, false, VAddr(0x1000));
-            m.cpu_access(1, true, VAddr(0x1008));
-            m.gpu_global_tx(0, false, &tx(&[0x1008]));
+            m.gpu_global_tx(0, true, &tx(&[0x1000, 0x1004])).unwrap();
+            m.cpu_access(0, false, VAddr(0x1000)).unwrap();
+            m.cpu_access(1, true, VAddr(0x1008)).unwrap();
+            m.gpu_global_tx(0, false, &tx(&[0x1008])).unwrap();
             if kind.uses_stash() {
                 let tile = TileMap::new(VAddr(0x10000), 4, 16, 16, 0, 1).unwrap();
                 let out = m
@@ -1473,15 +2091,15 @@ mod tests {
                 m.stash_tx(0, false, 0, &[2], out.index).unwrap();
                 m.end_thread_block(0, 0);
                 // Lazily-held registered stash data survives the boundary.
-                m.end_kernel();
-                m.cpu_access(0, false, VAddr(0x10000));
+                m.end_kernel().unwrap();
+                m.cpu_access(0, false, VAddr(0x10000)).unwrap();
             }
             if kind.uses_dma() {
                 let tile = TileMap::new(VAddr(0x20000), 4, 16, 16, 0, 1).unwrap();
-                m.dma_transfer(0, &tile, false);
-                m.dma_transfer(0, &tile, true);
+                m.dma_transfer(0, &tile, false).unwrap();
+                m.dma_transfer(0, &tile, true).unwrap();
             }
-            m.end_kernel();
+            m.end_kernel().unwrap();
         }
     }
 
@@ -1494,7 +2112,7 @@ mod tests {
         // never stored to. The next checked operation must panic.
         m.llc
             .register_word(LineAddr(0x4000), 0, Registration::Cache(CoreId(3)));
-        m.cpu_access(0, false, VAddr(0x8000));
+        m.cpu_access(0, false, VAddr(0x8000)).unwrap();
     }
 
     #[test]
@@ -1502,12 +2120,12 @@ mod tests {
     fn verify_oracle_rejects_lost_registration() {
         let mut m = micro(MemConfigKind::Cache);
         m.set_verify(true);
-        m.gpu_global_tx(0, true, &tx(&[0x1000]));
+        m.gpu_global_tx(0, true, &tx(&[0x1000])).unwrap();
         // Corrupt the registry the other way: drop CU 0's registration
         // while its L1 still holds the word Registered.
         let line = m.pt.translate(VAddr(0x1000)).line(64);
         m.llc.writeback_word(line, 0, CoreId(0));
-        m.cpu_access(0, false, VAddr(0x8000));
+        m.cpu_access(0, false, VAddr(0x8000)).unwrap();
     }
 
     #[test]

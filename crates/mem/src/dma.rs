@@ -77,6 +77,18 @@ impl DmaTransfer {
         })
     }
 
+    /// Splits the transfer's word addresses at a truncation point: the
+    /// words that were delivered before the fault, and the lost tail the
+    /// engine's length check (NACK + resend) or — without resilience —
+    /// nothing at all will cover. `delivered` is clamped to the word
+    /// count, so an intact transfer has an empty tail.
+    pub fn split_at_truncation(&self, delivered: u64) -> (Vec<VAddr>, Vec<VAddr>) {
+        let keep = delivered.min(self.word_count()) as usize;
+        let mut addrs: Vec<VAddr> = self.word_vaddrs().collect();
+        let tail = addrs.split_off(keep);
+        (addrs, tail)
+    }
+
     /// Scratchpad accesses the transfer itself performs (one write per
     /// word on preload, one read per word on writeback) — charged at
     /// scratchpad access energy, on top of the program's own accesses.
@@ -128,6 +140,21 @@ mod tests {
             store.word_vaddrs().collect::<Vec<_>>()
         );
         assert_ne!(load.direction(), store.direction());
+    }
+
+    #[test]
+    fn truncation_split_preserves_order_and_total() {
+        let dma = DmaTransfer::new(tile(), DmaDirection::GlobalToScratch);
+        let (head, tail) = dma.split_at_truncation(5);
+        assert_eq!(head.len(), 5);
+        assert_eq!(tail.len(), 11);
+        let mut joined = head.clone();
+        joined.extend(&tail);
+        assert_eq!(joined, dma.word_vaddrs().collect::<Vec<_>>());
+        // Clamped: an intact transfer has no tail.
+        let (full, none) = dma.split_at_truncation(99);
+        assert_eq!(full.len(), 16);
+        assert!(none.is_empty());
     }
 
     #[test]

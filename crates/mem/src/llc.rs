@@ -13,7 +13,7 @@
 //! never occur, which matches the paper's configurations.
 
 use crate::addr::{LineAddr, WORD_BYTES};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Identifies a core (CPU or GPU CU) for registration tracking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -110,6 +110,9 @@ pub struct Llc {
     words_per_line: usize,
     lines: HashMap<LineAddr, LlcLine>,
     dram_line_fetches: u64,
+    /// Words whose resident data is corrupt (fault injection's ground
+    /// truth). Ordered so diagnostics and scrubs are deterministic.
+    corrupt: BTreeSet<(LineAddr, usize)>,
 }
 
 impl Llc {
@@ -127,6 +130,7 @@ impl Llc {
             words_per_line: line_bytes / WORD_BYTES as usize,
             lines: HashMap::new(),
             dram_line_fetches: 0,
+            corrupt: BTreeSet::new(),
         }
     }
 
@@ -275,6 +279,57 @@ impl Llc {
         out.sort_by_key(|&(line, word, _)| (line, word));
         out
     }
+
+    /// Every resident line address, sorted — the residency side of the
+    /// architectural-state digest (a truncated DMA that never filled a
+    /// line shows up here).
+    pub fn resident_line_addrs(&self) -> Vec<LineAddr> {
+        let mut out: Vec<LineAddr> = self.lines.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection: corrupt-word ground truth
+    // ------------------------------------------------------------------
+    //
+    // The transaction-level model carries no data values, so a "flipped
+    // word" is tracked as membership in a corrupt set. Reads with the
+    // parity model check it (detect + correct), overwrites clear it
+    // silently, and the end-of-run scrub sweeps the remainder. Whatever
+    // is still in the set at the end of a run escaped every check.
+
+    /// Marks a resident word's data corrupt (a fault injector flipped it).
+    pub fn corrupt_word(&mut self, line: LineAddr, word: usize) {
+        assert!(word < self.words_per_line);
+        self.corrupt.insert((line, word));
+    }
+
+    /// An overwriting store repairs corruption without noticing it.
+    /// Returns `true` if the word was corrupt.
+    pub fn clear_corrupt(&mut self, line: LineAddr, word: usize) -> bool {
+        self.corrupt.remove(&(line, word))
+    }
+
+    /// A parity-checked read of the word: detects (and corrects) any
+    /// corruption. Returns `true` if corruption was found.
+    pub fn check_parity(&mut self, line: LineAddr, word: usize) -> bool {
+        self.corrupt.remove(&(line, word))
+    }
+
+    /// Number of words currently corrupt (0 on a clean or fully-scrubbed
+    /// LLC).
+    pub fn corrupt_word_count(&self) -> usize {
+        self.corrupt.len()
+    }
+
+    /// End-of-run scrub: detects and clears every remaining corrupt
+    /// word, returning how many there were.
+    pub fn scrub(&mut self) -> usize {
+        let n = self.corrupt.len();
+        self.corrupt.clear();
+        n
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +348,36 @@ mod tests {
             seen[l.bank_of(LineAddr(i * 64))] = true;
         }
         assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn corruption_is_tracked_until_checked_or_scrubbed() {
+        let mut l = llc();
+        let line = LineAddr(0x40);
+        l.load_word(line, 0);
+        l.corrupt_word(line, 1);
+        l.corrupt_word(line, 2);
+        l.corrupt_word(line, 3);
+        assert_eq!(l.corrupt_word_count(), 3);
+        // A parity read detects and corrects.
+        assert!(l.check_parity(line, 1));
+        assert!(!l.check_parity(line, 1), "already corrected");
+        // An overwrite silently repairs.
+        assert!(l.clear_corrupt(line, 2));
+        // The scrub sweeps what is left.
+        assert_eq!(l.scrub(), 1);
+        assert_eq!(l.corrupt_word_count(), 0);
+    }
+
+    #[test]
+    fn resident_lines_are_sorted_and_complete() {
+        let mut l = llc();
+        l.load_word(LineAddr(0xc0), 0);
+        l.load_word(LineAddr(0x40), 0);
+        assert_eq!(
+            l.resident_line_addrs(),
+            vec![LineAddr(0x40), LineAddr(0xc0)]
+        );
     }
 
     #[test]

@@ -30,5 +30,5 @@ pub mod network;
 pub mod topology;
 
 pub use message::{Message, MsgClass};
-pub use network::{Network, TrafficStats};
+pub use network::{Attempt, Delivery, Network, TrafficStats};
 pub use topology::{Mesh, NodeId};

@@ -2,6 +2,46 @@
 
 use crate::message::{Message, MsgClass};
 use crate::topology::{Mesh, NodeId};
+use sim::fault::{FaultInjector, MessageFate};
+
+/// What happened to one send attempt under fault injection — the
+/// sender-visible outcome of [`Network::send_faulty`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Clean delivery after the usual one-way latency.
+    Delivered {
+        /// One-way latency in cycles.
+        latency: u64,
+    },
+    /// Delivered, but `extra` cycles late.
+    Delayed {
+        /// One-way latency in cycles.
+        latency: u64,
+        /// Injected extra delay in cycles.
+        extra: u64,
+    },
+    /// Delivered twice with the same sequence number; the receiver must
+    /// suppress the duplicate.
+    Duplicated {
+        /// One-way latency in cycles.
+        latency: u64,
+    },
+    /// Lost in the network; the sender's timeout machinery must notice.
+    Dropped,
+}
+
+/// Identity of one send attempt for the fault injector's draw stream
+/// and event trace: the protocol site, the message's sequence number,
+/// and the 1-based attempt count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attempt {
+    /// Protocol site issuing the send (e.g. `"cache.load"`).
+    pub site: &'static str,
+    /// Per-machine message sequence number.
+    pub seq: u64,
+    /// 1-based attempt count (retries increment it).
+    pub attempt: u32,
+}
 
 /// Per-class traffic totals, the quantity plotted in Figure 5d.
 ///
@@ -152,6 +192,36 @@ impl Network {
         (hops * self.hop_round_trip_cycles).div_ceil(2)
     }
 
+    /// Sends one *attempt* of a message through a fault injector.
+    ///
+    /// The injector decides the attempt's fate (drop / duplicate / delay /
+    /// clean delivery); the network accounts the flits that actually
+    /// entered it — a dropped message still crossed routers up to the
+    /// fault point (we charge the full path, a deliberate worst-case), and
+    /// a duplicated message is charged twice. Retry policy is the
+    /// *sender's* job: the caller inspects the returned [`Delivery`] and
+    /// re-sends after a timeout if its protocol calls for it.
+    pub fn send_faulty(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: Message,
+        inj: &mut FaultInjector,
+        attempt: Attempt,
+    ) -> Delivery {
+        let latency = self.send(from, to, msg);
+        match inj.message_fate(attempt.site, attempt.seq, attempt.attempt) {
+            MessageFate::Delivered => Delivery::Delivered { latency },
+            MessageFate::Delayed(extra) => Delivery::Delayed { latency, extra },
+            MessageFate::Duplicated => {
+                // The duplicate traverses the network too.
+                let _ = self.send(from, to, msg);
+                Delivery::Duplicated { latency }
+            }
+            MessageFate::Dropped => Delivery::Dropped,
+        }
+    }
+
     /// Flit traversals through each node's router, in node order — the
     /// hotspot profile of the run (XY routing concentrates turns, so the
     /// LLC home banks of hot lines light up here).
@@ -249,6 +319,69 @@ mod tests {
         assert_eq!(&profile[0..4], &[2, 2, 2, 2]);
         assert!(profile[4..].iter().all(|&v| v == 0));
         assert_eq!(n.hotspot().1, 2);
+    }
+
+    #[test]
+    fn faulty_send_charges_traffic_per_attempt() {
+        use sim::fault::FaultConfig;
+
+        // Quiescent injector: identical to a plain send.
+        let mut clean = net();
+        let mut inj = FaultInjector::new(FaultConfig::quiescent(1));
+        let d = clean.send_faulty(
+            NodeId(0),
+            NodeId(3),
+            Message::control(MsgClass::Read),
+            &mut inj,
+            Attempt {
+                site: "test",
+                seq: 1,
+                attempt: 1,
+            },
+        );
+        assert_eq!(d, Delivery::Delivered { latency: 8 });
+        assert_eq!(clean.traffic().flits(MsgClass::Read), 1);
+
+        // Certain duplication: the duplicate is charged too.
+        let mut dup = net();
+        let mut inj = FaultInjector::new(FaultConfig {
+            drop_per_mille: 0,
+            dup_per_mille: 1000,
+            ..FaultConfig::chaos(1)
+        });
+        let d = dup.send_faulty(
+            NodeId(0),
+            NodeId(3),
+            Message::control(MsgClass::Read),
+            &mut inj,
+            Attempt {
+                site: "test",
+                seq: 1,
+                attempt: 1,
+            },
+        );
+        assert_eq!(d, Delivery::Duplicated { latency: 8 });
+        assert_eq!(dup.traffic().flits(MsgClass::Read), 2);
+
+        // Certain drop: flits entered the network before the loss.
+        let mut drop = net();
+        let mut inj = FaultInjector::new(FaultConfig {
+            drop_per_mille: 1000,
+            ..FaultConfig::chaos(1)
+        });
+        let d = drop.send_faulty(
+            NodeId(0),
+            NodeId(3),
+            Message::control(MsgClass::Read),
+            &mut inj,
+            Attempt {
+                site: "test",
+                seq: 1,
+                attempt: 1,
+            },
+        );
+        assert_eq!(d, Delivery::Dropped);
+        assert_eq!(drop.traffic().flits(MsgClass::Read), 1);
     }
 
     #[test]

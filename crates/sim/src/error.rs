@@ -33,6 +33,19 @@ pub enum SimError {
     InvalidMapping(String),
     /// A virtual address had no translation and none could be created.
     Unmapped(u64),
+    /// The no-progress watchdog tripped: a request made no forward
+    /// progress (all retry attempts were lost, or resilience is disabled
+    /// and the only outstanding message was dropped). Carries a
+    /// diagnostic dump of the in-flight state so the failure is
+    /// actionable — the simulator returns this instead of hanging.
+    Deadlock {
+        /// The request site that stopped progressing.
+        site: &'static str,
+        /// How many send attempts were made before giving up.
+        attempts: u32,
+        /// Human-readable dump of the machine's in-flight state.
+        dump: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -47,6 +60,14 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidMapping(msg) => write!(f, "invalid mapping: {msg}"),
             SimError::Unmapped(va) => write!(f, "virtual address {va:#x} has no translation"),
+            SimError::Deadlock {
+                site,
+                attempts,
+                dump,
+            } => write!(
+                f,
+                "no forward progress at {site} after {attempts} attempt(s): {dump}"
+            ),
         }
     }
 }
@@ -72,6 +93,11 @@ mod tests {
             },
             SimError::InvalidMapping("stale".into()),
             SimError::Unmapped(0x1000),
+            SimError::Deadlock {
+                site: "stash.fetch",
+                attempts: 9,
+                dump: "seq 17 from CU0 to LLC2".into(),
+            },
         ];
         for e in errors {
             let s = e.to_string();

@@ -1,0 +1,390 @@
+//! Deterministic, seed-driven fault injection (the chaos substrate).
+//!
+//! A [`FaultInjector`] is a [`SplitMix64`]-seeded schedule of transient
+//! faults that the memory system consults at well-defined *sites*:
+//!
+//! * **Message fates** ([`FaultInjector::message_fate`]) — each network
+//!   send may be delivered, delayed, duplicated, or dropped. The NoC
+//!   consumes the fate ([`noc`-side helper]); the memory system reacts
+//!   with sequence numbers, timeouts, and bounded-exponential-backoff
+//!   retries (or, with resilience disabled, an immediate watchdog trip).
+//! * **Word flips** ([`FaultInjector::flip_word`]) — data words arriving
+//!   at a stash or LLC may be corrupted; the parity/ECC model detects
+//!   (and corrects) flips at read sites, stores silently overwrite them,
+//!   and an end-of-run scrub sweeps the remainder.
+//! * **Lost writebacks** ([`FaultInjector::lose_writeback`]) and
+//!   **truncated DMA transfers** ([`FaultInjector::truncate_dma`]).
+//!
+//! Everything is a pure function of the seed and the draw order, which the
+//! memory system keeps deterministic (one injector per machine, consulted
+//! in program order), so a fault schedule replays bit-identically — the
+//! property the chaos harness and the cross-thread determinism tests rely
+//! on. Every draw that fires is appended to a [`FaultEvent`] trace that
+//! those tests compare across `--threads` settings.
+//!
+//! Latency/energy/traffic are *accounting* in this transaction-level
+//! simulator, so injection never mutates architectural state itself; it
+//! only decides which state transitions the memory system skips, repeats,
+//! or flags. Recovery therefore means "architectural state converges to
+//! the fault-free run"; detection means "a parity/scrub/watchdog/oracle
+//! flag fired". The chaos harness enforces that every run is one or the
+//! other.
+//!
+//! [`noc`-side helper]: FaultKind
+//! [`SplitMix64`]: crate::rng::SplitMix64
+
+use crate::rng::SplitMix64;
+
+/// Retry/timeout policy for resilient request/response messaging.
+///
+/// A lost (or presumed-lost) request times out after
+/// [`timeout_cycles`](Self::timeout_cycles), is NACKed, and is re-sent
+/// after a bounded exponential backoff: attempt `n` (1-based) waits
+/// `min(backoff_base_cycles << (n - 1), backoff_cap_cycles)` extra
+/// cycles. After [`max_retries`](Self::max_retries) failed attempts the
+/// no-progress watchdog trips ([`SimError::Deadlock`]) — the simulator
+/// never hangs.
+///
+/// [`SimError::Deadlock`]: crate::error::SimError::Deadlock
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Cycles a requester waits before declaring an attempt lost.
+    pub timeout_cycles: u64,
+    /// Retries after the first attempt before the watchdog trips.
+    pub max_retries: u32,
+    /// Backoff after the first failed attempt (doubles per retry).
+    pub backoff_base_cycles: u64,
+    /// Upper bound on a single backoff wait.
+    pub backoff_cap_cycles: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout_cycles: 200,
+            max_retries: 8,
+            backoff_base_cycles: 16,
+            backoff_cap_cycles: 4096,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The bounded-exponential backoff for 1-based failed attempt `n`.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        let factor = 1u64
+            .checked_shl(attempt.saturating_sub(1))
+            .unwrap_or(u64::MAX);
+        self.backoff_base_cycles
+            .saturating_mul(factor)
+            .min(self.backoff_cap_cycles)
+    }
+}
+
+/// Per-mille fault rates plus the resilience/detection switches.
+///
+/// Rates are drawn independently per site in a fixed order, so a config +
+/// seed fully determines the schedule. The `resilience` and `parity`
+/// switches exist so the chaos harness can demonstrate *non-vacuity*:
+/// with them off, injected faults produce classified silent-corruption
+/// escapes instead of recovery/detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Seed for the injector's private RNG stream.
+    pub seed: u64,
+    /// Per-mille chance a message is dropped in the network.
+    pub drop_per_mille: u64,
+    /// Per-mille chance a message is duplicated (same sequence number).
+    pub dup_per_mille: u64,
+    /// Per-mille chance a message is delayed.
+    pub delay_per_mille: u64,
+    /// Extra latency of a delayed message: 1..=`delay_max_cycles`.
+    pub delay_max_cycles: u64,
+    /// Per-mille chance a word arriving at a stash/LLC is flipped.
+    pub flip_per_mille: u64,
+    /// Per-mille chance a fire-and-forget writeback is lost.
+    pub wb_lose_per_mille: u64,
+    /// Per-mille chance a DMA transfer is truncated short.
+    pub dma_truncate_per_mille: u64,
+    /// Enable seq-number/timeout/retry/fallback machinery.
+    pub resilience: bool,
+    /// Enable the parity/ECC detection model (read checks + end scrub).
+    pub parity: bool,
+    /// Timeout/retry/backoff parameters used when `resilience` is on.
+    pub retry: RetryPolicy,
+}
+
+impl FaultConfig {
+    /// The chaos harness's default schedule: every fault class enabled at
+    /// low rates, full resilience and detection on.
+    pub fn chaos(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            drop_per_mille: 3,
+            dup_per_mille: 2,
+            delay_per_mille: 5,
+            delay_max_cycles: 64,
+            flip_per_mille: 2,
+            wb_lose_per_mille: 3,
+            dma_truncate_per_mille: 5,
+            resilience: true,
+            parity: true,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// A schedule with every rate zero (used by the overhead tests: an
+    /// installed injector that never fires must not change any result).
+    pub fn quiescent(seed: u64) -> Self {
+        FaultConfig {
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            delay_per_mille: 0,
+            flip_per_mille: 0,
+            wb_lose_per_mille: 0,
+            dma_truncate_per_mille: 0,
+            ..FaultConfig::chaos(seed)
+        }
+    }
+
+    /// Same schedule with the resilience machinery disabled (first lost
+    /// message trips the watchdog; lost writebacks and truncated DMAs
+    /// silently skip state — the demonstrable escape classes).
+    pub fn without_resilience(mut self) -> Self {
+        self.resilience = false;
+        self
+    }
+
+    /// Same schedule with the parity/ECC model disabled (flips go
+    /// undetected — corrupt words survive to the end of the run).
+    pub fn without_parity(mut self) -> Self {
+        self.parity = false;
+        self
+    }
+}
+
+/// What the network did to one send attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageFate {
+    /// Delivered normally.
+    Delivered,
+    /// Delivered after an extra delay of the given cycles.
+    Delayed(u64),
+    /// Delivered twice with the same sequence number.
+    Duplicated,
+    /// Lost in the network.
+    Dropped,
+}
+
+/// The kind of an injected (or reacted-to) fault event, for the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A message was dropped.
+    Drop,
+    /// A message was duplicated.
+    Duplicate,
+    /// A message was delayed.
+    Delay,
+    /// A data word was flipped.
+    Flip,
+    /// A writeback was lost.
+    WritebackLost,
+    /// A DMA transfer was truncated.
+    DmaTruncated,
+    /// A timed-out request was retried.
+    Retry,
+}
+
+/// One entry of the deterministic fault trace.
+///
+/// The trace is part of the determinism contract: identical seed + config
+/// must yield an identical trace regardless of `--threads`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The site that drew the fault (a static label like `"cache.load"`).
+    pub site: &'static str,
+    /// What happened.
+    pub kind: FaultKind,
+    /// The sequence number of the affected request (0 for non-message
+    /// faults such as flips).
+    pub seq: u64,
+    /// 1-based attempt number for retries (1 otherwise).
+    pub attempt: u32,
+}
+
+/// A seeded fault schedule plus the per-machine sequence-number source.
+///
+/// One injector belongs to one machine; draws happen in the machine's
+/// deterministic program order.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    rng: SplitMix64,
+    next_seq: u64,
+    trace: Vec<FaultEvent>,
+}
+
+impl FaultInjector {
+    /// Builds an injector from a schedule config.
+    pub fn new(cfg: FaultConfig) -> Self {
+        let rng = SplitMix64::new(cfg.seed);
+        FaultInjector {
+            cfg,
+            rng,
+            next_seq: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// The schedule this injector runs.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Allocates the next request sequence number.
+    pub fn next_seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    /// The fault trace so far (deterministic; compared across thread
+    /// counts by the property tests).
+    pub fn trace(&self) -> &[FaultEvent] {
+        &self.trace
+    }
+
+    /// Records a reaction event (e.g. a retry) in the trace.
+    pub fn log(&mut self, site: &'static str, kind: FaultKind, seq: u64, attempt: u32) {
+        self.trace.push(FaultEvent {
+            site,
+            kind,
+            seq,
+            attempt,
+        });
+    }
+
+    fn chance(&mut self, per_mille: u64) -> bool {
+        per_mille > 0 && self.rng.chance(per_mille, 1000)
+    }
+
+    /// Draws the fate of one message-send attempt.
+    ///
+    /// Draw order is fixed (drop, then duplicate, then delay) so a seed
+    /// fully determines the schedule.
+    pub fn message_fate(&mut self, site: &'static str, seq: u64, attempt: u32) -> MessageFate {
+        if self.chance(self.cfg.drop_per_mille) {
+            self.log(site, FaultKind::Drop, seq, attempt);
+            return MessageFate::Dropped;
+        }
+        if self.chance(self.cfg.dup_per_mille) {
+            self.log(site, FaultKind::Duplicate, seq, attempt);
+            return MessageFate::Duplicated;
+        }
+        if self.chance(self.cfg.delay_per_mille) {
+            let extra = 1 + self.rng.next_below(self.cfg.delay_max_cycles.max(1));
+            self.log(site, FaultKind::Delay, seq, attempt);
+            return MessageFate::Delayed(extra);
+        }
+        MessageFate::Delivered
+    }
+
+    /// Whether a data word arriving at a stash or the LLC is flipped.
+    pub fn flip_word(&mut self, site: &'static str) -> bool {
+        if self.chance(self.cfg.flip_per_mille) {
+            self.log(site, FaultKind::Flip, 0, 1);
+            return true;
+        }
+        false
+    }
+
+    /// Whether a fire-and-forget writeback message is lost.
+    pub fn lose_writeback(&mut self, site: &'static str) -> bool {
+        if self.chance(self.cfg.wb_lose_per_mille) {
+            self.log(site, FaultKind::WritebackLost, 0, 1);
+            return true;
+        }
+        false
+    }
+
+    /// Whether (and where) a DMA transfer of `words` words is cut short.
+    ///
+    /// Returns the number of words actually delivered (`< words`), or
+    /// `None` for an intact transfer.
+    pub fn truncate_dma(&mut self, site: &'static str, words: u64) -> Option<u64> {
+        if words > 0 && self.chance(self.cfg.dma_truncate_per_mille) {
+            self.log(site, FaultKind::DmaTruncated, 0, 1);
+            return Some(self.rng.next_below(words));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let draw_all = |seed| {
+            let mut inj = FaultInjector::new(FaultConfig::chaos(seed));
+            let fates: Vec<MessageFate> = (0..2000).map(|i| inj.message_fate("t", i, 1)).collect();
+            let flips: Vec<bool> = (0..500).map(|_| inj.flip_word("t")).collect();
+            (fates, flips, inj.trace().to_vec())
+        };
+        assert_eq!(draw_all(7), draw_all(7));
+        assert_ne!(draw_all(7).2, draw_all(8).2, "seeds must differ");
+    }
+
+    #[test]
+    fn chaos_rates_fire_but_rarely() {
+        let mut inj = FaultInjector::new(FaultConfig::chaos(1));
+        let n = 20_000;
+        let dropped = (0..n)
+            .filter(|&i| inj.message_fate("t", i, 1) == MessageFate::Dropped)
+            .count();
+        // 3 per mille of 20k ≈ 60; accept a generous band.
+        assert!((10..300).contains(&dropped), "dropped {dropped} of {n}");
+    }
+
+    #[test]
+    fn quiescent_schedule_never_fires() {
+        let mut inj = FaultInjector::new(FaultConfig::quiescent(42));
+        for i in 0..5000 {
+            assert_eq!(inj.message_fate("t", i, 1), MessageFate::Delivered);
+            assert!(!inj.flip_word("t"));
+            assert!(!inj.lose_writeback("t"));
+            assert_eq!(inj.truncate_dma("t", 64), None);
+        }
+        assert!(inj.trace().is_empty());
+    }
+
+    #[test]
+    fn backoff_is_bounded_exponential() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(1), 16);
+        assert_eq!(p.backoff(2), 32);
+        assert_eq!(p.backoff(3), 64);
+        assert_eq!(p.backoff(9), 4096, "capped");
+        assert_eq!(p.backoff(64), 4096, "shift overflow is capped too");
+    }
+
+    #[test]
+    fn sequence_numbers_are_unique_and_monotonic() {
+        let mut inj = FaultInjector::new(FaultConfig::chaos(0));
+        let a = inj.next_seq();
+        let b = inj.next_seq();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn truncation_is_strictly_short() {
+        let mut inj = FaultInjector::new(FaultConfig {
+            dma_truncate_per_mille: 1000,
+            ..FaultConfig::chaos(3)
+        });
+        for _ in 0..200 {
+            let kept = inj.truncate_dma("t", 64).expect("certain truncation");
+            assert!(kept < 64);
+        }
+    }
+}

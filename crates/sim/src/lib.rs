@@ -13,6 +13,9 @@
 //!   built from.
 //! * [`rng::SplitMix64`] — a tiny deterministic RNG so that every experiment
 //!   is exactly reproducible without pulling `rand` into the core crates.
+//! * [`fault`] — the seeded fault-injection schedule (message drops,
+//!   delays, duplicates, word flips, lost writebacks, truncated DMAs)
+//!   that the chaos harness drives through the memory system.
 //!
 //! # Example
 //!
@@ -29,6 +32,7 @@
 pub mod clock;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 

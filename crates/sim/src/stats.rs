@@ -50,6 +50,24 @@ counters! {
     DmaWords => "dma.words",
     /// LLC misses filled from memory.
     DramLineFetch => "dram.line_fetch",
+    /// Injected message delays.
+    FaultDelayInjected => "fault.delay_injected",
+    /// Injected DMA truncations.
+    FaultDmaTruncated => "fault.dma_truncated",
+    /// Injected message drops.
+    FaultDropInjected => "fault.drop_injected",
+    /// Injected message duplicates.
+    FaultDupInjected => "fault.dup_injected",
+    /// Injected data-word flips.
+    FaultFlipInjected => "fault.flip_injected",
+    /// Flipped words silently repaired by an overwriting store.
+    FaultFlipOverwritten => "fault.flip_overwritten",
+    /// Flipped words detected (and corrected) by a parity read check.
+    FaultParityDetected => "fault.parity_detected",
+    /// Flipped words detected by the end-of-run scrub.
+    FaultScrubDetected => "fault.scrub_detected",
+    /// Injected writeback losses.
+    FaultWbLost => "fault.wb_lost",
     /// GPU kernel boundaries.
     GpuKernels => "gpu.kernels",
     /// GPU L1 load transactions.
@@ -66,6 +84,20 @@ counters! {
     RemoteSelfForward => "remote.self_forward",
     /// Remote stash requests whose RTLB translation had gone stale.
     RemoteStashStale => "remote.stash_stale",
+    /// Backoff cycles waited by timed-out requests.
+    ResilienceBackoffCycles => "resilience.backoff_cycles",
+    /// Duplicate deliveries suppressed by sequence number.
+    ResilienceDupSuppressed => "resilience.dup_suppressed",
+    /// Transactions served by the cache fallback path.
+    ResilienceFallbackTx => "resilience.fallback_tx",
+    /// NACKs observed (truncated DMA length checks).
+    ResilienceNack => "resilience.nack",
+    /// Request re-sends after a timeout.
+    ResilienceRetry => "resilience.retry",
+    /// Stash mappings degraded to the cache path after allocation failure.
+    ResilienceStashFallback => "resilience.stash_fallback",
+    /// Request timeouts (presumed-lost messages).
+    ResilienceTimeout => "resilience.timeout",
     /// Scratchpad warp transactions.
     ScratchAccess => "scratch.access",
     /// `AddMap` operations.

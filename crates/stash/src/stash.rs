@@ -17,7 +17,7 @@ use mem::addr::{PAddr, VAddr, WORD_BYTES};
 use mem::coherence::WordState;
 use mem::tile::TileMap;
 use sim::SimError;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Stash hardware parameters (defaults are the paper's Table 2 values).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -187,6 +187,9 @@ pub struct Stash {
     map: StashMap,
     vp: VpMap,
     tables: HashMap<usize, MapIndexTable>,
+    /// Stash words whose data is corrupt (fault injection's ground
+    /// truth); ordered for deterministic diagnostics.
+    corrupt: BTreeSet<usize>,
 }
 
 impl Stash {
@@ -206,6 +209,7 @@ impl Stash {
             map,
             vp,
             tables: HashMap::new(),
+            corrupt: BTreeSet::new(),
         }
     }
 
@@ -239,6 +243,47 @@ impl Stash {
     /// instruction, §4.1.2).
     pub fn resolve_slot(&self, tb: usize, slot: usize) -> Option<MapIndex> {
         self.tables.get(&tb)?.resolve(slot)
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection: corrupt-word ground truth
+    // ------------------------------------------------------------------
+    //
+    // No data values are modelled, so a flipped word is membership in a
+    // corrupt set: parity-checked loads detect (and correct), stores
+    // silently overwrite, writebacks *move* the corruption to the LLC,
+    // and the end-of-run scrub sweeps whatever remains.
+
+    /// Marks a stash word's data corrupt (a fault injector flipped it).
+    pub fn flip_word(&mut self, word: usize) {
+        assert!(word < self.storage.words());
+        self.corrupt.insert(word);
+    }
+
+    /// Removes and reports corruption on `word` — used both by silently
+    /// overwriting stores and by writebacks that carry the corruption
+    /// onward to the LLC. Returns `true` if the word was corrupt.
+    pub fn take_corrupt(&mut self, word: usize) -> bool {
+        self.corrupt.remove(&word)
+    }
+
+    /// A parity-checked read of the word: detects (and corrects) any
+    /// corruption. Returns `true` if corruption was found.
+    pub fn check_parity(&mut self, word: usize) -> bool {
+        self.corrupt.remove(&word)
+    }
+
+    /// Number of words currently corrupt.
+    pub fn corrupt_word_count(&self) -> usize {
+        self.corrupt.len()
+    }
+
+    /// End-of-run scrub: detects and clears every remaining corrupt
+    /// word, returning how many there were.
+    pub fn scrub(&mut self) -> usize {
+        let n = self.corrupt.len();
+        self.corrupt.clear();
+        n
     }
 
     // ------------------------------------------------------------------

@@ -81,7 +81,7 @@ fn no_conflict_misses_in_the_stash() {
     let mut c = memsys(MemConfigKind::Cache);
     for pass in 0..3 {
         for &a in &addrs {
-            c.gpu_global_tx(0, false, &tx(a));
+            c.gpu_global_tx(0, false, &tx(a)).unwrap();
         }
         let _ = pass;
     }
@@ -119,7 +119,7 @@ fn compact_storage_moves_fewer_bytes() {
 
     let mut c = memsys(MemConfigKind::Cache);
     for e in 0..elems {
-        c.gpu_global_tx(0, false, &tx(0x10_0000 + e * 16));
+        c.gpu_global_tx(0, false, &tx(0x10_0000 + e * 16)).unwrap();
     }
     let cache_read_flits = c.traffic().flits(stash_repro::noc::MsgClass::Read);
     assert!(
@@ -171,7 +171,7 @@ fn writebacks_are_lazy() {
     let map = mapped(&mut m, 64);
     m.stash_tx(0, true, 0, &[0], map).unwrap();
     m.end_thread_block(0, 0);
-    m.end_kernel();
+    m.end_kernel().unwrap();
     assert_eq!(
         m.counters().get("wb.stash_words"),
         0,
@@ -197,7 +197,7 @@ fn data_survives_kernel_boundaries() {
         .unwrap();
     m.stash_tx(0, true, 0, &[0, 1, 2, 3], k1.index).unwrap();
     m.end_thread_block(0, 0);
-    m.end_kernel();
+    m.end_kernel().unwrap();
 
     let k2 = m
         .stash_add_map(0, 1, tile, 0, UsageMode::MappedCoherent)
