@@ -12,7 +12,10 @@
 //! state), **detected** (watchdog / oracle / parity flag), or a **silent
 //! escape**. Escapes are contract violations: the binary prints them and
 //! exits 1. `--no-resilience` / `--no-parity` disable the machinery to
-//! demonstrate the escape classes it closes (expect a nonzero exit).
+//! demonstrate the escape classes it closes; pair them with
+//! `--expect-escapes`, which inverts the gate (exit 0 iff at least one
+//! escape occurred), so demonstration runs can assert the machinery is
+//! load-bearing instead of reporting failure.
 
 use bench::chaos::{run_campaign, CampaignConfig, CellRun, Outcome, Target};
 use bench::cli;
@@ -21,11 +24,14 @@ use workloads::suite;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: chaos [trace files...] [--seeds N] [--no-resilience] [--no-parity] [flags]\n\
+        "usage: chaos [trace files...] [--seeds N] [--no-resilience] [--no-parity]\n             \
+         [--expect-escapes] [flags]\n\
          --seeds N     fault seeds per matrix cell (default 16; seeds are S..S+N\n              \
          with S from --fault-seed, default 1)\n\
          --no-resilience  disable retry/timeout/fallback machinery (demonstrates escapes)\n\
          --no-parity   disable the parity/ECC detection model (demonstrates escapes)\n\
+         --expect-escapes  invert the gate: exit 0 iff escapes occurred (for\n              \
+         demonstration runs with the machinery disabled)\n\
          {}\n{}\n{}\n{}",
         cli::FAULT_SEED_USAGE,
         cli::THREADS_USAGE,
@@ -98,7 +104,8 @@ fn main() {
     };
     let resilience = !args.iter().any(|a| a == "--no-resilience");
     let parity = !args.iter().any(|a| a == "--no-parity");
-    args.retain(|a| a != "--no-resilience" && a != "--no-parity");
+    let expect_escapes = args.iter().any(|a| a == "--expect-escapes");
+    args.retain(|a| a != "--no-resilience" && a != "--no-parity" && a != "--expect-escapes");
     if args.iter().any(|a| a.starts_with("--")) {
         usage();
     }
@@ -207,26 +214,38 @@ fn main() {
         );
     }
 
-    if !escapes.is_empty() {
-        for c in &escapes {
-            let why = match &c.outcome {
-                Outcome::SilentEscape(why) => why.as_str(),
-                _ => unreachable!("escapes() only returns silent escapes"),
-            };
-            eprintln!(
-                "ESCAPE: {} on {} seed {}: {why}",
-                c.workload,
-                c.kind.name(),
-                c.seed
+    for c in &escapes {
+        let why = match &c.outcome {
+            Outcome::SilentEscape(why) => why.as_str(),
+            _ => unreachable!("escapes() only returns silent escapes"),
+        };
+        eprintln!(
+            "ESCAPE: {} on {} seed {}: {why}",
+            c.workload,
+            c.kind.name(),
+            c.seed
+        );
+    }
+    if expect_escapes {
+        // Demonstration mode: the run is supposed to show that disabling
+        // the machinery leaks corruption, so escapes are the pass state.
+        if escapes.is_empty() {
+            eprintln!("--expect-escapes: no escapes occurred — nothing was demonstrated");
+            std::process::exit(1);
+        }
+        if !json {
+            println!(
+                "{} expected escape(s) occurred — the disabled machinery is load-bearing",
+                escapes.len()
             );
         }
+    } else if !escapes.is_empty() {
         eprintln!(
             "\n{} silent-corruption escape(s) — the no-silent-corruption contract is violated",
             escapes.len()
         );
         std::process::exit(1);
-    }
-    if !json {
+    } else if !json {
         println!("no silent-corruption escapes — contract holds");
     }
 }

@@ -15,6 +15,7 @@
 pub mod chaos;
 pub mod cli;
 pub mod pool;
+pub mod profile;
 pub mod timing;
 
 use std::time::{Duration, Instant};

@@ -5,21 +5,72 @@
 //! times and prints min / mean / max wall-clock. No statistics engine —
 //! the simulations are deterministic, so run-to-run noise is purely
 //! host-side and min is the robust figure.
+//!
+//! The summary math is total on sample count: [`Measurement::from_times`]
+//! returns `None` for an empty slice instead of panicking on the
+//! `Duration` division, and [`percentile_index`] saturates (nearest-rank,
+//! floor) so `p95` of one or two samples selects a real sample rather
+//! than indexing out of bounds.
 
 use std::time::{Duration, Instant};
 
 /// Samples per benchmark case.
 pub const SAMPLES: usize = 10;
 
-/// One measured case: timing summary over [`SAMPLES`] runs.
+/// One measured case: timing summary over a set of runs.
 #[derive(Debug, Clone, Copy)]
 pub struct Measurement {
     /// Fastest observed run.
     pub min: Duration,
     /// Mean over all runs.
     pub mean: Duration,
+    /// Median (50th percentile, nearest-rank).
+    pub p50: Duration,
+    /// 95th percentile (nearest-rank; equals `max` for tiny samples).
+    pub p95: Duration,
     /// Slowest observed run.
     pub max: Duration,
+}
+
+impl Measurement {
+    /// Summarizes a batch of wall-clock samples; `None` when empty.
+    pub fn from_times(times: &[Duration]) -> Option<Measurement> {
+        if times.is_empty() {
+            return None;
+        }
+        let mut sorted = times.to_vec();
+        sorted.sort_unstable();
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        Some(Measurement {
+            min: sorted[0],
+            mean,
+            p50: percentile(&sorted, 50).expect("non-empty"),
+            p95: percentile(&sorted, 95).expect("non-empty"),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+}
+
+/// Nearest-rank (floor) index of the `pct`-th percentile in a sorted
+/// sequence of `len` samples: `(len - 1) * pct / 100`, always in bounds.
+/// `None` for an empty sequence.
+pub fn percentile_index(len: usize, pct: u64) -> Option<usize> {
+    if len == 0 {
+        return None;
+    }
+    let pct = pct.min(100);
+    Some(((len as u64 - 1) * pct / 100) as usize)
+}
+
+/// The `pct`-th percentile of an ascending-sorted slice; `None` if empty.
+pub fn percentile(sorted: &[Duration], pct: u64) -> Option<Duration> {
+    percentile_index(sorted.len(), pct).map(|i| sorted[i])
+}
+
+/// The `pct`-th percentile of an ascending-sorted `u64` slice (used by
+/// the profiler's cycle-latency reports); `None` if empty.
+pub fn percentile_u64(sorted: &[u64], pct: u64) -> Option<u64> {
+    percentile_index(sorted.len(), pct).map(|i| sorted[i])
 }
 
 /// Runs `f` [`SAMPLES`] times, prints a `name: min/mean/max` line, and
@@ -33,11 +84,12 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
         times.push(start.elapsed());
         std::hint::black_box(value);
     }
-    let min = *times.iter().min().expect("SAMPLES > 0");
-    let max = *times.iter().max().expect("SAMPLES > 0");
-    let mean = times.iter().sum::<Duration>() / times.len() as u32;
-    println!("{name:<40} min {min:>10.2?}  mean {mean:>10.2?}  max {max:>10.2?}");
-    Measurement { min, mean, max }
+    let m = Measurement::from_times(&times).expect("SAMPLES > 0");
+    println!(
+        "{name:<40} min {:>10.2?}  mean {:>10.2?}  max {:>10.2?}",
+        m.min, m.mean, m.max
+    );
+    m
 }
 
 #[cfg(test)]
@@ -53,5 +105,45 @@ mod tests {
         });
         assert_eq!(calls, SAMPLES as u32);
         assert!(m.min <= m.mean && m.mean <= m.max);
+        assert!(m.min <= m.p50 && m.p50 <= m.p95 && m.p95 <= m.max);
+    }
+
+    #[test]
+    fn empty_sample_set_is_none_not_panic() {
+        assert!(Measurement::from_times(&[]).is_none());
+        assert!(percentile(&[], 95).is_none());
+        assert!(percentile_u64(&[], 95).is_none());
+        assert!(percentile_index(0, 95).is_none());
+    }
+
+    #[test]
+    fn single_sample_summary_is_degenerate_not_wrong() {
+        let one = [Duration::from_millis(7)];
+        let m = Measurement::from_times(&one).unwrap();
+        assert_eq!(m.min, one[0]);
+        assert_eq!(m.mean, one[0]);
+        assert_eq!(m.p50, one[0]);
+        assert_eq!(m.p95, one[0]);
+        assert_eq!(m.max, one[0]);
+    }
+
+    #[test]
+    fn p95_index_saturates_for_tiny_samples() {
+        // Nearest-rank floor: two samples → p95 picks index 0, never 2.
+        assert_eq!(percentile_index(1, 95), Some(0));
+        assert_eq!(percentile_index(2, 95), Some(0));
+        assert_eq!(percentile_index(2, 100), Some(1));
+        assert_eq!(percentile_index(21, 95), Some(19));
+        // Out-of-range percentiles clamp instead of overflowing the index.
+        assert_eq!(percentile_index(4, 400), Some(3));
+    }
+
+    #[test]
+    fn percentiles_pick_real_samples() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_u64(&sorted, 50), Some(50));
+        assert_eq!(percentile_u64(&sorted, 95), Some(95));
+        assert_eq!(percentile_u64(&sorted, 0), Some(1));
+        assert_eq!(percentile_u64(&sorted, 100), Some(100));
     }
 }

@@ -1,0 +1,76 @@
+//! CLI-level tests for the `chaos` binary's exit-status gate.
+//!
+//! The default gate is "no escapes or die"; `--expect-escapes` inverts it
+//! so demonstration runs (`--no-parity` / `--no-resilience`) can assert
+//! that the disabled machinery is load-bearing. The simulator is
+//! deterministic, so whether a given `(trace, seeds, switches)` campaign
+//! escapes is reproducible and safe to pin.
+
+use std::process::{Command, Output};
+
+/// Runs the chaos binary on `examples/histogram.trace` with extra flags.
+fn chaos(extra: &[&str]) -> Output {
+    // Integration tests run with the package root as cwd.
+    let trace = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/histogram.trace"
+    );
+    Command::new(env!("CARGO_BIN_EXE_chaos"))
+        .arg(trace)
+        .args(["--seeds", "2", "--threads", "2"])
+        .args(extra)
+        .output()
+        .expect("chaos binary runs")
+}
+
+#[test]
+fn expect_escapes_passes_when_demonstration_mode_leaks() {
+    // Parity off leaks silent corruption for these seeds (pinned; the
+    // campaign is deterministic). The inverted gate must call that a pass.
+    let out = chaos(&["--no-parity", "--expect-escapes"]);
+    assert!(
+        out.status.success(),
+        "expected exit 0, got {:?}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("expected escape(s) occurred"),
+        "missing demonstration message in: {stdout}"
+    );
+    // The per-run ESCAPE detail still prints on stderr.
+    assert!(String::from_utf8_lossy(&out.stderr).contains("ESCAPE:"));
+}
+
+#[test]
+fn expect_escapes_fails_when_the_contract_holds() {
+    // With all machinery on, nothing escapes, so an assertion that the
+    // demonstration leaked must fail loudly rather than pass vacuously.
+    let out = chaos(&["--expect-escapes"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no escapes occurred"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn default_gate_still_fails_on_escapes() {
+    // Without the flag, the same leaking campaign is a contract violation.
+    let out = chaos(&["--no-parity"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("contract is violated"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn default_gate_passes_clean_campaigns() {
+    let out = chaos(&[]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("contract holds"));
+}

@@ -1,0 +1,55 @@
+//! Tracing must not weaken the harness's determinism contract: the same
+//! `(workload, configuration)` cells traced through the job pool export
+//! byte-identical `trace.json` per job at any thread count, and the
+//! reports stay identical to each other too.
+
+use bench::pool::JobPool;
+use bench::profile::{self, TracedRun};
+use gpu::config::MemConfigKind;
+use workloads::suite;
+
+/// Traces the microbenchmarks × two configurations on `threads` workers
+/// and returns each cell's exported JSON (input order).
+fn traced_matrix(threads: usize) -> Vec<(String, String)> {
+    let micros = suite::micros();
+    let kinds = [MemConfigKind::Scratch, MemConfigKind::Stash];
+    let cells: Vec<(&suite::Workload, MemConfigKind)> = micros
+        .iter()
+        .flat_map(|w| kinds.iter().map(move |&k| (w, k)))
+        .collect();
+    let pool = JobPool::new(threads);
+    let jobs: Vec<_> = cells
+        .iter()
+        .map(|&(w, kind)| {
+            move || -> TracedRun { profile::run_traced_workload(w, kind).expect("cell runs") }
+        })
+        .collect();
+    pool.run(jobs)
+        .into_iter()
+        .zip(&cells)
+        .map(|(r, (w, kind))| {
+            let run = r.value;
+            profile::decomposition_exact(&run).expect("decomposition exact");
+            (
+                format!("{} / {}", w.name, kind.name()),
+                profile::perfetto_json(&run),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn per_job_traces_are_byte_identical_across_thread_counts() {
+    let serial = traced_matrix(1);
+    let threaded = traced_matrix(8);
+    assert_eq!(serial.len(), threaded.len());
+    for ((cell_a, json_a), (cell_b, json_b)) in serial.iter().zip(&threaded) {
+        assert_eq!(cell_a, cell_b, "cells must collect in input order");
+        assert!(
+            json_a == json_b,
+            "{cell_a}: exported trace depends on thread count"
+        );
+        // And the export is valid in both worlds.
+        profile::validate_perfetto(json_a).expect("trace validates");
+    }
+}

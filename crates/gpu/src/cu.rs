@@ -21,9 +21,25 @@ use crate::config::MemConfigKind;
 use crate::memsys::MemorySystem;
 use crate::program::{Stage, ThreadBlock, WarpOp};
 use mem::tile::TileMap;
+use sim::trace::{StallReason, TraceEvent};
 use sim::SimError;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Cycle attribution of one executed op, for the stall-attribution
+/// trace. Computed unconditionally (trivial arithmetic); consumed only
+/// when tracing is enabled.
+struct OpTrace {
+    /// Issue cycles beyond the first that a coalesced memory op spent
+    /// serializing its extra transactions.
+    serial: u64,
+    /// Issue cycles the NoC injection port was the bottleneck
+    /// (transaction occupancy).
+    backpressure: u64,
+    /// What the warp waits on until this op's result is ready — the
+    /// reason charged to the next scheduling gap it causes.
+    next: StallReason,
+}
 
 /// Per-thread-block runtime state during a wave.
 struct BlockCtx {
@@ -159,8 +175,12 @@ fn run_wave(
     let mut port_free = wave_start;
     let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
     let mut cursors: Vec<Vec<usize>> = wave.iter().map(|_| Vec::new()).collect();
+    // What each warp is waiting on while queued (stall attribution for
+    // the gap between the port going idle and the warp issuing).
+    let mut pendings: Vec<Vec<StallReason>> = wave.iter().map(|_| Vec::new()).collect();
     let mut wave_end = wave_start;
     let mut done_blocks = 0usize;
+    let tracing = mem.trace_enabled();
 
     // Launch every block's first runnable stage.
     for (bi, (_, block)) in wave.iter().enumerate() {
@@ -171,6 +191,7 @@ fn run_wave(
             &mut ctxs[bi],
             block,
             &mut cursors[bi],
+            &mut pendings[bi],
             &mut heap,
             bi,
             &mut port_free,
@@ -185,7 +206,57 @@ fn run_wave(
         let stage = &block.stages[ctxs[bi].stage];
         let op = &stage.warps[wi][cursors[bi][wi]];
         let start = ready.max(port_free);
-        let (issue_cycles, latency) = execute_op(mem, cu, kind, &ctxs[bi], op)?;
+        if tracing {
+            // The port idled from `port_free` to `start` waiting on
+            // whatever the issuing warp's previous op left pending.
+            if start > port_free {
+                let reason = pendings[bi][wi];
+                mem.trace_stall(cu, reason, start - port_free);
+                let tb = ctxs[bi].tb_id as u32;
+                mem.trace_with(|t| {
+                    let (b, e) = (t.abs(port_free), t.abs(start));
+                    let (cu, warp) = (cu as u32, wi as u32);
+                    t.push(TraceEvent::StallBegin {
+                        cu,
+                        tb,
+                        warp,
+                        at: b,
+                        reason,
+                    });
+                    t.push(TraceEvent::StallEnd {
+                        cu,
+                        tb,
+                        warp,
+                        at: e,
+                        reason,
+                    });
+                });
+            }
+            mem.set_trace_time(start);
+        }
+        let (issue_cycles, latency, tr) = execute_op(mem, cu, kind, &ctxs[bi], op)?;
+        if tracing {
+            mem.trace_stall(
+                cu,
+                StallReason::Issue,
+                issue_cycles - tr.serial - tr.backpressure,
+            );
+            mem.trace_stall(cu, StallReason::CoalescerSerial, tr.serial);
+            mem.trace_stall(cu, StallReason::NocBackpressure, tr.backpressure);
+            let tb = ctxs[bi].tb_id as u32;
+            mem.trace_with(|t| {
+                let at = t.abs(start);
+                t.push(TraceEvent::WarpIssue {
+                    cu: cu as u32,
+                    tb,
+                    warp: wi as u32,
+                    at,
+                    issue: issue_cycles,
+                    latency,
+                });
+            });
+        }
+        pendings[bi][wi] = tr.next;
         port_free = start + issue_cycles;
         let done = start + issue_cycles + latency;
         cursors[bi][wi] += 1;
@@ -210,6 +281,7 @@ fn run_wave(
             &mut ctxs[bi],
             block,
             &mut cursors[bi],
+            &mut pendings[bi],
             &mut heap,
             bi,
             &mut port_free,
@@ -220,7 +292,12 @@ fn run_wave(
         wave_end = wave_end.max(port_free);
     }
     debug_assert_eq!(done_blocks, wave.len());
-    Ok(wave_end.max(port_free))
+    let end = wave_end.max(port_free);
+    // End-of-wave drain: the port is free but in-flight results are
+    // still completing. Attributed so the per-CU decomposition tiles
+    // [wave_start, end] exactly.
+    mem.trace_stall(cu, StallReason::Drain, end - port_free);
+    Ok(end)
 }
 
 /// Advances a block through its stages until one has runnable warps
@@ -234,6 +311,7 @@ fn launch_until_runnable(
     ctx: &mut BlockCtx,
     block: &ThreadBlock,
     cursors: &mut Vec<usize>,
+    pendings: &mut Vec<StallReason>,
     heap: &mut BinaryHeap<Reverse<(u64, usize, usize)>>,
     bi: usize,
     port_free: &mut u64,
@@ -249,6 +327,9 @@ fn launch_until_runnable(
         if runnable > 0 {
             cursors.clear();
             cursors.resize(stage.warps.len(), 0);
+            // Fresh warps wait on the stage barrier until first issue.
+            pendings.clear();
+            pendings.resize(stage.warps.len(), StallReason::Barrier);
             ctx.warps_left = runnable;
             ctx.stage_end = at;
             for (wi, ops) in stage.warps.iter().enumerate() {
@@ -320,7 +401,10 @@ fn start_stage(
             // preload.
             if mem.stash_prefetch_enabled() {
                 if let Some(map) = mem.stash_resolve_slot(cu, ctx.tb_id, req.slot) {
-                    *port_free += mem.stash_prefetch_mapping(cu, map)?;
+                    mem.set_trace_time(*port_free);
+                    let lat = mem.stash_prefetch_mapping(cu, map)?;
+                    mem.trace_stall(cu, StallReason::StashMapRing, lat);
+                    *port_free += lat;
                 }
             }
         }
@@ -331,7 +415,10 @@ fn start_stage(
                 let warps = stage.warps.len().max(1) as u64;
                 mem.note_gpu_instructions(warps);
                 // Core-granularity blocking: occupy the shared port.
-                *port_free += mem.dma_transfer(cu, &req.tile, false)?;
+                mem.set_trace_time(*port_free);
+                let lat = mem.dma_transfer(cu, &req.tile, false)?;
+                mem.trace_stall(cu, StallReason::DmaWait, lat);
+                *port_free += lat;
             }
         }
     }
@@ -352,26 +439,46 @@ fn finish_stage_dma(
             if req.store {
                 let warps = block.stages[stage].warps.len().max(1) as u64;
                 mem.note_gpu_instructions(warps);
-                *port_free += mem.dma_transfer(cu, &req.tile, true)?;
+                mem.set_trace_time(*port_free);
+                let lat = mem.dma_transfer(cu, &req.tile, true)?;
+                mem.trace_stall(cu, StallReason::DmaWait, lat);
+                *port_free += lat;
             }
         }
     }
     Ok(())
 }
 
-/// Executes one warp op; returns `(issue_cycles, completion_latency)`.
+/// Executes one warp op; returns `(issue_cycles, completion_latency)`
+/// plus the issue-cycle decomposition for the stall trace.
 fn execute_op(
     mem: &mut MemorySystem,
     cu: usize,
     kind: MemConfigKind,
     ctx: &BlockCtx,
     op: &WarpOp,
-) -> Result<(u64, u64), SimError> {
+) -> Result<(u64, u64, OpTrace), SimError> {
+    // Latency past the L1-hit cost means the warp is waiting on an
+    // outstanding miss; stash latency past the miss-translation cost
+    // means a chunk fetch is in flight.
+    let l1_hit_cycles = mem.config().l1_hit_cycles;
+    let miss_reason = move |lat: u64| {
+        if lat > l1_hit_cycles {
+            StallReason::MshrWait
+        } else {
+            StallReason::Scoreboard
+        }
+    };
+    let compute_trace = OpTrace {
+        serial: 0,
+        backpressure: 0,
+        next: StallReason::Scoreboard,
+    };
     match op {
         WarpOp::Compute(n) => {
             let n = u64::from(*n);
             mem.note_gpu_instructions(n);
-            Ok((n, 0))
+            Ok((n, 0, compute_trace))
         }
         WarpOp::GlobalMem { write, lanes } => {
             mem.note_gpu_instructions(1);
@@ -383,7 +490,16 @@ fn execute_op(
                 lat = lat.max(cost.latency);
                 occupancy += cost.occupancy;
             }
-            Ok((txs.len().max(1) as u64 + occupancy, lat))
+            let slots = txs.len().max(1) as u64;
+            Ok((
+                slots + occupancy,
+                lat,
+                OpTrace {
+                    serial: slots - 1,
+                    backpressure: occupancy,
+                    next: miss_reason(lat),
+                },
+            ))
         }
         WarpOp::LocalMem {
             write,
@@ -402,14 +518,35 @@ fn execute_op(
                 match mem.stash_resolve_slot(cu, ctx.tb_id, *slot) {
                     Some(map) => {
                         let cost = mem.stash_tx(cu, *write, base, lanes, map)?;
-                        Ok((1 + cost.occupancy, cost.latency))
+                        let next = if cost.latency > mem.config().stash_translation_cycles {
+                            StallReason::StashFetch
+                        } else {
+                            StallReason::Scoreboard
+                        };
+                        Ok((
+                            1 + cost.occupancy,
+                            cost.latency,
+                            OpTrace {
+                                serial: 0,
+                                backpressure: cost.occupancy,
+                                next,
+                            },
+                        ))
                     }
                     None => {
                         if let Some(tile) = ctx.fallback_tiles.get(*slot).copied().flatten() {
                             // Degraded slot: re-issue through the plain
                             // cache hierarchy using the tile's mapping.
                             let cost = mem.stash_fallback_tx(cu, *write, &tile, lanes)?;
-                            Ok((1 + cost.occupancy, cost.latency))
+                            Ok((
+                                1 + cost.occupancy,
+                                cost.latency,
+                                OpTrace {
+                                    serial: 0,
+                                    backpressure: cost.occupancy,
+                                    next: miss_reason(cost.latency),
+                                },
+                            ))
                         } else if base >= mem.config().scratchpad_bytes / 4 {
                             // Oversized allocation with no global mapping:
                             // nowhere to degrade to.
@@ -420,13 +557,13 @@ fn execute_op(
                             })
                         } else {
                             let lat = mem.stash_raw_tx(cu, base, lanes);
-                            Ok((1, lat))
+                            Ok((1, lat, compute_trace))
                         }
                     }
                 }
             } else if kind.uses_scratchpad() {
                 let lat = mem.scratch_tx(cu, base, lanes);
-                Ok((1, lat))
+                Ok((1, lat, compute_trace))
             } else {
                 Err(SimError::InvalidMapping(format!(
                     "LocalMem op on configuration {kind} with no local memory"

@@ -64,7 +64,13 @@ impl Machine {
         let mut cpu_cycles = 0u64;
         for phase in &program.phases {
             match phase {
-                Phase::Gpu(kernel) => gpu_cycles += self.run_kernel(kernel)?,
+                Phase::Gpu(kernel) => {
+                    // Keep trace stamps monotone across kernels: each
+                    // kernel's scheduler restarts at cycle 0, offset by
+                    // the cycles already spent.
+                    self.mem.set_trace_base(gpu_cycles);
+                    gpu_cycles += self.run_kernel(kernel)?;
+                }
                 Phase::Cpu(cpu) => cpu_cycles += run_cpu_phase(&mut self.mem, cpu)?,
             }
         }
@@ -99,14 +105,30 @@ impl Machine {
         // sequentially, which is exact for the paper's workloads — GPU
         // kernels share no data within a kernel, §1.2.)
         let mut kernel_cycles = 0u64;
+        let mut cu_cycles = vec![0u64; cus];
         for (cu, blocks) in per_cu.iter().enumerate() {
             if blocks.is_empty() {
                 continue;
             }
-            kernel_cycles = kernel_cycles.max(run_cu_blocks(&mut self.mem, cu, blocks)?);
+            cu_cycles[cu] = run_cu_blocks(&mut self.mem, cu, blocks)?;
+            kernel_cycles = kernel_cycles.max(cu_cycles[cu]);
+        }
+        let launch = self.mem.config().kernel_launch_cycles;
+        if self.mem.trace_enabled() {
+            // Close the decomposition: every CU is attributed the full
+            // kernel duration — cycles past its own last block are idle
+            // (waiting on the slowest CU), plus the launch overhead —
+            // so per-CU totals sum exactly to the report's gpu_cycles.
+            for (cu, &used) in cu_cycles.iter().enumerate() {
+                self.mem
+                    .trace_stall(cu, sim::trace::StallReason::Idle, kernel_cycles - used);
+                self.mem
+                    .trace_stall(cu, sim::trace::StallReason::KernelLaunch, launch);
+            }
+            self.mem.set_trace_time(kernel_cycles);
         }
         self.mem.end_kernel()?;
-        Ok(kernel_cycles + self.mem.config().kernel_launch_cycles)
+        Ok(kernel_cycles + launch)
     }
 }
 

@@ -32,6 +32,7 @@ use noc::{Attempt, Delivery, Mesh, Message, MsgClass, Network, NodeId};
 use sim::config::SystemConfig;
 use sim::fault::{FaultConfig, FaultInjector, FaultKind};
 use sim::stats::{Counter, Counters};
+use sim::trace::{StallReason, TraceEvent, TraceSink};
 use sim::SimError;
 use stash::{
     AddMapOutcome, LoadOutcome, MapIndex, Stash, StashConfig, StoreOutcome, UsageMode,
@@ -72,6 +73,7 @@ pub struct MemorySystem {
     line_grain_registration: bool,
     verify: bool,
     fault: Option<FaultInjector>,
+    trace: Option<Box<TraceSink>>,
 }
 
 impl MemorySystem {
@@ -127,6 +129,7 @@ impl MemorySystem {
             line_grain_registration: false,
             verify: false,
             fault: None,
+            trace: None,
             cfg,
             kind,
         }
@@ -153,6 +156,72 @@ impl MemorySystem {
     /// Whether the runtime invariant oracle is enabled.
     pub fn verify_enabled(&self) -> bool {
         self.verify
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing (observability layer)
+    // ------------------------------------------------------------------
+
+    /// Installs a [`TraceSink`] with the given ring capacity. With no
+    /// sink installed (the default) every emission site short-circuits on
+    /// a single inlined `Option` check — no allocation, no formatting —
+    /// and timing, counters, and `state_digest` are bit-identical to an
+    /// untraced run (pinned by tests).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Box::new(TraceSink::new(capacity)));
+    }
+
+    /// Whether a trace sink is installed.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The installed sink, if any (exporters read events and the stall
+    /// breakdown back out).
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.trace.as_deref()
+    }
+
+    /// Takes the sink out of the memory system (end of a traced run).
+    pub fn take_trace(&mut self) -> Option<Box<TraceSink>> {
+        self.trace.take()
+    }
+
+    /// Stamps the sink's clock with a kernel-local cycle. The memory
+    /// system is latency-and-accounting and does not know the clock, so
+    /// the warp scheduler / machine stamp "now" before operations; all
+    /// events emitted inside the operation reuse the stamp.
+    #[inline]
+    pub fn set_trace_time(&mut self, rel_cycle: u64) {
+        if let Some(t) = self.trace.as_mut() {
+            t.set_now(rel_cycle);
+        }
+    }
+
+    /// Sets the absolute-cycle base (cycles of previously completed
+    /// kernels) so stamps stay monotone across kernels.
+    pub fn set_trace_base(&mut self, base: u64) {
+        if let Some(t) = self.trace.as_mut() {
+            t.set_base(base);
+        }
+    }
+
+    /// Attributes `cycles` on CU `cu` to `reason` in the stall breakdown.
+    #[inline]
+    pub fn trace_stall(&mut self, cu: usize, reason: StallReason, cycles: u64) {
+        if let Some(t) = self.trace.as_mut() {
+            t.stall(cu, reason, cycles);
+        }
+    }
+
+    /// Runs `f` against the sink when tracing is enabled (event emission
+    /// helper for the CU model).
+    #[inline]
+    pub fn trace_with(&mut self, f: impl FnOnce(&mut TraceSink)) {
+        if let Some(t) = self.trace.as_mut() {
+            f(t);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -551,6 +620,9 @@ impl MemorySystem {
         let hops = self.net.mesh().hops(from, to);
         self.energy
             .add(Component::Noc, msg.flits() * hops * self.model.noc_flit_hop);
+        if let Some(t) = self.trace.as_mut() {
+            self.net.trace_hops(from, to, msg, t);
+        }
         self.net.send(from, to, msg)
     }
 
@@ -640,6 +712,10 @@ impl MemorySystem {
                     self.counters.bump(Counter::ResilienceTimeout);
                     attempt += 1;
                     self.counters.bump(Counter::ResilienceRetry);
+                    if let Some(t) = self.trace.as_mut() {
+                        let at = t.now();
+                        t.push(TraceEvent::RetryFired { at, attempt });
+                    }
                     let backoff = policy.backoff(attempt - 1);
                     self.counters.add(Counter::ResilienceBackoffCycles, backoff);
                     self.fault.as_mut().expect("injector checked").log(
@@ -703,6 +779,10 @@ impl MemorySystem {
             }
             attempt += 1;
             self.counters.bump(Counter::ResilienceRetry);
+            if let Some(t) = self.trace.as_mut() {
+                let at = t.now();
+                t.push(TraceEvent::RetryFired { at, attempt });
+            }
             let backoff = policy.backoff(attempt - 1);
             self.counters.add(Counter::ResilienceBackoffCycles, backoff);
             self.fault.as_mut().expect("injector checked").log(
@@ -767,9 +847,14 @@ impl MemorySystem {
         }
     }
 
-    fn llc_access(&mut self) {
+    fn llc_access(&mut self, line: LineAddr) {
         self.energy.add(Component::L2, self.model.l2_access);
         self.counters.bump(Counter::LlcAccess);
+        if let Some(t) = self.trace.as_mut() {
+            let at = t.now();
+            let bank = self.llc.bank_of(line) as u32;
+            t.push(TraceEvent::LlcBank { bank, at });
+        }
     }
 
     /// Records `n` issued GPU warp instructions (GPU core+ energy).
@@ -893,6 +978,15 @@ impl MemorySystem {
                 st.load_hits()
             }
         });
+        if let Some(t) = self.trace.as_mut() {
+            let at = t.now();
+            t.push(TraceEvent::L1Access {
+                core: core.0 as u32,
+                at,
+                store: write,
+                hit,
+            });
+        }
         if hit {
             self.l1s[core.0].touch(pas[0]);
             if charge_l1 {
@@ -947,7 +1041,7 @@ impl MemorySystem {
                     self.l1s[core.0].set_word(pa, mem::coherence::WordState::Registered);
                 }
             }
-            self.llc_access();
+            self.llc_access(line);
             self.send_reliable(
                 my_node,
                 home,
@@ -964,7 +1058,7 @@ impl MemorySystem {
         // Load miss: fill the whole line from the LLC, word-fill anything
         // registered elsewhere via forwarding.
         let (from_memory, skip) = self.llc.line_fill(line, core);
-        self.llc_access();
+        self.llc_access(line);
         if from_memory {
             self.counters.bump(Counter::DramLineFetch);
         }
@@ -1031,7 +1125,7 @@ impl MemorySystem {
             self.counters.bump(Counter::RemoteSelfForward);
             self.send_reliable(rn, home, Message::control(MsgClass::Read), "forward.req")?;
             self.send(home, rn, Message::control(MsgClass::Read));
-            self.llc_access();
+            self.llc_access(pa.line(self.cfg.line_bytes as u64));
             match reg {
                 Registration::Stash { .. } => {
                     self.energy.add(Component::LocalMem, self.model.stash_hit);
@@ -1116,7 +1210,7 @@ impl MemorySystem {
             Message::data(MsgClass::Writeback, words.len() * WORD_BYTES as usize),
             "cache.evict_wb",
         )?;
-        self.llc_access();
+        self.llc_access(*line);
         if !delivered {
             // The lost writeback's registrations stay behind in the
             // registry while the L1 line is gone — the stale-state escape
@@ -1357,6 +1451,14 @@ impl MemorySystem {
             // Miss translation: VP-map TLB access + 6 ALU ops (10 cycles).
             self.energy.add(Component::LocalMem, self.model.tlb_access);
             latency += self.cfg.stash_translation_cycles;
+            if let Some(t) = self.trace.as_mut() {
+                let at = t.now();
+                t.push(TraceEvent::StashChunkMiss {
+                    cu: cu as u32,
+                    at,
+                    words: (load_fetches.len() + registrations.len()) as u32,
+                });
+            }
         } else {
             self.counters.bump(Counter::StashHit);
         }
@@ -1404,7 +1506,7 @@ impl MemorySystem {
                 Message::control(MsgClass::Read),
                 "stash.fetch",
             )?;
-            self.llc_access();
+            self.llc_access(line);
             let mut lat = self.round_trip(my_node, home);
             let mut supplied = 0usize;
             let mut self_forwards = 0usize;
@@ -1483,7 +1585,7 @@ impl MemorySystem {
                 "stash.register",
             )?;
             self.send(home, my_node, Message::control(MsgClass::Write));
-            self.llc_access();
+            self.llc_access(line);
             for &(w, pa) in &group {
                 let widx = pa.word_in_line(line_bytes);
                 let out = self.llc.register_word(
@@ -1542,7 +1644,7 @@ impl MemorySystem {
                 Message::data(MsgClass::Writeback, group.len() * WORD_BYTES as usize),
                 "stash.wb",
             )?;
-            self.llc_access();
+            self.llc_access(line);
             if !delivered {
                 // Lost: the data never reaches the LLC and the stale
                 // registrations remain (escape class). Corrupt markers
@@ -1620,6 +1722,11 @@ impl MemorySystem {
             s.end_kernel();
         }
         self.counters.bump(Counter::GpuKernels);
+        if let Some(t) = self.trace.as_mut() {
+            let at = t.now();
+            let kernel = self.counters.value(Counter::GpuKernels) as u32;
+            t.push(TraceEvent::EnergyEpoch { at, kernel });
+        }
         self.verify_after("end_kernel");
         Ok(())
     }
@@ -1725,7 +1832,7 @@ impl MemorySystem {
                     Message::data(MsgClass::Write, pas.len() * WORD_BYTES as usize),
                     site,
                 )?;
-                self.llc_access();
+                self.llc_access(line);
                 for pa in &pas {
                     let widx = pa.word_in_line(line_bytes);
                     if let Some(prev) = self.llc.store_through(line, widx) {
@@ -1738,7 +1845,7 @@ impl MemorySystem {
                 }
             } else {
                 self.send_reliable(my_node, home, Message::control(MsgClass::Read), site)?;
-                self.llc_access();
+                self.llc_access(line);
                 let mut supplied = 0usize;
                 for pa in &pas {
                     let widx = pa.word_in_line(line_bytes);
@@ -1780,6 +1887,16 @@ impl MemorySystem {
             issue += flits.div_ceil(2);
         }
         let total = done.max(issue);
+        if let Some(t) = self.trace.as_mut() {
+            let at = t.now();
+            t.push(TraceEvent::DmaBurst {
+                cu: cu as u32,
+                at,
+                words: vaddrs.len() as u32,
+                store,
+                cycles: total,
+            });
+        }
         if truncated_tail > 0 {
             // Length-check NACK round trip, one backoff, then the tail
             // re-sends as a single burst to its first line's home. The

@@ -3,6 +3,7 @@
 use crate::message::{Message, MsgClass};
 use crate::topology::{Mesh, NodeId};
 use sim::fault::{FaultInjector, MessageFate};
+use sim::trace::{TraceEvent, TraceSink};
 
 /// What happened to one send attempt under fault injection — the
 /// sender-visible outcome of [`Network::send_faulty`].
@@ -190,6 +191,31 @@ impl Network {
             self.router_flits[node.0] += msg.flits();
         }
         (hops * self.hop_round_trip_cycles).div_ceil(2)
+    }
+
+    /// Emits one [`sim::trace::TraceEvent::NocHop`] per link of the XY
+    /// route a [`Network::send`] of `msg` would take, stamped with the
+    /// sink's current time — the per-link occupancy view of the trace.
+    /// Accounting-free: traffic tallies and latency are untouched, so a
+    /// traced run stays bit-identical to an untraced one.
+    pub fn trace_hops(&self, from: NodeId, to: NodeId, msg: Message, sink: &mut TraceSink) {
+        let at = sink.now();
+        let flits = msg.flits();
+        let class = match msg.class() {
+            MsgClass::Read => 0u8,
+            MsgClass::Write => 1,
+            MsgClass::Writeback => 2,
+        };
+        let route = self.mesh.route(from, to);
+        for pair in route.windows(2) {
+            sink.push(TraceEvent::NocHop {
+                from: pair[0].0 as u32,
+                to: pair[1].0 as u32,
+                at,
+                flits,
+                class,
+            });
+        }
     }
 
     /// Sends one *attempt* of a message through a fault injector.
@@ -382,6 +408,53 @@ mod tests {
         );
         assert_eq!(d, Delivery::Dropped);
         assert_eq!(drop.traffic().flits(MsgClass::Read), 1);
+    }
+
+    #[test]
+    fn trace_hops_emits_one_event_per_link() {
+        let n = net();
+        let mut sink = TraceSink::new(64);
+        sink.set_now(42);
+        n.trace_hops(
+            NodeId(0),
+            NodeId(5),
+            Message::data(MsgClass::Read, 16),
+            &mut sink,
+        );
+        // XY route (0,0)→(1,0)→(1,1): two links, stamped with "now".
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0],
+            TraceEvent::NocHop {
+                from: 0,
+                to: 1,
+                at: 42,
+                flits: 2,
+                class: 0,
+            }
+        );
+        assert_eq!(
+            events[1],
+            TraceEvent::NocHop {
+                from: 1,
+                to: 5,
+                at: 42,
+                flits: 2,
+                class: 0,
+            }
+        );
+        // Same-node sends cross no link and emit nothing.
+        let mut empty = TraceSink::new(4);
+        n.trace_hops(
+            NodeId(3),
+            NodeId(3),
+            Message::control(MsgClass::Write),
+            &mut empty,
+        );
+        assert!(empty.is_empty());
+        // Accounting is untouched.
+        assert_eq!(n.traffic().total_messages(), 0);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * [`fault`] — the seeded fault-injection schedule (message drops,
 //!   delays, duplicates, word flips, lost writebacks, truncated DMAs)
 //!   that the chaos harness drives through the memory system.
+//! * [`trace`] — the ring-buffered, cycle-attributed event sink behind the
+//!   observability layer (Perfetto export, stall attribution) in `bench`.
 //!
 //! # Example
 //!
@@ -35,6 +37,7 @@ pub mod error;
 pub mod fault;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 pub use clock::{Cycle, Picos};
 pub use config::SystemConfig;

@@ -214,11 +214,22 @@ impl Counters {
         Counter::from_name(key).map_or(0, |c| self.value(c))
     }
 
-    /// Sums every counter whose name starts with `prefix`.
+    /// Sums every counter under the dotted-name subtree `prefix`.
+    ///
+    /// Matching is segment-aware: `"stash.addmap"` selects
+    /// `stash.addmap` itself and any `stash.addmap.*` children, but not
+    /// the sibling `stash.addmap_replicated` — a raw `starts_with` would
+    /// double-count such colliding names into component rollups. A
+    /// trailing dot (`"stash."`) selects the whole subtree as before.
     pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        let matches = |name: &str| {
+            name.strip_prefix(prefix).is_some_and(|rest| {
+                rest.is_empty() || rest.starts_with('.') || prefix.ends_with('.')
+            })
+        };
         Counter::ALL
             .iter()
-            .filter(|c| c.name().starts_with(prefix))
+            .filter(|c| matches(c.name()))
             .map(|&c| self.value(c))
             .sum()
     }
@@ -334,6 +345,24 @@ mod tests {
         assert_eq!(c.sum_prefix("stash."), 12);
         assert_eq!(c.sum_prefix("llc."), 100);
         assert_eq!(c.sum_prefix("dram."), 0);
+    }
+
+    #[test]
+    fn sum_prefix_is_segment_aware() {
+        let mut c = Counters::new();
+        c.add(Counter::StashAddMap, 3);
+        c.add(Counter::StashAddMapReplicated, 10);
+        // "stash.addmap" must not absorb its underscore-extended sibling.
+        assert_eq!(c.sum_prefix("stash.addmap"), 3);
+        assert_eq!(c.sum_prefix("stash.addmap_replicated"), 10);
+        assert_eq!(c.sum_prefix("stash.addmap."), 0);
+        assert_eq!(c.sum_prefix("stash"), 13);
+        assert_eq!(c.sum_prefix("stash."), 13);
+        // A bare prefix that is only part of a segment matches nothing:
+        // "dma" is a whole segment elsewhere, "dr" never is.
+        c.add(Counter::DramLineFetch, 5);
+        assert_eq!(c.sum_prefix("dr"), 0);
+        assert_eq!(c.sum_prefix("dram"), 5);
     }
 
     #[test]
