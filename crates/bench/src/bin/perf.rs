@@ -1,0 +1,433 @@
+//! Intra-simulation parallelism baseline: wall-clock scaling of
+//! [`Machine::run_parallel`] over worker-thread counts.
+//!
+//! Each cell runs one workload×configuration pair at 1/2/4/8 threads
+//! and reports best-of-N wall-clock, simulated cycles per second, and
+//! speedup versus the 1-thread run. Determinism is asserted inline:
+//! every thread count must reproduce the 1-thread report and state
+//! digest bit-for-bit, so the numbers measure the same computation.
+//!
+//! Cells:
+//! * the seven Figure 6 applications on StashG (15 CUs — the paper's
+//!   application machine, the "largest cells");
+//! * the four microbenchmarks *weak-scaled* ×15: the Figure 5 programs
+//!   target a 1-CU machine, so each block set is replicated fifteen
+//!   times at disjoint, VA-shifted tiles and run on the 15-CU machine
+//!   (CPU sweeps fold onto its single CPU core). Labels carry the
+//!   `×15` suffix to keep them distinct from the Figure 5 numbers.
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf                 # text table
+//! cargo run --release -p bench --bin perf -- --json --out BENCH_006.json
+//! cargo run --release -p bench --bin perf -- --smoke --json   # CI-sized
+//! cargo run --release -p bench --bin perf -- --check BENCH_006.json
+//! ```
+
+use bench::cli;
+use gpu::config::MemConfigKind;
+use gpu::machine::{Machine, ParallelConfig};
+use gpu::program::{CpuOp, CpuPhase, Kernel, Phase, Program, ThreadBlock, WarpOp};
+use mem::addr::VAddr;
+use mem::tile::TileMap;
+use std::time::Instant;
+use workloads::suite;
+
+/// Thread counts swept per cell.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// CPUs available to this process: the hard ceiling on wall-clock
+/// speedup. Thread counts beyond it still run (and must still produce
+/// identical results — the determinism contract is thread-blind), they
+/// just cannot go faster.
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// VA distance between weak-scaling replicas: far enough apart that
+/// replicas share no page (the micro footprints are a few hundred KB at
+/// most), close enough that the whole weak-scaled address space stays
+/// compact — frame tables and LLC slot tables scale with the footprint.
+const REPLICA_STRIDE: u64 = 0x0020_0000;
+
+/// Weak-scaling factor: one replica per CU of the application machine.
+const REPLICAS: u64 = 15;
+
+struct Cell {
+    name: String,
+    suite: &'static str,
+    kind: MemConfigKind,
+    program: Program,
+}
+
+struct ThreadResult {
+    threads: usize,
+    wall_secs: f64,
+    cycles_per_sec: f64,
+    speedup_vs_1t: f64,
+}
+
+struct CellResult {
+    name: String,
+    suite: &'static str,
+    kind: MemConfigKind,
+    sim_cycles: u64,
+    results: Vec<ThreadResult>,
+}
+
+fn shift_tile(t: &TileMap, delta: u64) -> TileMap {
+    TileMap::new(
+        VAddr(t.global_base().0 + delta),
+        t.field_bytes(),
+        t.object_bytes(),
+        t.row_elems(),
+        t.row_stride_bytes(),
+        t.rows(),
+    )
+    .expect("shifting preserves tile validity")
+}
+
+fn shift_block(block: &ThreadBlock, delta: u64) -> ThreadBlock {
+    let mut out = block.clone();
+    for stage in &mut out.stages {
+        for req in &mut stage.maps {
+            req.tile = shift_tile(&req.tile, delta);
+        }
+        for req in &mut stage.dmas {
+            req.tile = shift_tile(&req.tile, delta);
+        }
+        for warp in &mut stage.warps {
+            for op in warp {
+                if let WarpOp::GlobalMem { lanes, .. } = op {
+                    for va in lanes {
+                        *va = VAddr(va.0 + delta);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn shift_cpu_ops(ops: &[CpuOp], delta: u64) -> Vec<CpuOp> {
+    ops.iter()
+        .map(|op| match *op {
+            CpuOp::Mem { write, vaddr } => CpuOp::Mem {
+                write,
+                vaddr: VAddr(vaddr.0 + delta),
+            },
+            other => other,
+        })
+        .collect()
+}
+
+/// Replicates a 1-CU microbenchmark program ×[`REPLICAS`] at disjoint
+/// VA-shifted tiles: every GPU kernel gets each block once per replica
+/// (so the 15-CU machine has per-CU work matching the original), and
+/// CPU phases fold all cores' op streams — once per replica, shifted —
+/// onto core 0 of the application machine.
+fn weak_scale(program: &Program) -> Program {
+    let phases = program
+        .phases
+        .iter()
+        .map(|phase| match phase {
+            Phase::Gpu(kernel) => {
+                let blocks = (0..REPLICAS)
+                    .flat_map(|r| {
+                        kernel
+                            .blocks
+                            .iter()
+                            .map(move |b| shift_block(b, r * REPLICA_STRIDE))
+                    })
+                    .collect();
+                Phase::Gpu(Kernel { blocks })
+            }
+            Phase::Cpu(cpu) => {
+                let mut ops = Vec::new();
+                for r in 0..REPLICAS {
+                    for core_ops in &cpu.per_core {
+                        ops.extend(shift_cpu_ops(core_ops, r * REPLICA_STRIDE));
+                    }
+                }
+                let stash_maps = if cpu.stash_maps.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![cpu.stash_maps.iter().flatten().copied().collect()]
+                };
+                Phase::Cpu(CpuPhase {
+                    per_core: vec![ops],
+                    stash_maps,
+                })
+            }
+        })
+        .collect();
+    Program { phases }
+}
+
+fn cells(smoke: bool) -> Vec<Cell> {
+    let mut out = Vec::new();
+    for w in suite::micros() {
+        out.push(Cell {
+            name: format!("{}x15", w.name),
+            suite: "micro_weak15",
+            kind: MemConfigKind::Stash,
+            program: weak_scale(&(w.build)(MemConfigKind::Stash)),
+        });
+        if smoke {
+            return out;
+        }
+    }
+    for w in suite::applications() {
+        out.push(Cell {
+            name: w.name.to_string(),
+            suite: "apps",
+            kind: MemConfigKind::StashG,
+            program: (w.build)(MemConfigKind::StashG),
+        });
+    }
+    out
+}
+
+fn run_cell(cell: &Cell, samples: usize, threads: &[usize]) -> CellResult {
+    let mut results: Vec<ThreadResult> = Vec::new();
+    let mut sim_cycles = 0u64;
+    let mut baseline: Option<(String, u64)> = None;
+    let mut wall_1t = 0.0f64;
+    for &t in threads {
+        let mut best = f64::INFINITY;
+        let mut fingerprint = None;
+        for _ in 0..samples {
+            let mut machine = Machine::new(suite::WorkloadSet::Apps.system_config(), cell.kind);
+            let par = ParallelConfig::with_threads(t);
+            let start = Instant::now();
+            let report = machine
+                .run_parallel(&cell.program, &par)
+                .unwrap_or_else(|e| {
+                    eprintln!("perf: {} at {t} threads: {e}", cell.name);
+                    std::process::exit(1);
+                });
+            let secs = start.elapsed().as_secs_f64();
+            best = best.min(secs);
+            sim_cycles = report.gpu_cycles + report.cpu_cycles;
+            fingerprint = Some((format!("{report:?}"), machine.memory().state_digest()));
+        }
+        let fp = fingerprint.expect("samples >= 1");
+        match &baseline {
+            None => {
+                baseline = Some(fp);
+                wall_1t = best;
+            }
+            Some(b) => assert_eq!(
+                *b, fp,
+                "{}: thread count {t} changed the simulation result",
+                cell.name
+            ),
+        }
+        results.push(ThreadResult {
+            threads: t,
+            wall_secs: best,
+            cycles_per_sec: sim_cycles as f64 / best,
+            speedup_vs_1t: wall_1t / best,
+        });
+    }
+    CellResult {
+        name: cell.name.clone(),
+        suite: cell.suite,
+        kind: cell.kind,
+        sim_cycles,
+        results,
+    }
+}
+
+fn print_text(cells: &[CellResult]) {
+    println!(
+        "{:<16} {:<13} {:<9} {:>12} {:>8} {:>12} {:>14} {:>8}",
+        "cell", "suite", "config", "sim cycles", "threads", "wall (ms)", "cycles/sec", "speedup"
+    );
+    for c in cells {
+        for r in &c.results {
+            println!(
+                "{:<16} {:<13} {:<9} {:>12} {:>8} {:>12.2} {:>14.0} {:>7.2}x",
+                c.name,
+                c.suite,
+                c.kind.name(),
+                c.sim_cycles,
+                r.threads,
+                r.wall_secs * 1e3,
+                r.cycles_per_sec,
+                r.speedup_vs_1t
+            );
+        }
+    }
+    let best = cells
+        .iter()
+        .filter_map(|c| c.results.last())
+        .map(|r| r.speedup_vs_1t)
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nbest speedup at {} threads: {best:.2}x (host has {} CPU{})",
+        THREADS[3],
+        host_cpus(),
+        if host_cpus() == 1 { "" } else { "s" }
+    );
+}
+
+fn to_json(cells: &[CellResult], samples: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"BENCH_006\",\n");
+    s.push_str("  \"runner\": \"run_parallel\",\n");
+    s.push_str(&format!("  \"host_cpus\": {},\n", host_cpus()));
+    s.push_str(&format!("  \"samples\": {samples},\n"));
+    s.push_str(&format!(
+        "  \"threads\": [{}],\n",
+        THREADS.map(|t| t.to_string()).join(", ")
+    ));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!(
+            "      \"name\": \"{}\",\n",
+            cli::json_escape(&c.name)
+        ));
+        s.push_str(&format!("      \"suite\": \"{}\",\n", c.suite));
+        s.push_str(&format!("      \"config\": \"{}\",\n", c.kind.name()));
+        s.push_str(&format!("      \"sim_cycles\": {},\n", c.sim_cycles));
+        s.push_str("      \"results\": [\n");
+        for (j, r) in c.results.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"threads\": {}, \"wall_ms\": {:.3}, \
+                 \"cycles_per_sec\": {:.0}, \"speedup_vs_1t\": {:.3}}}{}\n",
+                r.threads,
+                r.wall_secs * 1e3,
+                r.cycles_per_sec,
+                r.speedup_vs_1t,
+                if j + 1 < c.results.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("      ]\n");
+        s.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Structural validation for `--check`: the file must parse as JSON
+/// (objects/arrays/strings/numbers/keywords balance correctly) and
+/// contain the BENCH_006 schema markers.
+fn check_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    json_balanced(&text)?;
+    for marker in [
+        "\"bench\": \"BENCH_006\"",
+        "\"host_cpus\"",
+        "\"cells\"",
+        "\"speedup_vs_1t\"",
+        "\"cycles_per_sec\"",
+        "\"wall_ms\"",
+        "\"threads\"",
+    ] {
+        if !text.contains(marker) {
+            return Err(format!("{path}: missing {marker}"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks JSON delimiter balance, string-aware: every `{`/`[` closes in
+/// order, quotes terminate, escapes are consumed. Not a full parser —
+/// enough to reject truncated or hand-mangled files.
+fn json_balanced(text: &str) -> Result<(), String> {
+    let mut stack = Vec::new();
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => loop {
+                match chars.next() {
+                    Some('\\') => {
+                        chars.next();
+                    }
+                    Some('"') => break,
+                    Some(_) => {}
+                    None => return Err("unterminated string".into()),
+                }
+            },
+            '{' | '[' => stack.push(c),
+            '}' | ']' => {
+                let want = if c == '}' { '{' } else { '[' };
+                if stack.pop() != Some(want) {
+                    return Err(format!("unbalanced '{c}'"));
+                }
+            }
+            _ => {}
+        }
+    }
+    if stack.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} unclosed delimiters", stack.len()))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let path = args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("--check requires a path");
+            std::process::exit(2);
+        });
+        match check_file(path) {
+            Ok(()) => {
+                println!("{path}: ok");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json = cli::json_flag(&args);
+    let samples = match args.iter().position(|a| a == "--samples") {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                eprintln!("--samples must be a positive integer");
+                std::process::exit(2);
+            }),
+        None => {
+            if smoke {
+                1
+            } else {
+                3
+            }
+        }
+    };
+    let threads: &[usize] = if smoke { &THREADS[..2] } else { &THREADS };
+    let results: Vec<CellResult> = cells(smoke)
+        .iter()
+        .map(|c| run_cell(c, samples, threads))
+        .collect();
+    if json {
+        let text = to_json(&results, samples);
+        if let Some(i) = args.iter().position(|a| a == "--out") {
+            let path = args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("--out requires a path");
+                std::process::exit(2);
+            });
+            std::fs::write(path, &text).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path}");
+        }
+        print!("{text}");
+    } else {
+        print_text(&results);
+    }
+}

@@ -37,8 +37,13 @@ pub struct Transaction {
 /// assert_eq!(txs.len(), 2);
 /// assert_eq!(txs[0].words.len(), 16);
 /// ```
+#[inline]
 pub fn coalesce(lanes: &[VAddr], line_bytes: u64) -> Vec<Transaction> {
-    let mut txs: Vec<Transaction> = Vec::new();
+    // A unit-stride warp touches at most ceil(32*4/64)+1 lines; reserving
+    // a handful of slots up front covers the common shapes without a
+    // reallocation, and a fully shattered warp grows from there.
+    let mut txs: Vec<Transaction> = Vec::with_capacity(4.min(lanes.len()));
+    let words_per_line = (line_bytes / 4) as usize;
     for &va in lanes {
         let word_va = va.align_down(4);
         let line_va = va.align_down(line_bytes);
@@ -48,10 +53,11 @@ pub fn coalesce(lanes: &[VAddr], line_bytes: u64) -> Vec<Transaction> {
                     t.words.push(word_va);
                 }
             }
-            None => txs.push(Transaction {
-                line_va,
-                words: vec![word_va],
-            }),
+            None => {
+                let mut words = Vec::with_capacity(words_per_line.min(lanes.len()));
+                words.push(word_va);
+                txs.push(Transaction { line_va, words });
+            }
         }
     }
     for t in &mut txs {

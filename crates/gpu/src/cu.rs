@@ -232,8 +232,10 @@ fn run_wave(
                     });
                 });
             }
-            mem.set_trace_time(start);
         }
+        // Stamp the issue cycle unconditionally: it orders staged ops in
+        // the epoch merge and doubles as the trace clock when tracing.
+        mem.set_now(start);
         let (issue_cycles, latency, tr) = execute_op(mem, cu, kind, &ctxs[bi], op)?;
         if tracing {
             mem.trace_stall(
@@ -401,7 +403,7 @@ fn start_stage(
             // preload.
             if mem.stash_prefetch_enabled() {
                 if let Some(map) = mem.stash_resolve_slot(cu, ctx.tb_id, req.slot) {
-                    mem.set_trace_time(*port_free);
+                    mem.set_now(*port_free);
                     let lat = mem.stash_prefetch_mapping(cu, map)?;
                     mem.trace_stall(cu, StallReason::StashMapRing, lat);
                     *port_free += lat;
@@ -415,7 +417,7 @@ fn start_stage(
                 let warps = stage.warps.len().max(1) as u64;
                 mem.note_gpu_instructions(warps);
                 // Core-granularity blocking: occupy the shared port.
-                mem.set_trace_time(*port_free);
+                mem.set_now(*port_free);
                 let lat = mem.dma_transfer(cu, &req.tile, false)?;
                 mem.trace_stall(cu, StallReason::DmaWait, lat);
                 *port_free += lat;
@@ -439,7 +441,7 @@ fn finish_stage_dma(
             if req.store {
                 let warps = block.stages[stage].warps.len().max(1) as u64;
                 mem.note_gpu_instructions(warps);
-                mem.set_trace_time(*port_free);
+                mem.set_now(*port_free);
                 let lat = mem.dma_transfer(cu, &req.tile, true)?;
                 mem.trace_stall(cu, StallReason::DmaWait, lat);
                 *port_free += lat;

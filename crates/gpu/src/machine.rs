@@ -3,11 +3,60 @@
 use crate::config::MemConfigKind;
 use crate::cpu::run_cpu_phase;
 use crate::cu::run_cu_blocks;
-use crate::memsys::MemorySystem;
+use crate::memsys::{MemorySystem, ShardResult, StageLog};
 use crate::program::{Kernel, Phase, Program, ThreadBlock};
 use crate::report::RunReport;
 use sim::config::SystemConfig;
 use sim::SimError;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How a kernel's thread blocks are spread across CUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockDistribution {
+    /// Block `i` lands on CU `i % cus` — the seed behaviour, kept for
+    /// the sequential path's pinned digests.
+    RoundRobin,
+    /// Greedy least-loaded by [`ThreadBlock::instruction_count`]: each
+    /// block (in program order) goes to the CU with the smallest
+    /// instruction load so far, ties broken by lowest CU id. Output
+    /// order stays deterministic — per-CU lists preserve program order
+    /// and thread-block ids are assigned in global block order.
+    Balanced,
+}
+
+/// Settings for [`Machine::run_parallel`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelConfig {
+    /// Worker threads executing CU shards (clamped to the number of CUs
+    /// with blocks; 1 runs the shards sequentially in CU order).
+    pub threads: usize,
+    /// Epoch length in kernel-local cycles for the staged-op merge. Any
+    /// value produces identical state — the epochs slice one globally
+    /// sorted stream — so this only sets the invariant-check cadence.
+    pub epoch_cycles: u64,
+    /// Block-to-CU distribution policy.
+    pub distribution: BlockDistribution,
+}
+
+impl ParallelConfig {
+    /// A config with `threads` workers, 64-cycle epochs, and balanced
+    /// block distribution.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            epoch_cycles: 64,
+            distribution: BlockDistribution::Balanced,
+        }
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self::with_threads(1)
+    }
+}
 
 /// A simulated machine: one [`SystemConfig`] + one [`MemConfigKind`].
 ///
@@ -92,14 +141,174 @@ impl Machine {
         })
     }
 
-    fn run_kernel(&mut self, kernel: &Kernel) -> Result<u64, SimError> {
-        let cus = self.mem.config().gpu_cus;
-        let mut per_cu: Vec<Vec<(usize, &ThreadBlock)>> = vec![Vec::new(); cus];
+    /// Runs a program like [`Machine::run`], but executes each kernel's
+    /// CUs as parallel shards merged deterministically at epoch
+    /// boundaries: every CU gets a private snapshot of the memory
+    /// system, runs its blocks against it, and the shards' staged
+    /// LLC/registry operations are replayed in `(cycle, cu, seq)` order.
+    /// Reports, counters, stall breakdowns, and state digests are
+    /// identical for every `threads` value and every `epoch_cycles`
+    /// value — only wall-clock time changes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same errors as [`Machine::run`]; when several CUs
+    /// fail in one kernel, the lowest-numbered CU's error is returned
+    /// (all shards are joined first), keeping the error deterministic.
+    pub fn run_parallel(
+        &mut self,
+        program: &Program,
+        par: &ParallelConfig,
+    ) -> Result<RunReport, SimError> {
+        let mut gpu_cycles = 0u64;
+        let mut cpu_cycles = 0u64;
+        let mut ordinal = 0u64;
+        for phase in &program.phases {
+            match phase {
+                Phase::Gpu(kernel) => {
+                    self.mem.set_trace_base(gpu_cycles);
+                    gpu_cycles += self.run_kernel_parallel(kernel, par, ordinal)?;
+                    ordinal += 1;
+                }
+                Phase::Cpu(cpu) => cpu_cycles += run_cpu_phase(&mut self.mem, cpu)?,
+            }
+        }
+        self.mem.scrub_faults();
+        let cfg = self.mem.config();
+        let total_picos =
+            cfg.gpu_clock.cycles_to_picos(gpu_cycles) + cfg.cpu_clock.cycles_to_picos(cpu_cycles);
+        Ok(RunReport {
+            gpu_cycles,
+            cpu_cycles,
+            total_picos,
+            gpu_instructions: self.mem.gpu_instructions(),
+            energy: *self.mem.energy(),
+            traffic: *self.mem.traffic(),
+            counters: self.mem.counters().clone(),
+        })
+    }
+
+    /// Distributes a kernel's blocks across CUs, assigning thread-block
+    /// ids in global block order regardless of policy.
+    fn distribute<'k>(
+        &mut self,
+        kernel: &'k Kernel,
+        dist: BlockDistribution,
+        cus: usize,
+    ) -> Vec<Vec<(usize, &'k ThreadBlock)>> {
+        let mut per_cu: Vec<Vec<(usize, &'k ThreadBlock)>> = vec![Vec::new(); cus];
+        let mut load = vec![0u64; cus];
         for (i, block) in kernel.blocks.iter().enumerate() {
             let id = self.next_tb_id;
             self.next_tb_id += 1;
-            per_cu[i % cus].push((id, block));
+            let cu = match dist {
+                BlockDistribution::RoundRobin => i % cus,
+                BlockDistribution::Balanced => {
+                    // min_by_key returns the first minimum: lowest CU id
+                    // wins ties, so the placement is deterministic.
+                    load.iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &l)| l)
+                        .map_or(0, |(cu, _)| cu)
+                }
+            };
+            // Count an empty block as one unit so pure-launch blocks
+            // still spread out instead of piling onto CU 0.
+            load[cu] += block.instruction_count().max(1);
+            per_cu[cu].push((id, block));
         }
+        per_cu
+    }
+
+    fn run_kernel_parallel(
+        &mut self,
+        kernel: &Kernel,
+        par: &ParallelConfig,
+        ordinal: u64,
+    ) -> Result<u64, SimError> {
+        let cus = self.mem.config().gpu_cus;
+        let per_cu = self.distribute(kernel, par.distribution, cus);
+        // Fix every frame assignment before forking: shards must never
+        // allocate a frame, or the address map would depend on the CU
+        // interleaving.
+        self.mem.pretouch_kernel(kernel);
+        let dram_pre = self.mem.llc().dram_line_fetches();
+        // One job per CU that has work, claimed off a shared cursor.
+        // Each worker forks its own shard from the (now read-only)
+        // master, runs it, and reduces it in place — so the snapshot
+        // clone and its teardown, the dominant per-kernel costs, run on
+        // the worker threads instead of serially on this one. The salt
+        // ties the shard's fault stream to (kernel, cu), independent of
+        // the thread count.
+        let jobs: Vec<usize> = per_cu
+            .iter()
+            .enumerate()
+            .filter(|(_, blocks)| !blocks.is_empty())
+            .map(|(cu, _)| cu)
+            .collect();
+        let results: Vec<Mutex<Option<Result<ShardResult, SimError>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let workers = par.threads.clamp(1, jobs.len().max(1));
+        let cursor = AtomicUsize::new(0);
+        let master = &self.mem;
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&cu) = jobs.get(i) else { break };
+                    let mut shard = master.fork_shard((ordinal << 32) | cu as u64);
+                    let outcome = run_cu_blocks(&mut shard, cu, &per_cu[cu])
+                        .map(|cycles| shard.reduce_shard(cu, cycles));
+                    *results[i].lock().expect("result lock") = Some(outcome);
+                });
+            }
+        });
+        // Join every worker first, then surface the lowest-numbered
+        // CU's error (jobs are in ascending CU order) so failures are
+        // deterministic regardless of which worker hit one first.
+        let mut reduced = Vec::with_capacity(jobs.len());
+        for result in &results {
+            reduced.push(
+                result
+                    .lock()
+                    .expect("result lock")
+                    .take()
+                    .expect("worker ran this job")?,
+            );
+        }
+        // Merge in CU order: private structures + accounting move over,
+        // staged logs replay afterwards.
+        let mut kernel_cycles = 0u64;
+        let mut cu_cycles = vec![0u64; cus];
+        let mut logs: Vec<(usize, StageLog)> = Vec::with_capacity(reduced.len());
+        let mut shard_dram = Vec::with_capacity(reduced.len());
+        for r in reduced {
+            let cu = r.cu();
+            cu_cycles[cu] = r.cycles();
+            kernel_cycles = kernel_cycles.max(r.cycles());
+            let (log, dram) = self.mem.absorb_result(r)?;
+            logs.push((cu, log));
+            shard_dram.push(dram);
+        }
+        self.mem
+            .apply_staged(logs, par.epoch_cycles, dram_pre, &shard_dram);
+        let launch = self.mem.config().kernel_launch_cycles;
+        if self.mem.trace_enabled() {
+            for (cu, &used) in cu_cycles.iter().enumerate() {
+                self.mem
+                    .trace_stall(cu, sim::trace::StallReason::Idle, kernel_cycles - used);
+                self.mem
+                    .trace_stall(cu, sim::trace::StallReason::KernelLaunch, launch);
+            }
+            self.mem.set_trace_time(kernel_cycles);
+        }
+        self.mem.end_kernel()?;
+        Ok(kernel_cycles + launch)
+    }
+
+    fn run_kernel(&mut self, kernel: &Kernel) -> Result<u64, SimError> {
+        let cus = self.mem.config().gpu_cus;
+        let per_cu = self.distribute(kernel, BlockDistribution::RoundRobin, cus);
         // CUs run concurrently; the kernel completes with the slowest CU.
         // (State interactions across CUs within a kernel are processed
         // sequentially, which is exact for the paper's workloads — GPU
@@ -225,6 +434,69 @@ mod tests {
         let mut machine = Machine::new(SystemConfig::for_applications(), MemConfigKind::Stash);
         let report = machine.run(&program).unwrap();
         // 30 blocks × 1 AddMap each, across 15 CUs.
+        assert_eq!(report.counters.get("stash.addmap"), 30);
+    }
+
+    fn contended_program() -> Program {
+        // 30 blocks across two kernels all mapping the SAME tile with
+        // writes: CUs race for word ownership, the adversarial case for
+        // the epoch merge.
+        let kernel = || Kernel {
+            blocks: (0..30)
+                .map(|_| stash_kernel(32, true).blocks.remove(0))
+                .collect(),
+        };
+        Program {
+            phases: vec![Phase::Gpu(kernel()), Phase::Gpu(kernel())],
+        }
+    }
+
+    #[test]
+    fn parallel_is_invariant_across_threads_and_epochs() {
+        let program = contended_program();
+        let mut baseline: Option<(String, u64)> = None;
+        for threads in [1, 2, 4, 8] {
+            for epoch_cycles in [1, 64, 4096] {
+                let mut machine =
+                    Machine::new(SystemConfig::for_applications(), MemConfigKind::Stash);
+                let mut par = ParallelConfig::with_threads(threads);
+                par.epoch_cycles = epoch_cycles;
+                let report = machine.run_parallel(&program, &par).unwrap();
+                let key = (format!("{report:?}"), machine.memory().state_digest());
+                match &baseline {
+                    None => baseline = Some(key),
+                    Some(b) => {
+                        assert_eq!(*b, key, "threads={threads} epoch_cycles={epoch_cycles}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_merge_passes_the_invariant_oracle() {
+        let program = contended_program();
+        let mut machine = Machine::new(SystemConfig::for_applications(), MemConfigKind::Stash);
+        machine.memory_mut().set_verify(true);
+        machine
+            .run_parallel(&program, &ParallelConfig::with_threads(4))
+            .unwrap();
+    }
+
+    #[test]
+    fn balanced_distribution_runs_every_block() {
+        let kernel = Kernel {
+            blocks: (0..30)
+                .map(|_| stash_kernel(32, false).blocks.remove(0))
+                .collect(),
+        };
+        let program = Program {
+            phases: vec![Phase::Gpu(kernel)],
+        };
+        let mut machine = Machine::new(SystemConfig::for_applications(), MemConfigKind::Stash);
+        let report = machine
+            .run_parallel(&program, &ParallelConfig::with_threads(8))
+            .unwrap();
         assert_eq!(report.counters.get("stash.addmap"), 30);
     }
 

@@ -30,7 +30,7 @@ use mem::scratchpad::Scratchpad;
 use mem::tile::TileMap;
 use noc::{Attempt, Delivery, Mesh, Message, MsgClass, Network, NodeId};
 use sim::config::SystemConfig;
-use sim::fault::{FaultConfig, FaultInjector, FaultKind};
+use sim::fault::{FaultConfig, FaultEvent, FaultInjector, FaultKind};
 use sim::stats::{Counter, Counters};
 use sim::trace::{StallReason, TraceEvent, TraceSink};
 use sim::SimError;
@@ -38,6 +38,7 @@ use stash::{
     AddMapOutcome, LoadOutcome, MapIndex, Stash, StashConfig, StoreOutcome, UsageMode,
     WritebackWord,
 };
+use std::collections::BTreeMap;
 
 /// The cost of one memory transaction.
 ///
@@ -54,8 +55,92 @@ pub struct TxCost {
     pub occupancy: u64,
 }
 
-/// The assembled memory hierarchy.
+/// One shared-state mutation recorded by a CU shard for the epoch merge.
+///
+/// A shard (see [`MemorySystem::fork_shard`]) runs one CU's blocks against
+/// a private snapshot of the hierarchy; every operation that would touch
+/// *shared* state — the LLC/registry and cross-core invalidations — is
+/// recorded here with its issue cycle and a per-shard sequence number.
+/// The merge sorts all shards' ops by `(cycle, cu, seq)` and replays them
+/// against the master hierarchy in bounded cycle epochs, which makes the
+/// merged state independent of thread count and epoch length.
+#[derive(Debug, Clone)]
+enum StagedOp {
+    /// An LLC word read ([`Llc::load_word`]): materializes residency.
+    LoadWord(LineAddr, usize),
+    /// A word registration ([`Llc::register_word`]); the replayed
+    /// outcome's previous owner drives the protocol invalidation.
+    RegisterWord(LineAddr, usize, Registration),
+    /// A registered word written back by `owner`.
+    WritebackWord(LineAddr, usize, CoreId),
+    /// A DMA store-through; the replayed previous owner is invalidated.
+    StoreThrough(LineAddr, usize),
+    /// A whole-line fill ([`Llc::line_fill`]) for `requester`.
+    LineFill(LineAddr, CoreId),
+    /// Fault injection marked the word corrupt.
+    CorruptWord(LineAddr, usize),
+    /// A store overwrote (repaired) the word's corruption.
+    ClearCorrupt(LineAddr, usize),
+    /// A parity check detected (and corrected) the word.
+    CheckParity(LineAddr, usize),
+}
+
+/// A shard's staged-op log: `(issue_cycle, seq, op)` triples in issue
+/// order, plus the running sequence counter.
+#[derive(Debug, Clone, Default)]
+pub struct StageLog {
+    seq: u64,
+    ops: Vec<(u64, u64, StagedOp)>,
+}
+
+impl StageLog {
+    /// Number of staged operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no operations were staged.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Compact reduction of a finished CU shard — exactly the state
+/// [`MemorySystem::absorb_result`] needs. Built worker-side by
+/// [`MemorySystem::reduce_shard`] so the bulk of the snapshot is torn
+/// down off the merge thread.
 #[derive(Debug)]
+pub struct ShardResult {
+    cu: usize,
+    cycles: u64,
+    mapped_pages: usize,
+    l1: DenovoCache,
+    scratchpad: Option<Scratchpad>,
+    stash: Option<Stash>,
+    counters: Counters,
+    energy: EnergyAccount,
+    net: Network,
+    gpu_instructions: u64,
+    fault_trace: Vec<FaultEvent>,
+    trace: Option<Box<TraceSink>>,
+    log: StageLog,
+    dram: u64,
+}
+
+impl ShardResult {
+    /// The CU this shard simulated.
+    pub fn cu(&self) -> usize {
+        self.cu
+    }
+
+    /// Cycles the CU's blocks consumed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
+/// The assembled memory hierarchy.
+#[derive(Debug, Clone)]
 pub struct MemorySystem {
     cfg: SystemConfig,
     kind: MemConfigKind,
@@ -74,6 +159,11 @@ pub struct MemorySystem {
     verify: bool,
     fault: Option<FaultInjector>,
     trace: Option<Box<TraceSink>>,
+    /// Kernel-local cycle of the operation in flight (stamped by the CU
+    /// scheduler); orders staged ops in the epoch merge.
+    now: u64,
+    /// Staged-op log, present only in forked CU shards.
+    stage: Option<Box<StageLog>>,
 }
 
 impl MemorySystem {
@@ -130,6 +220,8 @@ impl MemorySystem {
             verify: false,
             fault: None,
             trace: None,
+            now: 0,
+            stage: None,
             cfg,
             kind,
         }
@@ -196,6 +288,30 @@ impl MemorySystem {
     pub fn set_trace_time(&mut self, rel_cycle: u64) {
         if let Some(t) = self.trace.as_mut() {
             t.set_now(rel_cycle);
+        }
+    }
+
+    /// Stamps the operation clock: the kernel-local issue cycle of the
+    /// operation about to run. Orders staged ops in the epoch merge (and
+    /// stamps the trace clock too, when tracing). Called unconditionally
+    /// by the CU scheduler — a single store on the untraced, unsharded
+    /// path.
+    #[inline]
+    pub fn set_now(&mut self, rel_cycle: u64) {
+        self.now = rel_cycle;
+        if let Some(t) = self.trace.as_mut() {
+            t.set_now(rel_cycle);
+        }
+    }
+
+    /// Records one shared-state mutation in the shard's staged-op log.
+    /// Free (one branch) outside a shard.
+    #[inline]
+    fn stage_op(&mut self, op: StagedOp) {
+        if let Some(log) = self.stage.as_mut() {
+            let seq = log.seq;
+            log.seq += 1;
+            log.ops.push((self.now, seq, op));
         }
     }
 
@@ -800,6 +916,7 @@ impl MemorySystem {
         if let Some(inj) = self.fault.as_mut() {
             if inj.flip_word(site) {
                 self.llc.corrupt_word(line, word);
+                self.stage_op(StagedOp::CorruptWord(line, word));
                 self.counters.bump(Counter::FaultFlipInjected);
             }
         }
@@ -820,6 +937,7 @@ impl MemorySystem {
     /// detection-vs-recovery contract).
     fn llc_parity_read(&mut self, line: LineAddr, word: usize) {
         if self.parity_on() && self.llc.check_parity(line, word) {
+            self.stage_op(StagedOp::CheckParity(line, word));
             self.counters.bump(Counter::FaultParityDetected);
         }
     }
@@ -827,6 +945,7 @@ impl MemorySystem {
     /// An overwriting store to an LLC word silently repairs corruption.
     fn llc_overwrite(&mut self, line: LineAddr, word: usize) {
         if self.fault.is_some() && self.llc.clear_corrupt(line, word) {
+            self.stage_op(StagedOp::ClearCorrupt(line, word));
             self.counters.bump(Counter::FaultFlipOverwritten);
         }
     }
@@ -1022,6 +1141,7 @@ impl MemorySystem {
             for &pa in &pas {
                 let w = pa.word_in_line(self.cfg.line_bytes as u64);
                 let out = self.llc.register_word(line, w, Registration::Cache(core));
+                self.stage_op(StagedOp::RegisterWord(line, w, Registration::Cache(core)));
                 // Registration makes the LLC copy stale: any corruption
                 // there is overwritten by the eventual writeback.
                 self.llc_overwrite(line, w);
@@ -1034,6 +1154,7 @@ impl MemorySystem {
                 for w in 0..self.l1s[core.0].words_per_line() {
                     let pa = line.word_addr(w);
                     let out = self.llc.register_word(line, w, Registration::Cache(core));
+                    self.stage_op(StagedOp::RegisterWord(line, w, Registration::Cache(core)));
                     if let Some(prev) = out.previous {
                         self.counters.bump(Counter::CoherenceFalseSharingRevocation);
                         revoked.push((prev, pa));
@@ -1058,6 +1179,7 @@ impl MemorySystem {
         // Load miss: fill the whole line from the LLC, word-fill anything
         // registered elsewhere via forwarding.
         let (from_memory, skip) = self.llc.line_fill(line, core);
+        self.stage_op(StagedOp::LineFill(line, core));
         self.llc_access(line);
         if from_memory {
             self.counters.bump(Counter::DramLineFetch);
@@ -1096,6 +1218,7 @@ impl MemorySystem {
             if !skip.contains(&w) {
                 continue;
             }
+            self.stage_op(StagedOp::LoadWord(line, w));
             if let LlcLoadOutcome::Forward(reg) = self.llc.load_word(line, w) {
                 let flat = self.forward_fetch(core, pa, reg)?;
                 self.l1s[core.0].set_word(pa, mem::coherence::WordState::Shared);
@@ -1218,6 +1341,7 @@ impl MemorySystem {
             return Ok(());
         }
         for &w in words {
+            self.stage_op(StagedOp::WritebackWord(*line, w, core));
             if self.llc.writeback_word(*line, w, core) {
                 self.maybe_flip_llc("cache.evict_wb", *line, w);
             }
@@ -1512,6 +1636,7 @@ impl MemorySystem {
             let mut self_forwards = 0usize;
             for &(w, pa) in &group {
                 let widx = pa.word_in_line(line_bytes);
+                self.stage_op(StagedOp::LoadWord(line, widx));
                 match self.llc.load_word(line, widx) {
                     LlcLoadOutcome::Data { from_memory } => {
                         if from_memory {
@@ -1588,14 +1713,12 @@ impl MemorySystem {
             self.llc_access(line);
             for &(w, pa) in &group {
                 let widx = pa.word_in_line(line_bytes);
-                let out = self.llc.register_word(
-                    line,
-                    widx,
-                    Registration::Stash {
-                        core,
-                        map_index: map.0,
-                    },
-                );
+                let reg = Registration::Stash {
+                    core,
+                    map_index: map.0,
+                };
+                let out = self.llc.register_word(line, widx, reg);
+                self.stage_op(StagedOp::RegisterWord(line, widx, reg));
                 self.llc_overwrite(line, widx);
                 if let Some(prev) = out.previous {
                     self.invalidate_previous_owner(prev, pa, home)?;
@@ -1656,10 +1779,12 @@ impl MemorySystem {
                 let widx = pa.word_in_line(line_bytes);
                 let was_corrupt = self.fault.is_some() && self.stashes[cu].take_corrupt(sw);
                 let accepted = self.llc.writeback_word(line, widx, core);
+                self.stage_op(StagedOp::WritebackWord(line, widx, core));
                 if accepted {
                     if was_corrupt {
                         // The writeback carries the corruption onward.
                         self.llc.corrupt_word(line, widx);
+                        self.stage_op(StagedOp::CorruptWord(line, widx));
                     } else {
                         self.llc_overwrite(line, widx);
                         self.maybe_flip_llc("stash.wb", line, widx);
@@ -1835,6 +1960,7 @@ impl MemorySystem {
                 self.llc_access(line);
                 for pa in &pas {
                     let widx = pa.word_in_line(line_bytes);
+                    self.stage_op(StagedOp::StoreThrough(line, widx));
                     if let Some(prev) = self.llc.store_through(line, widx) {
                         self.invalidate_previous_owner(prev, *pa, home)?;
                     }
@@ -1849,6 +1975,7 @@ impl MemorySystem {
                 let mut supplied = 0usize;
                 for pa in &pas {
                     let widx = pa.word_in_line(line_bytes);
+                    self.stage_op(StagedOp::LoadWord(line, widx));
                     match self.llc.load_word(line, widx) {
                         LlcLoadOutcome::Data { from_memory } => {
                             if from_memory {
@@ -1928,6 +2055,277 @@ impl MemorySystem {
         }
         self.verify_after("dma_transfer");
         Ok(total)
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch-parallel sharding
+    // ------------------------------------------------------------------
+
+    /// Forks a per-CU shard for epoch-parallel kernel execution: a full
+    /// snapshot of the hierarchy with its accounting zeroed (so shard
+    /// accounting sums cleanly back into the master) and a staged-op log
+    /// armed. `salt` derives the shard's fault-injection stream so
+    /// parallel chaos runs are reproducible at any thread count.
+    #[must_use]
+    pub fn fork_shard(&self, salt: u64) -> MemorySystem {
+        MemorySystem {
+            cfg: self.cfg.clone(),
+            kind: self.kind,
+            net: {
+                let mut net = self.net.clone();
+                net.reset_accounting();
+                net
+            },
+            llc: self.llc.clone(),
+            l1s: self.l1s.clone(),
+            scratchpads: self.scratchpads.clone(),
+            stashes: self.stashes.clone(),
+            pt: self.pt.clone(),
+            model: self.model.clone(),
+            energy: EnergyAccount::new(),
+            counters: Counters::new(),
+            gpu_instructions: 0,
+            eager_stash_writebacks: self.eager_stash_writebacks,
+            line_grain_registration: self.line_grain_registration,
+            verify: self.verify,
+            fault: self
+                .fault
+                .as_ref()
+                .map(|f| FaultInjector::new(f.config().fork(salt))),
+            trace: self.trace.as_ref().map(|t| {
+                let mut fresh = TraceSink::new(t.capacity());
+                fresh.set_base(t.abs(0));
+                Box::new(fresh)
+            }),
+            now: self.now,
+            stage: Some(Box::default()),
+        }
+    }
+
+    /// Reduces a finished shard to the pieces the merge needs — CU
+    /// `cu`'s private structures (L1, scratchpad, stash), the shard's
+    /// accounting deltas, its fault/stall traces, the staged-op log, and
+    /// its DRAM-fetch count. The rest of the snapshot (every other
+    /// core's structures, the LLC, the page table) is dropped here, on
+    /// the calling thread: workers reduce their own shards, so both the
+    /// clone and the teardown of the bulky state run in parallel instead
+    /// of serially on the merge thread.
+    #[must_use]
+    pub fn reduce_shard(mut self, cu: usize, cycles: u64) -> ShardResult {
+        let mapped_pages = self.pt.mapped_pages();
+        let l1 = self.l1s.swap_remove(cu);
+        let scratchpad = (cu < self.scratchpads.len()).then(|| self.scratchpads.swap_remove(cu));
+        let stash = (cu < self.stashes.len()).then(|| self.stashes.swap_remove(cu));
+        let fault_trace = self
+            .fault
+            .as_ref()
+            .map(|f| f.trace().to_vec())
+            .unwrap_or_default();
+        let dram = self.llc.dram_line_fetches();
+        ShardResult {
+            cu,
+            cycles,
+            mapped_pages,
+            l1,
+            scratchpad,
+            stash,
+            counters: self.counters,
+            energy: self.energy,
+            net: self.net,
+            gpu_instructions: self.gpu_instructions,
+            fault_trace,
+            trace: self.trace,
+            log: self.stage.map_or_else(StageLog::default, |b| *b),
+            dram,
+        }
+    }
+
+    /// Absorbs a reduced shard back into the master: the CU's private
+    /// structures move over wholesale, shard accounting (counters,
+    /// energy, traffic, instructions, fault trace, stall trace) is
+    /// summed in, and the staged-op log plus the shard's DRAM-fetch
+    /// count are returned for the epoch replay.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidMapping`] when the shard mapped pages the
+    /// master's pre-touch pass missed — the kernel's footprint escaped
+    /// the static walk, so frame assignment would depend on CU
+    /// interleaving and determinism cannot be guaranteed.
+    pub fn absorb_result(&mut self, r: ShardResult) -> Result<(StageLog, u64), SimError> {
+        if r.mapped_pages != self.pt.mapped_pages() {
+            return Err(SimError::InvalidMapping(format!(
+                "CU {} shard mapped {} pages vs master {}: kernel footprint \
+                 escaped the pre-touch pass",
+                r.cu,
+                r.mapped_pages,
+                self.pt.mapped_pages()
+            )));
+        }
+        self.l1s[r.cu] = r.l1;
+        if let Some(sp) = r.scratchpad {
+            self.scratchpads[r.cu] = sp;
+        }
+        if let Some(st) = r.stash {
+            self.stashes[r.cu] = st;
+        }
+        self.counters.merge(&r.counters);
+        self.energy.merge(&r.energy);
+        self.net.absorb(&r.net);
+        self.gpu_instructions += r.gpu_instructions;
+        if let Some(mine) = self.fault.as_mut() {
+            mine.absorb_trace(&r.fault_trace);
+        }
+        if let (Some(mine), Some(theirs)) = (self.trace.as_mut(), r.trace.as_ref()) {
+            mine.absorb(theirs);
+        }
+        Ok((r.log, r.dram))
+    }
+
+    /// Replays the shards' staged operations against the master LLC in
+    /// deterministic `(cycle, cu, seq)` order, applied in bounded cycle
+    /// epochs of `epoch_cycles`. The epoch boundaries only slice one
+    /// globally-sorted stream, so the merged state is identical for
+    /// every epoch length and thread count.
+    ///
+    /// Replay touches the registry only; protocol invalidations are
+    /// reconciled *after* the full stream against final ownership. A
+    /// mid-stream invalidation would be wrong: each CU's merged-back
+    /// structures hold that CU's *final* state, so revoking a copy
+    /// because some mid-history registration displaced it clobbers the
+    /// final owner whenever that owner re-registered later. The
+    /// reconciliation pass instead invalidates every copy whose core
+    /// lost the word — exactly the set a sequential interleaving of the
+    /// merged stream would have invalidated and not restored.
+    ///
+    /// `dram_pre` is the master's DRAM-fetch count at fork time and
+    /// `shard_dram` each shard's count at absorb time: replay re-fetches
+    /// lines the shards already counted, so the counter is rebuilt as
+    /// `pre + Σ (shard − pre)` afterwards.
+    pub fn apply_staged(
+        &mut self,
+        logs: Vec<(usize, StageLog)>,
+        epoch_cycles: u64,
+        dram_pre: u64,
+        shard_dram: &[u64],
+    ) {
+        let mut ops: Vec<(u64, usize, u64, StagedOp)> = Vec::new();
+        for (cu, log) in logs {
+            ops.reserve(log.ops.len());
+            for (cycle, seq, op) in log.ops {
+                ops.push((cycle, cu, seq, op));
+            }
+        }
+        ops.sort_by_key(|op| (op.0, op.1, op.2));
+        // Every registration that ever named a word this kernel, keyed
+        // and iterated in address order (deterministic reconciliation).
+        let mut touched: BTreeMap<(LineAddr, usize), Vec<Registration>> = BTreeMap::new();
+        let note = |touched: &mut BTreeMap<(LineAddr, usize), Vec<Registration>>,
+                    line: LineAddr,
+                    w: usize,
+                    reg: Registration| {
+            let cands = touched.entry((line, w)).or_default();
+            if !cands.contains(&reg) {
+                cands.push(reg);
+            }
+        };
+        let epoch = epoch_cycles.max(1);
+        let mut i = 0;
+        while i < ops.len() {
+            let epoch_end = (ops[i].0 / epoch + 1) * epoch;
+            while i < ops.len() && ops[i].0 < epoch_end {
+                match ops[i].3.clone() {
+                    StagedOp::LoadWord(line, w) => {
+                        let _ = self.llc.load_word(line, w);
+                    }
+                    StagedOp::RegisterWord(line, w, reg) => {
+                        let out = self.llc.register_word(line, w, reg);
+                        note(&mut touched, line, w, reg);
+                        if let Some(prev) = out.previous {
+                            note(&mut touched, line, w, prev);
+                        }
+                    }
+                    StagedOp::WritebackWord(line, w, core) => {
+                        let _ = self.llc.writeback_word(line, w, core);
+                    }
+                    StagedOp::StoreThrough(line, w) => {
+                        if let Some(prev) = self.llc.store_through(line, w) {
+                            note(&mut touched, line, w, prev);
+                        }
+                    }
+                    StagedOp::LineFill(line, core) => {
+                        let _ = self.llc.line_fill(line, core);
+                    }
+                    StagedOp::CorruptWord(line, w) => self.llc.corrupt_word(line, w),
+                    StagedOp::ClearCorrupt(line, w) => {
+                        let _ = self.llc.clear_corrupt(line, w);
+                    }
+                    StagedOp::CheckParity(line, w) => {
+                        let _ = self.llc.check_parity(line, w);
+                    }
+                }
+                i += 1;
+            }
+        }
+        // Reconcile: revoke every copy whose core is not the word's
+        // final owner. Same-core transfers (old map → new map, L1 →
+        // stash) were already resolved inside the owning shard, and its
+        // merged-back structures carry the result — revoking by core,
+        // not by exact registration, leaves them alone.
+        for ((line, w), cands) in &touched {
+            let owner_core = self.llc.registration(*line, *w).map(|r| r.core());
+            for &r in cands {
+                if Some(r.core()) != owner_core {
+                    let pa = line.word_addr(*w);
+                    match r {
+                        Registration::Stash { core, .. } => {
+                            if core.0 < self.stashes.len() {
+                                self.stashes[core.0].surrender_word(pa);
+                            }
+                        }
+                        Registration::Cache(c) => {
+                            self.l1s[c.0].downgrade_word(pa, mem::coherence::WordState::Invalid);
+                        }
+                    }
+                }
+            }
+        }
+        let total: u64 = shard_dram.iter().map(|&d| d - dram_pre).sum();
+        self.llc.set_dram_line_fetches(dram_pre + total);
+        self.verify_after("apply_staged");
+    }
+
+    /// Pre-touches every page a kernel can reach, in program order, so
+    /// frame assignment is fixed before the CUs fork and no shard ever
+    /// allocates a frame. Covers map/DMA tiles (page-by-page) and global
+    /// warp lanes; stash fallback and lazy-writeback addresses fall
+    /// inside tiles mapped here or by earlier kernels.
+    pub fn pretouch_kernel(&mut self, kernel: &crate::program::Kernel) {
+        let page_bytes = self.cfg.page_bytes as u64;
+        let touch_tile = |pt: &mut PageTable, tile: &TileMap| {
+            for page in tile.pages_touched(page_bytes) {
+                let _ = pt.translate(VAddr(page * page_bytes));
+            }
+        };
+        for block in &kernel.blocks {
+            for stage in &block.stages {
+                for req in &stage.maps {
+                    touch_tile(&mut self.pt, &req.tile);
+                }
+                for req in &stage.dmas {
+                    touch_tile(&mut self.pt, &req.tile);
+                }
+                for warp in &stage.warps {
+                    for op in warp {
+                        if let crate::program::WarpOp::GlobalMem { lanes, .. } = op {
+                            for &va in lanes {
+                                let _ = self.pt.translate(va);
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------------

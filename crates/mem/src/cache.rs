@@ -30,10 +30,9 @@ pub struct EvictedLine {
     pub registered_words: Vec<usize>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct LineEntry {
     line: LineAddr,
-    words: Box<[WordState]>,
     last_use: u64,
 }
 
@@ -60,6 +59,12 @@ pub struct DenovoCache {
     line_bytes: u64,
     words_per_line: usize,
     lines: Vec<Option<LineEntry>>,
+    /// Word-state arena, one `words_per_line` stripe per tag slot: slot
+    /// `i`'s words live at `i * words_per_line ..`. A single flat
+    /// allocation keeps the per-word hot path an indexed read and makes
+    /// cloning the cache — the epoch-parallel runner snapshots every L1
+    /// per CU shard — a memcpy instead of a per-line allocation storm.
+    words: Vec<WordState>,
     tick: u64,
 }
 
@@ -76,14 +81,29 @@ impl DenovoCache {
         assert_eq!(total_lines * line_bytes, capacity_bytes, "ragged capacity");
         assert_eq!(total_lines % ways, 0, "capacity must divide into ways");
         let sets = total_lines / ways;
+        let words_per_line = line_bytes / WORD_BYTES as usize;
         Self {
             sets,
             ways,
             line_bytes: line_bytes as u64,
-            words_per_line: line_bytes / WORD_BYTES as usize,
+            words_per_line,
             lines: vec![None; total_lines],
+            words: vec![WordState::Invalid; total_lines * words_per_line],
             tick: 0,
         }
+    }
+
+    /// Slot `i`'s word-state stripe.
+    #[inline]
+    fn stripe(&self, i: usize) -> &[WordState] {
+        &self.words[i * self.words_per_line..(i + 1) * self.words_per_line]
+    }
+
+    /// Slot `i`'s word-state stripe, mutably.
+    #[inline]
+    fn stripe_mut(&mut self, i: usize) -> &mut [WordState] {
+        let wpl = self.words_per_line;
+        &mut self.words[i * wpl..(i + 1) * wpl]
     }
 
     /// Number of sets.
@@ -118,10 +138,7 @@ impl DenovoCache {
     /// resident).
     pub fn word_state(&self, pa: PAddr) -> WordState {
         match self.find(pa.line(self.line_bytes)) {
-            Some(i) => {
-                let e = self.lines[i].as_ref().expect("found slot is occupied");
-                e.words[pa.word_in_line(self.line_bytes)]
-            }
+            Some(i) => self.stripe(i)[pa.word_in_line(self.line_bytes)],
             None => WordState::Invalid,
         }
     }
@@ -159,17 +176,17 @@ impl DenovoCache {
             });
         let evicted = self.lines[slot].take().map(|e| EvictedLine {
             line: e.line,
-            registered_words: e
-                .words
+            registered_words: self
+                .stripe(slot)
                 .iter()
                 .enumerate()
                 .filter(|(_, &w)| w == WordState::Registered)
                 .map(|(i, _)| i)
                 .collect(),
         });
+        self.stripe_mut(slot).fill(WordState::Invalid);
         self.lines[slot] = Some(LineEntry {
             line,
-            words: vec![WordState::Invalid; self.words_per_line].into_boxed_slice(),
             last_use: self.tick,
         });
         EnsureOutcome {
@@ -190,7 +207,7 @@ impl DenovoCache {
             .find(line)
             .unwrap_or_else(|| panic!("line {line} not resident"));
         let w = pa.word_in_line(self.line_bytes);
-        self.lines[i].as_mut().expect("occupied").words[w] = state;
+        self.stripe_mut(i)[w] = state;
     }
 
     /// Fills every currently Invalid word of `pa`'s resident line with
@@ -206,9 +223,8 @@ impl DenovoCache {
         let i = self
             .find(line)
             .unwrap_or_else(|| panic!("line {line} not resident"));
-        let entry = self.lines[i].as_mut().expect("occupied");
         let mut filled = 0;
-        for (w, state) in entry.words.iter_mut().enumerate() {
+        for (w, state) in self.stripe_mut(i).iter_mut().enumerate() {
             if *state == WordState::Invalid && !skip.contains(&w) {
                 *state = WordState::Shared;
                 filled += 1;
@@ -220,9 +236,12 @@ impl DenovoCache {
     /// Kernel-boundary self-invalidation: Shared words drop to Invalid,
     /// Registered words are kept (§4.3). Tags stay resident.
     pub fn self_invalidate(&mut self) {
-        for entry in self.lines.iter_mut().flatten() {
-            for w in entry.words.iter_mut() {
-                *w = w.after_self_invalidate();
+        let wpl = self.words_per_line;
+        for (i, entry) in self.lines.iter().enumerate() {
+            if entry.is_some() {
+                for w in &mut self.words[i * wpl..(i + 1) * wpl] {
+                    *w = w.after_self_invalidate();
+                }
             }
         }
     }
@@ -237,9 +256,9 @@ impl DenovoCache {
         let line = pa.line(self.line_bytes);
         if let Some(i) = self.find(line) {
             let w = pa.word_in_line(self.line_bytes);
-            let entry = self.lines[i].as_mut().expect("occupied");
-            let was_registered = entry.words[w] == WordState::Registered;
-            entry.words[w] = to;
+            let word = &mut self.stripe_mut(i)[w];
+            let was_registered = *word == WordState::Registered;
+            *word = to;
             return was_registered;
         }
         false
@@ -248,8 +267,9 @@ impl DenovoCache {
     /// Every currently Registered word address, for teardown writebacks.
     pub fn registered_words(&self) -> Vec<PAddr> {
         let mut out = Vec::new();
-        for entry in self.lines.iter().flatten() {
-            for (w, &state) in entry.words.iter().enumerate() {
+        for (i, entry) in self.lines.iter().enumerate() {
+            let Some(entry) = entry else { continue };
+            for (w, &state) in self.stripe(i).iter().enumerate() {
                 if state == WordState::Registered {
                     out.push(entry.line.word_addr(w));
                 }

@@ -13,7 +13,7 @@
 //! never occur, which matches the paper's configurations.
 
 use crate::addr::{LineAddr, WORD_BYTES};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// Identifies a core (CPU or GPU CU) for registration tracking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -57,10 +57,8 @@ enum WordTag {
     Registered(Registration),
 }
 
-#[derive(Debug, Clone)]
-struct LlcLine {
-    words: Box<[WordTag]>,
-}
+/// Slot-table sentinel for "line not resident".
+const EMPTY: u32 = u32::MAX;
 
 /// Outcome of a load request reaching the home L2 bank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,7 +106,18 @@ pub struct Llc {
     banks: usize,
     line_bytes: u64,
     words_per_line: usize,
-    lines: HashMap<LineAddr, LlcLine>,
+    /// Line index (`addr / line_bytes`) → word-arena slot, [`EMPTY`] when
+    /// the line is not resident. Physical frames are handed out densely
+    /// from a low base, so this direct-indexed table stays proportional
+    /// to the touched footprint; a lookup is one bounds check + one array
+    /// read — no hashing on the load/store path.
+    slots: Vec<u32>,
+    /// Word-tag arena: slot `s` owns the `words_per_line` tags starting
+    /// at `s * words_per_line`. Lines are never evicted, so slots are
+    /// append-only.
+    words: Vec<WordTag>,
+    /// Number of resident lines (`slots` entries not [`EMPTY`]).
+    resident: usize,
     dram_line_fetches: u64,
     /// Words whose resident data is corrupt (fault injection's ground
     /// truth). Ordered so diagnostics and scrubs are deterministic.
@@ -128,7 +137,9 @@ impl Llc {
             banks,
             line_bytes: line_bytes as u64,
             words_per_line: line_bytes / WORD_BYTES as usize,
-            lines: HashMap::new(),
+            slots: Vec::new(),
+            words: Vec::new(),
+            resident: 0,
             dram_line_fetches: 0,
             corrupt: BTreeSet::new(),
         }
@@ -149,26 +160,70 @@ impl Llc {
         self.dram_line_fetches
     }
 
-    fn ensure(&mut self, line: LineAddr) -> (bool, &mut LlcLine) {
-        let words = self.words_per_line;
-        let mut fetched = false;
-        let entry = self.lines.entry(line).or_insert_with(|| {
-            fetched = true;
-            LlcLine {
-                words: vec![WordTag::Valid; words].into_boxed_slice(),
-            }
-        });
-        if fetched {
-            self.dram_line_fetches += 1;
+    /// Overrides the DRAM fetch tally. Used by the parallel-kernel merge:
+    /// replaying staged requests re-ensures residency without charging
+    /// fetches twice, so the merged tally is set from the per-shard sums.
+    pub fn set_dram_line_fetches(&mut self, fetches: u64) {
+        self.dram_line_fetches = fetches;
+    }
+
+    fn line_index(&self, line: LineAddr) -> usize {
+        (line.0 / self.line_bytes) as usize
+    }
+
+    /// Resident-line lookup on the read path: `None` when not resident.
+    #[inline]
+    fn line_words(&self, line: LineAddr) -> Option<&[WordTag]> {
+        let &slot = self.slots.get(self.line_index(line))?;
+        if slot == EMPTY {
+            return None;
         }
-        (fetched, entry)
+        let base = slot as usize * self.words_per_line;
+        Some(&self.words[base..base + self.words_per_line])
+    }
+
+    fn ensure(&mut self, line: LineAddr) -> (bool, &mut [WordTag]) {
+        let idx = self.line_index(line);
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, EMPTY);
+        }
+        let mut fetched = false;
+        if self.slots[idx] == EMPTY {
+            let slot =
+                u32::try_from(self.words.len() / self.words_per_line).expect("arena slot fits u32");
+            self.words
+                .resize(self.words.len() + self.words_per_line, WordTag::Valid);
+            self.slots[idx] = slot;
+            self.resident += 1;
+            self.dram_line_fetches += 1;
+            fetched = true;
+        }
+        let base = self.slots[idx] as usize * self.words_per_line;
+        (fetched, &mut self.words[base..base + self.words_per_line])
+    }
+
+    /// Resident lines with their tags, in ascending address order (the
+    /// slot table is indexed by line address, so index order *is* address
+    /// order).
+    fn iter_resident(&self) -> impl Iterator<Item = (LineAddr, &[WordTag])> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|&(_, &slot)| slot != EMPTY)
+            .map(move |(idx, &slot)| {
+                let base = slot as usize * self.words_per_line;
+                (
+                    LineAddr(idx as u64 * self.line_bytes),
+                    &self.words[base..base + self.words_per_line],
+                )
+            })
     }
 
     /// A load request for one word arriving at the home bank.
     pub fn load_word(&mut self, line: LineAddr, word: usize) -> LlcLoadOutcome {
         assert!(word < self.words_per_line);
-        let (from_memory, entry) = self.ensure(line);
-        match entry.words[word] {
+        let (from_memory, tags) = self.ensure(line);
+        match tags[word] {
             WordTag::Valid => LlcLoadOutcome::Data { from_memory },
             WordTag::Registered(r) => LlcLoadOutcome::Forward(r),
         }
@@ -182,12 +237,12 @@ impl Llc {
         new: Registration,
     ) -> RegisterOutcome {
         assert!(word < self.words_per_line);
-        let (from_memory, entry) = self.ensure(line);
-        let previous = match entry.words[word] {
+        let (from_memory, tags) = self.ensure(line);
+        let previous = match tags[word] {
             WordTag::Registered(r) if r != new => Some(r),
             _ => None,
         };
-        entry.words[word] = WordTag::Registered(new);
+        tags[word] = WordTag::Registered(new);
         RegisterOutcome {
             previous,
             from_memory,
@@ -200,10 +255,10 @@ impl Llc {
     /// re-registered elsewhere meanwhile) returns `false` and is dropped.
     pub fn writeback_word(&mut self, line: LineAddr, word: usize, owner: CoreId) -> bool {
         assert!(word < self.words_per_line);
-        let (_, entry) = self.ensure(line);
-        match entry.words[word] {
+        let (_, tags) = self.ensure(line);
+        match tags[word] {
             WordTag::Registered(r) if r.core() == owner => {
-                entry.words[word] = WordTag::Valid;
+                tags[word] = WordTag::Valid;
                 true
             }
             _ => false,
@@ -216,12 +271,12 @@ impl Llc {
     /// revoked (the orchestrator invalidates that copy).
     pub fn store_through(&mut self, line: LineAddr, word: usize) -> Option<Registration> {
         assert!(word < self.words_per_line);
-        let (_, entry) = self.ensure(line);
-        let previous = match entry.words[word] {
+        let (_, tags) = self.ensure(line);
+        let previous = match tags[word] {
             WordTag::Registered(r) => Some(r),
             WordTag::Valid => None,
         };
-        entry.words[word] = WordTag::Valid;
+        tags[word] = WordTag::Valid;
         previous
     }
 
@@ -229,9 +284,8 @@ impl Llc {
     /// `(from_memory, skip)` where `skip` lists word indices registered by
     /// cores *other than* `requester` (the LLC cannot supply those).
     pub fn line_fill(&mut self, line: LineAddr, requester: CoreId) -> (bool, Vec<usize>) {
-        let (from_memory, entry) = self.ensure(line);
-        let skip = entry
-            .words
+        let (from_memory, tags) = self.ensure(line);
+        let skip = tags
             .iter()
             .enumerate()
             .filter(|(_, w)| matches!(w, WordTag::Registered(r) if r.core() != requester))
@@ -242,7 +296,7 @@ impl Llc {
 
     /// The current registration of a word, if any (diagnostic/registry view).
     pub fn registration(&self, line: LineAddr, word: usize) -> Option<Registration> {
-        self.lines.get(&line).and_then(|e| match e.words[word] {
+        self.line_words(line).and_then(|tags| match tags[word] {
             WordTag::Registered(r) => Some(r),
             WordTag::Valid => None,
         })
@@ -251,9 +305,8 @@ impl Llc {
     /// Number of words currently registered to `core` (diagnostics; the
     /// papershape tests use this to assert lazy-writeback behaviour).
     pub fn words_registered_to(&self, core: CoreId) -> usize {
-        self.lines
-            .values()
-            .flat_map(|l| l.words.iter())
+        self.words
+            .iter()
             .filter(|w| matches!(w, WordTag::Registered(r) if r.core() == core))
             .count()
     }
@@ -261,32 +314,24 @@ impl Llc {
     /// Every currently-registered word, as `(line, word index, owner)`,
     /// sorted by address — the registry side of the invariant checks (the
     /// runtime oracle walks this to confirm each registration names a core
-    /// that really holds the word Registered).
+    /// that really holds the word Registered). The slot table is indexed
+    /// by line address, so the walk is sorted for free.
     pub fn registered_words(&self) -> Vec<(LineAddr, usize, Registration)> {
-        let mut out: Vec<(LineAddr, usize, Registration)> = self
-            .lines
-            .iter()
-            .flat_map(|(&line, l)| {
-                l.words
-                    .iter()
-                    .enumerate()
-                    .filter_map(move |(i, w)| match w {
-                        WordTag::Registered(r) => Some((line, i, *r)),
-                        WordTag::Valid => None,
-                    })
+        self.iter_resident()
+            .flat_map(|(line, tags)| {
+                tags.iter().enumerate().filter_map(move |(i, w)| match w {
+                    WordTag::Registered(r) => Some((line, i, *r)),
+                    WordTag::Valid => None,
+                })
             })
-            .collect();
-        out.sort_by_key(|&(line, word, _)| (line, word));
-        out
+            .collect()
     }
 
     /// Every resident line address, sorted — the residency side of the
     /// architectural-state digest (a truncated DMA that never filled a
     /// line shows up here).
     pub fn resident_line_addrs(&self) -> Vec<LineAddr> {
-        let mut out: Vec<LineAddr> = self.lines.keys().copied().collect();
-        out.sort_unstable();
-        out
+        self.iter_resident().map(|(line, _)| line).collect()
     }
 
     // ------------------------------------------------------------------

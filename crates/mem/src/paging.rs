@@ -13,6 +13,16 @@
 
 use crate::addr::{PAddr, VAddr};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Frame-table sentinel for "page not mapped".
+const NO_FRAME: u64 = u64::MAX;
+
+/// Virtual pages below this index live in the direct-indexed table; the
+/// workloads' address spaces are dense and low, so in practice every
+/// translation is one array read. Higher (pathological) pages spill to a
+/// hash map so correctness never depends on the window.
+const DIRECT_PAGES: u64 = 1 << 20;
 
 /// A demand-allocating page table.
 ///
@@ -30,7 +40,17 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct PageTable {
     page_bytes: u64,
-    frames: HashMap<u64, u64>,
+    /// Direct-indexed page → frame table ([`NO_FRAME`] = unmapped),
+    /// grown on demand: the hot translation path is a single indexed
+    /// read, no hashing. Behind an `Arc` so cloning a page table — the
+    /// epoch-parallel runner snapshots one per CU per kernel, and its
+    /// pre-touch pass guarantees shards never allocate — shares the
+    /// table instead of copying it; the first insert after a clone
+    /// copies on write.
+    frames: Arc<Vec<u64>>,
+    /// Sparse spill for pages at or beyond [`DIRECT_PAGES`].
+    spill: HashMap<u64, u64>,
+    mapped: usize,
     next_frame: u64,
 }
 
@@ -47,7 +67,9 @@ impl PageTable {
         );
         Self {
             page_bytes,
-            frames: HashMap::new(),
+            frames: Arc::new(Vec::new()),
+            spill: HashMap::new(),
+            mapped: 0,
             next_frame: 16, // leave low frames unused, like a real kernel
         }
     }
@@ -57,16 +79,42 @@ impl PageTable {
         self.page_bytes
     }
 
+    #[inline]
+    fn lookup(&self, page: u64) -> Option<u64> {
+        if page < DIRECT_PAGES {
+            match self.frames.get(page as usize) {
+                Some(&f) if f != NO_FRAME => Some(f),
+                _ => None,
+            }
+        } else {
+            self.spill.get(&page).copied()
+        }
+    }
+
+    fn insert(&mut self, page: u64, frame: u64) {
+        if page < DIRECT_PAGES {
+            let idx = page as usize;
+            let frames = Arc::make_mut(&mut self.frames);
+            if idx >= frames.len() {
+                frames.resize(idx + 1, NO_FRAME);
+            }
+            frames[idx] = frame;
+        } else {
+            self.spill.insert(page, frame);
+        }
+        self.mapped += 1;
+    }
+
     /// Translates a virtual address, allocating a frame on first touch.
     pub fn translate(&mut self, va: VAddr) -> PAddr {
         let page = va.page(self.page_bytes);
-        let frame = match self.frames.get(&page) {
-            Some(&f) => f,
+        let frame = match self.lookup(page) {
+            Some(f) => f,
             None => {
                 // Mix the frame number so physical bank interleaving does
                 // not mirror virtual order exactly; keep it bijective.
                 let f = self.next_frame ^ (self.next_frame >> 1 & 0x3);
-                self.frames.insert(page, f);
+                self.insert(page, f);
                 self.next_frame += 1;
                 f
             }
@@ -77,14 +125,13 @@ impl PageTable {
     /// Translates without allocating; `None` if the page was never touched.
     pub fn try_translate(&self, va: VAddr) -> Option<PAddr> {
         let page = va.page(self.page_bytes);
-        self.frames
-            .get(&page)
+        self.lookup(page)
             .map(|f| PAddr(f * self.page_bytes + va.offset_in(self.page_bytes)))
     }
 
     /// Number of pages mapped so far.
     pub fn mapped_pages(&self) -> usize {
-        self.frames.len()
+        self.mapped
     }
 }
 

@@ -115,6 +115,12 @@ impl TileMap {
         self.rows
     }
 
+    /// Bytes between consecutive row starts (`strideSize`; meaningful
+    /// only when `rows > 1`).
+    pub fn row_stride_bytes(&self) -> u64 {
+        self.row_stride_bytes
+    }
+
     /// Total mapped objects.
     pub fn total_elements(&self) -> u64 {
         self.rows * self.row_elems

@@ -170,6 +170,32 @@ impl Network {
         self.traffic = TrafficStats::new();
     }
 
+    /// Resets *all* accounting — traffic tally and per-router flit
+    /// profile — e.g. when forking a shard network whose accounting will
+    /// later be [`Network::absorb`]ed back.
+    pub fn reset_accounting(&mut self) {
+        self.traffic = TrafficStats::new();
+        self.router_flits.fill(0);
+    }
+
+    /// Adds another network's accounting (traffic tally and router flit
+    /// profile) into this one. The meshes must have the same node count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router profiles differ in length.
+    pub fn absorb(&mut self, other: &Network) {
+        assert_eq!(
+            self.router_flits.len(),
+            other.router_flits.len(),
+            "absorbing a network of a different mesh size"
+        );
+        self.traffic.merge(&other.traffic);
+        for (mine, theirs) in self.router_flits.iter_mut().zip(&other.router_flits) {
+            *mine += theirs;
+        }
+    }
+
     /// Round-trip network latency between two nodes (no message recorded).
     pub fn round_trip_cycles(&self, a: NodeId, b: NodeId) -> u64 {
         self.mesh.hops(a, b) * self.hop_round_trip_cycles

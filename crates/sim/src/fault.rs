@@ -161,6 +161,19 @@ impl FaultConfig {
         self.parity = false;
         self
     }
+
+    /// The same rates and switches with a seed derived deterministically
+    /// from this config's seed and `salt` — an independent draw stream
+    /// for a forked sub-injector (e.g. one per CU in a parallel kernel).
+    /// The derivation is a pure function of `(seed, salt)`, so forks are
+    /// reproducible at any thread count.
+    pub fn fork(&self, salt: u64) -> Self {
+        let mut mix = SplitMix64::new(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        FaultConfig {
+            seed: mix.next_u64(),
+            ..self.clone()
+        }
+    }
 }
 
 /// What the network did to one send attempt.
@@ -251,6 +264,12 @@ impl FaultInjector {
     /// counts by the property tests).
     pub fn trace(&self) -> &[FaultEvent] {
         &self.trace
+    }
+
+    /// Appends another injector's fault trace to this one (merging a
+    /// forked per-CU injector's events back into the machine's trace).
+    pub fn absorb_trace(&mut self, events: &[FaultEvent]) {
+        self.trace.extend_from_slice(events);
     }
 
     /// Records a reaction event (e.g. a retry) in the trace.

@@ -402,6 +402,27 @@ impl TraceSink {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Merges another sink into this one: its retained events are pushed
+    /// in their emission order and its per-CU stall attribution is summed
+    /// in. Used to fold a forked shard's trace back into the machine's
+    /// sink; call in a deterministic shard order to keep the event stream
+    /// reproducible.
+    pub fn absorb(&mut self, other: &TraceSink) {
+        for event in other.events() {
+            self.push(event);
+        }
+        self.dropped += other.dropped;
+        if other.breakdown.len() > self.breakdown.len() {
+            self.breakdown
+                .resize(other.breakdown.len(), StallBreakdown::default());
+        }
+        for (cu, theirs) in other.breakdown.iter().enumerate() {
+            for (reason, cycles) in theirs.iter() {
+                self.breakdown[cu].add(reason, cycles);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

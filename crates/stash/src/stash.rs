@@ -186,7 +186,11 @@ pub struct Stash {
     storage: StashStorage,
     map: StashMap,
     vp: VpMap,
-    tables: HashMap<usize, MapIndexTable>,
+    /// Per-thread-block map index tables, a dense arena indexed by the
+    /// global thread-block id (`None` = no live table). Thread-block ids
+    /// are small sequential integers, so this keeps every stash
+    /// instruction's table lookup an indexed read with no hashing.
+    tables: Vec<Option<MapIndexTable>>,
     /// Stash words whose data is corrupt (fault injection's ground
     /// truth); ordered for deterministic diagnostics.
     corrupt: BTreeSet<usize>,
@@ -208,7 +212,7 @@ impl Stash {
             storage,
             map,
             vp,
-            tables: HashMap::new(),
+            tables: Vec::new(),
             corrupt: BTreeSet::new(),
         }
     }
@@ -242,7 +246,7 @@ impl Stash {
     /// stash-map index (what the hardware does for every stash
     /// instruction, §4.1.2).
     pub fn resolve_slot(&self, tb: usize, slot: usize) -> Option<MapIndex> {
-        self.tables.get(&tb)?.resolve(slot)
+        self.tables.get(tb)?.as_ref()?.resolve(slot)
     }
 
     // ------------------------------------------------------------------
@@ -327,10 +331,11 @@ impl Stash {
             });
         }
         // Reserve the index-table slot first so a full table fails cleanly.
-        let table = self
-            .tables
-            .entry(tb)
-            .or_insert_with(|| MapIndexTable::new(self.cfg.max_maps_per_thread_block));
+        if tb >= self.tables.len() {
+            self.tables.resize_with(tb + 1, || None);
+        }
+        let table = self.tables[tb]
+            .get_or_insert_with(|| MapIndexTable::new(self.cfg.max_maps_per_thread_block));
         if table.len() == self.cfg.max_maps_per_thread_block {
             return Err(SimError::TableFull {
                 table: "map index table",
@@ -349,9 +354,8 @@ impl Stash {
         // new stash-map tail as the back pointer."
         self.vp_release(index);
 
-        let slot = self
-            .tables
-            .get_mut(&tb)
+        let slot = self.tables[tb]
+            .as_mut()
             .expect("table created above")
             .allocate(index)?;
 
@@ -398,8 +402,8 @@ impl Stash {
         }
         let index = self
             .tables
-            .get(&tb)
-            .and_then(|t| t.resolve(slot))
+            .get(tb)
+            .and_then(|t| t.as_ref()?.resolve(slot))
             .ok_or_else(|| {
                 SimError::InvalidMapping(format!("thread block {tb} has no map slot {slot}"))
             })?;
@@ -637,7 +641,7 @@ impl Stash {
     /// writeback, deactivate its entries, and invalidate entries whose
     /// `#DirtyData` is zero. Frees the block's map index table.
     pub fn end_thread_block(&mut self, tb: usize) {
-        let Some(table) = self.tables.remove(&tb) else {
+        let Some(table) = self.tables.get_mut(tb).and_then(Option::take) else {
             return;
         };
         for &idx in table.indices() {
@@ -658,9 +662,12 @@ impl Stash {
     /// kept — the source of cross-kernel reuse) and drop any remaining
     /// thread-block tables.
     pub fn end_kernel(&mut self) {
-        let pending: Vec<usize> = self.tables.keys().copied().collect();
-        for tb in pending {
-            self.end_thread_block(tb);
+        // Ascending thread-block order (the arena index) keeps this
+        // deterministic regardless of allocation history.
+        for tb in 0..self.tables.len() {
+            if self.tables[tb].is_some() {
+                self.end_thread_block(tb);
+            }
         }
         self.storage.self_invalidate();
     }
