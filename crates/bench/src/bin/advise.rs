@@ -21,6 +21,12 @@
 //!    configuration or a documented tie (`verify::validate_prediction`,
 //!    `verify::recommendation_ok`).
 //!
+//! The `verify::dataflow` bounds pass also runs over every analyzed
+//! program: **proven out-of-bounds** accesses fail the run (exit 1)
+//! like any other validation error, while *data-dependent* bounds
+//! (neither provable nor refutable) are reported but exit 0 — unless
+//! `--deny-unknown` makes them fatal too.
+//!
 //! Exits 1 on any validation or recommendation failure, so the binary is
 //! its own CI gate. `--verify` additionally turns on the runtime protocol
 //! oracle during the simulation runs.
@@ -31,8 +37,10 @@ use gpu::config::MemConfigKind;
 use gpu::machine::Machine;
 use gpu::program::Program;
 use gpu::report::RunReport;
+use verify::dataflow::{check_bounds, BoundsSummary};
 use verify::{
-    analyze_workload, recommendation_ok, symbols_for_trace, validate_prediction, Analysis, Symbols,
+    analyze_workload, recommendation_ok, symbols_for_trace, validate_prediction, Analysis,
+    Diagnostic, Symbols,
 };
 use workloads::suite::{self, WorkloadSet};
 
@@ -52,12 +60,14 @@ struct Outcome {
     cells: Vec<Cell>,
     measured_best: Option<MemConfigKind>,
     rec_ok: bool,
+    bounds: BoundsSummary,
+    bounds_diags: Vec<Diagnostic>,
 }
 
 impl Outcome {
     fn failures(&self) -> usize {
         let cell_errors: usize = self.cells.iter().map(|c| c.errors.len()).sum();
-        cell_errors + usize::from(!self.rec_ok)
+        cell_errors + usize::from(!self.rec_ok) + self.bounds.proven_oob
     }
 }
 
@@ -81,6 +91,22 @@ fn advise_one(
     let sys = set.system_config();
     let kinds = set.figure_kinds();
     let analysis = analyze_workload(build, &sys, kinds, symbols);
+
+    // Three-valued bounds verdicts across the figure's configurations
+    // (diagnostics dedup: the same source line repeats per kind).
+    let mut bounds = BoundsSummary::default();
+    let mut bounds_diags: Vec<Diagnostic> = Vec::new();
+    for &kind in kinds {
+        let (diags, summary) = check_bounds(&build(kind), symbols);
+        bounds.proven_safe += summary.proven_safe;
+        bounds.proven_oob += summary.proven_oob;
+        bounds.unknown += summary.unknown;
+        for d in diags {
+            if !bounds_diags.contains(&d) {
+                bounds_diags.push(d);
+            }
+        }
+    }
 
     let jobs: Vec<_> = kinds
         .iter()
@@ -135,6 +161,8 @@ fn advise_one(
         cells,
         measured_best,
         rec_ok,
+        bounds,
+        bounds_diags,
     }
 }
 
@@ -147,6 +175,13 @@ fn print_text(o: &Outcome) {
     );
     for n in &o.analysis.notes {
         println!("  {n}");
+    }
+    println!(
+        "  bounds: {} proven safe, {} proven OOB, {} data-dependent",
+        o.bounds.proven_safe, o.bounds.proven_oob, o.bounds.unknown
+    );
+    for d in &o.bounds_diags {
+        println!("    {} {}: {d}", d.rule.code(), d.severity().name());
     }
     println!(
         "  {:<10}{:>16}{:>16}  validation",
@@ -197,7 +232,7 @@ fn print_json(outcomes: &[Outcome], failures: usize) {
             };
             println!(
                 "        {{\"kind\": \"{}\", \"message\": \"{}\"}}{comma}",
-                n.kind.name(),
+                n.rule.name(),
                 cli::json_escape(&n.message)
             );
         }
@@ -223,6 +258,10 @@ fn print_json(outcomes: &[Outcome], failures: usize) {
         }
         println!("      ],");
         println!(
+            "      \"bounds\": {{\"proven_safe\": {}, \"proven_oob\": {}, \"unknown\": {}}},",
+            o.bounds.proven_safe, o.bounds.proven_oob, o.bounds.unknown
+        );
+        println!(
             "      \"recommended\": \"{}\",",
             o.analysis.recommended.name()
         );
@@ -245,6 +284,8 @@ fn main() {
     let verify = cli::verify_flag(&args);
     let json = cli::json_flag(&args);
     let mut args = args;
+    let deny_unknown = args.iter().any(|a| a == "--deny-unknown");
+    args.retain(|a| a != "--deny-unknown");
     cli::strip_common_flags(&mut args);
 
     let pool = JobPool::new(threads);
@@ -288,6 +329,11 @@ fn main() {
             "\n{failures} cross-validation failure{} — advise FAILED",
             if failures == 1 { "" } else { "s" }
         );
+        std::process::exit(1);
+    }
+    let unknown: usize = outcomes.iter().map(|o| o.bounds.unknown).sum();
+    if deny_unknown && unknown > 0 {
+        eprintln!("\n{unknown} data-dependent bounds check(s) — advise FAILED (--deny-unknown)");
         std::process::exit(1);
     }
 }

@@ -1,28 +1,38 @@
-//! Static DRF linting of workload programs (see `verify::lint`).
+//! Static analysis gate: DRF linting plus the `verify::dataflow`
+//! bounds and race passes over workload programs.
 //!
 //! ```text
-//! cargo run --release -p bench --bin lint                  # built-in suite
-//! cargo run --release -p bench --bin lint -- my.trace      # plus a trace file
-//! cargo run --release -p bench --bin lint -- --json        # machine-readable
+//! cargo run --release -p bench --bin lint                    # built-in suite
+//! cargo run --release -p bench --bin lint -- my.trace        # plus a trace file
+//! cargo run --release -p bench --bin lint -- --json          # SARIF-style JSON
+//! cargo run --release -p bench --bin lint -- --extras        # + diagnostic workloads
+//! cargo run --release -p bench --bin lint -- --deny-unknown  # warnings are fatal
+//! cargo run --release -p bench --bin lint -- --json --baseline ci/lint-baseline.json
 //! ```
 //!
-//! DeNovo guarantees sequential consistency only for data-race-free
-//! programs, so every shipped workload must lint clean: the binary walks
-//! all eleven suite workloads under every memory configuration and flags
-//! cross-thread-block races, cross-core CPU races, CPU stale reads
-//! across GPU kernels, and out-of-bounds stash-map / index expressions.
-//! Trace files given as arguments are linted the same way, with
-//! diagnostics naming their arrays.
+//! Every program is walked by three passes reporting through the
+//! unified `verify::Diagnostic` type with stable `SR0xx` rule codes:
+//! the syntactic DRF linter (`verify::lint`), the three-valued bounds
+//! pass (`verify::dataflow::oob`), and the footprint race pass
+//! (`verify::dataflow::drf`).
 //!
-//! With `--json` the same diagnostics print as one JSON object
-//! (`{"diagnostics": [{source, config, rule, message}...], "total": N}`).
+//! **Exit policy** (severity-driven): any *error*-level finding —
+//! proven races, proven out-of-bounds, the syntactic lint rules —
+//! exits 1. *Warning*-level findings (data-dependent unknowns:
+//! neither provable nor refutable) exit 0 unless `--deny-unknown`.
+//! Build failures exit 2.
 //!
-//! Exits 1 if any diagnostic is produced (including on a trace file —
-//! the linter is a gate, not a report).
+//! With `--json` the findings print as a SARIF-style document
+//! (`version`/`runs`/`tool.driver.rules`/`results`), one result per
+//! line, deterministically ordered. `--baseline PATH` suppresses (for
+//! gating, not printing) any result whose line already appears in the
+//! given SARIF file — CI commits a baseline of the suite's accepted
+//! data-dependent warnings and fails on anything new.
 
 use bench::cli;
 use gpu::config::MemConfigKind;
-use verify::{lint_program, symbols_for_trace, Diagnostic, Symbols};
+use verify::dataflow::{self, BoundsSummary};
+use verify::{lint_program, symbols_for_trace, Diagnostic, Rule, Severity, Symbols};
 use workloads::suite;
 
 struct Finding {
@@ -31,94 +41,199 @@ struct Finding {
     diagnostic: Diagnostic,
 }
 
+impl Finding {
+    /// The SARIF result line; also the unit of baseline comparison.
+    fn sarif_line(&self) -> String {
+        format!(
+            "    {{\"ruleId\": \"{}\", \"level\": \"{}\", \"message\": {{\"text\": \"{}\"}}, \
+             \"locations\": [{{\"logicalLocations\": [{{\"name\": \"{}/{}\"}}]}}]}}",
+            self.diagnostic.rule.code(),
+            self.diagnostic.severity().name(),
+            cli::json_escape(&self.diagnostic.message),
+            cli::json_escape(&self.source),
+            self.config.name(),
+        )
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let found = args.iter().any(|a| a == flag);
+    args.retain(|a| a != flag);
+    found
+}
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        }
+        let v = args[i + 1].clone();
+        args.drain(i..=i + 1);
+        return Some(v);
+    }
+    let prefix = format!("{flag}=");
+    let v = args
+        .iter()
+        .find(|a| a.starts_with(&prefix))
+        .map(|a| a[prefix.len()..].to_string());
+    args.retain(|a| !a.starts_with(&prefix));
+    v
+}
+
+fn analyze_program(
+    program: &gpu::program::Program,
+    symbols: &Symbols,
+    source: &str,
+    kind: MemConfigKind,
+    findings: &mut Vec<Finding>,
+    bounds: &mut BoundsSummary,
+) {
+    let mut diags = lint_program(program, symbols);
+    let (flow, summary) = dataflow::dataflow_diagnostics(program, symbols);
+    diags.extend(flow);
+    bounds.proven_safe += summary.proven_safe;
+    bounds.proven_oob += summary.proven_oob;
+    bounds.unknown += summary.unknown;
+    findings.extend(diags.into_iter().map(|diagnostic| Finding {
+        source: source.to_string(),
+        config: kind,
+        diagnostic,
+    }));
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
     let json = cli::json_flag(&args);
-    let mut args = args;
+    let extras = take_flag(&mut args, "--extras");
+    let deny_unknown = take_flag(&mut args, "--deny-unknown");
+    let baseline_path = take_value(&mut args, "--baseline");
     cli::strip_common_flags(&mut args);
 
-    let mut findings: Vec<Finding> = Vec::new();
+    let baseline: std::collections::HashSet<String> = baseline_path
+        .as_deref()
+        .map(|path| {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            });
+            text.lines()
+                .filter(|l| l.trim_start().starts_with("{\"ruleId\""))
+                .map(|l| l.trim().trim_end_matches(',').to_string())
+                .collect()
+        })
+        .unwrap_or_default();
 
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut bounds = BoundsSummary::default();
+
+    let mut workloads = suite::all();
+    if extras {
+        workloads.extend(suite::extras());
+    }
     if !json {
         println!(
             "=== linting built-in suite ({} workloads) ===",
-            suite::all().len()
+            workloads.len()
         );
     }
     let empty = Symbols::new();
-    let mut suite_diags = 0usize;
-    for workload in suite::all() {
+    for workload in &workloads {
         for kind in MemConfigKind::ALL {
             let program = (workload.build)(kind);
-            for d in lint_program(&program, &empty) {
-                if !json {
-                    println!("{}/{}: {d}", workload.name, kind.name());
-                }
-                suite_diags += 1;
-                findings.push(Finding {
-                    source: workload.name.to_string(),
-                    config: kind,
-                    diagnostic: d,
-                });
-            }
+            analyze_program(
+                &program,
+                &empty,
+                workload.name,
+                kind,
+                &mut findings,
+                &mut bounds,
+            );
         }
-    }
-    if !json && suite_diags == 0 {
-        println!("suite is clean");
     }
 
     for path in &args[1..] {
-        if !json {
-            println!("\n=== linting {path} ===");
-        }
         let trace = cli::load_trace(path);
         let symbols = symbols_for_trace(&trace);
-        let mut file_diags = 0usize;
         for kind in MemConfigKind::ALL {
             let program = trace.try_build(kind).unwrap_or_else(|e| {
                 eprintln!("{path} on {kind}: {e}");
                 std::process::exit(2);
             });
-            for d in lint_program(&program, &symbols) {
-                if !json {
-                    println!("{}: {d}", kind.name());
-                }
-                file_diags += 1;
-                findings.push(Finding {
-                    source: path.clone(),
-                    config: kind,
-                    diagnostic: d,
-                });
-            }
-        }
-        if !json && file_diags == 0 {
-            println!("{path} is clean");
+            analyze_program(&program, &symbols, path, kind, &mut findings, &mut bounds);
         }
     }
 
-    let total = findings.len();
+    // Gate on findings not excused by the baseline.
+    let fresh: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| !baseline.contains(f.sarif_line().trim_start()))
+        .collect();
+    let errors = fresh
+        .iter()
+        .filter(|f| f.diagnostic.severity() == Severity::Error)
+        .count();
+    let warnings = fresh
+        .iter()
+        .filter(|f| f.diagnostic.severity() == Severity::Warning)
+        .count();
+
     if json {
         println!("{{");
-        println!("  \"diagnostics\": [");
-        for (i, f) in findings.iter().enumerate() {
-            let comma = if i + 1 < total { "," } else { "" };
+        println!("\"version\": \"2.1.0\",");
+        println!("\"runs\": [ {{");
+        println!("  \"tool\": {{\"driver\": {{\"name\": \"stash-lint\", \"rules\": [");
+        for (i, rule) in Rule::ALL.iter().enumerate() {
+            let comma = if i + 1 < Rule::ALL.len() { "," } else { "" };
             println!(
-                "    {{\"source\": \"{}\", \"config\": \"{}\", \"rule\": \"{}\", \"message\": \"{}\"}}{comma}",
-                cli::json_escape(&f.source),
-                f.config.name(),
-                f.diagnostic.rule.name(),
-                cli::json_escape(&f.diagnostic.message),
+                "    {{\"id\": \"{}\", \"name\": \"{}\", \"defaultConfiguration\": \
+                 {{\"level\": \"{}\"}}}}{comma}",
+                rule.code(),
+                rule.name(),
+                rule.severity().name(),
             );
         }
-        println!("  ],");
-        println!("  \"total\": {total}");
+        println!("  ]}}}},");
+        println!("  \"results\": [");
+        for (i, f) in findings.iter().enumerate() {
+            let comma = if i + 1 < findings.len() { "," } else { "" };
+            println!("{}{comma}", f.sarif_line());
+        }
+        println!("  ]");
+        println!("}} ]");
         println!("}}");
+    } else {
+        for f in &findings {
+            let excused = baseline.contains(f.sarif_line().trim_start());
+            println!(
+                "{}/{}: {} {}{}: {f}",
+                f.source,
+                f.config.name(),
+                f.diagnostic.rule.code(),
+                f.diagnostic.severity().name(),
+                if excused { " (baseline)" } else { "" },
+                f = f.diagnostic,
+            );
+        }
+        println!(
+            "bounds checks: {} proven safe, {} proven OOB, {} data-dependent",
+            bounds.proven_safe, bounds.proven_oob, bounds.unknown
+        );
+        if findings.is_empty() {
+            println!("all programs are clean");
+        }
     }
 
-    if total > 0 {
+    if errors > 0 || (deny_unknown && warnings > 0) {
         eprintln!(
-            "\n{total} diagnostic{} — lint FAILED",
-            if total == 1 { "" } else { "s" }
+            "\n{errors} error{} and {warnings} warning{} above baseline — lint FAILED{}",
+            if errors == 1 { "" } else { "s" },
+            if warnings == 1 { "" } else { "s" },
+            if deny_unknown && errors == 0 {
+                " (--deny-unknown)"
+            } else {
+                ""
+            },
         );
         std::process::exit(1);
     }

@@ -16,11 +16,23 @@
 //!   (CPU sweeps fold onto its single CPU core). Labels carry the
 //!   `×15` suffix to keep them distinct from the Figure 5 numbers.
 //!
+//! With `--merge`, the binary instead measures the **certified merge
+//! fast path** (BENCH_007): each cell runs sequentially (`Machine::run`),
+//! through the 1-thread parallel runner (fork + full per-word merge
+//! reconciliation — the overhead EXPERIMENTS.md §BENCH_006 quantifies),
+//! and through the 1-thread parallel runner with an honest
+//! `verify::dataflow` conflict certificate installed. The certified and
+//! uncertified parallel runs must agree bit-for-bit; the recorded
+//! `overhead_vs_seq` ratios show how much of the fork+merge tax the
+//! certificate's reconciliation skip recovers.
+//!
 //! ```text
 //! cargo run --release -p bench --bin perf                 # text table
 //! cargo run --release -p bench --bin perf -- --json --out BENCH_006.json
 //! cargo run --release -p bench --bin perf -- --smoke --json   # CI-sized
 //! cargo run --release -p bench --bin perf -- --check BENCH_006.json
+//! cargo run --release -p bench --bin perf -- --merge --json --out BENCH_007.json
+//! cargo run --release -p bench --bin perf -- --check BENCH_007.json
 //! ```
 
 use bench::cli;
@@ -30,6 +42,7 @@ use gpu::program::{CpuOp, CpuPhase, Kernel, Phase, Program, ThreadBlock, WarpOp}
 use mem::addr::VAddr;
 use mem::tile::TileMap;
 use std::time::Instant;
+use verify::dataflow::{certify, MachineShape};
 use workloads::suite;
 
 /// Thread counts swept per cell.
@@ -238,6 +251,189 @@ fn run_cell(cell: &Cell, samples: usize, threads: &[usize]) -> CellResult {
     }
 }
 
+/// One BENCH_007 cell: sequential vs 1-thread parallel (fork + full
+/// merge) vs 1-thread parallel with the certificate's merge fast path.
+struct MergeCellResult {
+    name: String,
+    suite: &'static str,
+    kind: MemConfigKind,
+    sim_cycles: u64,
+    kernels: usize,
+    certified_kernels: u64,
+    wall_seq: f64,
+    wall_par1: f64,
+    wall_certified: f64,
+}
+
+impl MergeCellResult {
+    fn overhead_vs_seq(&self) -> f64 {
+        self.wall_par1 / self.wall_seq
+    }
+
+    fn overhead_vs_seq_certified(&self) -> f64 {
+        self.wall_certified / self.wall_seq
+    }
+}
+
+/// Runs one cell three ways, best-of-`samples` each, asserting the
+/// certified parallel run reproduces the uncertified one bit-for-bit.
+fn run_merge_cell(cell: &Cell, samples: usize) -> MergeCellResult {
+    let sys = suite::WorkloadSet::Apps.system_config();
+    let par = ParallelConfig::with_threads(1);
+    let cert = certify(
+        &cell.program,
+        &MachineShape {
+            cus: sys.gpu_cus,
+            distribution: par.distribution,
+            line_words: sys.words_per_line() as u64,
+        },
+    );
+    let kernels = cert.kernels.len();
+
+    let fail = |label: &str, e: sim::SimError| -> ! {
+        eprintln!("perf --merge: {} ({label}): {e}", cell.name);
+        std::process::exit(1);
+    };
+    let mut wall_seq = f64::INFINITY;
+    let mut sim_cycles = 0u64;
+    for _ in 0..samples {
+        let mut machine = Machine::new(sys.clone(), cell.kind);
+        let start = Instant::now();
+        let report = machine
+            .run(&cell.program)
+            .unwrap_or_else(|e| fail("sequential", e));
+        wall_seq = wall_seq.min(start.elapsed().as_secs_f64());
+        sim_cycles = report.gpu_cycles + report.cpu_cycles;
+    }
+
+    let mut wall_par1 = f64::INFINITY;
+    let mut baseline = None;
+    for _ in 0..samples {
+        let mut machine = Machine::new(sys.clone(), cell.kind);
+        let start = Instant::now();
+        let report = machine
+            .run_parallel(&cell.program, &par)
+            .unwrap_or_else(|e| fail("parallel", e));
+        wall_par1 = wall_par1.min(start.elapsed().as_secs_f64());
+        baseline = Some((format!("{report:?}"), machine.memory().state_digest()));
+    }
+
+    let mut wall_certified = f64::INFINITY;
+    let mut certified_kernels = 0u64;
+    for _ in 0..samples {
+        let mut machine = Machine::new(sys.clone(), cell.kind);
+        machine.set_certificate(cert.clone());
+        let start = Instant::now();
+        let report = machine
+            .run_parallel(&cell.program, &par)
+            .unwrap_or_else(|e| fail("certified", e));
+        wall_certified = wall_certified.min(start.elapsed().as_secs_f64());
+        certified_kernels = machine.certified_kernels();
+        let fp = (format!("{report:?}"), machine.memory().state_digest());
+        assert_eq!(
+            baseline.as_ref(),
+            Some(&fp),
+            "{}: the certificate changed the simulation result",
+            cell.name
+        );
+    }
+
+    MergeCellResult {
+        name: cell.name.clone(),
+        suite: cell.suite,
+        kind: cell.kind,
+        sim_cycles,
+        kernels,
+        certified_kernels,
+        wall_seq,
+        wall_par1,
+        wall_certified,
+    }
+}
+
+fn print_merge_text(cells: &[MergeCellResult]) {
+    println!(
+        "{:<16} {:<13} {:<9} {:>12} {:>9} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "cell",
+        "suite",
+        "config",
+        "sim cycles",
+        "certified",
+        "seq (ms)",
+        "par1 (ms)",
+        "cert (ms)",
+        "overhead",
+        "w/ cert"
+    );
+    for c in cells {
+        println!(
+            "{:<16} {:<13} {:<9} {:>12} {:>5}/{:<3} {:>12.2} {:>12.2} {:>12.2} {:>8.2}x {:>8.2}x",
+            c.name,
+            c.suite,
+            c.kind.name(),
+            c.sim_cycles,
+            c.certified_kernels,
+            c.kernels,
+            c.wall_seq * 1e3,
+            c.wall_par1 * 1e3,
+            c.wall_certified * 1e3,
+            c.overhead_vs_seq(),
+            c.overhead_vs_seq_certified(),
+        );
+    }
+}
+
+fn merge_to_json(cells: &[MergeCellResult], samples: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"BENCH_007\",\n");
+    s.push_str("  \"runner\": \"merge_fast_path\",\n");
+    s.push_str(&format!("  \"host_cpus\": {},\n", host_cpus()));
+    s.push_str(&format!("  \"samples\": {samples},\n"));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!(
+            "      \"name\": \"{}\",\n",
+            cli::json_escape(&c.name)
+        ));
+        s.push_str(&format!("      \"suite\": \"{}\",\n", c.suite));
+        s.push_str(&format!("      \"config\": \"{}\",\n", c.kind.name()));
+        s.push_str(&format!("      \"sim_cycles\": {},\n", c.sim_cycles));
+        s.push_str(&format!("      \"kernels\": {},\n", c.kernels));
+        s.push_str(&format!(
+            "      \"certified_kernels\": {},\n",
+            c.certified_kernels
+        ));
+        s.push_str(&format!(
+            "      \"wall_ms_seq\": {:.3},\n",
+            c.wall_seq * 1e3
+        ));
+        s.push_str(&format!(
+            "      \"wall_ms_par1\": {:.3},\n",
+            c.wall_par1 * 1e3
+        ));
+        s.push_str(&format!(
+            "      \"wall_ms_par1_certified\": {:.3},\n",
+            c.wall_certified * 1e3
+        ));
+        s.push_str(&format!(
+            "      \"overhead_vs_seq\": {:.3},\n",
+            c.overhead_vs_seq()
+        ));
+        s.push_str(&format!(
+            "      \"overhead_vs_seq_certified\": {:.3}\n",
+            c.overhead_vs_seq_certified()
+        ));
+        s.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 fn print_text(cells: &[CellResult]) {
     println!(
         "{:<16} {:<13} {:<9} {:>12} {:>8} {:>12} {:>14} {:>8}",
@@ -316,19 +512,35 @@ fn to_json(cells: &[CellResult], samples: usize) -> String {
 
 /// Structural validation for `--check`: the file must parse as JSON
 /// (objects/arrays/strings/numbers/keywords balance correctly) and
-/// contain the BENCH_006 schema markers.
+/// contain the schema markers of whichever bench it declares
+/// (BENCH_006 thread scaling, or BENCH_007 merge fast path).
 fn check_file(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     json_balanced(&text)?;
-    for marker in [
-        "\"bench\": \"BENCH_006\"",
-        "\"host_cpus\"",
-        "\"cells\"",
-        "\"speedup_vs_1t\"",
-        "\"cycles_per_sec\"",
-        "\"wall_ms\"",
-        "\"threads\"",
-    ] {
+    let markers: &[&str] = if text.contains("\"bench\": \"BENCH_007\"") {
+        &[
+            "\"runner\": \"merge_fast_path\"",
+            "\"host_cpus\"",
+            "\"cells\"",
+            "\"certified_kernels\"",
+            "\"wall_ms_seq\"",
+            "\"wall_ms_par1\"",
+            "\"wall_ms_par1_certified\"",
+            "\"overhead_vs_seq\"",
+            "\"overhead_vs_seq_certified\"",
+        ]
+    } else {
+        &[
+            "\"bench\": \"BENCH_006\"",
+            "\"host_cpus\"",
+            "\"cells\"",
+            "\"speedup_vs_1t\"",
+            "\"cycles_per_sec\"",
+            "\"wall_ms\"",
+            "\"threads\"",
+        ]
+    };
+    for marker in markers {
         if !text.contains(marker) {
             return Err(format!("{path}: missing {marker}"));
         }
@@ -408,13 +620,7 @@ fn main() {
             }
         }
     };
-    let threads: &[usize] = if smoke { &THREADS[..2] } else { &THREADS };
-    let results: Vec<CellResult> = cells(smoke)
-        .iter()
-        .map(|c| run_cell(c, samples, threads))
-        .collect();
-    if json {
-        let text = to_json(&results, samples);
+    let emit = |text: String| {
         if let Some(i) = args.iter().position(|a| a == "--out") {
             let path = args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
                 eprintln!("--out requires a path");
@@ -427,6 +633,26 @@ fn main() {
             eprintln!("wrote {path}");
         }
         print!("{text}");
+    };
+    if args.iter().any(|a| a == "--merge") {
+        let results: Vec<MergeCellResult> = cells(smoke)
+            .iter()
+            .map(|c| run_merge_cell(c, samples))
+            .collect();
+        if json {
+            emit(merge_to_json(&results, samples));
+        } else {
+            print_merge_text(&results);
+        }
+        return;
+    }
+    let threads: &[usize] = if smoke { &THREADS[..2] } else { &THREADS };
+    let results: Vec<CellResult> = cells(smoke)
+        .iter()
+        .map(|c| run_cell(c, samples, threads))
+        .collect();
+    if json {
+        emit(to_json(&results, samples));
     } else {
         print_text(&results);
     }

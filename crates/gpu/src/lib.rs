@@ -44,6 +44,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod certificate;
 pub mod coalescer;
 pub mod config;
 pub mod cpu;
@@ -53,6 +54,7 @@ pub mod memsys;
 pub mod program;
 pub mod report;
 
+pub use certificate::{ConflictCertificate, KernelCertificate};
 pub use config::MemConfigKind;
 pub use machine::Machine;
 pub use program::{Kernel, Phase, Program, Stage, ThreadBlock, WarpOp};

@@ -1,5 +1,6 @@
 //! The whole machine: runs a [`Program`] across its GPU and CPU phases.
 
+use crate::certificate::ConflictCertificate;
 use crate::config::MemConfigKind;
 use crate::cpu::run_cpu_phase;
 use crate::cu::run_cu_blocks;
@@ -58,6 +59,41 @@ impl Default for ParallelConfig {
     }
 }
 
+/// The block-to-CU assignment a kernel would get under `dist` on a
+/// machine with `cus` CUs: entry `i` is block `i`'s CU.
+///
+/// This is the single source of truth for placement — both
+/// [`Machine::run_parallel`] and the `verify::dataflow` footprint pass
+/// (which groups block footprints per CU to prove inter-CU disjointness)
+/// call it, so a [`ConflictCertificate`] always reasons about exactly
+/// the grouping the machine executes.
+#[must_use]
+pub fn assign_blocks(kernel: &Kernel, dist: BlockDistribution, cus: usize) -> Vec<usize> {
+    let mut load = vec![0u64; cus];
+    kernel
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(i, block)| {
+            let cu = match dist {
+                BlockDistribution::RoundRobin => i % cus,
+                BlockDistribution::Balanced => {
+                    // min_by_key returns the first minimum: lowest CU id
+                    // wins ties, so the placement is deterministic.
+                    load.iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &l)| l)
+                        .map_or(0, |(cu, _)| cu)
+                }
+            };
+            // Count an empty block as one unit so pure-launch blocks
+            // still spread out instead of piling onto CU 0.
+            load[cu] += block.instruction_count().max(1);
+            cu
+        })
+        .collect()
+}
+
 /// A simulated machine: one [`SystemConfig`] + one [`MemConfigKind`].
 ///
 /// # Example
@@ -76,6 +112,8 @@ impl Default for ParallelConfig {
 pub struct Machine {
     mem: MemorySystem,
     next_tb_id: usize,
+    certificate: Option<ConflictCertificate>,
+    certified_kernels: u64,
 }
 
 impl Machine {
@@ -88,7 +126,30 @@ impl Machine {
         Self {
             mem: MemorySystem::new(cfg, kind),
             next_tb_id: 0,
+            certificate: None,
+            certified_kernels: 0,
         }
+    }
+
+    /// Installs a [`ConflictCertificate`] for subsequent
+    /// [`Machine::run_parallel`] calls. A kernel merges through the
+    /// certified fast path only when the certificate's machine shape
+    /// (`cus`, `distribution`) matches the run and the kernel's verdict
+    /// at the machine's registration granularity is disjoint; everything
+    /// else silently falls back to full reconciliation, so installing a
+    /// certificate can never change results — only merge work.
+    pub fn set_certificate(&mut self, cert: ConflictCertificate) {
+        self.certificate = Some(cert);
+    }
+
+    /// Removes any installed certificate (full reconciliation resumes).
+    pub fn clear_certificate(&mut self) {
+        self.certificate = None;
+    }
+
+    /// How many kernel merges ran the certified fast path so far.
+    pub fn certified_kernels(&self) -> u64 {
+        self.certified_kernels
     }
 
     /// The underlying memory system (diagnostics, ablation switches).
@@ -196,25 +257,11 @@ impl Machine {
         dist: BlockDistribution,
         cus: usize,
     ) -> Vec<Vec<(usize, &'k ThreadBlock)>> {
+        let assignment = assign_blocks(kernel, dist, cus);
         let mut per_cu: Vec<Vec<(usize, &'k ThreadBlock)>> = vec![Vec::new(); cus];
-        let mut load = vec![0u64; cus];
-        for (i, block) in kernel.blocks.iter().enumerate() {
+        for (block, &cu) in kernel.blocks.iter().zip(&assignment) {
             let id = self.next_tb_id;
             self.next_tb_id += 1;
-            let cu = match dist {
-                BlockDistribution::RoundRobin => i % cus,
-                BlockDistribution::Balanced => {
-                    // min_by_key returns the first minimum: lowest CU id
-                    // wins ties, so the placement is deterministic.
-                    load.iter()
-                        .enumerate()
-                        .min_by_key(|&(_, &l)| l)
-                        .map_or(0, |(cu, _)| cu)
-                }
-            };
-            // Count an empty block as one unit so pure-launch blocks
-            // still spread out instead of piling onto CU 0.
-            load[cu] += block.instruction_count().max(1);
             per_cu[cu].push((id, block));
         }
         per_cu
@@ -227,6 +274,24 @@ impl Machine {
         ordinal: u64,
     ) -> Result<u64, SimError> {
         let cus = self.mem.config().gpu_cus;
+        // The kernel merges through the certified fast path when an
+        // installed certificate proves its inter-CU footprints disjoint
+        // for exactly this machine shape, at the granularity the
+        // registry actually registers at.
+        let certified = self.certificate.as_ref().is_some_and(|c| {
+            c.cus == cus
+                && c.distribution == par.distribution
+                && usize::try_from(ordinal)
+                    .ok()
+                    .and_then(|k| c.kernels.get(k))
+                    .is_some_and(|k| {
+                        if self.mem.line_grain_registration() {
+                            k.line_disjoint
+                        } else {
+                            k.word_disjoint
+                        }
+                    })
+        });
         let per_cu = self.distribute(kernel, par.distribution, cus);
         // Fix every frame assignment before forking: shards must never
         // allocate a frame, or the address map would depend on the CU
@@ -291,7 +356,10 @@ impl Machine {
             shard_dram.push(dram);
         }
         self.mem
-            .apply_staged(logs, par.epoch_cycles, dram_pre, &shard_dram);
+            .apply_staged(logs, par.epoch_cycles, dram_pre, &shard_dram, certified)?;
+        if certified {
+            self.certified_kernels += 1;
+        }
         let launch = self.mem.config().kernel_launch_cycles;
         if self.mem.trace_enabled() {
             for (cu, &used) in cu_cycles.iter().enumerate() {

@@ -64,7 +64,7 @@ pub struct TxCost {
 /// The merge sorts all shards' ops by `(cycle, cu, seq)` and replays them
 /// against the master hierarchy in bounded cycle epochs, which makes the
 /// merged state independent of thread count and epoch length.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum StagedOp {
     /// An LLC word read ([`Llc::load_word`]): materializes residency.
     LoadWord(LineAddr, usize),
@@ -648,6 +648,12 @@ impl MemorySystem {
     /// only the mapped words of a line).
     pub fn set_line_grain_registration(&mut self, line: bool) {
         self.line_grain_registration = line;
+    }
+
+    /// Whether the line-granularity registration ablation is active —
+    /// certificate consumers must then require *line*-disjoint verdicts.
+    pub fn line_grain_registration(&self) -> bool {
+        self.line_grain_registration
     }
 
     /// §8 extension: give every *CPU core* a stash too ("expand the
@@ -2061,11 +2067,15 @@ impl MemorySystem {
     // Epoch-parallel sharding
     // ------------------------------------------------------------------
 
-    /// Forks a per-CU shard for epoch-parallel kernel execution: a full
+    /// Forks a per-CU shard for epoch-parallel kernel execution: a
     /// snapshot of the hierarchy with its accounting zeroed (so shard
     /// accounting sums cleanly back into the master) and a staged-op log
-    /// armed. `salt` derives the shard's fault-injection stream so
-    /// parallel chaos runs are reproducible at any thread count.
+    /// armed. The private structures (L1s, stashes, scratchpads) clone;
+    /// the LLC forks as a copy-on-write view ([`mem::llc::Llc::fork`])
+    /// whose cost is proportional to the lines the shard actually
+    /// touches, not the resident footprint. `salt` derives the shard's
+    /// fault-injection stream so parallel chaos runs are reproducible at
+    /// any thread count.
     #[must_use]
     pub fn fork_shard(&self, salt: u64) -> MemorySystem {
         MemorySystem {
@@ -2076,7 +2086,11 @@ impl MemorySystem {
                 net.reset_accounting();
                 net
             },
-            llc: self.llc.clone(),
+            // A copy-on-write view: the slot table and word arena are
+            // shared with the master, and the shard's touched lines get
+            // private overlay copies — the dominant fork cost on
+            // many-kernel workloads was cloning the whole LLC arena.
+            llc: self.llc.fork(),
             l1s: self.l1s.clone(),
             scratchpads: self.scratchpads.clone(),
             stashes: self.stashes.clone(),
@@ -2202,13 +2216,39 @@ impl MemorySystem {
     /// `shard_dram` each shard's count at absorb time: replay re-fetches
     /// lines the shards already counted, so the counter is rebuilt as
     /// `pre + Σ (shard − pre)` afterwards.
+    ///
+    /// # Certified fast path
+    ///
+    /// With `certified` a [`crate::certificate::ConflictCertificate`]
+    /// vouches that every word is ownership-claimed (registration or DMA
+    /// store-through) by at most one CU this kernel. The replay is
+    /// unchanged, but reconciliation only tracks *cross-core carryover*:
+    /// displaced previous owners whose core differs from the claiming
+    /// CU — i.e. registrations left over from earlier kernels or CPU
+    /// phases. Every candidate the full pass would additionally track is
+    /// then a same-core revocation, and those are no-ops: the sole
+    /// claiming CU's shard resolved its own words sequentially and its
+    /// merged-back structures already carry the outcome. Digests are
+    /// byte-identical; only the reconciliation set shrinks.
+    ///
+    /// When the run-time invariant oracle is armed
+    /// ([`MemorySystem::set_verify`]), every certified merge is
+    /// cross-checked against the actual staged footprints first.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CertificateViolation`] if the oracle catches two CUs
+    /// claiming the same word in a certified kernel — the certificate's
+    /// soundness obligation (certified ⇒ runtime-disjoint) is broken and
+    /// the merge cannot be trusted.
     pub fn apply_staged(
         &mut self,
         logs: Vec<(usize, StageLog)>,
         epoch_cycles: u64,
         dram_pre: u64,
         shard_dram: &[u64],
-    ) {
+        certified: bool,
+    ) -> Result<(), SimError> {
         let mut ops: Vec<(u64, usize, u64, StagedOp)> = Vec::new();
         for (cu, log) in logs {
             ops.reserve(log.ops.len());
@@ -2217,8 +2257,13 @@ impl MemorySystem {
             }
         }
         ops.sort_by_key(|op| (op.0, op.1, op.2));
+        if certified && self.verify {
+            Self::oracle_check(&ops)?;
+        }
         // Every registration that ever named a word this kernel, keyed
         // and iterated in address order (deterministic reconciliation).
+        // Under a certificate only cross-core carryover is tracked (see
+        // above): the claiming CU's own registrations are skipped.
         let mut touched: BTreeMap<(LineAddr, usize), Vec<Registration>> = BTreeMap::new();
         let note = |touched: &mut BTreeMap<(LineAddr, usize), Vec<Registration>>,
                     line: LineAddr,
@@ -2234,15 +2279,20 @@ impl MemorySystem {
         while i < ops.len() {
             let epoch_end = (ops[i].0 / epoch + 1) * epoch;
             while i < ops.len() && ops[i].0 < epoch_end {
-                match ops[i].3.clone() {
+                let cu = ops[i].1;
+                match ops[i].3 {
                     StagedOp::LoadWord(line, w) => {
                         let _ = self.llc.load_word(line, w);
                     }
                     StagedOp::RegisterWord(line, w, reg) => {
                         let out = self.llc.register_word(line, w, reg);
-                        note(&mut touched, line, w, reg);
+                        if !certified {
+                            note(&mut touched, line, w, reg);
+                        }
                         if let Some(prev) = out.previous {
-                            note(&mut touched, line, w, prev);
+                            if !certified || prev.core() != CoreId(cu) {
+                                note(&mut touched, line, w, prev);
+                            }
                         }
                     }
                     StagedOp::WritebackWord(line, w, core) => {
@@ -2250,7 +2300,9 @@ impl MemorySystem {
                     }
                     StagedOp::StoreThrough(line, w) => {
                         if let Some(prev) = self.llc.store_through(line, w) {
-                            note(&mut touched, line, w, prev);
+                            if !certified || prev.core() != CoreId(cu) {
+                                note(&mut touched, line, w, prev);
+                            }
                         }
                     }
                     StagedOp::LineFill(line, core) => {
@@ -2293,6 +2345,37 @@ impl MemorySystem {
         let total: u64 = shard_dram.iter().map(|&d| d - dram_pre).sum();
         self.llc.set_dram_line_fetches(dram_pre + total);
         self.verify_after("apply_staged");
+        Ok(())
+    }
+
+    /// The dynamic footprint oracle: walks a merged, sorted op stream
+    /// and errors on the first word that two distinct CUs ownership-claim
+    /// (word registration or DMA store-through). Claims are exactly the
+    /// operations whose reconciliation entries the certified fast path
+    /// skips, so passing the oracle implies the fast path was sound for
+    /// this kernel. Loads, line fills and writebacks never claim: a
+    /// writeback can legitimately come from a pre-kernel owner on
+    /// another core, and neither affects final ownership.
+    fn oracle_check(ops: &[(u64, usize, u64, StagedOp)]) -> Result<(), SimError> {
+        let mut claims: BTreeMap<(LineAddr, usize), usize> = BTreeMap::new();
+        for &(_, cu, _, op) in ops {
+            let claimed = match op {
+                StagedOp::RegisterWord(line, w, _) | StagedOp::StoreThrough(line, w) => {
+                    Some((line, w))
+                }
+                _ => None,
+            };
+            let Some(key) = claimed else { continue };
+            let first = *claims.entry(key).or_insert(cu);
+            if first != cu {
+                return Err(SimError::CertificateViolation {
+                    word: key.0.word_addr(key.1).0,
+                    first_cu: first,
+                    second_cu: cu,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Pre-touches every page a kernel can reach, in program order, so

@@ -104,6 +104,13 @@ pub struct Stage {
     /// Per-warp operation streams; all warps finish before the next
     /// stage starts (the `__syncthreads` barrier).
     pub warps: Vec<Vec<WarpOp>>,
+    /// The stage's addresses were computed from input *data* (e.g. an
+    /// on-demand index list), not just thread/block ids. The lowered
+    /// lanes are one concrete witness; a different input could produce
+    /// different ones, so static analyses must treat the stage's index
+    /// expressions as unknown (`verify::dataflow` sends them to ⊤) even
+    /// though the simulator executes the concrete lanes recorded here.
+    pub tainted: bool,
 }
 
 impl Stage {
@@ -113,6 +120,7 @@ impl Stage {
             maps: Vec::new(),
             dmas: Vec::new(),
             warps: vec![Vec::new(); warps],
+            tainted: false,
         }
     }
 

@@ -13,7 +13,8 @@
 //! never occur, which matches the paper's configurations.
 
 use crate::addr::{LineAddr, WORD_BYTES};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Identifies a core (CPU or GPU CU) for registration tracking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -101,11 +102,8 @@ pub struct RegisterOutcome {
 /// llc.register_word(line, 0, Registration::Cache(CoreId(2)));
 /// assert!(matches!(llc.load_word(line, 0), LlcLoadOutcome::Forward(_)));
 /// ```
-#[derive(Debug, Clone)]
-pub struct Llc {
-    banks: usize,
-    line_bytes: u64,
-    words_per_line: usize,
+#[derive(Debug, Clone, Default)]
+struct Tables {
     /// Line index (`addr / line_bytes`) → word-arena slot, [`EMPTY`] when
     /// the line is not resident. Physical frames are handed out densely
     /// from a low base, so this direct-indexed table stays proportional
@@ -116,7 +114,26 @@ pub struct Llc {
     /// at `s * words_per_line`. Lines are never evicted, so slots are
     /// append-only.
     words: Vec<WordTag>,
-    /// Number of resident lines (`slots` entries not [`EMPTY`]).
+}
+
+#[derive(Debug, Clone)]
+pub struct Llc {
+    banks: usize,
+    line_bytes: u64,
+    words_per_line: usize,
+    /// The slot table and word-tag arena. The master owns its tables
+    /// (refcount 1, so `Arc::make_mut` mutates in place for free); a
+    /// forked shard shares them read-only and writes to `overlay`
+    /// instead, which makes [`Llc::fork`] a refcount bump rather than a
+    /// copy of the whole arena.
+    tables: Arc<Tables>,
+    /// Shard mode (`Some` only after [`Llc::fork`]): the shard's private
+    /// copies of every line it touched, keyed by line index. Reads check
+    /// here first and fall through to the shared `tables`; writes land
+    /// here, so the base snapshot is never copied and the shard's cost
+    /// is proportional to its own footprint.
+    overlay: Option<BTreeMap<usize, Box<[WordTag]>>>,
+    /// Number of resident lines (base lines plus overlay-only lines).
     resident: usize,
     dram_line_fetches: u64,
     /// Words whose resident data is corrupt (fault injection's ground
@@ -137,11 +154,30 @@ impl Llc {
             banks,
             line_bytes: line_bytes as u64,
             words_per_line: line_bytes / WORD_BYTES as usize,
-            slots: Vec::new(),
-            words: Vec::new(),
+            tables: Arc::new(Tables::default()),
+            overlay: None,
             resident: 0,
             dram_line_fetches: 0,
             corrupt: BTreeSet::new(),
+        }
+    }
+
+    /// Forks a copy-on-write view for a per-CU shard: the slot table and
+    /// word arena are shared (a refcount bump), and every line the shard
+    /// touches gets a private overlay copy on first access. The master
+    /// keeps sole ownership of its tables once the shards are dropped,
+    /// so its own mutation path stays in-place.
+    #[must_use]
+    pub fn fork(&self) -> Llc {
+        Llc {
+            banks: self.banks,
+            line_bytes: self.line_bytes,
+            words_per_line: self.words_per_line,
+            tables: Arc::clone(&self.tables),
+            overlay: Some(BTreeMap::new()),
+            resident: self.resident,
+            dram_line_fetches: self.dram_line_fetches,
+            corrupt: self.corrupt.clone(),
         }
     }
 
@@ -171,52 +207,117 @@ impl Llc {
         (line.0 / self.line_bytes) as usize
     }
 
-    /// Resident-line lookup on the read path: `None` when not resident.
+    /// The base tables' tags for a line, `None` when not resident there.
     #[inline]
-    fn line_words(&self, line: LineAddr) -> Option<&[WordTag]> {
-        let &slot = self.slots.get(self.line_index(line))?;
+    fn base_words(&self, idx: usize) -> Option<&[WordTag]> {
+        let &slot = self.tables.slots.get(idx)?;
         if slot == EMPTY {
             return None;
         }
         let base = slot as usize * self.words_per_line;
-        Some(&self.words[base..base + self.words_per_line])
+        Some(&self.tables.words[base..base + self.words_per_line])
+    }
+
+    /// Resident-line lookup on the read path: `None` when not resident.
+    /// A shard's overlay shadows the shared base tables.
+    #[inline]
+    fn line_words(&self, line: LineAddr) -> Option<&[WordTag]> {
+        let idx = self.line_index(line);
+        if let Some(tags) = self.overlay.as_ref().and_then(|ov| ov.get(&idx)) {
+            return Some(tags);
+        }
+        self.base_words(idx)
     }
 
     fn ensure(&mut self, line: LineAddr) -> (bool, &mut [WordTag]) {
         let idx = self.line_index(line);
-        if idx >= self.slots.len() {
-            self.slots.resize(idx + 1, EMPTY);
+        let wpl = self.words_per_line;
+        let Self {
+            tables,
+            overlay,
+            resident,
+            dram_line_fetches,
+            ..
+        } = self;
+        if let Some(ov) = overlay.as_mut() {
+            // Shard mode: materialize a private copy of the line on first
+            // touch — from the shared base if resident there, otherwise a
+            // fresh all-Valid line, which is the fetch.
+            let mut fetched = false;
+            let tags = ov.entry(idx).or_insert_with(|| {
+                let base: Option<Box<[WordTag]>> = tables
+                    .slots
+                    .get(idx)
+                    .copied()
+                    .filter(|&slot| slot != EMPTY)
+                    .map(|slot| {
+                        let b = slot as usize * wpl;
+                        tables.words[b..b + wpl].into()
+                    });
+                base.unwrap_or_else(|| {
+                    fetched = true;
+                    vec![WordTag::Valid; wpl].into_boxed_slice()
+                })
+            });
+            if fetched {
+                *resident += 1;
+                *dram_line_fetches += 1;
+            }
+            return (fetched, tags);
+        }
+        let t = Arc::make_mut(tables);
+        if idx >= t.slots.len() {
+            t.slots.resize(idx + 1, EMPTY);
         }
         let mut fetched = false;
-        if self.slots[idx] == EMPTY {
-            let slot =
-                u32::try_from(self.words.len() / self.words_per_line).expect("arena slot fits u32");
-            self.words
-                .resize(self.words.len() + self.words_per_line, WordTag::Valid);
-            self.slots[idx] = slot;
-            self.resident += 1;
-            self.dram_line_fetches += 1;
+        if t.slots[idx] == EMPTY {
+            let slot = u32::try_from(t.words.len() / wpl).expect("arena slot fits u32");
+            t.words.resize(t.words.len() + wpl, WordTag::Valid);
+            t.slots[idx] = slot;
+            *resident += 1;
+            *dram_line_fetches += 1;
             fetched = true;
         }
-        let base = self.slots[idx] as usize * self.words_per_line;
-        (fetched, &mut self.words[base..base + self.words_per_line])
+        let base = t.slots[idx] as usize * wpl;
+        (fetched, &mut t.words[base..base + wpl])
     }
 
-    /// Resident lines with their tags, in ascending address order (the
-    /// slot table is indexed by line address, so index order *is* address
-    /// order).
-    fn iter_resident(&self) -> impl Iterator<Item = (LineAddr, &[WordTag])> + '_ {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter(|&(_, &slot)| slot != EMPTY)
-            .map(move |(idx, &slot)| {
+    /// Visits every resident line with its tags, in ascending address
+    /// order (the slot table is indexed by line address, so index order
+    /// *is* address order). In shard mode the overlay's private copies
+    /// shadow the base tables, and overlay-only lines — lines the shard
+    /// fetched itself — are merged in at their index position.
+    fn for_each_resident(&self, mut f: impl FnMut(LineAddr, &[WordTag])) {
+        let line_of = |idx: usize| LineAddr(idx as u64 * self.line_bytes);
+        let mut ov = self.overlay.as_ref().map(|m| m.iter().peekable());
+        for (idx, &slot) in self.tables.slots.iter().enumerate() {
+            let mut shadowed = false;
+            if let Some(it) = ov.as_mut() {
+                // Overlay-only lines below this index come first.
+                while it.peek().is_some_and(|&(&oidx, _)| oidx < idx) {
+                    let (&oidx, tags) = it.next().expect("peeked");
+                    f(line_of(oidx), tags);
+                }
+                // The shard's private copy shadows the base line.
+                if it.peek().is_some_and(|&(&oidx, _)| oidx == idx) {
+                    let (_, tags) = it.next().expect("peeked");
+                    f(line_of(idx), tags);
+                    shadowed = true;
+                }
+            }
+            if !shadowed && slot != EMPTY {
                 let base = slot as usize * self.words_per_line;
-                (
-                    LineAddr(idx as u64 * self.line_bytes),
-                    &self.words[base..base + self.words_per_line],
-                )
-            })
+                f(
+                    line_of(idx),
+                    &self.tables.words[base..base + self.words_per_line],
+                );
+            }
+        }
+        if let Some(it) = ov.as_mut() {
+            for (&oidx, tags) in it {
+                f(line_of(oidx), tags);
+            }
+        }
     }
 
     /// A load request for one word arriving at the home bank.
@@ -305,10 +406,14 @@ impl Llc {
     /// Number of words currently registered to `core` (diagnostics; the
     /// papershape tests use this to assert lazy-writeback behaviour).
     pub fn words_registered_to(&self, core: CoreId) -> usize {
-        self.words
-            .iter()
-            .filter(|w| matches!(w, WordTag::Registered(r) if r.core() == core))
-            .count()
+        let mut n = 0;
+        self.for_each_resident(|_, tags| {
+            n += tags
+                .iter()
+                .filter(|w| matches!(w, WordTag::Registered(r) if r.core() == core))
+                .count();
+        });
+        n
     }
 
     /// Every currently-registered word, as `(line, word index, owner)`,
@@ -317,21 +422,24 @@ impl Llc {
     /// that really holds the word Registered). The slot table is indexed
     /// by line address, so the walk is sorted for free.
     pub fn registered_words(&self) -> Vec<(LineAddr, usize, Registration)> {
-        self.iter_resident()
-            .flat_map(|(line, tags)| {
-                tags.iter().enumerate().filter_map(move |(i, w)| match w {
-                    WordTag::Registered(r) => Some((line, i, *r)),
-                    WordTag::Valid => None,
-                })
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.for_each_resident(|line, tags| {
+            for (i, w) in tags.iter().enumerate() {
+                if let WordTag::Registered(r) = w {
+                    out.push((line, i, *r));
+                }
+            }
+        });
+        out
     }
 
     /// Every resident line address, sorted — the residency side of the
     /// architectural-state digest (a truncated DMA that never filled a
     /// line shows up here).
     pub fn resident_line_addrs(&self) -> Vec<LineAddr> {
-        self.iter_resident().map(|(line, _)| line).collect()
+        let mut out = Vec::new();
+        self.for_each_resident(|line, _| out.push(line));
+        out
     }
 
     // ------------------------------------------------------------------

@@ -33,6 +33,20 @@ pub enum SimError {
     InvalidMapping(String),
     /// A virtual address had no translation and none could be created.
     Unmapped(u64),
+    /// The dynamic footprint oracle caught a conflict certificate lying:
+    /// a kernel merged through the certified fast path, but two CUs
+    /// claimed ownership (registration or DMA store-through) of the same
+    /// word. The certificate's soundness obligation — certified implies
+    /// runtime-disjoint — is violated, so the merged state can no longer
+    /// be trusted and the simulation aborts hard.
+    CertificateViolation {
+        /// The physical word address both CUs claimed.
+        word: u64,
+        /// The CU the sorted merge stream saw claim the word first.
+        first_cu: usize,
+        /// The conflicting CU.
+        second_cu: usize,
+    },
     /// The no-progress watchdog tripped: a request made no forward
     /// progress (all retry attempts were lost, or resilience is disabled
     /// and the only outstanding message was dropped). Carries a
@@ -60,6 +74,14 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidMapping(msg) => write!(f, "invalid mapping: {msg}"),
             SimError::Unmapped(va) => write!(f, "virtual address {va:#x} has no translation"),
+            SimError::CertificateViolation {
+                word,
+                first_cu,
+                second_cu,
+            } => write!(
+                f,
+                "certificate violation: word {word:#x} claimed by CU {first_cu} and CU {second_cu} in a kernel certified conflict-free"
+            ),
             SimError::Deadlock {
                 site,
                 attempts,
@@ -93,6 +115,11 @@ mod tests {
             },
             SimError::InvalidMapping("stale".into()),
             SimError::Unmapped(0x1000),
+            SimError::CertificateViolation {
+                word: 0x4000,
+                first_cu: 0,
+                second_cu: 3,
+            },
             SimError::Deadlock {
                 site: "stash.fetch",
                 attempts: 9,

@@ -46,7 +46,6 @@ use predict::Prediction;
 use sim::config::SystemConfig;
 use stash::StashConfig;
 use std::collections::HashMap;
-use std::fmt;
 
 /// Relative tolerance (percent of the measured value) for modeled
 /// counters.
@@ -60,55 +59,12 @@ pub const MODELED_ABS_SLACK: u64 = 128;
 /// percent of each other count as a tie for the advisor.
 pub const TIE_THRESHOLD_PCT: u64 = 5;
 
-/// Category of an analyzer diagnostic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum NoteKind {
-    /// A strided global stream wasting transaction capacity.
-    PoorCoalescing,
-    /// A footprint that limits residency or exceeds a capacity.
-    CapacityThrash,
-    /// Data written but never re-read — lazy writeback wins.
-    LazyWritebackWin,
-    /// A word overwritten with no intervening read.
-    DeadStore,
-    /// An explicit copy loop whose data the body does not reuse.
-    CopyNoReuse,
-    /// A DMA transfer whose data the block never touches.
-    RedundantDma,
-    /// Informational reuse-scope profile of the access stream.
-    ReuseProfile,
-}
+/// Category of an analyzer diagnostic — the advisory (`SR02x`) subset of
+/// the crate-wide unified [`Rule`](crate::diag::Rule) enum.
+pub use crate::diag::Rule as NoteKind;
 
-impl NoteKind {
-    /// Stable kebab-case name (mirrors [`crate::lint::Rule::name`]).
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            NoteKind::PoorCoalescing => "poor-coalescing",
-            NoteKind::CapacityThrash => "capacity-thrash",
-            NoteKind::LazyWritebackWin => "lazy-writeback-win",
-            NoteKind::DeadStore => "dead-store",
-            NoteKind::CopyNoReuse => "copy-no-reuse",
-            NoteKind::RedundantDma => "redundant-dma",
-            NoteKind::ReuseProfile => "reuse-profile",
-        }
-    }
-}
-
-/// One analyzer diagnostic.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Note {
-    /// The category.
-    pub kind: NoteKind,
-    /// Human-readable, symbolized description.
-    pub message: String,
-}
-
-impl fmt::Display for Note {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {}", self.kind.name(), self.message)
-    }
-}
+/// One analyzer diagnostic: the crate-wide unified type.
+pub type Note = crate::diag::Diagnostic;
 
 /// The full analyzer output for one workload.
 #[derive(Debug, Clone)]
@@ -161,7 +117,7 @@ fn workload_notes<F: Fn(MemConfigKind) -> Program>(
         };
         let wpt = s.words_per_transaction_x100(distinct);
         notes.push(Note {
-            kind: NoteKind::PoorCoalescing,
+            rule: NoteKind::PoorCoalescing,
             message: format!(
                 "array `{}`: {stride} global stream, {}.{:02}/{wpl} words per transaction \
                  — {} extra transactions vs contiguous",
@@ -182,7 +138,7 @@ fn workload_notes<F: Fn(MemConfigKind) -> Program>(
     let summary = reuse::classify_events(&events);
     if summary.accesses > 0 {
         notes.push(Note {
-            kind: NoteKind::ReuseProfile,
+            rule: NoteKind::ReuseProfile,
             message: format!(
                 "{} word accesses over {} distinct words — {} intra-task, {} cross-task, \
                  {} cross-phase reuses",
@@ -198,7 +154,7 @@ fn workload_notes<F: Fn(MemConfigKind) -> Program>(
         let bytes = summary.distinct_words * WORD_BYTES;
         if bytes > sys.l1_bytes as u64 {
             notes.push(Note {
-                kind: NoteKind::CapacityThrash,
+                rule: NoteKind::CapacityThrash,
                 message: format!(
                     "working set of {} KB exceeds the {} KB L1 — expect capacity misses \
                      in the cache configuration",
@@ -211,7 +167,7 @@ fn workload_notes<F: Fn(MemConfigKind) -> Program>(
     let waste = waste::store_waste(&events);
     if !waste.unread.is_empty() {
         notes.push(Note {
-            kind: NoteKind::LazyWritebackWin,
+            rule: NoteKind::LazyWritebackWin,
             message: format!(
                 "{} words (first: {}) written but never re-read — lazy chunked \
                  writeback avoids {} eagerly written-back words",
@@ -224,7 +180,7 @@ fn workload_notes<F: Fn(MemConfigKind) -> Program>(
     if !waste.dead.is_empty() {
         let total: u64 = waste.dead.iter().map(|&(_, n)| n).sum();
         notes.push(Note {
-            kind: NoteKind::DeadStore,
+            rule: NoteKind::DeadStore,
             message: format!(
                 "{total} stores to {} words (first: {}) overwritten before any read",
                 waste.dead.len(),
@@ -235,7 +191,7 @@ fn workload_notes<F: Fn(MemConfigKind) -> Program>(
     let temp_words = waste::write_only_temp_words(&ref_program);
     if temp_words > 0 {
         notes.push(Note {
-            kind: NoteKind::DeadStore,
+            rule: NoteKind::DeadStore,
             message: format!(
                 "{temp_words} temporary local words written but never read within their block"
             ),
@@ -267,7 +223,7 @@ fn workload_notes<F: Fn(MemConfigKind) -> Program>(
         let resident = (capacity / worst_block_words.max(1)).max(1);
         if worst_block_words > capacity {
             notes.push(Note {
-                kind: NoteKind::CapacityThrash,
+                rule: NoteKind::CapacityThrash,
                 message: format!(
                     "a thread block's {worst_block_words} chunk-rounded local words exceed \
                      the {capacity}-word scratchpad/stash"
@@ -275,7 +231,7 @@ fn workload_notes<F: Fn(MemConfigKind) -> Program>(
             });
         } else if (resident as usize) < sys.max_blocks_per_cu {
             notes.push(Note {
-                kind: NoteKind::CapacityThrash,
+                rule: NoteKind::CapacityThrash,
                 message: format!(
                     "local footprint of {worst_block_words} words limits residency to \
                      {resident} blocks per CU (of {})",
@@ -302,7 +258,7 @@ fn workload_notes<F: Fn(MemConfigKind) -> Program>(
         regions.sort();
         for (region, (blocks, words)) in regions {
             notes.push(Note {
-                kind: NoteKind::CopyNoReuse,
+                rule: NoteKind::CopyNoReuse,
                 message: format!(
                     "{region}: explicit copy-in of {words} words across {blocks} blocks \
                      with no reuse — a stash mapping or DMA removes the copy loop"
@@ -323,7 +279,7 @@ fn workload_notes<F: Fn(MemConfigKind) -> Program>(
         regions.sort();
         for (region, count) in regions {
             notes.push(Note {
-                kind: NoteKind::RedundantDma,
+                rule: NoteKind::RedundantDma,
                 message: format!(
                     "{region}: {count} DMA transfers move data the block never touches"
                 ),

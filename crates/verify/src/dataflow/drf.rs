@@ -1,0 +1,293 @@
+//! The generalized DRF pass: race rules re-derived from footprints.
+//!
+//! [`crate::lint`] decides races by enumerating every word into a hash
+//! map — exact, but blind to *why* two blocks conflict and silent about
+//! data-dependent accesses. This pass re-derives the same rules from
+//! the [`footprint`] abstraction:
+//!
+//! * two blocks (or CPU cores) whose **exact** footprints overlap with
+//!   at least one write get a [`Rule::ProvenRace`] error carrying a
+//!   witness word range pulled straight from the set intersection;
+//! * overlap that only appears through a [`Taint::Widened`] footprint
+//!   gets a [`Rule::DataDependentRace`] warning — the widened tile may
+//!   overlap while the real lanes never do;
+//! * a kernel with [`Taint::Top`] blocks gets one warning naming them —
+//!   unbounded data-dependent addresses can never be proven race-free.
+//!
+//! On exact footprints this agrees with the linter (the `lint` bin
+//! cross-checks both passes); its value is the honest three-way split
+//! and the witness ranges.
+//!
+//! [`footprint`]: crate::dataflow::footprint
+
+use crate::dataflow::domain::Taint;
+use crate::dataflow::footprint::{block_footprint, BlockFootprint};
+use crate::diag::{Diagnostic, Rule};
+use crate::lint::Symbols;
+use gpu::program::{CpuOp, Phase, Program};
+use mem::addr::WORD_BYTES;
+
+/// Witness words reported per racing pair.
+const WITNESS_WORDS: usize = 8;
+
+/// Runs the DRF pass over every kernel and CPU phase.
+#[must_use]
+pub fn check_races(program: &Program, symbols: &Symbols) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut kernel_idx = 0usize;
+    for (phase_idx, phase) in program.phases.iter().enumerate() {
+        match phase {
+            Phase::Gpu(kernel) => {
+                let fps: Vec<BlockFootprint> = kernel.blocks.iter().map(block_footprint).collect();
+                let label = |i: usize| format!("kernel {kernel_idx} block {i}");
+                check_group(&fps, &label, symbols, &mut out);
+                let top: Vec<usize> = fps
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, fp)| fp.taint == Taint::Top)
+                    .map(|(i, _)| i)
+                    .collect();
+                if !top.is_empty() && fps.len() > 1 {
+                    out.push(Diagnostic::new(
+                        Rule::DataDependentRace,
+                        format!(
+                            "kernel {kernel_idx}: {} of {} blocks (e.g. block {}) use \
+                             data-dependent global addresses — races cannot be excluded \
+                             statically",
+                            top.len(),
+                            fps.len(),
+                            top[0]
+                        ),
+                    ));
+                }
+                kernel_idx += 1;
+            }
+            Phase::Cpu(cpu) => {
+                let fps: Vec<BlockFootprint> = cpu
+                    .per_core
+                    .iter()
+                    .enumerate()
+                    .map(|(c, ops)| cpu_core_footprint(ops, cpu.stash_maps.get(c)))
+                    .collect();
+                let label = |c: usize| format!("phase {phase_idx} core {c}");
+                check_group(&fps, &label, symbols, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Pairwise race check within one concurrency group.
+fn check_group(
+    fps: &[BlockFootprint],
+    label: &dyn Fn(usize) -> String,
+    symbols: &Symbols,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Precompute each footprint's access union once; the pair loop only
+    // borrows them.
+    let accesses: Vec<_> = fps.iter().map(BlockFootprint::accesses).collect();
+    for i in 0..fps.len() {
+        for j in i + 1..fps.len() {
+            let (a, b) = (&fps[i], &fps[j]);
+            if a.taint == Taint::Top || b.taint == Taint::Top {
+                continue; // covered by the kernel-level warning
+            }
+            // A race needs at least one write; read-read sharing is fine.
+            let mut witness = a.writes.common_words(&accesses[j], WITNESS_WORDS);
+            witness.extend(b.writes.common_words(&accesses[i], WITNESS_WORDS));
+            witness.sort_unstable();
+            witness.dedup();
+            if !witness.is_empty() {
+                let (lo, hi) = (witness[0], *witness.last().expect("nonempty"));
+                let exact = a.taint == Taint::Exact && b.taint == Taint::Exact;
+                let (rule, tail) = if exact {
+                    (Rule::ProvenRace, "on every execution")
+                } else {
+                    (
+                        Rule::DataDependentRace,
+                        "within a data-dependent (widened) footprint",
+                    )
+                };
+                out.push(Diagnostic::new(
+                    rule,
+                    format!(
+                        "{} and {} conflict on {} (witness: {} word{}, at least one write) {tail}",
+                        label(i),
+                        label(j),
+                        symbols.range(lo, hi),
+                        witness.len(),
+                        if witness.len() == 1 { "" } else { "s" },
+                    ),
+                ));
+            } else if (a.taint == Taint::Widened || b.taint == Taint::Widened)
+                && !(a.writes.disjoint(&accesses[j]) && b.writes.disjoint(&accesses[i]))
+            {
+                // No concrete witness, but disjointness is unprovable and
+                // a widened footprint is involved: honest unknown.
+                out.push(Diagnostic::new(
+                    Rule::DataDependentRace,
+                    format!(
+                        "{} and {} have data-dependent footprints that may overlap \
+                         — race neither provable nor refutable",
+                        label(i),
+                        label(j),
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Footprint of one CPU core's op stream (always exact: CPU lanes are
+/// literal addresses in the IR).
+fn cpu_core_footprint(ops: &[CpuOp], maps: Option<&Vec<mem::tile::TileMap>>) -> BlockFootprint {
+    let mut reads: Vec<u64> = Vec::new();
+    let mut writes: Vec<u64> = Vec::new();
+    for op in ops {
+        match op {
+            CpuOp::Compute(_) => {}
+            CpuOp::Mem { write, vaddr } => {
+                let list = if *write { &mut writes } else { &mut reads };
+                list.push(vaddr.0 / WORD_BYTES);
+            }
+            CpuOp::StashMem { write, slot, word } => {
+                let Some(tile) = maps.and_then(|m| m.get(*slot)) else {
+                    continue; // unmapped: the bounds pass reports it
+                };
+                if u64::from(*word) >= tile.local_words() {
+                    continue;
+                }
+                let va = tile.virt_of_local_offset(u64::from(*word) * WORD_BYTES);
+                let list = if *write { &mut writes } else { &mut reads };
+                list.push(va.0 / WORD_BYTES);
+            }
+        }
+    }
+    let mut fp = BlockFootprint::default();
+    for (mut words, set) in [(reads, &mut fp.reads), (writes, &mut fp.writes)] {
+        words.sort_unstable();
+        words.dedup();
+        set.extend(&crate::dataflow::domain::AffineSet::from_sorted_words(
+            &words,
+        ));
+    }
+    fp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu::program::{Kernel, Stage, ThreadBlock, WarpOp};
+    use mem::addr::VAddr;
+
+    fn global_block(base: u64, words: u64, write: bool, tainted: bool) -> ThreadBlock {
+        let mut tb = ThreadBlock::new();
+        let mut stage = Stage::new(1);
+        stage.warps[0] = vec![WarpOp::GlobalMem {
+            write,
+            lanes: (0..words).map(|w| VAddr(base + w * 4)).collect(),
+        }];
+        stage.tainted = tainted;
+        tb.stages.push(stage);
+        tb
+    }
+
+    fn one_kernel(blocks: Vec<ThreadBlock>) -> Program {
+        Program {
+            phases: vec![Phase::Gpu(Kernel { blocks })],
+        }
+    }
+
+    #[test]
+    fn disjoint_blocks_report_nothing() {
+        let p = one_kernel(vec![
+            global_block(0x1000, 8, true, false),
+            global_block(0x2000, 8, true, false),
+        ]);
+        assert!(check_races(&p, &Symbols::new()).is_empty());
+    }
+
+    #[test]
+    fn exact_overlap_is_a_proven_race_with_witness() {
+        let mut symbols = Symbols::new();
+        symbols.add("data", VAddr(0x1000), 0x100);
+        let p = one_kernel(vec![
+            global_block(0x1000, 8, true, false),
+            global_block(0x1010, 8, false, false),
+        ]);
+        let diags = check_races(&p, &symbols);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::ProvenRace);
+        assert!(
+            diags[0].message.contains("data[word"),
+            "{}",
+            diags[0].message
+        );
+        assert!(diags[0].message.contains("4 words"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn read_read_sharing_is_clean() {
+        let p = one_kernel(vec![
+            global_block(0x1000, 8, false, false),
+            global_block(0x1000, 8, false, false),
+        ]);
+        assert!(check_races(&p, &Symbols::new()).is_empty());
+    }
+
+    #[test]
+    fn tainted_blocks_warn_instead_of_erroring() {
+        let p = one_kernel(vec![
+            global_block(0x1000, 4, true, true),
+            global_block(0x8000, 4, true, false),
+        ]);
+        let diags = check_races(&p, &Symbols::new());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::DataDependentRace);
+        assert!(diags[0].message.contains("data-dependent"));
+    }
+
+    #[test]
+    fn cpu_core_conflicts_get_witnesses_too() {
+        let p = Program {
+            phases: vec![Phase::Cpu(gpu::program::CpuPhase {
+                per_core: vec![
+                    vec![CpuOp::Mem {
+                        write: true,
+                        vaddr: VAddr(0x1000),
+                    }],
+                    vec![CpuOp::Mem {
+                        write: false,
+                        vaddr: VAddr(0x1000),
+                    }],
+                ],
+                stash_maps: Vec::new(),
+            })],
+        };
+        let diags = check_races(&p, &Symbols::new());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::ProvenRace);
+        assert!(diags[0].message.contains("core 0"));
+        assert!(diags[0].message.contains("core 1"));
+    }
+
+    #[test]
+    fn agrees_with_the_linter_on_exact_programs() {
+        // Same racy program through both passes: the linter's error and
+        // this pass's proven race name the same pair.
+        let p = one_kernel(vec![
+            global_block(0x1000, 8, true, false),
+            global_block(0x1010, 8, true, false),
+        ]);
+        let lint = crate::lint::lint_program(&p, &Symbols::new());
+        let drf = check_races(&p, &Symbols::new());
+        assert_eq!(lint.len(), 1);
+        assert_eq!(drf.len(), 1);
+        assert_eq!(drf[0].rule, Rule::ProvenRace);
+        for needle in ["block 0", "block 1"] {
+            assert!(lint[0].message.contains(needle));
+            assert!(drf[0].message.contains(needle));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Abstract-interpretation dataflow framework over the workload IR.
+//!
+//! Where the crate's other passes either enumerate concrete words
+//! ([`crate::lint`]) or score access streams ([`crate::analyze`]), this
+//! framework interprets a [`Program`] over symbolic **abstract
+//! domains** — intervals and affine-stride span sets
+//! ([`domain::AffineSpan`]), qualified by a taint lattice
+//! ([`domain::Taint`]) that sends data-dependent index expressions to
+//! ⊤ — and derives three client passes from one shared footprint
+//! extraction ([`footprint`]):
+//!
+//! 1. [`conflict`] — proves per-(kernel, CU) footprints pairwise
+//!    disjoint and emits a [`gpu::ConflictCertificate`]; the machine's
+//!    epoch merge uses it to skip per-word owner reconciliation, and
+//!    the `--verify` dynamic oracle turns any broken promise into a
+//!    hard `SimError::CertificateViolation`.
+//! 2. [`oob`] — three-valued bounds verdicts: proven safe, proven out
+//!    of bounds ([`crate::Rule::ProvenOob`]), or unknown because
+//!    data-dependent ([`crate::Rule::DataDependentBounds`]).
+//! 3. [`drf`] — the linter's race rules re-derived from footprints,
+//!    with witness word ranges ([`crate::Rule::ProvenRace`]) and the
+//!    honest data-dependent middle ground
+//!    ([`crate::Rule::DataDependentRace`]).
+//!
+//! All three passes report through the crate's unified
+//! [`crate::Diagnostic`] type; [`dataflow_diagnostics`] runs the two
+//! diagnostic passes together.
+//!
+//! [`Program`]: gpu::program::Program
+
+pub mod conflict;
+pub mod domain;
+pub mod drf;
+pub mod footprint;
+pub mod oob;
+
+pub use conflict::{certify, certify_mutated, ConflictMutation, MachineShape};
+pub use domain::{AffineSet, AffineSpan, Interval, Taint};
+pub use drf::check_races;
+pub use footprint::{block_footprint, program_footprints, BlockFootprint, KernelFootprints};
+pub use oob::{check_bounds, BoundsSummary, BoundsVerdict};
+
+use crate::diag::Diagnostic;
+use crate::lint::Symbols;
+use gpu::program::Program;
+
+/// Runs the bounds and DRF passes, returning their diagnostics merged
+/// (bounds first) plus the bounds verdict tally.
+#[must_use]
+pub fn dataflow_diagnostics(
+    program: &Program,
+    symbols: &Symbols,
+) -> (Vec<Diagnostic>, BoundsSummary) {
+    let (mut diags, summary) = check_bounds(program, symbols);
+    diags.extend(check_races(program, symbols));
+    (diags, summary)
+}

@@ -41,6 +41,8 @@
 #![forbid(unsafe_code)]
 
 pub mod analyze;
+pub mod dataflow;
+pub mod diag;
 pub mod lint;
 pub mod model;
 
@@ -48,7 +50,8 @@ pub use analyze::predict::Prediction;
 pub use analyze::{
     analyze_workload, recommend, recommendation_ok, validate_prediction, Analysis, Note, NoteKind,
 };
-pub use lint::{lint_program, Diagnostic, Rule, Symbols};
+pub use diag::{Diagnostic, Rule, Severity};
+pub use lint::{lint_program, Symbols};
 pub use model::{check, CheckStats, Counterexample, Event, Mutation, MAX_VERSION};
 
 use workloads::trace::TraceWorkload;

@@ -30,48 +30,11 @@ use gpu::program::{CpuOp, CpuPhase, Kernel, Phase, Program, ThreadBlock, WarpOp}
 use mem::addr::{VAddr, WORD_BYTES};
 use mem::tile::TileMap;
 use std::collections::{HashMap, HashSet};
-use std::fmt;
 
-/// Which rule a diagnostic comes from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Rule {
-    /// Conflicting accesses from two thread blocks of one kernel.
-    CrossBlockRace,
-    /// Conflicting accesses from two cores of one CPU phase.
-    CpuRace,
-    /// A CPU core re-reads a word another agent overwrote while the
-    /// core still held it Shared (CPUs never self-invalidate).
-    CpuStaleRead,
-    /// An index expression escapes its allocation, mapping, or array.
-    OutOfBounds,
-}
-
-impl Rule {
-    /// Stable display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Rule::CrossBlockRace => "cross-block-race",
-            Rule::CpuRace => "cpu-race",
-            Rule::CpuStaleRead => "cpu-stale-read",
-            Rule::OutOfBounds => "out-of-bounds",
-        }
-    }
-}
-
-/// One linter finding.
-#[derive(Debug, Clone)]
-pub struct Diagnostic {
-    /// The violated rule.
-    pub rule: Rule,
-    /// Full message: array, word range, and the two conflicting tasks.
-    pub message: String,
-}
-
-impl fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {}", self.rule.name(), self.message)
-    }
-}
+// The linter reports through the crate-wide unified diagnostic type
+// (stable rule codes, severity levels) shared with `analyze` and
+// `dataflow`; re-exported here so `lint::Diagnostic` keeps working.
+pub use crate::diag::{Diagnostic, Rule, Severity};
 
 /// Array names for diagnostics: `(name, base, footprint)` triples.
 ///

@@ -272,6 +272,12 @@ impl WorkloadBuilder {
         let local = alloc.is_some();
         let words = task.tile.local_words();
         let temporary = task.placement == Placement::Temporary;
+        // An on-demand word list makes every lowered lane data-dependent:
+        // mark the stage so static analyses widen instead of trusting the
+        // concrete witness lanes (see `Stage::tainted`).
+        if task.selected_words.is_some() {
+            stage.tainted = true;
+        }
         // Temporaries leave their instruction slot unbound: the machine's
         // stash degrades to scratchpad behaviour for them (§3.3).
         let slot = slot.unwrap_or(usize::MAX);

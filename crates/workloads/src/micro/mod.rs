@@ -11,7 +11,12 @@
 //!
 //! All four use an array-of-structs whose accessed fields the GPU kernel
 //! updates and the CPUs subsequently read (1 GPU CU, 15 CPU cores).
+//!
+//! [`aliasing`] is a fifth, *extra* microbenchmark outside Figure 5: a
+//! DRF-clean but deliberately uncertifiable read-sharing pattern for the
+//! `verify::dataflow` conflict pass (see `suite::extras`).
 
+pub mod aliasing;
 pub mod implicit;
 pub mod ondemand;
 pub mod pollution;

@@ -123,9 +123,20 @@ pub fn all() -> Vec<Workload> {
     ]
 }
 
-/// Finds a workload by name.
+/// Extra diagnostic workloads: analysable and runnable, but outside the
+/// Figure 5/6 suites (they reproduce no paper bar and never enter the
+/// default matrices or digests).
+pub fn extras() -> Vec<Workload> {
+    vec![Workload {
+        name: micro::aliasing::NAME,
+        set: WorkloadSet::Apps, // needs the multi-CU machine to alias
+        build: micro::aliasing::program,
+    }]
+}
+
+/// Finds a workload by name (suite first, then extras).
 pub fn by_name(name: &str) -> Option<Workload> {
-    all().into_iter().find(|w| w.name == name)
+    all().into_iter().chain(extras()).find(|w| w.name == name)
 }
 
 /// The microbenchmarks in Figure 5 order.
