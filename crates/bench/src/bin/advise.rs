@@ -174,7 +174,7 @@ fn print_text(o: &Outcome) {
         o.cells.len()
     );
     for n in &o.analysis.notes {
-        println!("  {n}");
+        println!("  {} {}: {n}", n.rule.code(), n.severity().name());
     }
     println!(
         "  bounds: {} proven safe, {} proven OOB, {} data-dependent",
@@ -231,7 +231,10 @@ fn print_json(outcomes: &[Outcome], failures: usize) {
                 ""
             };
             println!(
-                "        {{\"kind\": \"{}\", \"message\": \"{}\"}}{comma}",
+                "        {{\"ruleId\": \"{}\", \"level\": \"{}\", \"kind\": \"{}\", \
+                 \"message\": \"{}\"}}{comma}",
+                n.rule.code(),
+                n.severity().name(),
                 n.rule.name(),
                 cli::json_escape(&n.message)
             );

@@ -28,6 +28,10 @@
 //! gating, not printing) any result whose line already appears in the
 //! given SARIF file — CI commits a baseline of the suite's accepted
 //! data-dependent warnings and fails on anything new.
+//! `--update-baseline` regenerates that file in place (at `--baseline`'s
+//! path, `ci/lint-baseline.json` by default) from the current findings,
+//! so accepting an intentional analysis change is one command instead
+//! of a hand-edit.
 
 use bench::cli;
 use gpu::config::MemConfigKind;
@@ -102,16 +106,51 @@ fn analyze_program(
     }));
 }
 
+/// The full SARIF-style document: what `--json` prints and what
+/// `--update-baseline` writes.
+fn sarif_document(findings: &[Finding]) -> String {
+    use std::fmt::Write;
+    let mut doc = String::new();
+    doc.push_str("{\n");
+    doc.push_str("\"version\": \"2.1.0\",\n");
+    doc.push_str("\"runs\": [ {\n");
+    doc.push_str("  \"tool\": {\"driver\": {\"name\": \"stash-lint\", \"rules\": [\n");
+    for (i, rule) in Rule::ALL.iter().enumerate() {
+        let comma = if i + 1 < Rule::ALL.len() { "," } else { "" };
+        writeln!(
+            doc,
+            "    {{\"id\": \"{}\", \"name\": \"{}\", \"defaultConfiguration\": \
+             {{\"level\": \"{}\"}}}}{comma}",
+            rule.code(),
+            rule.name(),
+            rule.severity().name(),
+        )
+        .expect("write to String");
+    }
+    doc.push_str("  ]}},\n");
+    doc.push_str("  \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let comma = if i + 1 < findings.len() { "," } else { "" };
+        writeln!(doc, "{}{comma}", f.sarif_line()).expect("write to String");
+    }
+    doc.push_str("  ]\n");
+    doc.push_str("} ]\n");
+    doc.push_str("}\n");
+    doc
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
     let json = cli::json_flag(&args);
     let extras = take_flag(&mut args, "--extras");
     let deny_unknown = take_flag(&mut args, "--deny-unknown");
+    let update_baseline = take_flag(&mut args, "--update-baseline");
     let baseline_path = take_value(&mut args, "--baseline");
     cli::strip_common_flags(&mut args);
 
     let baseline: std::collections::HashSet<String> = baseline_path
         .as_deref()
+        .filter(|_| !update_baseline)
         .map(|path| {
             let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
                 eprintln!("cannot read baseline {path}: {e}");
@@ -178,30 +217,22 @@ fn main() {
         .filter(|f| f.diagnostic.severity() == Severity::Warning)
         .count();
 
+    if update_baseline {
+        let path = baseline_path.as_deref().unwrap_or("ci/lint-baseline.json");
+        std::fs::write(path, sarif_document(&findings)).unwrap_or_else(|e| {
+            eprintln!("cannot write baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        println!(
+            "baseline {path} updated: {} finding{}",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        );
+        return;
+    }
+
     if json {
-        println!("{{");
-        println!("\"version\": \"2.1.0\",");
-        println!("\"runs\": [ {{");
-        println!("  \"tool\": {{\"driver\": {{\"name\": \"stash-lint\", \"rules\": [");
-        for (i, rule) in Rule::ALL.iter().enumerate() {
-            let comma = if i + 1 < Rule::ALL.len() { "," } else { "" };
-            println!(
-                "    {{\"id\": \"{}\", \"name\": \"{}\", \"defaultConfiguration\": \
-                 {{\"level\": \"{}\"}}}}{comma}",
-                rule.code(),
-                rule.name(),
-                rule.severity().name(),
-            );
-        }
-        println!("  ]}}}},");
-        println!("  \"results\": [");
-        for (i, f) in findings.iter().enumerate() {
-            let comma = if i + 1 < findings.len() { "," } else { "" };
-            println!("{}{comma}", f.sarif_line());
-        }
-        println!("  ]");
-        println!("}} ]");
-        println!("}}");
+        print!("{}", sarif_document(&findings));
     } else {
         for f in &findings {
             let excused = baseline.contains(f.sarif_line().trim_start());

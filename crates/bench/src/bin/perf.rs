@@ -26,6 +26,13 @@
 //! `overhead_vs_seq` ratios show how much of the fork+merge tax the
 //! certificate's reconciliation skip recovers.
 //!
+//! With `--dse`, the binary measures the **surrogate throughput**
+//! (BENCH_008) the design-space engine depends on: each cell sweeps the
+//! full `verify::dse` space with the static predictor, then simulates a
+//! fixed handful of the same points, and records predicted-points/sec,
+//! simulated-points/sec, and their ratio — the amortization factor that
+//! makes exploring thousands of points tractable at all.
+//!
 //! ```text
 //! cargo run --release -p bench --bin perf                 # text table
 //! cargo run --release -p bench --bin perf -- --json --out BENCH_006.json
@@ -33,6 +40,8 @@
 //! cargo run --release -p bench --bin perf -- --check BENCH_006.json
 //! cargo run --release -p bench --bin perf -- --merge --json --out BENCH_007.json
 //! cargo run --release -p bench --bin perf -- --check BENCH_007.json
+//! cargo run --release -p bench --bin perf -- --dse --json --out BENCH_008.json
+//! cargo run --release -p bench --bin perf -- --check BENCH_008.json
 //! ```
 
 use bench::cli;
@@ -351,6 +360,162 @@ fn run_merge_cell(cell: &Cell, samples: usize) -> MergeCellResult {
     }
 }
 
+/// One BENCH_008 cell: surrogate sweep throughput vs simulator cost on
+/// the same design points.
+struct DseCellResult {
+    name: String,
+    suite: &'static str,
+    kind: MemConfigKind,
+    surrogate_points: usize,
+    wall_surrogate: f64,
+    sim_points: usize,
+    wall_sim: f64,
+}
+
+impl DseCellResult {
+    fn points_per_sec(&self) -> f64 {
+        self.surrogate_points as f64 / self.wall_surrogate
+    }
+
+    fn sims_per_sec(&self) -> f64 {
+        self.sim_points as f64 / self.wall_sim
+    }
+
+    /// How many surrogate evaluations fit in one simulation's budget.
+    fn amortization(&self) -> f64 {
+        self.points_per_sec() / self.sims_per_sec()
+    }
+}
+
+/// Sweeps the design space with the surrogate (best-of-`samples`), then
+/// simulates `sim_points` of the ranked points for the cost comparison.
+fn run_dse_cell(w: &suite::Workload, smoke: bool, samples: usize) -> DseCellResult {
+    let space = if smoke {
+        verify::dse::Space::smoke_space()
+    } else {
+        verify::dse::Space::default_space()
+    };
+    let sys = w.set.system_config();
+    let kind = MemConfigKind::Stash;
+    let program = (w.build)(kind);
+
+    let mut wall_surrogate = f64::INFINITY;
+    let mut ranked = Vec::new();
+    for _ in 0..samples {
+        let start = Instant::now();
+        ranked = verify::dse::evaluate_space(&program, &sys, kind, &space);
+        wall_surrogate = wall_surrogate.min(start.elapsed().as_secs_f64());
+    }
+
+    let sim_points = if smoke { 2 } else { 4 };
+    let mut wall_sim = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        for e in ranked.iter().take(sim_points) {
+            Machine::new(e.point.apply(&sys), kind)
+                .run(&program)
+                .unwrap_or_else(|err| {
+                    eprintln!("perf --dse: {} at {}: {err}", w.name, e.point.label());
+                    std::process::exit(1);
+                });
+        }
+        wall_sim = wall_sim.min(start.elapsed().as_secs_f64());
+    }
+
+    DseCellResult {
+        name: w.name.to_string(),
+        suite: if w.set == suite::WorkloadSet::Micro {
+            "micro"
+        } else {
+            "apps"
+        },
+        kind,
+        surrogate_points: ranked.len(),
+        wall_surrogate,
+        sim_points,
+        wall_sim,
+    }
+}
+
+fn print_dse_text(cells: &[DseCellResult]) {
+    println!(
+        "{:<16} {:<9} {:<9} {:>10} {:>12} {:>14} {:>10} {:>12} {:>14}",
+        "cell",
+        "suite",
+        "config",
+        "points",
+        "sweep (ms)",
+        "points/sec",
+        "sims",
+        "sim (ms)",
+        "amortization"
+    );
+    for c in cells {
+        println!(
+            "{:<16} {:<9} {:<9} {:>10} {:>12.2} {:>14.0} {:>10} {:>12.2} {:>13.0}x",
+            c.name,
+            c.suite,
+            c.kind.name(),
+            c.surrogate_points,
+            c.wall_surrogate * 1e3,
+            c.points_per_sec(),
+            c.sim_points,
+            c.wall_sim * 1e3,
+            c.amortization(),
+        );
+    }
+}
+
+fn dse_to_json(cells: &[DseCellResult], samples: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"BENCH_008\",\n");
+    s.push_str("  \"runner\": \"surrogate_dse\",\n");
+    s.push_str(&format!("  \"host_cpus\": {},\n", host_cpus()));
+    s.push_str(&format!("  \"samples\": {samples},\n"));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!(
+            "      \"name\": \"{}\",\n",
+            cli::json_escape(&c.name)
+        ));
+        s.push_str(&format!("      \"suite\": \"{}\",\n", c.suite));
+        s.push_str(&format!("      \"config\": \"{}\",\n", c.kind.name()));
+        s.push_str(&format!(
+            "      \"surrogate_points\": {},\n",
+            c.surrogate_points
+        ));
+        s.push_str(&format!(
+            "      \"wall_ms_surrogate\": {:.3},\n",
+            c.wall_surrogate * 1e3
+        ));
+        s.push_str(&format!(
+            "      \"points_per_sec\": {:.0},\n",
+            c.points_per_sec()
+        ));
+        s.push_str(&format!("      \"sim_points\": {},\n", c.sim_points));
+        s.push_str(&format!(
+            "      \"wall_ms_sim\": {:.3},\n",
+            c.wall_sim * 1e3
+        ));
+        s.push_str(&format!(
+            "      \"sims_per_sec\": {:.1},\n",
+            c.sims_per_sec()
+        ));
+        s.push_str(&format!(
+            "      \"surrogate_amortization\": {:.0}\n",
+            c.amortization()
+        ));
+        s.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 fn print_merge_text(cells: &[MergeCellResult]) {
     println!(
         "{:<16} {:<13} {:<9} {:>12} {:>9} {:>12} {:>12} {:>12} {:>9} {:>9}",
@@ -517,7 +682,18 @@ fn to_json(cells: &[CellResult], samples: usize) -> String {
 fn check_file(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     json_balanced(&text)?;
-    let markers: &[&str] = if text.contains("\"bench\": \"BENCH_007\"") {
+    let markers: &[&str] = if text.contains("\"bench\": \"BENCH_008\"") {
+        &[
+            "\"runner\": \"surrogate_dse\"",
+            "\"host_cpus\"",
+            "\"cells\"",
+            "\"surrogate_points\"",
+            "\"points_per_sec\"",
+            "\"sim_points\"",
+            "\"sims_per_sec\"",
+            "\"surrogate_amortization\"",
+        ]
+    } else if text.contains("\"bench\": \"BENCH_007\"") {
         &[
             "\"runner\": \"merge_fast_path\"",
             "\"host_cpus\"",
@@ -634,6 +810,25 @@ fn main() {
         }
         print!("{text}");
     };
+    if args.iter().any(|a| a == "--dse") {
+        let mut workloads = vec![
+            suite::by_name("implicit").expect("suite has implicit"),
+            suite::by_name("surf").expect("suite has surf"),
+        ];
+        if smoke {
+            workloads.truncate(1);
+        }
+        let results: Vec<DseCellResult> = workloads
+            .iter()
+            .map(|w| run_dse_cell(w, smoke, samples))
+            .collect();
+        if json {
+            emit(dse_to_json(&results, samples));
+        } else {
+            print_dse_text(&results);
+        }
+        return;
+    }
     if args.iter().any(|a| a == "--merge") {
         let results: Vec<MergeCellResult> = cells(smoke)
             .iter()

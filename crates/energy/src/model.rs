@@ -64,6 +64,27 @@ impl Default for EnergyModel {
 }
 
 impl EnergyModel {
+    /// A uniformly scaled model: every constant multiplied by
+    /// `pct`/100 (integer arithmetic; 100 is the identity). The DSE
+    /// sweep uses this to explore process/voltage corners — a pure
+    /// output scale that provably never changes timing decisions.
+    #[must_use]
+    pub fn scaled(&self, pct: u64) -> Self {
+        let s = |e: Energy| e * pct / 100;
+        Self {
+            scratchpad_access: s(self.scratchpad_access),
+            stash_hit: s(self.stash_hit),
+            stash_miss: s(self.stash_miss),
+            l1_hit: s(self.l1_hit),
+            l1_miss: s(self.l1_miss),
+            tlb_access: s(self.tlb_access),
+            l2_access: s(self.l2_access),
+            noc_flit_hop: s(self.noc_flit_hop),
+            core_instruction: s(self.core_instruction),
+            map_translation: s(self.map_translation),
+        }
+    }
+
     /// The paper's Table 3 rows: `(unit, hit_energy, miss_energy)`,
     /// in femtojoules, `None` where the unit cannot miss.
     pub fn table3_rows(&self) -> Vec<(&'static str, Energy, Option<Energy>)> {
@@ -109,6 +130,17 @@ mod tests {
         assert!((40..=45).contains(&pct), "got {pct}%");
         // Stash hit energy is comparable to scratchpad (within 1%).
         assert!(m.stash_hit.abs_diff(m.scratchpad_access) * 100 < m.scratchpad_access);
+    }
+
+    #[test]
+    fn scaled_is_identity_at_100_and_linear() {
+        let m = EnergyModel::default();
+        assert_eq!(m.scaled(100), m);
+        let half = m.scaled(50);
+        assert_eq!(half.l1_hit, m.l1_hit / 2);
+        assert_eq!(half.noc_flit_hop, m.noc_flit_hop / 2);
+        let double = m.scaled(200);
+        assert_eq!(double.core_instruction, m.core_instruction * 2);
     }
 
     #[test]

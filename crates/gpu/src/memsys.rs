@@ -205,13 +205,17 @@ impl MemorySystem {
             Vec::new()
         };
         Self {
-            net: Network::new(Mesh::new(cfg.mesh_side), cfg.hop_round_trip_cycles),
-            llc: Llc::new(cfg.l2_banks, cfg.line_bytes),
+            net: Network::with_latencies(
+                Mesh::new(cfg.mesh_side),
+                cfg.hop_round_trip_cycles,
+                cfg.hop_round_trip_cycles_y,
+            ),
+            llc: Llc::with_interleave(cfg.l2_banks, cfg.line_bytes, cfg.l2_interleave_lines),
             l1s,
             scratchpads,
             stashes,
             pt: PageTable::new(cfg.page_bytes as u64),
-            model: EnergyModel::default(),
+            model: EnergyModel::default().scaled(cfg.energy_scale_pct),
             energy: EnergyAccount::new(),
             counters: Counters::new(),
             gpu_instructions: 0,

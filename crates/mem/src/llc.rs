@@ -121,6 +121,9 @@ pub struct Llc {
     banks: usize,
     line_bytes: u64,
     words_per_line: usize,
+    /// Consecutive lines mapped to the same bank before moving to the
+    /// next (1 = fine line interleaving, the paper's configuration).
+    interleave_lines: u64,
     /// The slot table and word-tag arena. The master owns its tables
     /// (refcount 1, so `Arc::make_mut` mutates in place for free); a
     /// forked shard shares them read-only and writes to `overlay`
@@ -142,18 +145,31 @@ pub struct Llc {
 }
 
 impl Llc {
-    /// Creates an LLC with `banks` banks and `line_bytes` lines.
+    /// Creates an LLC with `banks` banks and `line_bytes` lines,
+    /// interleaved line-by-line (the paper's configuration).
     ///
     /// # Panics
     ///
     /// Panics if either parameter is zero or the line is not word-aligned.
     pub fn new(banks: usize, line_bytes: usize) -> Self {
-        assert!(banks > 0 && line_bytes > 0);
+        Self::with_interleave(banks, line_bytes, 1)
+    }
+
+    /// Creates an LLC whose bank map moves to the next bank only every
+    /// `interleave_lines` consecutive lines (coarser-grained NUCA
+    /// interleaving — a DSE dimension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or the line is not word-aligned.
+    pub fn with_interleave(banks: usize, line_bytes: usize, interleave_lines: u64) -> Self {
+        assert!(banks > 0 && line_bytes > 0 && interleave_lines > 0);
         assert_eq!(line_bytes as u64 % WORD_BYTES, 0);
         Self {
             banks,
             line_bytes: line_bytes as u64,
             words_per_line: line_bytes / WORD_BYTES as usize,
+            interleave_lines,
             tables: Arc::new(Tables::default()),
             overlay: None,
             resident: 0,
@@ -173,6 +189,7 @@ impl Llc {
             banks: self.banks,
             line_bytes: self.line_bytes,
             words_per_line: self.words_per_line,
+            interleave_lines: self.interleave_lines,
             tables: Arc::clone(&self.tables),
             overlay: Some(BTreeMap::new()),
             resident: self.resident,
@@ -181,9 +198,10 @@ impl Llc {
         }
     }
 
-    /// The home bank of a line (lines interleave across banks).
+    /// The home bank of a line (groups of `interleave_lines` consecutive
+    /// lines interleave across banks).
     pub fn bank_of(&self, line: LineAddr) -> usize {
-        ((line.0 / self.line_bytes) % self.banks as u64) as usize
+        ((line.0 / self.line_bytes / self.interleave_lines) % self.banks as u64) as usize
     }
 
     /// Number of banks.
@@ -501,6 +519,26 @@ mod tests {
             seen[l.bank_of(LineAddr(i * 64))] = true;
         }
         assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn coarse_interleave_groups_consecutive_lines() {
+        let l = Llc::with_interleave(4, 64, 4);
+        // Four consecutive lines share a bank, then the map advances.
+        for group in 0..8u64 {
+            for i in 0..4u64 {
+                let line = LineAddr((group * 4 + i) * 64);
+                assert_eq!(l.bank_of(line), (group % 4) as usize);
+            }
+        }
+        // Interleave 1 reproduces the fine-grained default map.
+        let fine = Llc::with_interleave(4, 64, 1);
+        for i in 0..16u64 {
+            assert_eq!(
+                fine.bank_of(LineAddr(i * 64)),
+                Llc::new(4, 64).bank_of(LineAddr(i * 64))
+            );
+        }
     }
 
     #[test]

@@ -119,10 +119,13 @@ impl TrafficStats {
 /// The on-chip network: a mesh plus per-hop latency and traffic accounting.
 ///
 /// Latency model: a full request/response round trip between two nodes
-/// costs `hops * hop_round_trip_cycles`; a one-way message costs half that,
-/// rounded up. Queueing/contention inside routers is not modelled — the
-/// paper's traffic effects come from message counts and sizes, which are
-/// accounted exactly.
+/// costs `x_hops * hop_x + y_hops * hop_y` (the two dimensions may be
+/// clocked differently — [`Network::with_latencies`]; the symmetric
+/// [`Network::new`] sets both to the same cost, reducing to the classic
+/// `hops * hop_round_trip_cycles`). A one-way message costs half the
+/// round trip, rounded up. Queueing/contention inside routers is not
+/// modelled — the paper's traffic effects come from message counts and
+/// sizes, which are accounted exactly.
 ///
 /// # Example
 ///
@@ -137,22 +140,38 @@ impl TrafficStats {
 #[derive(Debug, Clone)]
 pub struct Network {
     mesh: Mesh,
-    hop_round_trip_cycles: u64,
+    hop_x_round_trip_cycles: u64,
+    hop_y_round_trip_cycles: u64,
     traffic: TrafficStats,
     /// Flit traversals through each node's router (hotspot analysis).
     router_flits: Vec<u64>,
 }
 
 impl Network {
-    /// Creates a network over `mesh` with the given per-hop round-trip cost.
+    /// Creates a network over `mesh` with the given per-hop round-trip cost
+    /// (the same in both dimensions).
     pub fn new(mesh: Mesh, hop_round_trip_cycles: u64) -> Self {
+        Self::with_latencies(mesh, hop_round_trip_cycles, hop_round_trip_cycles)
+    }
+
+    /// Creates a network whose X and Y links carry different per-hop
+    /// round-trip costs (e.g. a mesh with wider/faster row links).
+    pub fn with_latencies(mesh: Mesh, hop_x: u64, hop_y: u64) -> Self {
         let nodes = mesh.nodes();
         Self {
             mesh,
-            hop_round_trip_cycles,
+            hop_x_round_trip_cycles: hop_x,
+            hop_y_round_trip_cycles: hop_y,
             traffic: TrafficStats::new(),
             router_flits: vec![0; nodes],
         }
+    }
+
+    /// Round-trip cost of the XY path between two nodes, split by
+    /// dimension — the shared kernel of the latency formulas.
+    fn path_round_trip(&self, a: NodeId, b: NodeId) -> u64 {
+        let (hx, hy) = self.mesh.hops_xy(a, b);
+        hx * self.hop_x_round_trip_cycles + hy * self.hop_y_round_trip_cycles
     }
 
     /// The underlying mesh.
@@ -198,12 +217,12 @@ impl Network {
 
     /// Round-trip network latency between two nodes (no message recorded).
     pub fn round_trip_cycles(&self, a: NodeId, b: NodeId) -> u64 {
-        self.mesh.hops(a, b) * self.hop_round_trip_cycles
+        self.path_round_trip(a, b)
     }
 
     /// One-way network latency between two nodes (no message recorded).
     pub fn one_way_cycles(&self, a: NodeId, b: NodeId) -> u64 {
-        (self.mesh.hops(a, b) * self.hop_round_trip_cycles).div_ceil(2)
+        self.path_round_trip(a, b).div_ceil(2)
     }
 
     /// Sends a message, recording its flit crossings, and returns the
@@ -216,7 +235,7 @@ impl Network {
         for node in self.mesh.route(from, to) {
             self.router_flits[node.0] += msg.flits();
         }
-        (hops * self.hop_round_trip_cycles).div_ceil(2)
+        self.path_round_trip(from, to).div_ceil(2)
     }
 
     /// Emits one [`sim::trace::TraceEvent::NocHop`] per link of the XY
@@ -344,6 +363,29 @@ mod tests {
                 let rt = n.round_trip_cycles(a, b);
                 let ow = n.one_way_cycles(a, b);
                 assert!(2 * ow >= rt && 2 * ow <= rt + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_latencies_split_by_dimension() {
+        let n = Network::with_latencies(Mesh::new(4), 3, 7);
+        // (0,0) -> (2,1): 2 X hops * 3 + 1 Y hop * 7 = 13 round trip.
+        assert_eq!(n.round_trip_cycles(NodeId(0), NodeId(6)), 13);
+        assert_eq!(n.one_way_cycles(NodeId(0), NodeId(6)), 7);
+        for a in n.mesh().iter() {
+            for b in n.mesh().iter() {
+                // Latency stays symmetric even with unequal dimensions.
+                assert_eq!(n.round_trip_cycles(a, b), n.round_trip_cycles(b, a));
+            }
+        }
+        // Equal costs reduce to the classic hops * cost formula.
+        let sym = Network::with_latencies(Mesh::new(4), 5, 5);
+        let plain = net();
+        for a in sym.mesh().iter() {
+            for b in sym.mesh().iter() {
+                assert_eq!(sym.round_trip_cycles(a, b), plain.round_trip_cycles(a, b));
+                assert_eq!(sym.one_way_cycles(a, b), plain.one_way_cycles(a, b));
             }
         }
     }

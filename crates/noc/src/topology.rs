@@ -73,9 +73,16 @@ impl Mesh {
 
     /// Manhattan (XY-routed) hop count between two nodes.
     pub fn hops(&self, from: NodeId, to: NodeId) -> u64 {
+        let (x, y) = self.hops_xy(from, to);
+        x + y
+    }
+
+    /// Per-dimension hop counts `(x_hops, y_hops)` of the XY route —
+    /// the split an asymmetric-latency mesh charges differently.
+    pub fn hops_xy(&self, from: NodeId, to: NodeId) -> (u64, u64) {
         let (fx, fy) = self.coords(from);
         let (tx, ty) = self.coords(to);
-        (fx.abs_diff(tx) + fy.abs_diff(ty)) as u64
+        (fx.abs_diff(tx) as u64, fy.abs_diff(ty) as u64)
     }
 
     /// Maximum hop count between any two nodes (`2 * (side - 1)`).
@@ -111,23 +118,35 @@ impl Mesh {
 mod tests {
     use super::*;
 
+    /// Every side the DSE sweep reaches; the invariants below must hold
+    /// at all of them, not just the paper's 4.
+    const SIDES: std::ops::RangeInclusive<usize> = 1..=8;
+
     #[test]
     fn coords_round_trip() {
-        let mesh = Mesh::new(4);
-        for node in mesh.iter() {
-            let (x, y) = mesh.coords(node);
-            assert_eq!(mesh.node_at(x, y), node);
+        for side in SIDES {
+            let mesh = Mesh::new(side);
+            assert_eq!(mesh.nodes(), side * side);
+            for node in mesh.iter() {
+                let (x, y) = mesh.coords(node);
+                assert_eq!(mesh.node_at(x, y), node);
+            }
         }
     }
 
     #[test]
     fn hops_are_symmetric_and_triangle() {
-        let mesh = Mesh::new(4);
-        for a in mesh.iter() {
-            for b in mesh.iter() {
-                assert_eq!(mesh.hops(a, b), mesh.hops(b, a));
-                for c in mesh.iter() {
-                    assert!(mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c));
+        for side in SIDES {
+            let mesh = Mesh::new(side);
+            for a in mesh.iter() {
+                for b in mesh.iter() {
+                    assert_eq!(mesh.hops(a, b), mesh.hops(b, a));
+                    let (hx, hy) = mesh.hops_xy(a, b);
+                    assert_eq!(mesh.hops_xy(b, a), (hx, hy));
+                    assert_eq!(hx + hy, mesh.hops(a, b));
+                    for c in mesh.iter() {
+                        assert!(mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c));
+                    }
                 }
             }
         }
@@ -135,21 +154,32 @@ mod tests {
 
     #[test]
     fn max_hops_matches_corners() {
-        let mesh = Mesh::new(4);
-        assert_eq!(mesh.max_hops(), 6);
-        assert_eq!(mesh.hops(NodeId(0), NodeId(15)), 6);
-        assert_eq!(mesh.hops(NodeId(3), NodeId(12)), 6);
+        for side in SIDES {
+            let mesh = Mesh::new(side);
+            assert_eq!(mesh.max_hops(), 2 * (side as u64 - 1));
+            // Opposite corners realize the bound; nothing exceeds it.
+            let far = NodeId(side * side - 1);
+            assert_eq!(mesh.hops(NodeId(0), far), mesh.max_hops());
+            for a in mesh.iter() {
+                for b in mesh.iter() {
+                    assert!(mesh.hops(a, b) <= mesh.max_hops());
+                }
+            }
+        }
+        assert_eq!(Mesh::new(4).hops(NodeId(3), NodeId(12)), 6);
     }
 
     #[test]
     fn route_length_matches_hops() {
-        let mesh = Mesh::new(4);
-        for a in mesh.iter() {
-            for b in mesh.iter() {
-                let route = mesh.route(a, b);
-                assert_eq!(route.len() as u64, mesh.hops(a, b) + 1);
-                assert_eq!(*route.first().unwrap(), a);
-                assert_eq!(*route.last().unwrap(), b);
+        for side in SIDES {
+            let mesh = Mesh::new(side);
+            for a in mesh.iter() {
+                for b in mesh.iter() {
+                    let route = mesh.route(a, b);
+                    assert_eq!(route.len() as u64, mesh.hops(a, b) + 1);
+                    assert_eq!(*route.first().unwrap(), a);
+                    assert_eq!(*route.last().unwrap(), b);
+                }
             }
         }
     }
@@ -162,8 +192,24 @@ mod tests {
     }
 
     #[test]
+    fn first_out_of_range_node_panics_at_every_side() {
+        for side in SIDES {
+            let mesh = Mesh::new(side);
+            let bad = NodeId(mesh.nodes());
+            let caught = std::panic::catch_unwind(|| mesh.coords(bad));
+            assert!(caught.is_err(), "side {side}: {bad} must be rejected");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "outside")]
     fn coords_panics_out_of_mesh() {
         Mesh::new(2).coords(NodeId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_side_mesh_panics() {
+        Mesh::new(0);
     }
 }

@@ -34,7 +34,9 @@ pub struct SystemConfig {
     pub cpu_cores: usize,
     /// Number of GPU compute units (CUs) on the mesh.
     pub gpu_cus: usize,
-    /// Mesh side length; the paper uses a 4×4 mesh (16 nodes).
+    /// Mesh side length; the paper uses a 4×4 mesh (16 nodes). Agents
+    /// beyond the node count co-locate (core `i` sits on tile
+    /// `i % nodes`), so a small mesh can still host the paper's 16 cores.
     pub mesh_side: usize,
     /// Scratchpad/stash capacity per CU in bytes (16 KB).
     pub scratchpad_bytes: usize,
@@ -50,8 +52,13 @@ pub struct SystemConfig {
     pub line_bytes: usize,
     /// Shared L2 capacity in bytes (4 MB NUCA).
     pub l2_bytes: usize,
-    /// L2 bank count (16, one per mesh node).
+    /// L2 bank count (16, one per mesh node). Bank counts above the node
+    /// count co-locate several banks per tile; below it, the low tiles
+    /// host the banks.
     pub l2_banks: usize,
+    /// Consecutive lines mapped to one bank before the interleave moves to
+    /// the next (1 = classic line interleave).
+    pub l2_interleave_lines: u64,
     /// L2 associativity.
     pub l2_ways: usize,
     /// L1 and stash hit latency in cycles (1).
@@ -61,10 +68,15 @@ pub struct SystemConfig {
     /// Base L2 access latency at distance zero; the paper's 29–61-cycle
     /// range emerges from this base plus mesh hops.
     pub l2_base_cycles: u64,
-    /// Additional round-trip latency per one-way mesh hop. With a 4×4 mesh
-    /// (max 6 hops) and base 29 this yields the paper's 29–61 range (not
-    /// exactly 61 — 29 + 6·5 = 59 — but within the published band).
+    /// Additional round-trip latency per one-way mesh hop in the X
+    /// dimension. With a 4×4 mesh (max 6 hops) and base 29 this yields the
+    /// paper's 29–61 range (not exactly 61 — 29 + 6·5 = 59 — but within
+    /// the published band).
     pub hop_round_trip_cycles: u64,
+    /// Round-trip latency per Y-dimension hop. The paper's mesh is
+    /// symmetric (equal to `hop_round_trip_cycles`); the design-space
+    /// sweep also explores meshes with faster row links than column links.
+    pub hop_round_trip_cycles_y: u64,
     /// Extra latency a request pays at the memory controller beyond the L2
     /// path; 168 extra cycles turns 29–61 into the paper's 197–261 band
     /// (197–227 from the L2 path plus controller-distance jitter).
@@ -93,6 +105,11 @@ pub struct SystemConfig {
     /// Fixed GPU cycles per kernel launch (driver + dispatch overhead;
     /// a few microseconds on Fermi-class hardware).
     pub kernel_launch_cycles: u64,
+    /// Global scale on the per-event energy constants, in percent
+    /// (100 = the Table 3 process node). Energy is linear in its
+    /// constants, so this dimension is provably monotone for the
+    /// design-space sweep and never needs simulation to rank.
+    pub energy_scale_pct: u64,
 }
 
 impl SystemConfig {
@@ -133,17 +150,17 @@ impl SystemConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the violated constraint: core counts must
-    /// fit on the mesh, sizes must be powers of two where the hardware
-    /// requires it, and the line size must be a multiple of the word size.
+    /// Returns a message naming the violated constraint: the machine must
+    /// have at least one agent and one mesh node (agents co-locate when
+    /// they outnumber nodes), sizes must be powers of two where the
+    /// hardware requires it, and the line size must be a multiple of the
+    /// word size.
     pub fn validate(&self) -> Result<(), String> {
-        if self.cpu_cores + self.gpu_cus > self.mesh_nodes() {
-            return Err(format!(
-                "{} CPU cores + {} GPU CUs exceed the {} mesh nodes",
-                self.cpu_cores,
-                self.gpu_cus,
-                self.mesh_nodes()
-            ));
+        if self.cpu_cores + self.gpu_cus == 0 {
+            return Err("the machine needs at least one CPU core or GPU CU".into());
+        }
+        if self.mesh_side == 0 {
+            return Err("mesh_side must be at least 1".into());
         }
         for (name, v) in [
             ("line_bytes", self.line_bytes),
@@ -167,8 +184,14 @@ impl SystemConfig {
         if !self.threads_per_block.is_multiple_of(self.warp_size) {
             return Err("threads_per_block must be a whole number of warps".into());
         }
-        if self.l2_banks == 0 || self.l2_banks > self.mesh_nodes() {
-            return Err("l2_banks must be between 1 and the node count".into());
+        if self.l2_banks == 0 {
+            return Err("l2_banks must be at least 1".into());
+        }
+        if self.l2_interleave_lines == 0 {
+            return Err("l2_interleave_lines must be at least 1".into());
+        }
+        if self.energy_scale_pct == 0 {
+            return Err("energy_scale_pct must be at least 1".into());
         }
         Ok(())
     }
@@ -190,11 +213,13 @@ impl Default for SystemConfig {
             line_bytes: 64,
             l2_bytes: 4 * 1024 * 1024,
             l2_banks: 16,
+            l2_interleave_lines: 1,
             l2_ways: 16,
             l1_hit_cycles: 1,
             stash_translation_cycles: 10,
             l2_base_cycles: 29,
             hop_round_trip_cycles: 5,
+            hop_round_trip_cycles_y: 5,
             dram_extra_cycles: 168,
             remote_base_cycles: 35,
             vp_map_entries: 64,
@@ -207,7 +232,117 @@ impl Default for SystemConfig {
             max_outstanding_misses: 64,
             stash_chunk_bytes: 64,
             kernel_launch_cycles: 2000,
+            energy_scale_pct: 100,
         }
+    }
+}
+
+/// One point of the hardware design space the `dse` engine sweeps: the
+/// geometry and latency/energy knobs that vary across candidate designs,
+/// applied over a baseline [`SystemConfig`] (which keeps the workload-set
+/// choices — core counts, clocks, capacities — fixed).
+///
+/// [`DesignPoint::default`] is the paper's operating point: applying it
+/// to any baseline returns that baseline unchanged, which is what keeps
+/// the default-geometry figures byte-identical.
+///
+/// # Example
+///
+/// ```
+/// use sim::config::{DesignPoint, SystemConfig};
+///
+/// let base = SystemConfig::for_applications();
+/// assert_eq!(DesignPoint::default().apply(&base), base);
+///
+/// let wide = DesignPoint { mesh_side: 8, ..DesignPoint::default() };
+/// let sys = wide.apply(&base);
+/// assert_eq!(sys.mesh_nodes(), 64);
+/// assert!(sys.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignPoint {
+    /// Mesh side length (the paper: 4).
+    pub mesh_side: usize,
+    /// X-dimension per-hop round-trip cycles (the paper: 5).
+    pub hop_x_cycles: u64,
+    /// Y-dimension per-hop round-trip cycles (the paper: 5, symmetric).
+    pub hop_y_cycles: u64,
+    /// LLC bank count (the paper: 16).
+    pub l2_banks: usize,
+    /// Lines per bank before the interleave advances (the paper: 1).
+    pub l2_interleave_lines: u64,
+    /// Stash map-table entries per CU (the paper: 64).
+    pub stash_map_entries: usize,
+    /// Base LLC access latency (the paper: 29).
+    pub l2_base_cycles: u64,
+    /// Extra memory-controller latency past the LLC (the paper: 168).
+    pub dram_extra_cycles: u64,
+    /// Base three-leg remote-forward latency (the paper: 35).
+    pub remote_base_cycles: u64,
+    /// Stash translation latency charged on misses (the paper: 10).
+    pub stash_translation_cycles: u64,
+    /// Energy-constant scale in percent (the paper's process: 100).
+    pub energy_scale_pct: u64,
+}
+
+impl Default for DesignPoint {
+    fn default() -> Self {
+        let sys = SystemConfig::default();
+        Self {
+            mesh_side: sys.mesh_side,
+            hop_x_cycles: sys.hop_round_trip_cycles,
+            hop_y_cycles: sys.hop_round_trip_cycles_y,
+            l2_banks: sys.l2_banks,
+            l2_interleave_lines: sys.l2_interleave_lines,
+            stash_map_entries: sys.stash_map_entries,
+            l2_base_cycles: sys.l2_base_cycles,
+            dram_extra_cycles: sys.dram_extra_cycles,
+            remote_base_cycles: sys.remote_base_cycles,
+            stash_translation_cycles: sys.stash_translation_cycles,
+            energy_scale_pct: sys.energy_scale_pct,
+        }
+    }
+}
+
+impl DesignPoint {
+    /// Overlays this point's knobs on `base`, keeping everything the
+    /// point does not cover (core counts, clocks, cache capacities).
+    #[must_use]
+    pub fn apply(&self, base: &SystemConfig) -> SystemConfig {
+        SystemConfig {
+            mesh_side: self.mesh_side,
+            hop_round_trip_cycles: self.hop_x_cycles,
+            hop_round_trip_cycles_y: self.hop_y_cycles,
+            l2_banks: self.l2_banks,
+            l2_interleave_lines: self.l2_interleave_lines,
+            stash_map_entries: self.stash_map_entries,
+            l2_base_cycles: self.l2_base_cycles,
+            dram_extra_cycles: self.dram_extra_cycles,
+            remote_base_cycles: self.remote_base_cycles,
+            stash_translation_cycles: self.stash_translation_cycles,
+            energy_scale_pct: self.energy_scale_pct,
+            ..base.clone()
+        }
+    }
+
+    /// Compact stable label, e.g. `m4 h5/5 b16/i1 s64 L29+168+35 t10 e100`
+    /// — the key the `dse` reports print per point.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "m{} h{}/{} b{}/i{} s{} L{}+{}+{} t{} e{}",
+            self.mesh_side,
+            self.hop_x_cycles,
+            self.hop_y_cycles,
+            self.l2_banks,
+            self.l2_interleave_lines,
+            self.stash_map_entries,
+            self.l2_base_cycles,
+            self.dram_extra_cycles,
+            self.remote_base_cycles,
+            self.stash_translation_cycles,
+            self.energy_scale_pct,
+        )
     }
 }
 
@@ -260,13 +395,73 @@ mod tests {
     }
 
     #[test]
-    fn validate_rejects_overfull_mesh() {
-        let cfg = SystemConfig {
-            cpu_cores: 16,
-            gpu_cus: 1,
+    fn validate_accepts_colocated_agents_and_rejects_degenerates() {
+        // More agents than nodes co-locate on tiles (core i % nodes):
+        // a 2×2 mesh still hosts the paper's 16 agents.
+        let crowded = SystemConfig {
+            mesh_side: 2,
             ..SystemConfig::default()
         };
-        assert!(cfg.validate().is_err());
+        assert!(crowded.validate().is_ok());
+        let empty = SystemConfig {
+            cpu_cores: 0,
+            gpu_cus: 0,
+            ..SystemConfig::default()
+        };
+        assert!(empty.validate().is_err());
+        let banks = SystemConfig {
+            l2_banks: 0,
+            ..SystemConfig::default()
+        };
+        assert!(banks.validate().is_err());
+        let interleave = SystemConfig {
+            l2_interleave_lines: 0,
+            ..SystemConfig::default()
+        };
+        assert!(interleave.validate().is_err());
+    }
+
+    #[test]
+    fn design_point_default_is_identity() {
+        for base in [
+            SystemConfig::for_microbenchmarks(),
+            SystemConfig::for_applications(),
+        ] {
+            assert_eq!(DesignPoint::default().apply(&base), base);
+        }
+    }
+
+    #[test]
+    fn design_point_applies_every_dimension() {
+        let p = DesignPoint {
+            mesh_side: 8,
+            hop_x_cycles: 3,
+            hop_y_cycles: 7,
+            l2_banks: 32,
+            l2_interleave_lines: 4,
+            stash_map_entries: 16,
+            l2_base_cycles: 20,
+            dram_extra_cycles: 200,
+            remote_base_cycles: 50,
+            stash_translation_cycles: 4,
+            energy_scale_pct: 80,
+        };
+        let sys = p.apply(&SystemConfig::for_applications());
+        assert_eq!(sys.mesh_side, 8);
+        assert_eq!(sys.hop_round_trip_cycles, 3);
+        assert_eq!(sys.hop_round_trip_cycles_y, 7);
+        assert_eq!(sys.l2_banks, 32);
+        assert_eq!(sys.l2_interleave_lines, 4);
+        assert_eq!(sys.stash_map_entries, 16);
+        assert_eq!(sys.l2_base_cycles, 20);
+        assert_eq!(sys.dram_extra_cycles, 200);
+        assert_eq!(sys.remote_base_cycles, 50);
+        assert_eq!(sys.stash_translation_cycles, 4);
+        assert_eq!(sys.energy_scale_pct, 80);
+        // The baseline's machine choice survives the overlay.
+        assert_eq!((sys.cpu_cores, sys.gpu_cus), (1, 15));
+        assert!(sys.validate().is_ok());
+        assert!(p.label().starts_with("m8 h3/7 b32/i4"));
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //!   data-dependent *unknowns* are warnings (the honest third state the
 //!   abstract interpretation adds — neither proven safe nor proven
 //!   broken);
-//! * `SR02x` — advisory access-pattern notes (informational).
+//! * `SR02x` — advisory access-pattern notes (informational);
+//! * `SR03x` — design-space exploration audit findings
+//!   ([`crate::dse`]): the simulator contradicting the surrogate's
+//!   ranking is a cost-model bug worth a stable code.
 
 use std::fmt;
 
@@ -79,12 +82,16 @@ pub enum Rule {
     RedundantDma,
     /// Informational reuse-scope profile of the access stream.
     ReuseProfile,
+    /// The simulator measured the opposite order of two design points
+    /// the surrogate ranked — a cost-model misrank found by the DSE
+    /// audit loop, symbolized with the responsible cost term.
+    SurrogateMisrank,
 }
 
 impl Rule {
     /// Every rule, in code order (stable; used to emit SARIF rule
     /// tables without enumerating variants at each call site).
-    pub const ALL: [Rule; 15] = [
+    pub const ALL: [Rule; 16] = [
         Rule::CrossBlockRace,
         Rule::CpuRace,
         Rule::CpuStaleRead,
@@ -100,6 +107,7 @@ impl Rule {
         Rule::CopyNoReuse,
         Rule::RedundantDma,
         Rule::ReuseProfile,
+        Rule::SurrogateMisrank,
     ];
 
     /// Stable display name (kebab-case).
@@ -121,6 +129,7 @@ impl Rule {
             Rule::CopyNoReuse => "copy-no-reuse",
             Rule::RedundantDma => "redundant-dma",
             Rule::ReuseProfile => "reuse-profile",
+            Rule::SurrogateMisrank => "surrogate-misrank",
         }
     }
 
@@ -143,6 +152,7 @@ impl Rule {
             Rule::CopyNoReuse => "SR024",
             Rule::RedundantDma => "SR025",
             Rule::ReuseProfile => "SR026",
+            Rule::SurrogateMisrank => "SR030",
         }
     }
 
@@ -156,7 +166,9 @@ impl Rule {
             | Rule::OutOfBounds
             | Rule::ProvenOob
             | Rule::ProvenRace => Severity::Error,
-            Rule::DataDependentBounds | Rule::DataDependentRace => Severity::Warning,
+            Rule::DataDependentBounds | Rule::DataDependentRace | Rule::SurrogateMisrank => {
+                Severity::Warning
+            }
             Rule::PoorCoalescing
             | Rule::CapacityThrash
             | Rule::LazyWritebackWin
@@ -215,6 +227,7 @@ mod tests {
         assert_eq!(Rule::CrossBlockRace.code(), "SR001");
         assert_eq!(Rule::ProvenOob.code(), "SR010");
         assert_eq!(Rule::PoorCoalescing.code(), "SR020");
+        assert_eq!(Rule::SurrogateMisrank.code(), "SR030");
     }
 
     #[test]
