@@ -19,19 +19,26 @@
 
 use bench::chaos::{run_campaign, CampaignConfig, CellRun, Outcome, Target};
 use bench::cli;
+use bench::crash::{run_crash_campaign, CrashCampaignConfig, CrashRun};
 use gpu::config::MemConfigKind;
 use workloads::suite;
 
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [trace files...] [--seeds N] [--no-resilience] [--no-parity]\n             \
-         [--expect-escapes] [flags]\n\
+         [--expect-escapes] [--crash [--crash-dir DIR]] [flags]\n\
          --seeds N     fault seeds per matrix cell (default 16; seeds are S..S+N\n              \
          with S from --fault-seed, default 1)\n\
          --no-resilience  disable retry/timeout/fallback machinery (demonstrates escapes)\n\
          --no-parity   disable the parity/ECC detection model (demonstrates escapes)\n\
          --expect-escapes  invert the gate: exit 0 iff escapes occurred (for\n              \
          demonstration runs with the machinery disabled)\n\
+         --crash       run the kill-and-recover campaign instead of fault injection:\n              \
+         each seed kills the run at a seeded barrier (a third of them\n              \
+         tearing the snapshot mid-write), restores from the newest valid\n              \
+         checkpoint, and classifies against the golden digest\n\
+         --crash-dir DIR  scratch directory for the crash campaign's checkpoint\n              \
+         stores (default: a per-process directory under the system tmpdir)\n\
          {}\n{}\n{}\n{}",
         cli::FAULT_SEED_USAGE,
         cli::THREADS_USAGE,
@@ -86,6 +93,140 @@ fn print_json(cells: &[CellRun], escapes: usize) {
     println!("}}");
 }
 
+fn print_crash_json(cells: &[CrashRun], escapes: usize) {
+    println!("{{");
+    println!("  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let detail = match &c.outcome {
+            Outcome::Detected(d) => format!(", \"detector\": \"{}\"", d.label()),
+            Outcome::SilentEscape(why) => {
+                format!(", \"leak\": \"{}\"", cli::json_escape(why))
+            }
+            Outcome::Recovered => String::new(),
+        };
+        let resumed = c.resumed_from.map_or("null".to_string(), |s| s.to_string());
+        println!(
+            "    {{\"workload\": \"{}\", \"config\": \"{}\", \"seed\": {}, \
+             \"barrier\": {}, \"mode\": \"{:?}\", \"outcome\": \"{}\"{detail}, \
+             \"checkpoints\": {}, \"resumed_from\": {resumed}, \"rejected\": {}}}{comma}",
+            cli::json_escape(&c.workload),
+            c.kind.name(),
+            c.seed,
+            c.barrier,
+            c.mode,
+            c.outcome.label(),
+            c.checkpoints,
+            c.rejected,
+        );
+    }
+    println!("  ],");
+    println!("  \"escapes\": {escapes}");
+    println!("}}");
+}
+
+fn run_crash_mode(
+    targets: &[Target<'_>],
+    kinds: &[MemConfigKind],
+    cfg: &CrashCampaignConfig,
+    scratch: &std::path::Path,
+    json: bool,
+) -> ! {
+    if !json {
+        println!(
+            "chaos --crash — {} workload(s) × {} config(s) × {} seed(s), scratch {}",
+            targets.len(),
+            kinds.len(),
+            cfg.seeds.len(),
+            scratch.display(),
+        );
+    }
+    let campaign = run_crash_campaign(targets, kinds, cfg, scratch).unwrap_or_else(|e| {
+        eprintln!("chaos --crash: {e}");
+        std::process::exit(2);
+    });
+    let _ = std::fs::remove_dir_all(scratch);
+    let escapes = campaign.escapes();
+    if json {
+        print_crash_json(&campaign.cells, escapes.len());
+    } else {
+        let name_width = targets
+            .iter()
+            .map(|t| t.name.len())
+            .max()
+            .unwrap_or(0)
+            .max("workload".len())
+            + 2;
+        println!(
+            "{:<name_width$}{:<10}{:>10}{:>11}{:>10}{:>8}{:>10}",
+            "workload", "config", "recovered", "detected", "escapes", "ckpts", "rejected"
+        );
+        for t in targets {
+            for &kind in kinds {
+                let runs: Vec<&CrashRun> = campaign
+                    .cells
+                    .iter()
+                    .filter(|c| c.workload == t.name && c.kind == kind)
+                    .collect();
+                let recovered = runs
+                    .iter()
+                    .filter(|c| c.outcome == Outcome::Recovered)
+                    .count();
+                let detected = runs
+                    .iter()
+                    .filter(|c| matches!(c.outcome, Outcome::Detected(_)))
+                    .count();
+                let ckpts: u64 = runs.iter().map(|c| c.checkpoints).sum();
+                let rejected: u64 = runs.iter().map(|c| c.rejected).sum();
+                println!(
+                    "{:<name_width$}{:<10}{:>10}{:>11}{:>10}{:>8}{:>10}",
+                    t.name,
+                    kind.name(),
+                    recovered,
+                    detected,
+                    runs.len() - recovered - detected,
+                    ckpts,
+                    rejected
+                );
+            }
+        }
+        println!(
+            "\ntotal: {} kill-and-recover runs — {} recovered, {} torn-snapshot detections, \
+             {} escape(s); {} torn/corrupt file(s) rejected",
+            campaign.cells.len(),
+            campaign.recovered(),
+            campaign.detected(),
+            escapes.len(),
+            campaign.total_rejected(),
+        );
+    }
+    for c in &escapes {
+        let why = match &c.outcome {
+            Outcome::SilentEscape(why) => why.as_str(),
+            _ => unreachable!("escapes() only returns silent escapes"),
+        };
+        eprintln!(
+            "ESCAPE: {} on {} seed {} (barrier {}, {:?}): {why}",
+            c.workload,
+            c.kind.name(),
+            c.seed,
+            c.barrier,
+            c.mode,
+        );
+    }
+    if !escapes.is_empty() {
+        eprintln!(
+            "\n{} crash-recovery escape(s) — the crash-consistency contract is violated",
+            escapes.len()
+        );
+        std::process::exit(1);
+    }
+    if !json {
+        println!("no crash-recovery escapes — contract holds");
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let threads = cli::thread_count(&args);
@@ -105,9 +246,17 @@ fn main() {
     let resilience = !args.iter().any(|a| a == "--no-resilience");
     let parity = !args.iter().any(|a| a == "--no-parity");
     let expect_escapes = args.iter().any(|a| a == "--expect-escapes");
-    args.retain(|a| a != "--no-resilience" && a != "--no-parity" && a != "--expect-escapes");
+    let crash = args.iter().any(|a| a == "--crash");
+    let crash_dir = flag_value(&mut args, "--crash-dir");
+    args.retain(|a| {
+        a != "--no-resilience" && a != "--no-parity" && a != "--expect-escapes" && a != "--crash"
+    });
     if args.iter().any(|a| a.starts_with("--")) {
         usage();
+    }
+    if crash && (!resilience || !parity || expect_escapes) {
+        eprintln!("--crash is incompatible with --no-resilience/--no-parity/--expect-escapes");
+        std::process::exit(2);
     }
 
     // Targets: the trace files given, or the Figure 5 microbenchmarks.
@@ -139,6 +288,17 @@ fn main() {
                 build,
             });
         }
+    }
+
+    if crash {
+        let mut cfg =
+            CrashCampaignConfig::new((seed_base..seed_base + seed_count).collect(), threads);
+        cfg.verify = verify;
+        let scratch = crash_dir.map_or_else(
+            || std::env::temp_dir().join(format!("stash-chaos-crash-{}", std::process::id())),
+            std::path::PathBuf::from,
+        );
+        run_crash_mode(&targets, &kinds, &cfg, &scratch, json);
     }
 
     let mut cfg = CampaignConfig::new((seed_base..seed_base + seed_count).collect(), threads);

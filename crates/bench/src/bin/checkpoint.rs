@@ -1,0 +1,282 @@
+//! Save, resume, and inspect machine checkpoints.
+//!
+//! ```text
+//! cargo run --release -p bench --bin checkpoint -- save lud Stash --dir /tmp/ckpt
+//! cargo run --release -p bench --bin checkpoint -- save lud Stash --dir /tmp/ckpt --until 3
+//! cargo run --release -p bench --bin checkpoint -- resume lud Stash --dir /tmp/ckpt
+//! cargo run --release -p bench --bin checkpoint -- inspect --dir /tmp/ckpt
+//! ```
+//!
+//! `save` runs a suite workload (or a trace file) with a snapshot at
+//! every phase barrier; `--until K` stops the run after phase `K`'s
+//! barrier, leaving a mid-program checkpoint behind. `resume` restores
+//! the newest valid snapshot (reporting any torn files it skipped) and
+//! finishes the run — the report and state digest are bit-identical to
+//! an uninterrupted run. `inspect` decodes what a checkpoint directory
+//! holds without running anything.
+
+use bench::cli;
+use gpu::config::MemConfigKind;
+use gpu::machine::{Machine, RunCursor, SECTION_META, SECTION_MSYS};
+use gpu::program::Program;
+use gpu::report::RunReport;
+use sim::config::SystemConfig;
+use sim::snapshot::{read_snapshot, CheckpointStore, Reader};
+use sim::SimError;
+use workloads::suite;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: checkpoint save <workload|file.trace> <config> --dir DIR [--until K] [flags]\n\
+         checkpoint resume <workload|file.trace> <config> --dir DIR [flags]\n\
+         checkpoint inspect --dir DIR\n\
+         <workload>    a suite name ({}) or a .trace file\n\
+         <config>      one of {}\n\
+         --dir DIR     the checkpoint directory\n\
+         --until K     (save) stop after phase K's barrier instead of finishing\n\
+         {}\n{}",
+        suite::all()
+            .iter()
+            .map(|w| w.name)
+            .collect::<Vec<_>>()
+            .join(", "),
+        MemConfigKind::ALL
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+        cli::VERIFY_USAGE,
+        cli::JSON_USAGE,
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            usage();
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        return Some(v);
+    }
+    let prefix = format!("{flag}=");
+    if let Some(i) = args.iter().position(|a| a.starts_with(&prefix)) {
+        let v = args.remove(i)[prefix.len()..].to_string();
+        return Some(v);
+    }
+    None
+}
+
+/// Resolves a workload operand: a suite name or a trace file path.
+fn resolve(spec: &str, kind: MemConfigKind) -> (SystemConfig, Program) {
+    if spec.ends_with(".trace") || std::path::Path::new(spec).exists() {
+        let trace = cli::load_trace(spec);
+        (trace.set().system_config(), trace.build(kind))
+    } else if let Some(w) = suite::by_name(spec) {
+        (w.set.system_config(), (w.build)(kind))
+    } else {
+        eprintln!("unknown workload {spec} (not a suite name, and no such file)");
+        std::process::exit(2);
+    }
+}
+
+fn print_report(label: &str, report: &RunReport, digest: u64) {
+    println!(
+        "{label}: {} GPU + {} CPU cycles, {} ps, {} instrs, {} fJ, digest {digest:016x}",
+        report.gpu_cycles,
+        report.cpu_cycles,
+        report.total_picos,
+        report.gpu_instructions,
+        report.total_energy(),
+    );
+}
+
+fn cmd_save(spec: &str, kind: MemConfigKind, dir: &str, until: Option<usize>, verify: bool) -> i32 {
+    const STOP: &str = "checkpoint save --until stop";
+    let (sys, program) = resolve(spec, kind);
+    let store = CheckpointStore::open(std::path::Path::new(dir)).unwrap_or_else(|e| {
+        eprintln!("cannot open checkpoint directory {dir}: {e}");
+        std::process::exit(2);
+    });
+    let mut machine = Machine::new(sys, kind);
+    machine.memory_mut().set_verify(verify);
+    let mut cursor = RunCursor::default();
+    let result = machine.run_from(&program, None, &mut cursor, |m, c| {
+        let snap = m.checkpoint(&program, *c);
+        let seq = store
+            .save(&snap)
+            .map_err(|e| SimError::Config(format!("checkpoint write failed: {e}")))?;
+        println!(
+            "barrier after phase {}/{}: wrote {}",
+            c.next_phase,
+            program.phases.len(),
+            store.path_for(seq).display()
+        );
+        if until.is_some_and(|k| c.next_phase >= k) {
+            return Err(SimError::Config(STOP.to_string()));
+        }
+        Ok(())
+    });
+    match result {
+        Ok(report) => {
+            print_report("completed", &report, machine.memory().state_digest());
+            0
+        }
+        Err(SimError::Config(msg)) if msg == STOP => {
+            println!(
+                "stopped after phase {}/{} — resume with: checkpoint resume {spec} {} --dir {dir}",
+                cursor.next_phase,
+                program.phases.len(),
+                kind.name(),
+            );
+            0
+        }
+        Err(e) => {
+            cli::sim_failure_status(&format!("checkpoint save: {spec} on {}", kind.name()), &e)
+        }
+    }
+}
+
+fn cmd_resume(spec: &str, kind: MemConfigKind, dir: &str, verify: bool) -> i32 {
+    let (_, program) = resolve(spec, kind);
+    let store = CheckpointStore::open(std::path::Path::new(dir)).unwrap_or_else(|e| {
+        eprintln!("cannot open checkpoint directory {dir}: {e}");
+        std::process::exit(2);
+    });
+    let Some((seq, snap, rejected)) = store.latest_valid() else {
+        eprintln!("no valid snapshot in {dir}");
+        return 1;
+    };
+    for (bad, err) in &rejected {
+        eprintln!(
+            "skipped torn/corrupt {}: {err}",
+            store.path_for(*bad).display()
+        );
+    }
+    let (mut machine, mut cursor) = match Machine::resume(&snap, &program) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("cannot resume from {}: {e}", store.path_for(seq).display());
+            return 1;
+        }
+    };
+    machine.memory_mut().set_verify(verify);
+    println!(
+        "resuming {} on {} from {} at phase {}/{}",
+        spec,
+        kind.name(),
+        store.path_for(seq).display(),
+        cursor.next_phase,
+        program.phases.len(),
+    );
+    match machine.run_from(&program, None, &mut cursor, |_, _| Ok(())) {
+        Ok(report) => {
+            print_report("completed", &report, machine.memory().state_digest());
+            0
+        }
+        Err(e) => {
+            cli::sim_failure_status(&format!("checkpoint resume: {spec} on {}", kind.name()), &e)
+        }
+    }
+}
+
+fn cmd_inspect(dir: &str) -> i32 {
+    let store = CheckpointStore::open(std::path::Path::new(dir)).unwrap_or_else(|e| {
+        eprintln!("cannot open checkpoint directory {dir}: {e}");
+        std::process::exit(2);
+    });
+    let seqs = store.list();
+    if seqs.is_empty() {
+        println!("{dir}: no snapshots");
+        return 0;
+    }
+    let mut status = 0;
+    for seq in seqs {
+        let path = store.path_for(seq);
+        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        match read_snapshot(&path) {
+            Ok(snap) => {
+                let sections: Vec<String> = snap
+                    .sections()
+                    .iter()
+                    .map(|(tag, payload)| {
+                        let name = match *tag {
+                            t if t == SECTION_META => "META".to_string(),
+                            t if t == SECTION_MSYS => "MSYS".to_string(),
+                            t => format!("{t:#010x}"),
+                        };
+                        format!("{name} ({} bytes)", payload.len())
+                    })
+                    .collect();
+                println!("{}: {bytes} bytes, {}", path.display(), sections.join(", "));
+                match snap.section(SECTION_META, "checkpoint META section") {
+                    Ok(meta) => {
+                        let mut r = Reader::new(meta, "checkpoint META section");
+                        let decoded = (|| -> Result<_, SimError> {
+                            let fp = r.take_u64()?;
+                            let next_phase = r.take_usize()?;
+                            let ordinal = r.take_u64()?;
+                            let gpu_cycles = r.take_u64()?;
+                            let cpu_cycles = r.take_u64()?;
+                            Ok((fp, next_phase, ordinal, gpu_cycles, cpu_cycles))
+                        })();
+                        match decoded {
+                            Ok((fp, next_phase, ordinal, gpu_cycles, cpu_cycles)) => println!(
+                                "  program {fp:016x}, next phase {next_phase}, \
+                                 {ordinal} kernel(s) done, {gpu_cycles} GPU + \
+                                 {cpu_cycles} CPU cycles"
+                            ),
+                            Err(e) => {
+                                println!("  META undecodable: {e}");
+                                status = 1;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        println!("  {e}");
+                        status = 1;
+                    }
+                }
+            }
+            Err(e) => {
+                println!("{}: {bytes} bytes, INVALID — {e}", path.display());
+                status = 1;
+            }
+        }
+    }
+    status
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let verify = cli::verify_flag(&args);
+    let mut args = args;
+    cli::strip_common_flags(&mut args);
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let dir = flag_value(&mut args, "--dir").unwrap_or_else(|| usage());
+    let until =
+        flag_value(&mut args, "--until").map(|v| v.parse::<usize>().unwrap_or_else(|_| usage()));
+    if args.iter().any(|a| a.starts_with("--")) {
+        usage();
+    }
+
+    let status = match args.get(1).map(String::as_str) {
+        Some("inspect") if args.len() == 2 => cmd_inspect(&dir),
+        Some("save") if args.len() == 4 => {
+            cmd_save(&args[2], cli::config_by_name(&args[3]), &dir, until, verify)
+        }
+        Some("resume") if args.len() == 4 => {
+            if until.is_some() {
+                usage();
+            }
+            cmd_resume(&args[2], cli::config_by_name(&args[3]), &dir, verify)
+        }
+        _ => usage(),
+    };
+    if status != 0 {
+        std::process::exit(status);
+    }
+}

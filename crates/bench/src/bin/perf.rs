@@ -33,6 +33,16 @@
 //! simulated-points/sec, and their ratio — the amortization factor that
 //! makes exploring thousands of points tractable at all.
 //!
+//! With `--checkpoint`, the binary measures the **crash-consistency
+//! tax** (BENCH_009): each cell runs straight through, then again with
+//! a serialized + CRC'd + atomically-renamed snapshot at every phase
+//! barrier (the chaos `--crash` campaign's auto-checkpoint cadence),
+//! and finally times a restore from the mid-program snapshot. The
+//! checkpointed run must reproduce the plain run bit-for-bit, and the
+//! restored machine must finish to the same state digest — the
+//! overhead column is only meaningful because the results are provably
+//! the same computation (DESIGN.md §15).
+//!
 //! ```text
 //! cargo run --release -p bench --bin perf                 # text table
 //! cargo run --release -p bench --bin perf -- --json --out BENCH_006.json
@@ -42,14 +52,17 @@
 //! cargo run --release -p bench --bin perf -- --check BENCH_007.json
 //! cargo run --release -p bench --bin perf -- --dse --json --out BENCH_008.json
 //! cargo run --release -p bench --bin perf -- --check BENCH_008.json
+//! cargo run --release -p bench --bin perf -- --checkpoint --json --out BENCH_009.json
+//! cargo run --release -p bench --bin perf -- --check BENCH_009.json
 //! ```
 
 use bench::cli;
 use gpu::config::MemConfigKind;
-use gpu::machine::{Machine, ParallelConfig};
+use gpu::machine::{Machine, ParallelConfig, RunCursor};
 use gpu::program::{CpuOp, CpuPhase, Kernel, Phase, Program, ThreadBlock, WarpOp};
 use mem::addr::VAddr;
 use mem::tile::TileMap;
+use sim::snapshot::CheckpointStore;
 use std::time::Instant;
 use verify::dataflow::{certify, MachineShape};
 use workloads::suite;
@@ -437,6 +450,222 @@ fn run_dse_cell(w: &suite::Workload, smoke: bool, samples: usize) -> DseCellResu
     }
 }
 
+/// One BENCH_009 cell: plain sequential run vs the same run with an
+/// on-disk snapshot at every phase barrier, plus the cost of restoring
+/// from the mid-program snapshot.
+struct CkptCellResult {
+    name: String,
+    suite: &'static str,
+    kind: MemConfigKind,
+    sim_cycles: u64,
+    barriers: usize,
+    snapshot_bytes: usize,
+    wall_plain: f64,
+    wall_ckpt: f64,
+    wall_restore: f64,
+}
+
+impl CkptCellResult {
+    fn overhead_vs_plain(&self) -> f64 {
+        self.wall_ckpt / self.wall_plain
+    }
+
+    fn ckpt_cost_ms(&self) -> f64 {
+        (self.wall_ckpt - self.wall_plain).max(0.0) * 1e3 / self.barriers.max(1) as f64
+    }
+}
+
+/// Runs one suite workload plain, checkpointed (snapshot written at
+/// every barrier into a scratch store), and restored-from-midpoint,
+/// best-of-`samples` each, asserting all three converge to the plain
+/// run's report and state digest.
+fn run_ckpt_cell(w: &suite::Workload, kind: MemConfigKind, samples: usize) -> CkptCellResult {
+    let sys = w.set.system_config();
+    let program = (w.build)(kind);
+    let resume_at = (program.phases.len() / 2).max(1);
+    let fail = |label: &str, e: sim::SimError| -> ! {
+        eprintln!("perf --checkpoint: {} ({label}): {e}", w.name);
+        std::process::exit(1);
+    };
+
+    let mut wall_plain = f64::INFINITY;
+    let mut sim_cycles = 0u64;
+    let mut baseline = None;
+    for _ in 0..samples {
+        let mut machine = Machine::new(sys.clone(), kind);
+        let start = Instant::now();
+        let report = machine.run(&program).unwrap_or_else(|e| fail("plain", e));
+        wall_plain = wall_plain.min(start.elapsed().as_secs_f64());
+        sim_cycles = report.gpu_cycles + report.cpu_cycles;
+        baseline = Some((format!("{report:?}"), machine.memory().state_digest()));
+    }
+    let baseline = baseline.expect("samples >= 1");
+
+    let scratch = std::env::temp_dir().join(format!(
+        "stash-perf-ckpt-{}-{}-{}",
+        std::process::id(),
+        w.name,
+        kind.name()
+    ));
+    let mut wall_ckpt = f64::INFINITY;
+    let mut barriers = 0usize;
+    let mut snapshot_bytes = 0usize;
+    let mut mid = None;
+    for _ in 0..samples {
+        let _ = std::fs::remove_dir_all(&scratch);
+        let store = CheckpointStore::open(&scratch).unwrap_or_else(|e| {
+            eprintln!("perf --checkpoint: cannot open {}: {e}", scratch.display());
+            std::process::exit(1);
+        });
+        let mut machine = Machine::new(sys.clone(), kind);
+        let mut cursor = RunCursor::default();
+        barriers = 0;
+        let start = Instant::now();
+        let report = machine
+            .run_from(&program, None, &mut cursor, |m, c| {
+                let snap = m.checkpoint(&program, *c);
+                barriers += 1;
+                snapshot_bytes = snapshot_bytes.max(snap.to_bytes().len());
+                if c.next_phase == resume_at {
+                    mid = Some(snap.clone());
+                }
+                store
+                    .save(&snap)
+                    .map(|_| ())
+                    .map_err(|e| sim::SimError::Config(format!("checkpoint write failed: {e}")))
+            })
+            .unwrap_or_else(|e| fail("checkpointed", e));
+        wall_ckpt = wall_ckpt.min(start.elapsed().as_secs_f64());
+        let fp = (format!("{report:?}"), machine.memory().state_digest());
+        assert_eq!(
+            baseline, fp,
+            "{}: checkpointing changed the simulation result",
+            w.name
+        );
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    let mid = mid.expect("program has a mid-point barrier");
+
+    let mut wall_restore = f64::INFINITY;
+    for i in 0..samples {
+        let start = Instant::now();
+        let (mut machine, mut cursor) =
+            Machine::resume(&mid, &program).unwrap_or_else(|e| fail("restore", e));
+        wall_restore = wall_restore.min(start.elapsed().as_secs_f64());
+        if i == 0 {
+            let report = machine
+                .run_from(&program, None, &mut cursor, |_, _| Ok(()))
+                .unwrap_or_else(|e| fail("resumed run", e));
+            let fp = (format!("{report:?}"), machine.memory().state_digest());
+            assert_eq!(
+                baseline, fp,
+                "{}: the restored run diverged from the plain run",
+                w.name
+            );
+        }
+    }
+
+    CkptCellResult {
+        name: w.name.to_string(),
+        suite: if w.set == suite::WorkloadSet::Micro {
+            "micro"
+        } else {
+            "apps"
+        },
+        kind,
+        sim_cycles,
+        barriers,
+        snapshot_bytes,
+        wall_plain,
+        wall_ckpt,
+        wall_restore,
+    }
+}
+
+fn print_ckpt_text(cells: &[CkptCellResult]) {
+    println!(
+        "{:<16} {:<9} {:<9} {:>12} {:>9} {:>11} {:>11} {:>11} {:>9} {:>12} {:>13}",
+        "cell",
+        "suite",
+        "config",
+        "sim cycles",
+        "barriers",
+        "snap (KB)",
+        "plain (ms)",
+        "ckpt (ms)",
+        "overhead",
+        "per-ckpt ms",
+        "restore (ms)"
+    );
+    for c in cells {
+        println!(
+            "{:<16} {:<9} {:<9} {:>12} {:>9} {:>11.1} {:>11.2} {:>11.2} {:>8.2}x {:>12.3} {:>13.3}",
+            c.name,
+            c.suite,
+            c.kind.name(),
+            c.sim_cycles,
+            c.barriers,
+            c.snapshot_bytes as f64 / 1024.0,
+            c.wall_plain * 1e3,
+            c.wall_ckpt * 1e3,
+            c.overhead_vs_plain(),
+            c.ckpt_cost_ms(),
+            c.wall_restore * 1e3,
+        );
+    }
+}
+
+fn ckpt_to_json(cells: &[CkptCellResult], samples: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"BENCH_009\",\n");
+    s.push_str("  \"runner\": \"checkpoint_overhead\",\n");
+    s.push_str(&format!("  \"host_cpus\": {},\n", host_cpus()));
+    s.push_str(&format!("  \"samples\": {samples},\n"));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!(
+            "      \"name\": \"{}\",\n",
+            cli::json_escape(&c.name)
+        ));
+        s.push_str(&format!("      \"suite\": \"{}\",\n", c.suite));
+        s.push_str(&format!("      \"config\": \"{}\",\n", c.kind.name()));
+        s.push_str(&format!("      \"sim_cycles\": {},\n", c.sim_cycles));
+        s.push_str(&format!("      \"barriers\": {},\n", c.barriers));
+        s.push_str(&format!(
+            "      \"snapshot_bytes\": {},\n",
+            c.snapshot_bytes
+        ));
+        s.push_str(&format!(
+            "      \"wall_ms_plain\": {:.3},\n",
+            c.wall_plain * 1e3
+        ));
+        s.push_str(&format!(
+            "      \"wall_ms_checkpointed\": {:.3},\n",
+            c.wall_ckpt * 1e3
+        ));
+        s.push_str(&format!(
+            "      \"overhead_vs_plain\": {:.3},\n",
+            c.overhead_vs_plain()
+        ));
+        s.push_str(&format!(
+            "      \"per_checkpoint_ms\": {:.4},\n",
+            c.ckpt_cost_ms()
+        ));
+        s.push_str(&format!(
+            "      \"wall_ms_restore\": {:.4}\n",
+            c.wall_restore * 1e3
+        ));
+        s.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 fn print_dse_text(cells: &[DseCellResult]) {
     println!(
         "{:<16} {:<9} {:<9} {:>10} {:>12} {:>14} {:>10} {:>12} {:>14}",
@@ -682,7 +911,20 @@ fn to_json(cells: &[CellResult], samples: usize) -> String {
 fn check_file(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     json_balanced(&text)?;
-    let markers: &[&str] = if text.contains("\"bench\": \"BENCH_008\"") {
+    let markers: &[&str] = if text.contains("\"bench\": \"BENCH_009\"") {
+        &[
+            "\"runner\": \"checkpoint_overhead\"",
+            "\"host_cpus\"",
+            "\"cells\"",
+            "\"barriers\"",
+            "\"snapshot_bytes\"",
+            "\"wall_ms_plain\"",
+            "\"wall_ms_checkpointed\"",
+            "\"overhead_vs_plain\"",
+            "\"per_checkpoint_ms\"",
+            "\"wall_ms_restore\"",
+        ]
+    } else if text.contains("\"bench\": \"BENCH_008\"") {
         &[
             "\"runner\": \"surrogate_dse\"",
             "\"host_cpus\"",
@@ -810,6 +1052,30 @@ fn main() {
         }
         print!("{text}");
     };
+    if args.iter().any(|a| a == "--checkpoint") {
+        let mut workloads: Vec<(suite::Workload, MemConfigKind)> = suite::micros()
+            .into_iter()
+            .map(|w| (w, MemConfigKind::Stash))
+            .chain(
+                suite::applications()
+                    .into_iter()
+                    .map(|w| (w, MemConfigKind::StashG)),
+            )
+            .collect();
+        if smoke {
+            workloads.truncate(1);
+        }
+        let results: Vec<CkptCellResult> = workloads
+            .iter()
+            .map(|(w, kind)| run_ckpt_cell(w, *kind, samples))
+            .collect();
+        if json {
+            emit(ckpt_to_json(&results, samples));
+        } else {
+            print_ckpt_text(&results);
+        }
+        return;
+    }
     if args.iter().any(|a| a == "--dse") {
         let mut workloads = vec![
             suite::by_name("implicit").expect("suite has implicit"),

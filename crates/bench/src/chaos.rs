@@ -50,6 +50,10 @@ pub enum Detector {
     Oracle,
     /// The parity/ECC model flagged corruption during the run.
     Parity,
+    /// The checkpoint store rejected a torn or corrupt snapshot
+    /// (truncation / CRC / version check) during crash recovery and fell
+    /// back to the previous good one.
+    Snapshot,
 }
 
 impl Detector {
@@ -59,6 +63,7 @@ impl Detector {
             Detector::Watchdog => "watchdog",
             Detector::Oracle => "oracle",
             Detector::Parity => "parity",
+            Detector::Snapshot => "snapshot",
         }
     }
 }
@@ -330,31 +335,10 @@ pub fn run_campaign(
 ) -> Result<Campaign, String> {
     let pool = JobPool::new(cfg.threads);
 
-    // Phase 1: fault-free golden digests, one per (target, kind).
-    let golden_jobs: Vec<_> = targets
-        .iter()
-        .flat_map(|t| kinds.iter().map(move |&kind| (t, kind)))
-        .map(|(t, kind)| move || run_one(t, kind, None, cfg.verify))
-        .collect();
-    let mut golden = Vec::with_capacity(golden_jobs.len());
-    for (i, result) in pool.run_catching(golden_jobs).into_iter().enumerate() {
-        let t = &targets[i / kinds.len()];
-        let kind = kinds[i % kinds.len()];
-        let context = format!("golden run of {} on {}", t.name, kind.name());
-        match result {
-            Ok(r) => match r.value {
-                RawRun::Done { digest, .. } => golden.push(digest),
-                RawRun::Deadlocked { site, attempts } => {
-                    return Err(format!(
-                        "{context}: watchdog tripped at {site} after {attempts} attempts \
-                         without injection"
-                    ))
-                }
-                RawRun::Failed(msg) => return Err(format!("{context}: {msg}")),
-            },
-            Err(p) => return Err(format!("{context}: {p}")),
-        }
-    }
+    // Phase 1: fault-free golden digests, one per (target, kind) — the
+    // shared reference both chaos campaigns classify against
+    // ([`crate::golden`]).
+    let golden = crate::golden::golden_digests(&pool, targets, kinds, cfg.verify)?;
 
     // Phase 2: injected runs, every (target, kind, seed).
     let mut meta = Vec::new();

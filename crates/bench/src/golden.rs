@@ -1,0 +1,107 @@
+//! Shared golden-replay plumbing.
+//!
+//! Both chaos campaigns — fault injection ([`crate::chaos`]) and
+//! kill-and-recover ([`crate::crash`]) — classify runs against the same
+//! reference: the architectural-state digest of a fault-free,
+//! uninterrupted run of the cell. This module is the single place that
+//! digest is computed, so the two campaigns can never drift apart on
+//! what "golden" means.
+
+use crate::chaos::Target;
+use crate::pool::JobPool;
+use gpu::config::MemConfigKind;
+use gpu::machine::Machine;
+use sim::SimError;
+
+/// Runs one fault-free golden replay and returns its
+/// architectural-state digest.
+///
+/// # Errors
+///
+/// Returns a message if the run fails — a watchdog trip or simulation
+/// error without injection means the matrix itself is unhealthy and no
+/// classification against it is meaningful.
+pub fn golden_digest(
+    target: &Target<'_>,
+    kind: MemConfigKind,
+    verify: bool,
+) -> Result<u64, String> {
+    let mut machine = Machine::new(target.sys.clone(), kind);
+    machine.memory_mut().set_verify(verify);
+    match machine.run(&(target.build)(kind)) {
+        Ok(_) => Ok(machine.memory().state_digest()),
+        Err(SimError::Deadlock { site, attempts, .. }) => Err(format!(
+            "watchdog tripped at {site} after {attempts} attempts without injection"
+        )),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Golden digests for a whole `(target, kind)` matrix, fanned out on
+/// `pool`, returned in row-major `(target, kind)` order.
+///
+/// # Errors
+///
+/// Returns a contextualized message if any golden run fails or panics.
+pub fn golden_digests(
+    pool: &JobPool,
+    targets: &[Target<'_>],
+    kinds: &[MemConfigKind],
+    verify: bool,
+) -> Result<Vec<u64>, String> {
+    let jobs: Vec<_> = targets
+        .iter()
+        .flat_map(|t| kinds.iter().map(move |&kind| (t, kind)))
+        .map(|(t, kind)| move || golden_digest(t, kind, verify))
+        .collect();
+    let mut golden = Vec::with_capacity(jobs.len());
+    for (i, result) in pool.run_catching(jobs).into_iter().enumerate() {
+        let t = &targets[i / kinds.len()];
+        let kind = kinds[i % kinds.len()];
+        let context = format!("golden run of {} on {}", t.name, kind.name());
+        match result {
+            Ok(r) => match r.value {
+                Ok(digest) => golden.push(digest),
+                Err(msg) => return Err(format!("{context}: {msg}")),
+            },
+            Err(p) => return Err(format!("{context}: {p}")),
+        }
+    }
+    Ok(golden)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::suite;
+
+    #[test]
+    fn golden_digest_is_deterministic() {
+        let w = suite::micros()[0];
+        let t = Target {
+            name: w.name.to_string(),
+            sys: w.set.system_config(),
+            build: &w.build,
+        };
+        let a = golden_digest(&t, MemConfigKind::Stash, false).unwrap();
+        let b = golden_digest(&t, MemConfigKind::Stash, false).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matrix_digests_match_single_runs() {
+        let w = suite::micros()[1];
+        let t = Target {
+            name: w.name.to_string(),
+            sys: w.set.system_config(),
+            build: &w.build,
+        };
+        let kinds = [MemConfigKind::Scratch, MemConfigKind::Stash];
+        let pool = JobPool::new(2);
+        let matrix = golden_digests(&pool, std::slice::from_ref(&t), &kinds, false).unwrap();
+        assert_eq!(matrix.len(), 2);
+        for (i, &kind) in kinds.iter().enumerate() {
+            assert_eq!(matrix[i], golden_digest(&t, kind, false).unwrap());
+        }
+    }
+}

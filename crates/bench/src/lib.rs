@@ -14,6 +14,8 @@
 
 pub mod chaos;
 pub mod cli;
+pub mod crash;
+pub mod golden;
 pub mod pool;
 pub mod profile;
 pub mod timing;

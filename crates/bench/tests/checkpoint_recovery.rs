@@ -1,0 +1,219 @@
+//! The pinned resume==straight-through contract (DESIGN.md §15).
+//!
+//! For every Figure 5/6 matrix cell, checkpointing at each phase barrier
+//! and restoring from a mid-program snapshot yields byte-identical
+//! reports, counters, stall breakdowns (inside the counters), and state
+//! digests versus an uninterrupted run — on the sequential seed path and
+//! on the parallel path across thread counts {1, 8}. Alongside it: the
+//! store-level recovery contract (truncated and corrupt snapshots are
+//! rejected with the right error, old format versions are a version
+//! mismatch rather than damage, and `latest_valid` falls back to the
+//! newest good file).
+
+use bench::pool::JobPool;
+use gpu::config::MemConfigKind;
+use gpu::machine::{Machine, ParallelConfig, RunCursor};
+use sim::snapshot::{read_snapshot, CheckpointStore, Snapshot};
+use sim::SimError;
+use workloads::suite;
+
+/// One cell's verdicts; empty = the contract holds.
+fn check_cell(w: &suite::Workload, kind: MemConfigKind) -> Vec<String> {
+    let sys = w.set.system_config();
+    let program = (w.build)(kind);
+    let mut failures = Vec::new();
+    let resume_at = (program.phases.len() / 2).max(1);
+
+    // Sequential seed path: golden, then checkpoint-at-every-barrier,
+    // then resume from the mid-program snapshot.
+    let mut golden = Machine::new(sys.clone(), kind);
+    let golden_report = golden
+        .run(&program)
+        .unwrap_or_else(|e| panic!("{}/{kind} golden failed: {e}", w.name));
+    let golden_digest = golden.memory().state_digest();
+
+    let mut first = Machine::new(sys.clone(), kind);
+    let mut cursor = RunCursor::default();
+    let mut snap = None;
+    let mut barriers = 0usize;
+    let full = first
+        .run_from(&program, None, &mut cursor, |m, c| {
+            // Serialize at every barrier (the acceptance contract); keep
+            // only the mid-program one for the resume leg.
+            let s = m.checkpoint(&program, *c);
+            barriers += 1;
+            if c.next_phase == resume_at {
+                snap = Some(s);
+            }
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("{}/{kind} run_from failed: {e}", w.name));
+    if full != golden_report {
+        failures.push(format!("{}/{kind}: run_from report != run report", w.name));
+    }
+    if barriers != program.phases.len() {
+        failures.push(format!("{}/{kind}: missed a barrier", w.name));
+    }
+    let snap = snap.expect("mid-program snapshot captured");
+    let (mut resumed, mut rc) =
+        Machine::resume(&snap, &program).unwrap_or_else(|e| panic!("{}/{kind}: {e}", w.name));
+    let resumed_report = resumed
+        .run_from(&program, None, &mut rc, |_, _| Ok(()))
+        .unwrap_or_else(|e| panic!("{}/{kind} resumed run failed: {e}", w.name));
+    if resumed_report != golden_report {
+        failures.push(format!(
+            "{}/{kind}: sequential resumed report diverged",
+            w.name
+        ));
+    }
+    if resumed.memory().state_digest() != golden_digest {
+        failures.push(format!(
+            "{}/{kind}: sequential resumed digest diverged",
+            w.name
+        ));
+    }
+
+    // Parallel path, threads 1 vs 8: straight-through at 1 thread is the
+    // golden; the interrupted run checkpoints at 1 thread and resumes at
+    // 8 — crossing the thread count over the snapshot boundary.
+    let mut pgolden = Machine::new(sys.clone(), kind);
+    let pgolden_report = pgolden
+        .run_parallel(&program, &ParallelConfig::with_threads(1))
+        .unwrap_or_else(|e| panic!("{}/{kind} parallel golden failed: {e}", w.name));
+    let pgolden_digest = pgolden.memory().state_digest();
+
+    let mut pfirst = Machine::new(sys.clone(), kind);
+    let mut pcursor = RunCursor::default();
+    let mut psnap = None;
+    let one = ParallelConfig::with_threads(1);
+    pfirst
+        .run_from(&program, Some(&one), &mut pcursor, |m, c| {
+            if c.next_phase == resume_at {
+                psnap = Some(m.checkpoint(&program, *c));
+            }
+            Ok(())
+        })
+        .unwrap_or_else(|e| panic!("{}/{kind} parallel run_from failed: {e}", w.name));
+    let (mut presumed, mut prc) = Machine::resume(&psnap.expect("parallel snapshot"), &program)
+        .unwrap_or_else(|e| panic!("{}/{kind}: {e}", w.name));
+    let eight = ParallelConfig::with_threads(8);
+    let presumed_report = presumed
+        .run_from(&program, Some(&eight), &mut prc, |_, _| Ok(()))
+        .unwrap_or_else(|e| panic!("{}/{kind} parallel resumed run failed: {e}", w.name));
+    if presumed_report != pgolden_report {
+        failures.push(format!(
+            "{}/{kind}: parallel resumed report (8 threads) diverged from \
+             straight-through (1 thread)",
+            w.name
+        ));
+    }
+    if presumed.memory().state_digest() != pgolden_digest {
+        failures.push(format!(
+            "{}/{kind}: parallel resumed digest diverged",
+            w.name
+        ));
+    }
+    failures
+}
+
+#[test]
+fn resume_equals_straight_through_across_the_matrix() {
+    let cells: Vec<(suite::Workload, MemConfigKind)> = suite::all()
+        .into_iter()
+        .flat_map(|w| {
+            w.set
+                .figure_kinds()
+                .iter()
+                .map(move |&kind| (w, kind))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let pool = JobPool::new(bench::cli::default_threads());
+    let jobs: Vec<_> = cells
+        .iter()
+        .map(|(w, kind)| move || check_cell(w, *kind))
+        .collect();
+    let failures: Vec<String> = pool.run(jobs).into_iter().flat_map(|r| r.value).collect();
+    assert!(
+        failures.is_empty(),
+        "resume==straight-through violated in {} cell check(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// A small real snapshot to damage in the store tests.
+fn real_snapshot() -> (Snapshot, gpu::program::Program, sim::config::SystemConfig) {
+    let w = suite::micros()[0];
+    let sys = w.set.system_config();
+    let program = (w.build)(MemConfigKind::Stash);
+    let mut machine = Machine::new(sys.clone(), MemConfigKind::Stash);
+    let mut cursor = RunCursor::default();
+    let mut snap = None;
+    machine
+        .run_from(&program, None, &mut cursor, |m, c| {
+            if snap.is_none() {
+                snap = Some(m.checkpoint(&program, *c));
+            }
+            Ok(())
+        })
+        .unwrap();
+    (snap.unwrap(), program, sys)
+}
+
+#[test]
+fn truncated_and_corrupt_snapshots_are_rejected_with_fallback() {
+    let (snap, program, _sys) = real_snapshot();
+    let dir = std::env::temp_dir().join(format!("stash-ckpt-reject-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CheckpointStore::open(&dir).unwrap();
+
+    let good_seq = store.save(&snap).unwrap();
+    let torn_seq = store.save(&snap).unwrap();
+    let flipped_seq = store.save(&snap).unwrap();
+
+    // Tear the middle file, flip a payload byte in the newest.
+    let bytes = std::fs::read(store.path_for(torn_seq)).unwrap();
+    std::fs::write(store.path_for(torn_seq), &bytes[..bytes.len() / 3]).unwrap();
+    let mut flipped = std::fs::read(store.path_for(flipped_seq)).unwrap();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x01;
+    std::fs::write(store.path_for(flipped_seq), &flipped).unwrap();
+
+    // Direct reads report corruption, not version trouble.
+    for seq in [torn_seq, flipped_seq] {
+        match read_snapshot(&store.path_for(seq)) {
+            Err(SimError::CheckpointCorrupt { .. }) => {}
+            other => panic!("damaged ckpt-{seq:04} must be CheckpointCorrupt, got {other:?}"),
+        }
+    }
+
+    // The store falls back to the oldest intact snapshot, reporting both
+    // rejects, and the survivor still resumes.
+    let (seq, recovered, rejected) = store.latest_valid().expect("good snapshot survives");
+    assert_eq!(seq, good_seq);
+    assert_eq!(
+        rejected.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+        vec![flipped_seq, torn_seq],
+        "rejects reported newest-first"
+    );
+    let (_, cursor) = Machine::resume(&recovered, &program).expect("survivor resumes");
+    assert_eq!(cursor.next_phase, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn future_format_version_is_a_version_mismatch_not_corruption() {
+    let (snap, _, _) = real_snapshot();
+    let mut bytes = snap.to_bytes();
+    // Version lives at offset 8 (after the 8-byte magic), LE u32.
+    bytes[8] = bytes[8].wrapping_add(1);
+    match Snapshot::from_bytes(&bytes) {
+        Err(SimError::CheckpointVersionMismatch { found, expected }) => {
+            assert_eq!(expected, sim::snapshot::FORMAT_VERSION);
+            assert_eq!(found, u32::from(bytes[8]));
+        }
+        other => panic!("expected CheckpointVersionMismatch, got {other:?}"),
+    }
+}

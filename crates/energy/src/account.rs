@@ -106,6 +106,22 @@ impl EnergyAccount {
     pub fn iter(&self) -> impl Iterator<Item = (Component, Energy)> + '_ {
         Component::ALL.into_iter().map(|c| (c, self.component(c)))
     }
+
+    /// Serializes the five per-component totals in stacking order.
+    pub fn save(&self, w: &mut sim::snapshot::Writer) {
+        for &e in &self.by_component {
+            w.put_u64(e);
+        }
+    }
+
+    /// Restores an account written by [`EnergyAccount::save`].
+    pub fn load(r: &mut sim::snapshot::Reader<'_>) -> Result<Self, sim::SimError> {
+        let mut acct = Self::new();
+        for e in &mut acct.by_component {
+            *e = r.take_u64()?;
+        }
+        Ok(acct)
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +150,20 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.component(Component::L1), 10);
         assert_eq!(a.component(Component::L2), 2);
+    }
+
+    #[test]
+    fn account_round_trips_through_snapshot() {
+        let mut a = EnergyAccount::new();
+        a.add(Component::GpuCore, 123);
+        a.add(Component::Noc, 456);
+        let mut w = sim::snapshot::Writer::new();
+        a.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = sim::snapshot::Reader::new(&bytes, "energy account");
+        let restored = EnergyAccount::load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored, a);
     }
 
     #[test]

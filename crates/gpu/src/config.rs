@@ -74,6 +74,36 @@ impl MemConfigKind {
         )
     }
 
+    /// Stable one-byte snapshot encoding (figure order).
+    pub fn code(self) -> u8 {
+        match self {
+            MemConfigKind::Scratch => 0,
+            MemConfigKind::ScratchG => 1,
+            MemConfigKind::ScratchGD => 2,
+            MemConfigKind::Cache => 3,
+            MemConfigKind::Stash => 4,
+            MemConfigKind::StashG => 5,
+        }
+    }
+
+    /// Decodes a [`MemConfigKind::code`] byte, rejecting unknown values.
+    pub fn from_code(code: u8) -> Result<Self, sim::SimError> {
+        Ok(match code {
+            0 => MemConfigKind::Scratch,
+            1 => MemConfigKind::ScratchG,
+            2 => MemConfigKind::ScratchGD,
+            3 => MemConfigKind::Cache,
+            4 => MemConfigKind::Stash,
+            5 => MemConfigKind::StashG,
+            v => {
+                return Err(sim::SimError::CheckpointCorrupt {
+                    what: "memory configuration",
+                    detail: format!("unknown configuration code {v}"),
+                })
+            }
+        })
+    }
+
     /// The figure label.
     pub fn name(self) -> &'static str {
         match self {

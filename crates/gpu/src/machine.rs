@@ -94,6 +94,41 @@ pub fn assign_blocks(kernel: &Kernel, dist: BlockDistribution, cus: usize) -> Ve
         .collect()
 }
 
+/// Progress through a program's phase list — everything a resumed run
+/// needs besides the memory system itself. Phases are the machine's
+/// quiescence points: after [`MemorySystem::end_kernel`] no request is in
+/// flight, no warp state is live, and no shard exists, so a cursor plus a
+/// memory-system snapshot reproduces the run exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunCursor {
+    /// Index of the next phase to execute.
+    pub next_phase: usize,
+    /// GPU kernels completed so far (the certificate ordinal).
+    pub ordinal: u64,
+    /// GPU cycles accumulated over completed phases.
+    pub gpu_cycles: u64,
+    /// CPU cycles accumulated over completed phases.
+    pub cpu_cycles: u64,
+}
+
+/// A stable fingerprint of a program's full structure, stored in every
+/// checkpoint so a snapshot can only resume the program it was taken
+/// from.
+#[must_use]
+pub fn program_fingerprint(program: &Program) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{program:?}").bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Checkpoint section tag: machine progress metadata.
+pub const SECTION_META: u32 = u32::from_le_bytes(*b"META");
+/// Checkpoint section tag: the serialized memory system.
+pub const SECTION_MSYS: u32 = u32::from_le_bytes(*b"MSYS");
+
 /// A simulated machine: one [`SystemConfig`] + one [`MemConfigKind`].
 ///
 /// # Example
@@ -247,6 +282,151 @@ impl Machine {
             traffic: *self.mem.traffic(),
             counters: self.mem.counters().clone(),
         })
+    }
+
+    /// Runs a program from `cursor`, calling `at_barrier` after every
+    /// completed phase — the machine's quiescence points, where
+    /// [`Machine::checkpoint`] captures complete state. `par` selects the
+    /// parallel CU-shard path; `None` runs the sequential seed path.
+    /// Reports, counters, and state digests are identical to an
+    /// uninterrupted [`Machine::run`] / [`Machine::run_parallel`] of the
+    /// same program.
+    ///
+    /// The end-of-run fault scrub happens only at true completion, so a
+    /// checkpoint taken mid-program still carries latent corruption for
+    /// the resumed run to detect — recovery cannot launder faults.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors and any error `at_barrier` returns
+    /// (e.g. a failed checkpoint write).
+    pub fn run_from<F>(
+        &mut self,
+        program: &Program,
+        par: Option<&ParallelConfig>,
+        cursor: &mut RunCursor,
+        mut at_barrier: F,
+    ) -> Result<RunReport, SimError>
+    where
+        F: FnMut(&Machine, &RunCursor) -> Result<(), SimError>,
+    {
+        while cursor.next_phase < program.phases.len() {
+            match &program.phases[cursor.next_phase] {
+                Phase::Gpu(kernel) => {
+                    self.mem.set_trace_base(cursor.gpu_cycles);
+                    let cycles = match par {
+                        Some(p) => self.run_kernel_parallel(kernel, p, cursor.ordinal)?,
+                        None => self.run_kernel(kernel)?,
+                    };
+                    cursor.gpu_cycles += cycles;
+                    cursor.ordinal += 1;
+                }
+                Phase::Cpu(cpu) => cursor.cpu_cycles += run_cpu_phase(&mut self.mem, cpu)?,
+            }
+            cursor.next_phase += 1;
+            at_barrier(&*self, cursor)?;
+        }
+        self.mem.scrub_faults();
+        let cfg = self.mem.config();
+        let total_picos = cfg.gpu_clock.cycles_to_picos(cursor.gpu_cycles)
+            + cfg.cpu_clock.cycles_to_picos(cursor.cpu_cycles);
+        Ok(RunReport {
+            gpu_cycles: cursor.gpu_cycles,
+            cpu_cycles: cursor.cpu_cycles,
+            total_picos,
+            gpu_instructions: self.mem.gpu_instructions(),
+            energy: *self.mem.energy(),
+            traffic: *self.mem.traffic(),
+            counters: self.mem.counters().clone(),
+        })
+    }
+
+    /// Captures a crash-consistent snapshot of the machine at a phase
+    /// barrier: the program fingerprint, the run cursor, thread-block and
+    /// certificate progress, and the complete memory hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory system is mid-shard (never the case between
+    /// phases).
+    #[must_use]
+    pub fn checkpoint(&self, program: &Program, cursor: RunCursor) -> sim::snapshot::Snapshot {
+        let mut meta = sim::snapshot::Writer::new();
+        meta.put_u64(program_fingerprint(program));
+        meta.put_usize(cursor.next_phase);
+        meta.put_u64(cursor.ordinal);
+        meta.put_u64(cursor.gpu_cycles);
+        meta.put_u64(cursor.cpu_cycles);
+        meta.put_usize(self.next_tb_id);
+        meta.put_u64(self.certified_kernels);
+        let mut msys = sim::snapshot::Writer::new();
+        self.mem.save(&mut msys);
+        let mut snap = sim::snapshot::Snapshot::new();
+        snap.push_section(SECTION_META, meta.into_bytes());
+        snap.push_section(SECTION_MSYS, msys.into_bytes());
+        snap
+    }
+
+    /// Rebuilds a machine from a [`Machine::checkpoint`] snapshot,
+    /// verifying the snapshot belongs to `program`. Returns the machine
+    /// and the cursor to hand back to [`Machine::run_from`].
+    ///
+    /// An installed [`ConflictCertificate`] is *not* part of a snapshot
+    /// (certificates never change results, only merge work) — re-install
+    /// one after resuming if the fast path is wanted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CheckpointCorrupt`] if the fingerprint does
+    /// not match `program`, the cursor is out of range, or any section
+    /// fails validation.
+    pub fn resume(
+        snap: &sim::snapshot::Snapshot,
+        program: &Program,
+    ) -> Result<(Self, RunCursor), SimError> {
+        let corrupt = |detail: String| SimError::CheckpointCorrupt {
+            what: "machine checkpoint",
+            detail,
+        };
+        let meta = snap.section(SECTION_META, "checkpoint META section")?;
+        let mut r = sim::snapshot::Reader::new(meta, "checkpoint META section");
+        let fingerprint = r.take_u64()?;
+        let expected = program_fingerprint(program);
+        if fingerprint != expected {
+            return Err(corrupt(format!(
+                "snapshot fingerprint {fingerprint:#018x} does not match \
+                 the program's {expected:#018x}"
+            )));
+        }
+        let cursor = RunCursor {
+            next_phase: r.take_usize()?,
+            ordinal: r.take_u64()?,
+            gpu_cycles: r.take_u64()?,
+            cpu_cycles: r.take_u64()?,
+        };
+        if cursor.next_phase > program.phases.len() {
+            return Err(corrupt(format!(
+                "cursor phase {} beyond the program's {} phases",
+                cursor.next_phase,
+                program.phases.len()
+            )));
+        }
+        let next_tb_id = r.take_usize()?;
+        let certified_kernels = r.take_u64()?;
+        r.finish()?;
+        let msys = snap.section(SECTION_MSYS, "checkpoint MSYS section")?;
+        let mut r = sim::snapshot::Reader::new(msys, "checkpoint MSYS section");
+        let mem = MemorySystem::restore(&mut r)?;
+        r.finish()?;
+        Ok((
+            Self {
+                mem,
+                next_tb_id,
+                certificate: None,
+                certified_kernels,
+            },
+            cursor,
+        ))
     }
 
     /// Distributes a kernel's blocks across CUs, assigning thread-block
@@ -574,5 +754,178 @@ mod tests {
         let report = machine.run(&Program::new()).unwrap();
         assert_eq!(report.total_picos, 0);
         assert_eq!(report.gpu_instructions, 0);
+    }
+
+    #[test]
+    fn run_from_matches_run_and_resume_matches_both() {
+        let program = contended_program();
+        let mut golden = Machine::new(SystemConfig::for_applications(), MemConfigKind::Stash);
+        let golden_report = golden.run(&program).unwrap();
+        let golden_digest = golden.memory().state_digest();
+
+        // run_from over the whole program, checkpointing at every
+        // barrier, must match a plain run exactly.
+        let mut first = Machine::new(SystemConfig::for_applications(), MemConfigKind::Stash);
+        let mut cursor = RunCursor::default();
+        let mut snaps = Vec::new();
+        let full_report = first
+            .run_from(&program, None, &mut cursor, |m, c| {
+                snaps.push(m.checkpoint(&program, *c));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(full_report, golden_report);
+        assert_eq!(first.memory().state_digest(), golden_digest);
+        assert_eq!(snaps.len(), program.phases.len());
+
+        // Resume from the first-barrier snapshot and still match the
+        // golden sequential run bit-for-bit.
+        let (mut resumed, mut rc) = Machine::resume(&snaps[0], &program).unwrap();
+        assert_eq!(rc.next_phase, 1);
+        let resumed_report = resumed
+            .run_from(&program, None, &mut rc, |_, _| Ok(()))
+            .unwrap();
+        assert_eq!(resumed_report, golden_report);
+        assert_eq!(resumed.memory().state_digest(), golden_digest);
+    }
+
+    #[test]
+    fn parallel_resume_matches_parallel_straight_through_at_any_threads() {
+        // The parallel path distributes blocks differently from the
+        // sequential seed path (Balanced vs RoundRobin), so its golden is
+        // its own straight-through run — which PR 6 pins identical for
+        // every thread count.
+        let program = contended_program();
+        let mut golden = Machine::new(SystemConfig::for_applications(), MemConfigKind::Stash);
+        let golden_report = golden
+            .run_parallel(&program, &ParallelConfig::with_threads(1))
+            .unwrap();
+        let golden_digest = golden.memory().state_digest();
+
+        let mut first = Machine::new(SystemConfig::for_applications(), MemConfigKind::Stash);
+        let mut cursor = RunCursor::default();
+        let mut snaps = Vec::new();
+        let two = ParallelConfig::with_threads(2);
+        first
+            .run_from(&program, Some(&two), &mut cursor, |m, c| {
+                snaps.push(m.checkpoint(&program, *c));
+                Ok(())
+            })
+            .unwrap();
+
+        // Finish from the first barrier with a *different* thread count.
+        let (mut resumed, mut rc) = Machine::resume(&snaps[0], &program).unwrap();
+        let eight = ParallelConfig::with_threads(8);
+        let resumed_report = resumed
+            .run_from(&program, Some(&eight), &mut rc, |_, _| Ok(()))
+            .unwrap();
+        assert_eq!(resumed_report, golden_report);
+        assert_eq!(resumed.memory().state_digest(), golden_digest);
+    }
+
+    #[test]
+    fn faulty_run_resumes_identically_including_end_scrub() {
+        // A checkpoint taken mid-program carries latent injected
+        // corruption and the injector's RNG position; the resumed run's
+        // end-of-run parity scrub must land exactly where the
+        // straight-through run's does.
+        use sim::fault::FaultConfig;
+        let program = contended_program();
+        let mut exercised = false;
+        for seed in 1..=32u64 {
+            let fault = FaultConfig::chaos(seed);
+            let mut golden = Machine::new(SystemConfig::for_applications(), MemConfigKind::Stash);
+            golden.memory_mut().set_fault_injector(fault.clone());
+            let Ok(golden_report) = golden.run(&program) else {
+                continue; // watchdog trip: fine, but not this test's target
+            };
+            let injected = golden_report.counters.get("fault.flip_injected")
+                + golden_report.counters.get("fault.drop_injected")
+                + golden_report.counters.get("fault.wb_lost");
+            if injected == 0 {
+                continue;
+            }
+            let mut first = Machine::new(SystemConfig::for_applications(), MemConfigKind::Stash);
+            first.memory_mut().set_fault_injector(fault);
+            let mut cursor = RunCursor::default();
+            let mut snap = None;
+            first
+                .run_from(&program, None, &mut cursor, |m, c| {
+                    if snap.is_none() {
+                        snap = Some(m.checkpoint(&program, *c));
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            let (mut resumed, mut rc) = Machine::resume(&snap.unwrap(), &program).unwrap();
+            let resumed_report = resumed
+                .run_from(&program, None, &mut rc, |_, _| Ok(()))
+                .unwrap();
+            assert_eq!(resumed_report, golden_report, "seed {seed}");
+            assert_eq!(
+                resumed.memory().state_digest(),
+                golden.memory().state_digest(),
+                "seed {seed}"
+            );
+            assert_eq!(
+                resumed.memory().remaining_corruption(),
+                golden.memory().remaining_corruption(),
+                "seed {seed}"
+            );
+            exercised = true;
+            break;
+        }
+        assert!(
+            exercised,
+            "no seed in 1..=32 completed with injected faults"
+        );
+    }
+
+    #[test]
+    fn checkpoint_survives_the_container_format() {
+        let program = contended_program();
+        let mut machine = Machine::new(SystemConfig::for_applications(), MemConfigKind::Stash);
+        let mut cursor = RunCursor::default();
+        let mut snap = None;
+        machine
+            .run_from(&program, None, &mut cursor, |m, c| {
+                if snap.is_none() {
+                    snap = Some(m.checkpoint(&program, *c));
+                }
+                Ok(())
+            })
+            .unwrap();
+        let bytes = snap.unwrap().to_bytes();
+        let reread = sim::snapshot::Snapshot::from_bytes(&bytes).unwrap();
+        let (m2, rc) = Machine::resume(&reread, &program).unwrap();
+        assert_eq!(rc.next_phase, 1);
+        assert!(m2.memory().state_digest() != 0);
+    }
+
+    #[test]
+    fn resume_rejects_a_different_program() {
+        let program = contended_program();
+        let mut machine = Machine::new(SystemConfig::for_applications(), MemConfigKind::Stash);
+        let mut cursor = RunCursor::default();
+        let mut snap = None;
+        machine
+            .run_from(&program, None, &mut cursor, |m, c| {
+                if snap.is_none() {
+                    snap = Some(m.checkpoint(&program, *c));
+                }
+                Ok(())
+            })
+            .unwrap();
+        let other = Program {
+            phases: vec![Phase::Gpu(stash_kernel(16, false))],
+        };
+        let err = Machine::resume(&snap.unwrap(), &other).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::CheckpointCorrupt {
+                what: "machine checkpoint",
+                ..
+            }
+        ));
     }
 }

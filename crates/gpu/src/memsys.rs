@@ -458,13 +458,190 @@ impl MemorySystem {
         h
     }
 
+    // ------------------------------------------------------------------
+    // Checkpointing
+    // ------------------------------------------------------------------
+
+    /// Serializes the complete hierarchy: configuration, network, LLC,
+    /// L1s, local memories, page table, energy model and account,
+    /// counters, ablation flags, fault injector, and trace sink. Only
+    /// meaningful at a phase barrier, where no request is in flight and
+    /// the latency-and-accounting model holds no transient state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a forked CU shard — snapshots are taken from
+    /// the quiescent master only.
+    pub fn save(&self, w: &mut sim::snapshot::Writer) {
+        assert!(
+            self.stage.is_none(),
+            "checkpoint requires the quiescent master, not a forked shard"
+        );
+        self.cfg.save(w);
+        w.put_u8(self.kind.code());
+        self.net.save(w);
+        self.llc.save(w);
+        w.put_usize(self.l1s.len());
+        for l1 in &self.l1s {
+            l1.save(w);
+        }
+        w.put_usize(self.scratchpads.len());
+        for sp in &self.scratchpads {
+            sp.save(w);
+        }
+        w.put_usize(self.stashes.len());
+        for s in &self.stashes {
+            s.save(w);
+        }
+        self.pt.save(w);
+        self.model.save(w);
+        self.energy.save(w);
+        self.counters.save(w);
+        w.put_u64(self.gpu_instructions);
+        w.put_bool(self.eager_stash_writebacks);
+        w.put_bool(self.line_grain_registration);
+        w.put_bool(self.verify);
+        match &self.fault {
+            None => w.put_u8(0),
+            Some(f) => {
+                w.put_u8(1);
+                f.save(w);
+            }
+        }
+        match &self.trace {
+            None => w.put_u8(0),
+            Some(t) => {
+                w.put_u8(1);
+                t.save(w);
+            }
+        }
+        w.put_u64(self.now);
+    }
+
+    /// Restores a hierarchy written by [`MemorySystem::save`], validating
+    /// that component geometry is mutually consistent with the restored
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CheckpointCorrupt`] on any inconsistency.
+    pub fn restore(r: &mut sim::snapshot::Reader<'_>) -> Result<Self, SimError> {
+        let corrupt = |detail: String| SimError::CheckpointCorrupt {
+            what: "memory system",
+            detail,
+        };
+        let cfg = SystemConfig::load(r)?;
+        let kind = MemConfigKind::from_code(r.take_u8()?)?;
+        let net = Network::load(r)?;
+        if net.mesh().side() != cfg.mesh_side {
+            return Err(corrupt(format!(
+                "mesh side {} does not match configured {}",
+                net.mesh().side(),
+                cfg.mesh_side
+            )));
+        }
+        let llc = Llc::load(r)?;
+        if llc.banks() != cfg.l2_banks {
+            return Err(corrupt(format!(
+                "{} LLC banks for configured {}",
+                llc.banks(),
+                cfg.l2_banks
+            )));
+        }
+        let cores = cfg.gpu_cus + cfg.cpu_cores;
+        let n_l1 = r.take_usize()?;
+        if n_l1 != cores {
+            return Err(corrupt(format!("{n_l1} L1s for {cores} cores")));
+        }
+        let mut l1s = Vec::with_capacity(n_l1);
+        for _ in 0..n_l1 {
+            l1s.push(DenovoCache::load(r)?);
+        }
+        let n_sp = r.take_usize()?;
+        let expected_sp = if kind.uses_scratchpad() {
+            cfg.gpu_cus
+        } else {
+            0
+        };
+        if n_sp != expected_sp {
+            return Err(corrupt(format!(
+                "{n_sp} scratchpads for a {kind} configuration with {} CUs",
+                cfg.gpu_cus
+            )));
+        }
+        let mut scratchpads = Vec::with_capacity(n_sp);
+        for _ in 0..n_sp {
+            scratchpads.push(Scratchpad::load(r)?);
+        }
+        let n_stash = r.take_usize()?;
+        let stash_ok = if kind.uses_stash() {
+            // CPU stashes (§8 extension) extend the vector to all cores.
+            n_stash == cfg.gpu_cus || n_stash == cores
+        } else {
+            n_stash == 0
+        };
+        if !stash_ok {
+            return Err(corrupt(format!(
+                "{n_stash} stashes for a {kind} configuration with {} CUs",
+                cfg.gpu_cus
+            )));
+        }
+        let mut stashes = Vec::with_capacity(n_stash);
+        for _ in 0..n_stash {
+            stashes.push(Stash::restore(r)?);
+        }
+        let pt = PageTable::load(r)?;
+        let model = EnergyModel::load(r)?;
+        let energy = EnergyAccount::load(r)?;
+        let counters = Counters::load(r)?;
+        let gpu_instructions = r.take_u64()?;
+        let eager_stash_writebacks = r.take_bool()?;
+        let line_grain_registration = r.take_bool()?;
+        let verify = r.take_bool()?;
+        let fault = match r.take_u8()? {
+            0 => None,
+            1 => Some(FaultInjector::load(r)?),
+            v => return Err(corrupt(format!("unknown fault-injector code {v}"))),
+        };
+        let trace = match r.take_u8()? {
+            0 => None,
+            1 => Some(Box::new(TraceSink::load(r)?)),
+            v => return Err(corrupt(format!("unknown trace-sink code {v}"))),
+        };
+        let now = r.take_u64()?;
+        Ok(Self {
+            cfg,
+            kind,
+            net,
+            llc,
+            l1s,
+            scratchpads,
+            stashes,
+            pt,
+            model,
+            energy,
+            counters,
+            gpu_instructions,
+            eager_stash_writebacks,
+            line_grain_registration,
+            verify,
+            fault,
+            trace,
+            now,
+            stage: None,
+        })
+    }
+
     /// A human-readable dump of in-flight protocol state for the
     /// no-progress watchdog: which request stalled, what every core still
-    /// holds registered, and what the retry counters saw. Attached to
-    /// [`SimError::Deadlock`] so a tripped run is diagnosable rather than
-    /// a hang.
+    /// holds registered, what the retry counters saw, the active fault
+    /// seed, and the last ring-buffered trace events leading up to the
+    /// hang. Attached to [`SimError::Deadlock`] so a tripped run is
+    /// diagnosable rather than a hang.
     fn diagnostic_dump(&self, site: &'static str, seq: u64, from: NodeId, to: NodeId) -> String {
         use std::fmt::Write as _;
+        /// How many trailing trace events the dump carries.
+        const DUMP_EVENTS: usize = 16;
         let mut out = String::new();
         let _ = write!(
             out,
@@ -496,6 +673,18 @@ impl MemorySystem {
             self.counters.get("resilience.timeout"),
             self.fault.as_ref().map_or(0, |f| f.trace().len())
         );
+        if let Some(f) = self.fault.as_ref() {
+            let _ = write!(out, "; fault seed {}", f.config().seed);
+        }
+        if let Some(t) = self.trace.as_ref() {
+            let tail = t.last_events(DUMP_EVENTS);
+            if !tail.is_empty() {
+                let _ = write!(out, "; last {} trace events:", tail.len());
+                for ev in tail {
+                    let _ = write!(out, " {}@{}", ev.kind_name(), ev.at());
+                }
+            }
+        }
         out
     }
 

@@ -6,7 +6,7 @@
 //! the memory-system orchestrator decides what traffic those imply.
 
 use crate::addr::{LineAddr, PAddr, WORD_BYTES};
-use crate::coherence::WordState;
+use crate::coherence::{word_state_code, word_state_from_code, WordState};
 
 /// What `ensure_line` had to do to make a tag resident.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -283,6 +283,76 @@ impl DenovoCache {
     pub fn resident_lines(&self) -> usize {
         self.lines.iter().flatten().count()
     }
+
+    /// Serializes geometry, tag slots with LRU stamps, the word-state
+    /// arena, and the LRU tick.
+    pub fn save(&self, w: &mut sim::snapshot::Writer) {
+        w.put_usize(self.sets);
+        w.put_usize(self.ways);
+        w.put_u64(self.line_bytes);
+        w.put_usize(self.lines.len());
+        for entry in &self.lines {
+            match entry {
+                None => w.put_u8(0),
+                Some(e) => {
+                    w.put_u8(1);
+                    w.put_u64(e.line.0);
+                    w.put_u64(e.last_use);
+                }
+            }
+        }
+        for &state in &self.words {
+            w.put_u8(word_state_code(state));
+        }
+        w.put_u64(self.tick);
+    }
+
+    /// Restores a cache written by [`DenovoCache::save`].
+    pub fn load(r: &mut sim::snapshot::Reader<'_>) -> Result<Self, sim::SimError> {
+        let corrupt = |detail: String| sim::SimError::CheckpointCorrupt {
+            what: "denovo l1",
+            detail,
+        };
+        let sets = r.take_usize()?;
+        let ways = r.take_usize()?;
+        let line_bytes = r.take_u64()?;
+        if sets == 0 || ways == 0 || line_bytes == 0 || line_bytes % WORD_BYTES != 0 {
+            return Err(corrupt(format!(
+                "invalid geometry: sets {sets}, ways {ways}, line {line_bytes}"
+            )));
+        }
+        let total_lines = r.take_usize()?;
+        if total_lines != sets * ways {
+            return Err(corrupt(format!(
+                "{total_lines} tag slots for {sets} sets x {ways} ways"
+            )));
+        }
+        let words_per_line = (line_bytes / WORD_BYTES) as usize;
+        let mut lines = Vec::with_capacity(total_lines);
+        for _ in 0..total_lines {
+            lines.push(match r.take_u8()? {
+                0 => None,
+                1 => Some(LineEntry {
+                    line: LineAddr(r.take_u64()?),
+                    last_use: r.take_u64()?,
+                }),
+                v => return Err(corrupt(format!("unknown tag slot code {v}"))),
+            });
+        }
+        let mut words = Vec::with_capacity(total_lines * words_per_line);
+        for _ in 0..total_lines * words_per_line {
+            words.push(word_state_from_code(r.take_u8()?)?);
+        }
+        Ok(Self {
+            sets,
+            ways,
+            line_bytes,
+            words_per_line,
+            lines,
+            words,
+            tick: r.take_u64()?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -299,6 +369,47 @@ mod tests {
         let c = small();
         assert_eq!(c.sets(), 4);
         assert_eq!(c.words_per_line(), 16);
+    }
+
+    #[test]
+    fn cache_round_trips_through_snapshot() {
+        let mut c = small();
+        c.ensure_line(PAddr(0x1000));
+        c.fill_line_shared(PAddr(0x1000), &[2]);
+        c.set_word(PAddr(0x1004), WordState::Registered);
+        c.ensure_line(PAddr(0x2000));
+        c.fill_line_shared(PAddr(0x2000), &[]);
+        c.touch(PAddr(0x2000));
+        let mut w = sim::snapshot::Writer::new();
+        c.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = sim::snapshot::Reader::new(&bytes, "denovo l1");
+        let restored = DenovoCache::load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.sets(), c.sets());
+        assert_eq!(restored.resident_lines(), c.resident_lines());
+        assert_eq!(restored.registered_words(), c.registered_words());
+        for off in (0..64).step_by(4) {
+            assert_eq!(
+                restored.word_state(PAddr(0x1000 + off)),
+                c.word_state(PAddr(0x1000 + off))
+            );
+        }
+    }
+
+    #[test]
+    fn cache_load_rejects_slot_count_mismatch() {
+        let c = small();
+        let mut w = sim::snapshot::Writer::new();
+        c.save(&mut w);
+        let mut bytes = w.into_bytes();
+        // Patch the serialized slot count (4th field, offset 8+8+8 = 24).
+        bytes[24] = bytes[24].wrapping_add(1);
+        let mut r = sim::snapshot::Reader::new(&bytes, "denovo l1");
+        assert!(matches!(
+            DenovoCache::load(&mut r),
+            Err(sim::SimError::CheckpointCorrupt { .. })
+        ));
     }
 
     #[test]

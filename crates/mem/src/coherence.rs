@@ -50,6 +50,30 @@ impl WordState {
     pub const BITS: u32 = 2;
 }
 
+/// Stable one-byte snapshot encoding of a word state (I=0, S=1, R=2).
+pub fn word_state_code(state: WordState) -> u8 {
+    match state {
+        WordState::Invalid => 0,
+        WordState::Shared => 1,
+        WordState::Registered => 2,
+    }
+}
+
+/// Decodes a [`word_state_code`] byte, rejecting unknown values.
+pub fn word_state_from_code(code: u8) -> Result<WordState, sim::SimError> {
+    Ok(match code {
+        0 => WordState::Invalid,
+        1 => WordState::Shared,
+        2 => WordState::Registered,
+        v => {
+            return Err(sim::SimError::CheckpointCorrupt {
+                what: "word state",
+                detail: format!("unknown word state code {v}"),
+            })
+        }
+    })
+}
+
 impl std::fmt::Display for WordState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {

@@ -501,6 +501,123 @@ impl Llc {
         self.corrupt.clear();
         n
     }
+
+    /// Serializes the full LLC: geometry, slot table, word-tag arena,
+    /// residency/fetch accounting, and the corrupt-word set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a forked shard (checkpoints are taken at
+    /// kernel barriers, where every shard has been absorbed and only the
+    /// master LLC exists).
+    pub fn save(&self, w: &mut sim::snapshot::Writer) {
+        assert!(
+            self.overlay.is_none(),
+            "LLC snapshot requires the quiescent master, not a forked shard"
+        );
+        w.put_usize(self.banks);
+        w.put_u64(self.line_bytes);
+        w.put_u64(self.interleave_lines);
+        w.put_usize(self.tables.slots.len());
+        for &slot in &self.tables.slots {
+            w.put_u32(slot);
+        }
+        w.put_usize(self.tables.words.len());
+        for tag in &self.tables.words {
+            match tag {
+                WordTag::Valid => w.put_u8(0),
+                WordTag::Registered(Registration::Cache(core)) => {
+                    w.put_u8(1);
+                    w.put_usize(core.0);
+                }
+                WordTag::Registered(Registration::Stash { core, map_index }) => {
+                    w.put_u8(2);
+                    w.put_usize(core.0);
+                    w.put_u8(*map_index);
+                }
+            }
+        }
+        w.put_usize(self.resident);
+        w.put_u64(self.dram_line_fetches);
+        w.put_usize(self.corrupt.len());
+        for (line, word) in &self.corrupt {
+            w.put_u64(line.0);
+            w.put_usize(*word);
+        }
+    }
+
+    /// Restores an LLC written by [`Llc::save`].
+    pub fn load(r: &mut sim::snapshot::Reader<'_>) -> Result<Self, sim::SimError> {
+        let corrupt_err = |detail: String| sim::SimError::CheckpointCorrupt {
+            what: "llc",
+            detail,
+        };
+        let banks = r.take_usize()?;
+        let line_bytes = r.take_u64()?;
+        let interleave_lines = r.take_u64()?;
+        if banks == 0 || line_bytes == 0 || line_bytes % WORD_BYTES != 0 || interleave_lines == 0 {
+            return Err(corrupt_err(format!(
+                "invalid geometry: banks {banks}, line {line_bytes}, interleave {interleave_lines}"
+            )));
+        }
+        let words_per_line = (line_bytes / WORD_BYTES) as usize;
+        let n_slots = r.take_usize()?;
+        let mut slots = Vec::with_capacity(n_slots.min(1 << 24));
+        for _ in 0..n_slots {
+            slots.push(r.take_u32()?);
+        }
+        let n_words = r.take_usize()?;
+        if !n_words.is_multiple_of(words_per_line) {
+            return Err(corrupt_err(format!(
+                "word arena length {n_words} is not a multiple of {words_per_line}"
+            )));
+        }
+        let arena_slots = n_words / words_per_line;
+        let mut words = Vec::with_capacity(n_words.min(1 << 26));
+        for _ in 0..n_words {
+            words.push(match r.take_u8()? {
+                0 => WordTag::Valid,
+                1 => WordTag::Registered(Registration::Cache(CoreId(r.take_usize()?))),
+                2 => WordTag::Registered(Registration::Stash {
+                    core: CoreId(r.take_usize()?),
+                    map_index: r.take_u8()?,
+                }),
+                v => return Err(corrupt_err(format!("unknown word tag code {v}"))),
+            });
+        }
+        for (idx, &slot) in slots.iter().enumerate() {
+            if slot != EMPTY && slot as usize >= arena_slots {
+                return Err(corrupt_err(format!(
+                    "slot table entry {idx} points past the word arena ({slot} >= {arena_slots})"
+                )));
+            }
+        }
+        let resident = r.take_usize()?;
+        let dram_line_fetches = r.take_u64()?;
+        let n_corrupt = r.take_usize()?;
+        let mut corrupt = BTreeSet::new();
+        for _ in 0..n_corrupt {
+            let line = LineAddr(r.take_u64()?);
+            let word = r.take_usize()?;
+            if word >= words_per_line {
+                return Err(corrupt_err(format!(
+                    "corrupt-set word index {word} exceeds words per line"
+                )));
+            }
+            corrupt.insert((line, word));
+        }
+        Ok(Self {
+            banks,
+            line_bytes,
+            words_per_line,
+            interleave_lines,
+            tables: Arc::new(Tables { slots, words }),
+            overlay: None,
+            resident,
+            dram_line_fetches,
+            corrupt,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -739,6 +856,49 @@ mod tests {
                 (LineAddr(0x80), 2, Registration::Cache(CoreId(1))),
             ]
         );
+    }
+
+    #[test]
+    fn llc_round_trips_through_snapshot() {
+        let mut l = Llc::with_interleave(8, 64, 2);
+        l.load_word(LineAddr(0x40), 0);
+        l.register_word(LineAddr(0x80), 2, Registration::Cache(CoreId(1)));
+        l.register_word(
+            LineAddr(0xC0),
+            5,
+            Registration::Stash {
+                core: CoreId(3),
+                map_index: 2,
+            },
+        );
+        l.corrupt_word(LineAddr(0x40), 1);
+        let mut w = sim::snapshot::Writer::new();
+        l.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = sim::snapshot::Reader::new(&bytes, "llc");
+        let back = Llc::load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.registered_words(), l.registered_words());
+        assert_eq!(back.resident_line_addrs(), l.resident_line_addrs());
+        assert_eq!(back.dram_line_fetches(), l.dram_line_fetches());
+        assert_eq!(back.corrupt_word_count(), l.corrupt_word_count());
+        assert_eq!(back.banks(), l.banks());
+        assert_eq!(back.bank_of(LineAddr(0x200)), l.bank_of(LineAddr(0x200)));
+    }
+
+    #[test]
+    fn llc_load_rejects_dangling_slot() {
+        let mut l = Llc::new(4, 64);
+        l.load_word(LineAddr(0x0), 0);
+        let mut w = sim::snapshot::Writer::new();
+        l.save(&mut w);
+        let mut bytes = w.into_bytes();
+        // The single slot entry sits right after banks/line/interleave and
+        // the slot count: patch it to point past the one-slot arena.
+        let off = 8 * 4;
+        bytes[off..off + 4].copy_from_slice(&7u32.to_le_bytes());
+        let mut r = sim::snapshot::Reader::new(&bytes, "llc");
+        assert!(Llc::load(&mut r).is_err());
     }
 
     #[test]

@@ -133,6 +133,54 @@ impl PageTable {
     pub fn mapped_pages(&self) -> usize {
         self.mapped
     }
+
+    /// Serializes the table sparsely: only mapped `(page, frame)` pairs
+    /// (direct window and spill alike), plus the allocation cursor.
+    pub fn save(&self, w: &mut sim::snapshot::Writer) {
+        w.put_u64(self.page_bytes);
+        w.put_u64(self.next_frame);
+        let direct = self
+            .frames
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f != NO_FRAME)
+            .map(|(p, &f)| (p as u64, f));
+        let mut spill: Vec<(u64, u64)> = self.spill.iter().map(|(&p, &f)| (p, f)).collect();
+        spill.sort_unstable();
+        let pairs: Vec<(u64, u64)> = direct.chain(spill).collect();
+        w.put_usize(pairs.len());
+        for (page, frame) in pairs {
+            w.put_u64(page);
+            w.put_u64(frame);
+        }
+    }
+
+    /// Restores a page table written by [`PageTable::save`].
+    pub fn load(r: &mut sim::snapshot::Reader<'_>) -> Result<Self, sim::SimError> {
+        let page_bytes = r.take_u64()?;
+        if !page_bytes.is_power_of_two() {
+            return Err(sim::SimError::CheckpointCorrupt {
+                what: "page table",
+                detail: format!("page size {page_bytes} is not a power of two"),
+            });
+        }
+        let next_frame = r.take_u64()?;
+        let n = r.take_usize()?;
+        let mut pt = Self::new(page_bytes);
+        for _ in 0..n {
+            let page = r.take_u64()?;
+            let frame = r.take_u64()?;
+            if frame == NO_FRAME {
+                return Err(sim::SimError::CheckpointCorrupt {
+                    what: "page table",
+                    detail: format!("page {page:#x} maps to the unmapped sentinel"),
+                });
+            }
+            pt.insert(page, frame);
+        }
+        pt.next_frame = next_frame;
+        Ok(pt)
+    }
 }
 
 /// A least-recently-used TLB over virtual pages.
@@ -257,6 +305,52 @@ mod tests {
         assert!(!tlb.access(VAddr(0x1000)));
         assert!(tlb.access(VAddr(0x1FFF))); // same page
         assert_eq!(tlb.stats(), (1, 1));
+    }
+
+    #[test]
+    fn page_table_round_trips_through_snapshot() {
+        let mut pt = PageTable::new(4096);
+        for p in 0..100u64 {
+            pt.translate(VAddr(p * 4096 * 7));
+        }
+        // Force a spill-map entry too.
+        pt.translate(VAddr((DIRECT_PAGES + 5) * 4096));
+        let mut w = sim::snapshot::Writer::new();
+        pt.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = sim::snapshot::Reader::new(&bytes, "page table");
+        let mut restored = PageTable::load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.mapped_pages(), pt.mapped_pages());
+        assert_eq!(restored.page_bytes(), pt.page_bytes());
+        for p in 0..100u64 {
+            let va = VAddr(p * 4096 * 7);
+            assert_eq!(restored.try_translate(va), pt.try_translate(va));
+        }
+        let spill_va = VAddr((DIRECT_PAGES + 5) * 4096);
+        assert_eq!(restored.try_translate(spill_va), pt.try_translate(spill_va));
+        // Allocation resumes from the same cursor: the next fresh page
+        // must get the same frame either way.
+        assert_eq!(
+            restored.translate(VAddr(0xDEAD_0000)),
+            pt.translate(VAddr(0xDEAD_0000))
+        );
+    }
+
+    #[test]
+    fn page_table_load_rejects_sentinel_frame() {
+        let mut w = sim::snapshot::Writer::new();
+        w.put_u64(4096);
+        w.put_u64(16);
+        w.put_usize(1);
+        w.put_u64(3);
+        w.put_u64(NO_FRAME);
+        let bytes = w.into_bytes();
+        let mut r = sim::snapshot::Reader::new(&bytes, "page table");
+        assert!(matches!(
+            PageTable::load(&mut r),
+            Err(sim::SimError::CheckpointCorrupt { .. })
+        ));
     }
 
     #[test]

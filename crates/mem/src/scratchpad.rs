@@ -139,6 +139,36 @@ impl Scratchpad {
         }
         per_bank.into_iter().max().unwrap_or(0).max(1)
     }
+
+    /// Serializes geometry, the allocation watermark, and the access tally.
+    pub fn save(&self, w: &mut sim::snapshot::Writer) {
+        w.put_usize(self.capacity_bytes);
+        w.put_usize(self.banks);
+        w.put_usize(self.allocated_bytes);
+        w.put_u64(self.accesses);
+    }
+
+    /// Restores a scratchpad written by [`Scratchpad::save`].
+    pub fn load(r: &mut sim::snapshot::Reader<'_>) -> Result<Self, SimError> {
+        let capacity_bytes = r.take_usize()?;
+        let banks = r.take_usize()?;
+        let allocated_bytes = r.take_usize()?;
+        let accesses = r.take_u64()?;
+        let mut sp =
+            Self::try_new(capacity_bytes, banks).map_err(|e| SimError::CheckpointCorrupt {
+                what: "scratchpad",
+                detail: e.to_string(),
+            })?;
+        if allocated_bytes > capacity_bytes {
+            return Err(SimError::CheckpointCorrupt {
+                what: "scratchpad",
+                detail: format!("{allocated_bytes} allocated of {capacity_bytes} capacity"),
+            });
+        }
+        sp.allocated_bytes = allocated_bytes;
+        sp.accesses = accesses;
+        Ok(sp)
+    }
 }
 
 #[cfg(test)]
@@ -217,5 +247,38 @@ mod tests {
         let mut s = sp();
         let base = s.alloc(64).unwrap();
         s.access(base, 64);
+    }
+
+    #[test]
+    fn scratchpad_round_trips_through_snapshot() {
+        let mut s = sp();
+        let base = s.alloc(256).unwrap();
+        s.access(base, 0);
+        s.access(base, 8);
+        let mut w = sim::snapshot::Writer::new();
+        s.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = sim::snapshot::Reader::new(&bytes, "scratchpad");
+        let restored = Scratchpad::load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.capacity_bytes(), s.capacity_bytes());
+        assert_eq!(restored.banks(), s.banks());
+        assert_eq!(restored.allocated_bytes(), s.allocated_bytes());
+        assert_eq!(restored.accesses(), s.accesses());
+    }
+
+    #[test]
+    fn scratchpad_load_rejects_overcommit() {
+        let mut w = sim::snapshot::Writer::new();
+        w.put_usize(1024);
+        w.put_usize(32);
+        w.put_usize(2048); // allocated > capacity
+        w.put_u64(0);
+        let bytes = w.into_bytes();
+        let mut r = sim::snapshot::Reader::new(&bytes, "scratchpad");
+        assert!(matches!(
+            Scratchpad::load(&mut r),
+            Err(SimError::CheckpointCorrupt { .. })
+        ));
     }
 }

@@ -222,6 +222,39 @@ impl TileMap {
     pub fn same_mapping(&self, other: &TileMap) -> bool {
         self == other
     }
+
+    /// Serializes the six `AddMap` parameters.
+    pub fn save(&self, w: &mut sim::snapshot::Writer) {
+        w.put_u64(self.global_base.0);
+        w.put_u64(self.field_bytes);
+        w.put_u64(self.object_bytes);
+        w.put_u64(self.row_elems);
+        w.put_u64(self.row_stride_bytes);
+        w.put_u64(self.rows);
+    }
+
+    /// Restores a tile written by [`TileMap::save`], revalidating the
+    /// geometry.
+    pub fn load(r: &mut sim::snapshot::Reader<'_>) -> Result<Self, sim::SimError> {
+        let global_base = VAddr(r.take_u64()?);
+        let field_bytes = r.take_u64()?;
+        let object_bytes = r.take_u64()?;
+        let row_elems = r.take_u64()?;
+        let row_stride_bytes = r.take_u64()?;
+        let rows = r.take_u64()?;
+        Self::new(
+            global_base,
+            field_bytes,
+            object_bytes,
+            row_elems,
+            row_stride_bytes,
+            rows,
+        )
+        .map_err(|detail| sim::SimError::CheckpointCorrupt {
+            what: "tile map",
+            detail,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -114,6 +114,26 @@ impl TrafficStats {
         self.messages[Self::idx(class)] += 1;
         self.flits[Self::idx(class)] += flits;
     }
+
+    /// Serializes the three per-class tallies.
+    pub fn save(&self, w: &mut sim::snapshot::Writer) {
+        for i in 0..3 {
+            w.put_u64(self.crossings[i]);
+            w.put_u64(self.messages[i]);
+            w.put_u64(self.flits[i]);
+        }
+    }
+
+    /// Restores a tally written by [`TrafficStats::save`].
+    pub fn load(r: &mut sim::snapshot::Reader<'_>) -> Result<Self, sim::SimError> {
+        let mut t = Self::default();
+        for i in 0..3 {
+            t.crossings[i] = r.take_u64()?;
+            t.messages[i] = r.take_u64()?;
+            t.flits[i] = r.take_u64()?;
+        }
+        Ok(t)
+    }
 }
 
 /// The on-chip network: a mesh plus per-hop latency and traffic accounting.
@@ -309,6 +329,54 @@ impl Network {
             .max_by_key(|(_, &v)| v)
             .expect("meshes have at least one node");
         (NodeId(i), v)
+    }
+
+    /// Serializes the mesh geometry, latency parameters, and all
+    /// accounting. The network is purely a latency/accounting model — no
+    /// in-flight message queues exist, so a barrier-time snapshot captures
+    /// it completely.
+    pub fn save(&self, w: &mut sim::snapshot::Writer) {
+        w.put_usize(self.mesh.side());
+        w.put_u64(self.hop_x_round_trip_cycles);
+        w.put_u64(self.hop_y_round_trip_cycles);
+        self.traffic.save(w);
+        w.put_usize(self.router_flits.len());
+        for &f in &self.router_flits {
+            w.put_u64(f);
+        }
+    }
+
+    /// Restores a network written by [`Network::save`].
+    pub fn load(r: &mut sim::snapshot::Reader<'_>) -> Result<Self, sim::SimError> {
+        let corrupt = |detail: String| sim::SimError::CheckpointCorrupt {
+            what: "network",
+            detail,
+        };
+        let side = r.take_usize()?;
+        if side == 0 {
+            return Err(corrupt("zero-sided mesh".into()));
+        }
+        let mesh = Mesh::new(side);
+        let hop_x = r.take_u64()?;
+        let hop_y = r.take_u64()?;
+        let traffic = TrafficStats::load(r)?;
+        let n = r.take_usize()?;
+        if n != mesh.nodes() {
+            return Err(corrupt(format!(
+                "{n} router tallies for a {side}x{side} mesh"
+            )));
+        }
+        let mut router_flits = Vec::with_capacity(n);
+        for _ in 0..n {
+            router_flits.push(r.take_u64()?);
+        }
+        Ok(Self {
+            mesh,
+            hop_x_round_trip_cycles: hop_x,
+            hop_y_round_trip_cycles: hop_y,
+            traffic,
+            router_flits,
+        })
     }
 }
 
@@ -523,6 +591,41 @@ mod tests {
         assert!(empty.is_empty());
         // Accounting is untouched.
         assert_eq!(n.traffic().total_messages(), 0);
+    }
+
+    #[test]
+    fn network_round_trips_through_snapshot() {
+        let mut n = Network::with_latencies(Mesh::new(4), 3, 7);
+        n.send(NodeId(0), NodeId(15), Message::data(MsgClass::Read, 64));
+        n.send(NodeId(2), NodeId(9), Message::control(MsgClass::Write));
+        let mut w = sim::snapshot::Writer::new();
+        n.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = sim::snapshot::Reader::new(&bytes, "network");
+        let restored = Network::load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.mesh().side(), 4);
+        assert_eq!(restored.traffic(), n.traffic());
+        assert_eq!(restored.router_flit_profile(), n.router_flit_profile());
+        assert_eq!(
+            restored.round_trip_cycles(NodeId(0), NodeId(6)),
+            n.round_trip_cycles(NodeId(0), NodeId(6))
+        );
+    }
+
+    #[test]
+    fn network_load_rejects_router_tally_mismatch() {
+        let n = net();
+        let mut w = sim::snapshot::Writer::new();
+        n.save(&mut w);
+        let mut bytes = w.into_bytes();
+        // Patch the mesh side (first field) from 4 to 5.
+        bytes[0] = 5;
+        let mut r = sim::snapshot::Reader::new(&bytes, "network");
+        assert!(matches!(
+            Network::load(&mut r),
+            Err(sim::SimError::CheckpointCorrupt { .. })
+        ));
     }
 
     #[test]

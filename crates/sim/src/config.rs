@@ -195,6 +195,89 @@ impl SystemConfig {
         }
         Ok(())
     }
+
+    /// Serializes every configuration field, in declaration order.
+    pub fn save(&self, w: &mut crate::snapshot::Writer) {
+        w.put_u64(self.cpu_clock.mhz());
+        w.put_u64(self.gpu_clock.mhz());
+        w.put_usize(self.cpu_cores);
+        w.put_usize(self.gpu_cus);
+        w.put_usize(self.mesh_side);
+        w.put_usize(self.scratchpad_bytes);
+        w.put_usize(self.local_banks);
+        w.put_usize(self.l1_bytes);
+        w.put_usize(self.l1_ways);
+        w.put_usize(self.l1_banks);
+        w.put_usize(self.line_bytes);
+        w.put_usize(self.l2_bytes);
+        w.put_usize(self.l2_banks);
+        w.put_u64(self.l2_interleave_lines);
+        w.put_usize(self.l2_ways);
+        w.put_u64(self.l1_hit_cycles);
+        w.put_u64(self.stash_translation_cycles);
+        w.put_u64(self.l2_base_cycles);
+        w.put_u64(self.hop_round_trip_cycles);
+        w.put_u64(self.hop_round_trip_cycles_y);
+        w.put_u64(self.dram_extra_cycles);
+        w.put_u64(self.remote_base_cycles);
+        w.put_usize(self.vp_map_entries);
+        w.put_usize(self.stash_map_entries);
+        w.put_usize(self.max_maps_per_thread_block);
+        w.put_usize(self.page_bytes);
+        w.put_usize(self.threads_per_block);
+        w.put_usize(self.warp_size);
+        w.put_usize(self.max_blocks_per_cu);
+        w.put_usize(self.max_outstanding_misses);
+        w.put_usize(self.stash_chunk_bytes);
+        w.put_u64(self.kernel_launch_cycles);
+        w.put_u64(self.energy_scale_pct);
+    }
+
+    /// Restores a configuration written by [`SystemConfig::save`] and
+    /// re-validates it (a snapshot carrying an invalid config is corrupt).
+    pub fn load(r: &mut crate::snapshot::Reader<'_>) -> Result<Self, crate::SimError> {
+        let cfg = Self {
+            cpu_clock: ClockDomain::from_mhz(r.take_u64()?),
+            gpu_clock: ClockDomain::from_mhz(r.take_u64()?),
+            cpu_cores: r.take_usize()?,
+            gpu_cus: r.take_usize()?,
+            mesh_side: r.take_usize()?,
+            scratchpad_bytes: r.take_usize()?,
+            local_banks: r.take_usize()?,
+            l1_bytes: r.take_usize()?,
+            l1_ways: r.take_usize()?,
+            l1_banks: r.take_usize()?,
+            line_bytes: r.take_usize()?,
+            l2_bytes: r.take_usize()?,
+            l2_banks: r.take_usize()?,
+            l2_interleave_lines: r.take_u64()?,
+            l2_ways: r.take_usize()?,
+            l1_hit_cycles: r.take_u64()?,
+            stash_translation_cycles: r.take_u64()?,
+            l2_base_cycles: r.take_u64()?,
+            hop_round_trip_cycles: r.take_u64()?,
+            hop_round_trip_cycles_y: r.take_u64()?,
+            dram_extra_cycles: r.take_u64()?,
+            remote_base_cycles: r.take_u64()?,
+            vp_map_entries: r.take_usize()?,
+            stash_map_entries: r.take_usize()?,
+            max_maps_per_thread_block: r.take_usize()?,
+            page_bytes: r.take_usize()?,
+            threads_per_block: r.take_usize()?,
+            warp_size: r.take_usize()?,
+            max_blocks_per_cu: r.take_usize()?,
+            max_outstanding_misses: r.take_usize()?,
+            stash_chunk_bytes: r.take_usize()?,
+            kernel_launch_cycles: r.take_u64()?,
+            energy_scale_pct: r.take_u64()?,
+        };
+        cfg.validate()
+            .map_err(|detail| crate::SimError::CheckpointCorrupt {
+                what: "system config",
+                detail,
+            })?;
+        Ok(cfg)
+    }
 }
 
 impl Default for SystemConfig {
@@ -462,6 +545,43 @@ mod tests {
         assert_eq!((sys.cpu_cores, sys.gpu_cus), (1, 15));
         assert!(sys.validate().is_ok());
         assert!(p.label().starts_with("m8 h3/7 b32/i4"));
+    }
+
+    #[test]
+    fn config_round_trips_through_snapshot() {
+        let cfg = SystemConfig {
+            mesh_side: 8,
+            l2_banks: 32,
+            ..SystemConfig::for_applications()
+        };
+        let mut w = crate::snapshot::Writer::new();
+        cfg.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::snapshot::Reader::new(&bytes, "cfg");
+        let back = SystemConfig::load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn config_load_rejects_invalid() {
+        let cfg = SystemConfig::default();
+        let mut w = crate::snapshot::Writer::new();
+        cfg.save(&mut w);
+        let mut bytes = w.into_bytes();
+        // Zero out the cpu_cores and gpu_cus fields (offsets 16 and 24):
+        // a config with no agents must fail revalidation on load.
+        for b in &mut bytes[16..32] {
+            *b = 0;
+        }
+        let mut r = crate::snapshot::Reader::new(&bytes, "cfg");
+        assert!(matches!(
+            SystemConfig::load(&mut r).unwrap_err(),
+            crate::SimError::CheckpointCorrupt {
+                what: "system config",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -47,6 +47,25 @@ pub enum SimError {
         /// The conflicting CU.
         second_cu: usize,
     },
+    /// A checkpoint snapshot failed integrity validation on load: bad
+    /// magic, a truncated section, a CRC mismatch, or an impossible
+    /// field value. The snapshot must not be restored; callers should
+    /// fall back to the previous good snapshot if one exists.
+    CheckpointCorrupt {
+        /// What failed to validate (section tag or structural check).
+        what: &'static str,
+        /// Detail on the mismatch (expected vs found, offsets, ...).
+        detail: String,
+    },
+    /// A checkpoint snapshot was written by an incompatible snapshot
+    /// format version. Distinguished from corruption so tooling can
+    /// report "re-run the producer" instead of "the file is damaged".
+    CheckpointVersionMismatch {
+        /// Version found in the snapshot header.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
     /// The no-progress watchdog tripped: a request made no forward
     /// progress (all retry attempts were lost, or resilience is disabled
     /// and the only outstanding message was dropped). Carries a
@@ -81,6 +100,13 @@ impl fmt::Display for SimError {
             } => write!(
                 f,
                 "certificate violation: word {word:#x} claimed by CU {first_cu} and CU {second_cu} in a kernel certified conflict-free"
+            ),
+            SimError::CheckpointCorrupt { what, detail } => {
+                write!(f, "checkpoint corrupt at {what}: {detail}")
+            }
+            SimError::CheckpointVersionMismatch { found, expected } => write!(
+                f,
+                "checkpoint format version {found} incompatible with reader version {expected}"
             ),
             SimError::Deadlock {
                 site,
@@ -119,6 +145,14 @@ mod tests {
                 word: 0x4000,
                 first_cu: 0,
                 second_cu: 3,
+            },
+            SimError::CheckpointCorrupt {
+                what: "section LLC",
+                detail: "crc mismatch".into(),
+            },
+            SimError::CheckpointVersionMismatch {
+                found: 99,
+                expected: 1,
             },
             SimError::Deadlock {
                 site: "stash.fetch",

@@ -336,6 +336,130 @@ impl FaultInjector {
         }
         None
     }
+
+    /// Serializes the complete injector state — schedule config, RNG
+    /// position, sequence-number source, and fault trace — so a restored
+    /// machine continues the exact same draw stream.
+    pub fn save(&self, w: &mut crate::snapshot::Writer) {
+        let c = &self.cfg;
+        w.put_u64(c.seed);
+        w.put_u64(c.drop_per_mille);
+        w.put_u64(c.dup_per_mille);
+        w.put_u64(c.delay_per_mille);
+        w.put_u64(c.delay_max_cycles);
+        w.put_u64(c.flip_per_mille);
+        w.put_u64(c.wb_lose_per_mille);
+        w.put_u64(c.dma_truncate_per_mille);
+        w.put_bool(c.resilience);
+        w.put_bool(c.parity);
+        w.put_u64(c.retry.timeout_cycles);
+        w.put_u32(c.retry.max_retries);
+        w.put_u64(c.retry.backoff_base_cycles);
+        w.put_u64(c.retry.backoff_cap_cycles);
+        w.put_u64(self.rng.state());
+        w.put_u64(self.next_seq);
+        w.put_usize(self.trace.len());
+        for e in &self.trace {
+            w.put_str(e.site);
+            w.put_u8(fault_kind_code(e.kind));
+            w.put_u64(e.seq);
+            w.put_u32(e.attempt);
+        }
+    }
+
+    /// Restores an injector written by [`FaultInjector::save`].
+    pub fn load(r: &mut crate::snapshot::Reader<'_>) -> Result<Self, crate::SimError> {
+        let cfg = FaultConfig {
+            seed: r.take_u64()?,
+            drop_per_mille: r.take_u64()?,
+            dup_per_mille: r.take_u64()?,
+            delay_per_mille: r.take_u64()?,
+            delay_max_cycles: r.take_u64()?,
+            flip_per_mille: r.take_u64()?,
+            wb_lose_per_mille: r.take_u64()?,
+            dma_truncate_per_mille: r.take_u64()?,
+            resilience: r.take_bool()?,
+            parity: r.take_bool()?,
+            retry: RetryPolicy {
+                timeout_cycles: r.take_u64()?,
+                max_retries: r.take_u32()?,
+                backoff_base_cycles: r.take_u64()?,
+                backoff_cap_cycles: r.take_u64()?,
+            },
+        };
+        let rng = SplitMix64::from_state(r.take_u64()?);
+        let next_seq = r.take_u64()?;
+        let n = r.take_usize()?;
+        let mut trace = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let site = intern_site(r.take_str()?);
+            let kind = fault_kind_from_code(r.take_u8()?)?;
+            let seq = r.take_u64()?;
+            let attempt = r.take_u32()?;
+            trace.push(FaultEvent {
+                site,
+                kind,
+                seq,
+                attempt,
+            });
+        }
+        Ok(FaultInjector {
+            cfg,
+            rng,
+            next_seq,
+            trace,
+        })
+    }
+}
+
+fn fault_kind_code(kind: FaultKind) -> u8 {
+    match kind {
+        FaultKind::Drop => 0,
+        FaultKind::Duplicate => 1,
+        FaultKind::Delay => 2,
+        FaultKind::Flip => 3,
+        FaultKind::WritebackLost => 4,
+        FaultKind::DmaTruncated => 5,
+        FaultKind::Retry => 6,
+    }
+}
+
+fn fault_kind_from_code(code: u8) -> Result<FaultKind, crate::SimError> {
+    Ok(match code {
+        0 => FaultKind::Drop,
+        1 => FaultKind::Duplicate,
+        2 => FaultKind::Delay,
+        3 => FaultKind::Flip,
+        4 => FaultKind::WritebackLost,
+        5 => FaultKind::DmaTruncated,
+        6 => FaultKind::Retry,
+        v => {
+            return Err(crate::SimError::CheckpointCorrupt {
+                what: "fault trace",
+                detail: format!("unknown fault kind code {v}"),
+            })
+        }
+    })
+}
+
+/// Interns a site label, returning a `'static` string.
+///
+/// Fault-event sites are `&'static str` in the live simulator (string
+/// literals at injection sites); a deserialized trace has to reconstruct
+/// that, so loaded site names go into a small process-global intern pool.
+/// The pool only ever holds the handful of distinct site labels the
+/// simulator uses, so the leak is bounded.
+pub fn intern_site(name: &str) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    static POOL: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(Vec::new()));
+    let mut pool = pool.lock().expect("site intern pool poisoned");
+    if let Some(found) = pool.iter().find(|s| **s == name) {
+        return found;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    pool.push(leaked);
+    leaked
 }
 
 #[cfg(test)]
@@ -396,6 +520,39 @@ mod tests {
     }
 
     #[test]
+    fn injector_round_trips_through_snapshot() {
+        let mut inj = FaultInjector::new(FaultConfig::chaos(77));
+        for i in 0..500 {
+            inj.message_fate("roundtrip.site", i, 1);
+            inj.flip_word("roundtrip.flip");
+        }
+        inj.next_seq();
+        let mut w = crate::snapshot::Writer::new();
+        inj.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::snapshot::Reader::new(&bytes, "fault");
+        let mut back = FaultInjector::load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.config(), inj.config());
+        assert_eq!(back.trace(), inj.trace());
+        // Future draws must continue the identical stream.
+        for i in 0..200 {
+            assert_eq!(
+                inj.message_fate("after", i, 1),
+                back.message_fate("after", i, 1)
+            );
+            assert_eq!(inj.next_seq(), back.next_seq());
+        }
+    }
+
+    #[test]
+    fn intern_site_dedups() {
+        let a = intern_site("some.site.label");
+        let b = intern_site("some.site.label");
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
     fn truncation_is_strictly_short() {
         let mut inj = FaultInjector::new(FaultConfig {
             dma_truncate_per_mille: 1000,
@@ -405,5 +562,77 @@ mod tests {
             let kept = inj.truncate_dma("t", 64).expect("certain truncation");
             assert!(kept < 64);
         }
+    }
+
+    #[test]
+    fn zero_word_transfer_never_truncates_or_draws() {
+        // A zero-word line (empty DMA burst) must not fire — and, just as
+        // important for determinism, must not consume an RNG draw, so a
+        // schedule is identical whether or not empty bursts occur.
+        let mut inj = FaultInjector::new(FaultConfig {
+            dma_truncate_per_mille: 1000,
+            ..FaultConfig::chaos(11)
+        });
+        let mut twin = inj.clone();
+        for _ in 0..50 {
+            assert_eq!(inj.truncate_dma("t", 0), None);
+        }
+        assert!(inj.trace().is_empty(), "no event for zero-word transfers");
+        for _ in 0..100 {
+            assert_eq!(
+                inj.truncate_dma("t", 16),
+                twin.truncate_dma("t", 16),
+                "zero-word calls must not advance the draw stream"
+            );
+        }
+    }
+
+    #[test]
+    fn final_partial_burst_truncates_within_its_own_length() {
+        // A line streamed in 16-word bursts with a final partial burst:
+        // the cut point of the short tail burst must land inside it, so
+        // the scrub's corrupt-word bookkeeping can never index past the
+        // transfer.
+        let mut inj = FaultInjector::new(FaultConfig {
+            dma_truncate_per_mille: 1000,
+            ..FaultConfig::chaos(5)
+        });
+        for tail in [1u64, 2, 3, 7, 15] {
+            for _ in 0..50 {
+                let kept = inj
+                    .truncate_dma("dma.tail", tail)
+                    .expect("certain truncation");
+                assert!(kept < tail, "kept {kept} of a {tail}-word tail burst");
+            }
+        }
+    }
+
+    #[test]
+    fn scrub_draws_continue_identically_after_restore() {
+        // The end-of-run parity scrub consumes flip draws from the same
+        // stream as everything else; a snapshot taken mid-schedule must
+        // restore the stream exactly, or a resumed run's scrub would
+        // diverge from the straight-through run it has to match.
+        let mut inj = FaultInjector::new(FaultConfig {
+            flip_per_mille: 500,
+            ..FaultConfig::chaos(23)
+        });
+        for _ in 0..137 {
+            inj.flip_word("scrub.pre");
+        }
+        let mut w = crate::snapshot::Writer::new();
+        inj.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::snapshot::Reader::new(&bytes, "fault");
+        let mut back = FaultInjector::load(&mut r).unwrap();
+        r.finish().unwrap();
+        for _ in 0..300 {
+            assert_eq!(inj.flip_word("scrub.post"), back.flip_word("scrub.post"));
+            assert_eq!(
+                inj.truncate_dma("scrub.dma", 9),
+                back.truncate_dma("scrub.dma", 9)
+            );
+        }
+        assert_eq!(inj.trace(), back.trace());
     }
 }

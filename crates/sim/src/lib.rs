@@ -18,6 +18,8 @@
 //!   that the chaos harness drives through the memory system.
 //! * [`trace`] — the ring-buffered, cycle-attributed event sink behind the
 //!   observability layer (Perfetto export, stall attribution) in `bench`.
+//! * [`snapshot`] — the versioned, checksummed binary container and
+//!   crash-consistent file store behind machine-state checkpoint/restore.
 //!
 //! # Example
 //!
@@ -36,6 +38,7 @@ pub mod config;
 pub mod error;
 pub mod fault;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod trace;
 

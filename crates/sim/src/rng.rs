@@ -57,6 +57,20 @@ impl SplitMix64 {
         self.next_below(den) < num
     }
 
+    /// Returns the raw generator state, for checkpointing.
+    ///
+    /// Feeding the result to [`SplitMix64::from_state`] reconstructs a
+    /// generator whose future draw sequence continues exactly where this
+    /// one left off.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Reconstructs a generator from a [`SplitMix64::state`] value.
+    pub fn from_state(state: u64) -> Self {
+        Self { state }
+    }
+
     /// Fisher–Yates shuffles a slice in place.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
@@ -126,6 +140,18 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..64).collect::<Vec<_>>());
         assert_ne!(v, sorted, "64 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn state_round_trip_resumes_sequence() {
+        let mut a = SplitMix64::new(11);
+        for _ in 0..5 {
+            a.next_u64();
+        }
+        let mut b = SplitMix64::from_state(a.state());
+        for _ in 0..20 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]

@@ -259,6 +259,36 @@ impl Counters {
     pub fn is_empty(&self) -> bool {
         self.values.iter().all(|&v| v == 0)
     }
+
+    /// Serializes the table as `(name, value)` pairs of touched counters.
+    ///
+    /// Name-keyed so a snapshot stays loadable when new counters are
+    /// added in name order; an *unknown* name in a snapshot is corruption
+    /// (this build cannot account for events it has no slot for).
+    pub fn save(&self, w: &mut crate::snapshot::Writer) {
+        w.put_usize(self.iter().count());
+        for (name, value) in self.iter() {
+            w.put_str(name);
+            w.put_u64(value);
+        }
+    }
+
+    /// Restores a table written by [`Counters::save`].
+    pub fn load(r: &mut crate::snapshot::Reader<'_>) -> Result<Self, crate::SimError> {
+        let n = r.take_usize()?;
+        let mut out = Counters::new();
+        for _ in 0..n {
+            let name = r.take_str()?.to_string();
+            let value = r.take_u64()?;
+            let counter =
+                Counter::from_name(&name).ok_or_else(|| crate::SimError::CheckpointCorrupt {
+                    what: "counters",
+                    detail: format!("unknown counter name {name:?}"),
+                })?;
+            out.add(counter, value);
+        }
+        Ok(out)
+    }
 }
 
 impl fmt::Display for Counters {

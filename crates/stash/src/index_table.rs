@@ -90,6 +90,32 @@ impl MapIndexTable {
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
     }
+
+    /// Serializes capacity and the allocated slots.
+    pub fn save(&self, w: &mut sim::snapshot::Writer) {
+        w.put_usize(self.capacity);
+        w.put_usize(self.slots.len());
+        for &MapIndex(i) in &self.slots {
+            w.put_u8(i);
+        }
+    }
+
+    /// Restores a table written by [`MapIndexTable::save`].
+    pub fn load(r: &mut sim::snapshot::Reader<'_>) -> Result<Self, SimError> {
+        let capacity = r.take_usize()?;
+        let n = r.take_usize()?;
+        if n > capacity {
+            return Err(SimError::CheckpointCorrupt {
+                what: "map index table",
+                detail: format!("{n} slots exceed capacity {capacity}"),
+            });
+        }
+        let mut slots = Vec::with_capacity(capacity);
+        for _ in 0..n {
+            slots.push(MapIndex(r.take_u8()?));
+        }
+        Ok(Self { capacity, slots })
+    }
 }
 
 #[cfg(test)]

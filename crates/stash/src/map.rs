@@ -190,6 +190,70 @@ impl StashMap {
     pub fn valid_count(&self) -> usize {
         self.iter_valid().count()
     }
+
+    /// Serializes capacity, the tail pointer, and every slot.
+    pub fn save(&self, w: &mut sim::snapshot::Writer) {
+        w.put_usize(self.slots.len());
+        w.put_usize(self.tail);
+        for slot in &self.slots {
+            match slot {
+                None => w.put_u8(0),
+                Some(e) => {
+                    w.put_u8(1);
+                    e.tile.save(w);
+                    w.put_usize(e.stash_base_word);
+                    w.put_u8(crate::modes::usage_mode_code(e.mode));
+                    w.put_bool(e.valid);
+                    w.put_bool(e.active);
+                    w.put_u32(e.dirty_chunks);
+                    match e.reuse_of {
+                        None => w.put_u8(0),
+                        Some(MapIndex(i)) => {
+                            w.put_u8(1);
+                            w.put_u8(i);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restores a stash-map written by [`StashMap::save`].
+    pub fn load(r: &mut sim::snapshot::Reader<'_>) -> Result<Self, SimError> {
+        let corrupt = |detail: String| SimError::CheckpointCorrupt {
+            what: "stash map",
+            detail,
+        };
+        let capacity = r.take_usize()?;
+        if capacity == 0 || capacity > 256 {
+            return Err(corrupt(format!("capacity {capacity} does not fit a u8")));
+        }
+        let tail = r.take_usize()?;
+        if tail >= capacity {
+            return Err(corrupt(format!("tail {tail} outside {capacity} slots")));
+        }
+        let mut slots = Vec::with_capacity(capacity);
+        for _ in 0..capacity {
+            slots.push(match r.take_u8()? {
+                0 => None,
+                1 => Some(StashMapEntry {
+                    tile: TileMap::load(r)?,
+                    stash_base_word: r.take_usize()?,
+                    mode: crate::modes::usage_mode_from_code(r.take_u8()?)?,
+                    valid: r.take_bool()?,
+                    active: r.take_bool()?,
+                    dirty_chunks: r.take_u32()?,
+                    reuse_of: match r.take_u8()? {
+                        0 => None,
+                        1 => Some(MapIndex(r.take_u8()?)),
+                        v => return Err(corrupt(format!("unknown reuse code {v}"))),
+                    },
+                }),
+                v => return Err(corrupt(format!("unknown slot code {v}"))),
+            });
+        }
+        Ok(Self { slots, tail })
+    }
 }
 
 #[cfg(test)]

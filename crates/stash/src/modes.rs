@@ -36,6 +36,32 @@ impl UsageMode {
     }
 }
 
+/// Stable one-byte snapshot encoding of a usage mode.
+pub fn usage_mode_code(mode: UsageMode) -> u8 {
+    match mode {
+        UsageMode::MappedCoherent => 0,
+        UsageMode::MappedNonCoherent => 1,
+        UsageMode::GlobalUnmapped => 2,
+        UsageMode::Temporary => 3,
+    }
+}
+
+/// Decodes a [`usage_mode_code`] byte, rejecting unknown values.
+pub fn usage_mode_from_code(code: u8) -> Result<UsageMode, sim::SimError> {
+    Ok(match code {
+        0 => UsageMode::MappedCoherent,
+        1 => UsageMode::MappedNonCoherent,
+        2 => UsageMode::GlobalUnmapped,
+        3 => UsageMode::Temporary,
+        v => {
+            return Err(sim::SimError::CheckpointCorrupt {
+                what: "usage mode",
+                detail: format!("unknown usage mode code {v}"),
+            })
+        }
+    })
+}
+
 impl std::fmt::Display for UsageMode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {

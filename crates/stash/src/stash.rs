@@ -749,6 +749,121 @@ impl Stash {
     }
 
     // ------------------------------------------------------------------
+    // Checkpointing
+    // ------------------------------------------------------------------
+
+    /// Serializes the configuration and every component: storage, the
+    /// stash-map, the VP-map, live map index tables, and the corrupt-word
+    /// ground truth.
+    pub fn save(&self, w: &mut sim::snapshot::Writer) {
+        w.put_usize(self.cfg.capacity_bytes);
+        w.put_usize(self.cfg.chunk_bytes);
+        w.put_usize(self.cfg.map_entries);
+        w.put_usize(self.cfg.vp_map_entries);
+        w.put_usize(self.cfg.max_maps_per_thread_block);
+        w.put_u64(self.cfg.page_bytes);
+        w.put_bool(self.cfg.replication_enabled);
+        w.put_bool(self.cfg.prefetch);
+        w.put_usize(self.cfg.fetch_words);
+        self.storage.save(w);
+        self.map.save(w);
+        self.vp.save(w);
+        w.put_usize(self.tables.len());
+        for table in &self.tables {
+            match table {
+                None => w.put_u8(0),
+                Some(t) => {
+                    w.put_u8(1);
+                    t.save(w);
+                }
+            }
+        }
+        w.put_usize(self.corrupt.len());
+        for &word in &self.corrupt {
+            w.put_usize(word);
+        }
+    }
+
+    /// Restores a stash written by [`Stash::save`].
+    pub fn restore(r: &mut sim::snapshot::Reader<'_>) -> Result<Self, SimError> {
+        let corrupt_err = |detail: String| SimError::CheckpointCorrupt {
+            what: "stash",
+            detail,
+        };
+        let cfg = StashConfig {
+            capacity_bytes: r.take_usize()?,
+            chunk_bytes: r.take_usize()?,
+            map_entries: r.take_usize()?,
+            vp_map_entries: r.take_usize()?,
+            max_maps_per_thread_block: r.take_usize()?,
+            page_bytes: r.take_u64()?,
+            replication_enabled: r.take_bool()?,
+            prefetch: r.take_bool()?,
+            fetch_words: r.take_usize()?,
+        };
+        if cfg.chunk_bytes == 0
+            || !cfg.chunk_bytes.is_multiple_of(WORD_BYTES as usize)
+            || !cfg.capacity_bytes.is_multiple_of(cfg.chunk_bytes)
+            || cfg.map_entries == 0
+            || cfg.map_entries > 256
+            || cfg.vp_map_entries == 0
+            || !cfg.page_bytes.is_power_of_two()
+        {
+            return Err(corrupt_err(format!("inconsistent configuration {cfg:?}")));
+        }
+        let storage = StashStorage::load(r)?;
+        if storage.words() != cfg.capacity_words() || storage.words_per_chunk() != cfg.chunk_words()
+        {
+            return Err(corrupt_err(format!(
+                "storage geometry ({} words, {} per chunk) does not match \
+                 configuration ({} words, {} per chunk)",
+                storage.words(),
+                storage.words_per_chunk(),
+                cfg.capacity_words(),
+                cfg.chunk_words()
+            )));
+        }
+        let map = StashMap::load(r)?;
+        if map.capacity() != cfg.map_entries {
+            return Err(corrupt_err(format!(
+                "stash-map capacity {} does not match configured {}",
+                map.capacity(),
+                cfg.map_entries
+            )));
+        }
+        let vp = VpMap::load(r)?;
+        let table_count = r.take_usize()?;
+        let mut tables = Vec::with_capacity(table_count);
+        for _ in 0..table_count {
+            tables.push(match r.take_u8()? {
+                0 => None,
+                1 => Some(MapIndexTable::load(r)?),
+                v => return Err(corrupt_err(format!("unknown table slot code {v}"))),
+            });
+        }
+        let n = r.take_usize()?;
+        let mut corrupt = BTreeSet::new();
+        for _ in 0..n {
+            let word = r.take_usize()?;
+            if word >= storage.words() {
+                return Err(corrupt_err(format!(
+                    "corrupt word {word} outside {} words of storage",
+                    storage.words()
+                )));
+            }
+            corrupt.insert(word);
+        }
+        Ok(Self {
+            cfg,
+            storage,
+            map,
+            vp,
+            tables,
+            corrupt,
+        })
+    }
+
+    // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
 
@@ -1029,6 +1144,61 @@ mod tests {
 
     fn stash() -> Stash {
         Stash::new(StashConfig::default())
+    }
+
+    #[test]
+    fn stash_round_trips_through_snapshot() {
+        let mut s = stash();
+        let m = s
+            .add_map(0, tile(0x1000, 64), 0, UsageMode::MappedCoherent)
+            .unwrap();
+        s.complete_load_fill(0);
+        assert!(s.store(1, m.index).unwrap().missed());
+        s.complete_store_fill(1, m.index);
+        s.flip_word(1);
+        let m2 = s
+            .add_map(1, tile(0x9000, 32), 64, UsageMode::MappedNonCoherent)
+            .unwrap();
+        let mut w = sim::snapshot::Writer::new();
+        s.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = sim::snapshot::Reader::new(&bytes, "stash");
+        let mut restored = Stash::restore(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.config(), s.config());
+        assert_eq!(restored.words(), s.words());
+        assert_eq!(restored.corrupt_word_count(), 1);
+        assert_eq!(restored.word_state(0), s.word_state(0));
+        assert_eq!(restored.word_state(1), WordState::Registered);
+        assert_eq!(restored.map_entry(m.index), s.map_entry(m.index));
+        assert_eq!(restored.map_entry(m2.index), s.map_entry(m2.index));
+        assert_eq!(restored.resolve_slot(0, m.slot), Some(m.index));
+        assert_eq!(restored.resolve_slot(1, m2.slot), Some(m2.index));
+        assert_eq!(restored.vp_occupancy(), s.vp_occupancy());
+        assert_eq!(restored.pending_writebacks(), s.pending_writebacks());
+        // Behaviour resumes identically: the same load on both sides.
+        assert_eq!(
+            s.load(2, m.index).unwrap(),
+            restored.load(2, m.index).unwrap()
+        );
+    }
+
+    #[test]
+    fn stash_load_rejects_out_of_range_corrupt_word() {
+        let mut s = stash();
+        s.flip_word(10);
+        let mut w = sim::snapshot::Writer::new();
+        s.save(&mut w);
+        let mut bytes = w.into_bytes();
+        // The corrupt-word list is the last thing serialized: count then
+        // the word. Patch the word to an out-of-range value.
+        let n = bytes.len();
+        bytes[n - 8..].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut r = sim::snapshot::Reader::new(&bytes, "stash");
+        assert!(matches!(
+            Stash::restore(&mut r),
+            Err(SimError::CheckpointCorrupt { .. })
+        ));
     }
 
     #[test]

@@ -204,6 +204,63 @@ impl StashStorage {
             .filter(|&&w| w == WordState::Registered)
             .count()
     }
+
+    /// Serializes the word-state arena and per-chunk metadata.
+    pub fn save(&self, w: &mut sim::snapshot::Writer) {
+        w.put_usize(self.words_per_chunk);
+        w.put_usize(self.word_states.len());
+        for &state in &self.word_states {
+            w.put_u8(mem::coherence::word_state_code(state));
+        }
+        for meta in &self.chunks {
+            match meta.owner {
+                None => w.put_u8(0),
+                Some(MapIndex(i)) => {
+                    w.put_u8(1);
+                    w.put_u8(i);
+                }
+            }
+            w.put_bool(meta.dirty);
+            w.put_bool(meta.writeback_pending);
+        }
+    }
+
+    /// Restores storage written by [`StashStorage::save`].
+    pub fn load(r: &mut sim::snapshot::Reader<'_>) -> Result<Self, sim::SimError> {
+        let corrupt = |detail: String| sim::SimError::CheckpointCorrupt {
+            what: "stash storage",
+            detail,
+        };
+        let words_per_chunk = r.take_usize()?;
+        let words = r.take_usize()?;
+        if words_per_chunk == 0 || !words.is_multiple_of(words_per_chunk) {
+            return Err(corrupt(format!(
+                "{words} words do not chunk evenly by {words_per_chunk}"
+            )));
+        }
+        let mut word_states = Vec::with_capacity(words);
+        for _ in 0..words {
+            word_states.push(mem::coherence::word_state_from_code(r.take_u8()?)?);
+        }
+        let mut chunks = Vec::with_capacity(words / words_per_chunk);
+        for _ in 0..words / words_per_chunk {
+            let owner = match r.take_u8()? {
+                0 => None,
+                1 => Some(MapIndex(r.take_u8()?)),
+                v => return Err(corrupt(format!("unknown chunk owner code {v}"))),
+            };
+            chunks.push(ChunkMeta {
+                owner,
+                dirty: r.take_bool()?,
+                writeback_pending: r.take_bool()?,
+            });
+        }
+        Ok(Self {
+            word_states,
+            chunks,
+            words_per_chunk,
+        })
+    }
 }
 
 #[cfg(test)]

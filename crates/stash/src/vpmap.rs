@@ -181,6 +181,62 @@ impl VpMap {
     pub fn covers_page(&self, vpage: u64) -> bool {
         self.entries.iter().any(|e| e.vpage == vpage)
     }
+
+    /// Serializes capacity, page size, and live entries in table order.
+    pub fn save(&self, w: &mut sim::snapshot::Writer) {
+        w.put_usize(self.capacity);
+        w.put_u64(self.page_bytes);
+        w.put_usize(self.entries.len());
+        for e in &self.entries {
+            w.put_u64(e.vpage);
+            match e.frame {
+                None => w.put_u8(0),
+                Some(f) => {
+                    w.put_u8(1);
+                    w.put_u64(f);
+                }
+            }
+            w.put_u8(e.last_user.0);
+        }
+    }
+
+    /// Restores a VP-map written by [`VpMap::save`].
+    pub fn load(r: &mut sim::snapshot::Reader<'_>) -> Result<Self, SimError> {
+        let corrupt = |detail: String| SimError::CheckpointCorrupt {
+            what: "vp map",
+            detail,
+        };
+        let capacity = r.take_usize()?;
+        let page_bytes = r.take_u64()?;
+        if capacity == 0 || !page_bytes.is_power_of_two() {
+            return Err(corrupt(format!(
+                "capacity {capacity}, page size {page_bytes}"
+            )));
+        }
+        let n = r.take_usize()?;
+        if n > capacity {
+            return Err(corrupt(format!("{n} entries exceed capacity {capacity}")));
+        }
+        let mut entries = Vec::with_capacity(capacity);
+        for _ in 0..n {
+            let vpage = r.take_u64()?;
+            let frame = match r.take_u8()? {
+                0 => None,
+                1 => Some(r.take_u64()?),
+                v => return Err(corrupt(format!("unknown frame code {v}"))),
+            };
+            entries.push(VpEntry {
+                vpage,
+                frame,
+                last_user: MapIndex(r.take_u8()?),
+            });
+        }
+        Ok(Self {
+            entries,
+            capacity,
+            page_bytes,
+        })
+    }
 }
 
 #[cfg(test)]
