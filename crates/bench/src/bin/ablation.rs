@@ -23,15 +23,20 @@ use gpu::report::RunReport;
 use workloads::suite;
 
 type Tweak = Box<dyn FnOnce(&mut Machine) + Send>;
-type Job = Box<dyn FnOnce() -> RunReport + Send>;
+type CellError = (String, sim::SimError);
+type Job = Box<dyn FnOnce() -> Result<RunReport, CellError> + Send>;
 
 fn cell(name: &'static str, kind: MemConfigKind, tweak: Tweak) -> Job {
     Box::new(move || {
-        let w = suite::by_name(name).expect("registered workload");
+        let context = format!("ablation: {name} on {}", kind.name());
+        let Some(w) = suite::by_name(name) else {
+            let e = sim::SimError::Config(format!("workload {name:?} is not registered"));
+            return Err((context, e));
+        };
         let program = (w.build)(kind);
         let mut machine = Machine::new(w.set.system_config(), kind);
         tweak(&mut machine);
-        machine.run(&program).expect("workload runs")
+        machine.run(&program).map_err(|e| (context, e))
     })
 }
 
@@ -110,7 +115,19 @@ fn main() {
         ),
     ];
     let jobs_len = jobs.len();
-    let results = pool.run(jobs);
+    // A failed cell reports its (workload, configuration) context and
+    // exits nonzero — a deadlock additionally prints its diagnostic
+    // dump (exit 3) — instead of panicking mid-batch.
+    let mut results: Vec<JobResult<RunReport>> = Vec::with_capacity(jobs_len);
+    for job in pool.run(jobs) {
+        match job.value {
+            Ok(report) => results.push(JobResult {
+                value: report,
+                host_time: job.host_time,
+            }),
+            Err((context, e)) => std::process::exit(cli::sim_failure_status(&context, &e)),
+        }
+    }
     let r = |i: usize| -> &JobResult<RunReport> { &results[i] };
 
     println!("Ablation 1 — §4.5 data replication (Reuse, Stash config)");

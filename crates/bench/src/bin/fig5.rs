@@ -54,7 +54,10 @@ fn main() {
     if let Some(i) = args.iter().position(|a| a == "--csv") {
         let path =
             std::path::PathBuf::from(args.get(i + 1).map(String::as_str).unwrap_or("fig5.csv"));
-        write_csv(&path, &rows, &kinds).expect("csv written");
+        if let Err(e) = write_csv(&path, &rows, &kinds) {
+            eprintln!("fig5: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
         println!("wrote {}", path.display());
     }
     for panel in panels {

@@ -50,7 +50,15 @@ fn main() {
     let program = (workload.build)(kind);
     let mut machine = Machine::new(workload.set.system_config(), kind);
     let host = std::time::Instant::now();
-    let report = machine.run(&program).expect("workload runs");
+    let report = match machine.run(&program) {
+        Ok(report) => report,
+        Err(e) => {
+            // A deadlock prints its in-flight diagnostic dump (exit 3);
+            // anything else reports the cell and exits 1.
+            let context = format!("inspect: {name} on {}", kind.name());
+            std::process::exit(bench::cli::sim_failure_status(&context, &e));
+        }
+    };
     let host = host.elapsed();
 
     println!(

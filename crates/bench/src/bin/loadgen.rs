@@ -1,0 +1,197 @@
+//! `loadgen` — replay a seeded request mix against a `stashd` daemon
+//! and report throughput, latency percentiles, and cache hit rate.
+//!
+//! ```text
+//! cargo run --release -p bench --bin loadgen
+//! cargo run --release -p bench --bin loadgen -- --requests 40 --seed 7 --json
+//! cargo run --release -p bench --bin loadgen -- --stashd target/release/stashd
+//! ```
+//!
+//! By default the generator spawns a sibling `stashd` child on the
+//! stdio transport, sends `--requests` draws from the deterministic
+//! template mix (`bench::server::seeded_mix`), and shuts the daemon
+//! down. While replaying it checks the caching contract end to end:
+//! every repeated request must come back **byte-identical** to the
+//! first answer for the same template, and — when the mix repeats at
+//! all — at least one response must be served from the cache. Either
+//! violation exits 1, so the binary doubles as the daemon's smoke gate.
+//!
+//! Flags:
+//!
+//! ```text
+//! --requests N    number of requests to replay (default 24)
+//! --seed S        mix seed (default 1)
+//! --stashd PATH   daemon binary (default: sibling of this binary)
+//! --no-cache      pass --no-cache to the daemon (cold baseline)
+//! --json          machine-readable summary
+//! --threads N     forwarded to the daemon's simulation pool
+//! ```
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use bench::cli;
+use bench::server::{percentile, seeded_mix, sibling_binary, DaemonClient};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--requests N] [--seed S] [--stashd PATH] [--no-cache] [--json] \
+         [--threads N]"
+    );
+    std::process::exit(2);
+}
+
+fn value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            usage();
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        return Some(v);
+    }
+    let prefix = format!("{flag}=");
+    if let Some(i) = args.iter().position(|a| a.starts_with(&prefix)) {
+        let v = args.remove(i)[prefix.len()..].to_string();
+        return Some(v);
+    }
+    None
+}
+
+fn parsed_flag<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str, default: T) -> T {
+    match value_flag(args, flag) {
+        None => default,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("{flag} got a malformed value {s:?}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads = cli::thread_count(&args);
+    let json = cli::json_flag(&args);
+    let mut args = args;
+    cli::strip_common_flags(&mut args);
+    let requests: usize = parsed_flag(&mut args, "--requests", 24);
+    let seed: u64 = parsed_flag(&mut args, "--seed", 1);
+    let stashd = value_flag(&mut args, "--stashd");
+    let no_cache = {
+        let before = args.len();
+        args.retain(|a| a != "--no-cache");
+        args.len() != before
+    };
+    if args.len() > 1 {
+        usage();
+    }
+
+    let exe = stashd.map_or_else(
+        || {
+            sibling_binary("stashd").unwrap_or_else(|e| {
+                eprintln!("loadgen: cannot locate stashd: {e}");
+                std::process::exit(1);
+            })
+        },
+        std::path::PathBuf::from,
+    );
+    let threads_arg = threads.to_string();
+    let mut daemon_args = vec!["--threads", threads_arg.as_str()];
+    if no_cache {
+        daemon_args.push("--no-cache");
+    }
+    let mut client = DaemonClient::spawn(&exe, &daemon_args).unwrap_or_else(|e| {
+        eprintln!("loadgen: cannot start {}: {e}", exe.display());
+        std::process::exit(1);
+    });
+
+    let mix = seeded_mix(seed, requests);
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut hits = 0usize;
+    let mut errors = 0usize;
+    let mut mismatches = 0usize;
+    let mut first_payload: HashMap<String, String> = HashMap::new();
+    let mut repeats = 0usize;
+    let started = std::time::Instant::now();
+    for template in &mix {
+        let resp = client.request(template).unwrap_or_else(|e| {
+            eprintln!("loadgen: transport failed on {template}: {e}");
+            std::process::exit(1);
+        });
+        latencies.push(resp.latency);
+        if let Some(e) = resp.error {
+            eprintln!("loadgen: daemon error on {template}: {e}");
+            errors += 1;
+            continue;
+        }
+        if resp.cached {
+            hits += 1;
+        }
+        // The caching contract: a repeated template answers with the
+        // exact bytes of its first answer.
+        match first_payload.get(template) {
+            None => {
+                first_payload.insert(template.clone(), resp.payload);
+            }
+            Some(first) => {
+                repeats += 1;
+                if *first != resp.payload {
+                    eprintln!("loadgen: payload diverged on repeat of {template}");
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+    let wall = started.elapsed();
+    client.shutdown().unwrap_or_else(|e| {
+        eprintln!("loadgen: daemon shutdown failed: {e}");
+        std::process::exit(1);
+    });
+
+    #[allow(clippy::cast_precision_loss)]
+    let rps = requests as f64 / wall.as_secs_f64().max(1e-9);
+    let p50 = percentile(&latencies, 50);
+    let p95 = percentile(&latencies, 95);
+    #[allow(clippy::cast_precision_loss)]
+    let hit_rate = if requests == 0 {
+        0.0
+    } else {
+        hits as f64 / requests as f64
+    };
+
+    if json {
+        println!(
+            "{{\"requests\": {requests}, \"seed\": {seed}, \"wall_ms\": {:.1}, \
+             \"requests_per_sec\": {rps:.2}, \"p50_ms\": {:.2}, \"p95_ms\": {:.2}, \
+             \"cache_hits\": {hits}, \"cache_hit_rate\": {hit_rate:.3}, \
+             \"repeats\": {repeats}, \"payload_mismatches\": {mismatches}, \
+             \"errors\": {errors}}}",
+            wall.as_secs_f64() * 1e3,
+            p50.as_secs_f64() * 1e3,
+            p95.as_secs_f64() * 1e3,
+        );
+    } else {
+        println!(
+            "loadgen: {requests} requests in {:.1} ms — {rps:.1} req/s, \
+             p50 {:.2} ms, p95 {:.2} ms",
+            wall.as_secs_f64() * 1e3,
+            p50.as_secs_f64() * 1e3,
+            p95.as_secs_f64() * 1e3,
+        );
+        println!(
+            "loadgen: {hits}/{requests} served from cache ({:.0}%), {repeats} repeats \
+             byte-checked, {mismatches} mismatches, {errors} errors",
+            hit_rate * 100.0,
+        );
+    }
+
+    if errors > 0 || mismatches > 0 {
+        std::process::exit(1);
+    }
+    // With repeats in the mix and caching on, a zero hit rate means the
+    // daemon's memoization is broken — fail loudly.
+    if !no_cache && repeats > 0 && hits == 0 {
+        eprintln!("loadgen: mix repeated {repeats} request(s) but nothing hit the cache");
+        std::process::exit(1);
+    }
+}

@@ -43,6 +43,16 @@
 //! overhead column is only meaningful because the results are provably
 //! the same computation (DESIGN.md §15).
 //!
+//! With `--serve`, the binary measures the **daemon serving win**
+//! (BENCH_010): for every request template in the standard mix it first
+//! times a cold one-shot — a fresh `stashd --once --no-cache` child per
+//! request, paying process start-up, workload lowering, and the full
+//! simulation — then replays the same templates against one resident
+//! `stashd` over several rounds, where the content-addressed cache
+//! answers every repeat. Warm payloads are byte-compared against the
+//! cold ones before any latency is recorded, so the speedup column only
+//! ever compares identical answers (DESIGN.md §16).
+//!
 //! ```text
 //! cargo run --release -p bench --bin perf                 # text table
 //! cargo run --release -p bench --bin perf -- --json --out BENCH_006.json
@@ -54,9 +64,12 @@
 //! cargo run --release -p bench --bin perf -- --check BENCH_008.json
 //! cargo run --release -p bench --bin perf -- --checkpoint --json --out BENCH_009.json
 //! cargo run --release -p bench --bin perf -- --check BENCH_009.json
+//! cargo run --release -p bench --bin perf -- --serve --json --out BENCH_010.json
+//! cargo run --release -p bench --bin perf -- --check BENCH_010.json
 //! ```
 
 use bench::cli;
+use bench::server::{self, DaemonClient};
 use gpu::config::MemConfigKind;
 use gpu::machine::{Machine, ParallelConfig, RunCursor};
 use gpu::program::{CpuOp, CpuPhase, Kernel, Phase, Program, ThreadBlock, WarpOp};
@@ -582,6 +595,255 @@ fn run_ckpt_cell(w: &suite::Workload, kind: MemConfigKind, samples: usize) -> Ck
     }
 }
 
+/// One BENCH_010 template: cold one-shot daemon cost vs the warm
+/// resident-daemon answer for the same request.
+struct ServeCellResult {
+    template: String,
+    cold_ms: f64,
+    warm_ms: f64,
+    payload_bytes: usize,
+    digest: u64,
+}
+
+impl ServeCellResult {
+    fn speedup(&self) -> f64 {
+        self.cold_ms / self.warm_ms.max(1e-6)
+    }
+}
+
+struct ServeResult {
+    cells: Vec<ServeCellResult>,
+    warm_rounds: usize,
+    warm_requests: usize,
+    warm_wall_secs: f64,
+    cache_hits: u64,
+    cache_lookups: u64,
+    warm_latencies: Vec<std::time::Duration>,
+}
+
+impl ServeResult {
+    fn requests_per_sec(&self) -> f64 {
+        self.warm_requests as f64 / self.warm_wall_secs.max(1e-9)
+    }
+
+    fn cache_hit_rate(&self) -> f64 {
+        self.cache_hits as f64 / self.cache_lookups.max(1) as f64
+    }
+
+    fn p50_ms_cold(&self) -> f64 {
+        let colds: Vec<std::time::Duration> = self
+            .cells
+            .iter()
+            .map(|c| std::time::Duration::from_secs_f64(c.cold_ms / 1e3))
+            .collect();
+        server::percentile(&colds, 50).as_secs_f64() * 1e3
+    }
+
+    fn median_speedup(&self) -> f64 {
+        let mut speedups: Vec<f64> = self.cells.iter().map(ServeCellResult::speedup).collect();
+        speedups.sort_unstable_by(f64::total_cmp);
+        speedups[(speedups.len() - 1) / 2]
+    }
+}
+
+fn serve_fail(context: &str, e: &std::io::Error) -> ! {
+    eprintln!("perf --serve: {context}: {e}");
+    std::process::exit(1);
+}
+
+/// Runs the BENCH_010 protocol: cold one-shot per template, then
+/// `rounds` warm passes against one resident daemon. Every warm payload
+/// is byte-checked against the cold answer before its latency counts.
+fn run_serve(smoke: bool, rounds: usize, threads: usize) -> ServeResult {
+    let exe = server::sibling_binary("stashd")
+        .unwrap_or_else(|e| serve_fail("locating stashd next to perf", &e));
+    if !exe.exists() {
+        eprintln!(
+            "perf --serve: {} not built — build the whole bench crate first",
+            exe.display()
+        );
+        std::process::exit(1);
+    }
+    let threads_s = threads.to_string();
+    let mut templates = server::mix_templates();
+    if smoke {
+        templates.truncate(2);
+    }
+
+    // Cold: each request pays a fresh process + lowering + simulation.
+    // The clock starts at spawn, exactly what a one-shot bin costs.
+    let mut cells = Vec::new();
+    for template in &templates {
+        let start = Instant::now();
+        let mut client =
+            DaemonClient::spawn(&exe, &["--once", "--no-cache", "--threads", &threads_s])
+                .unwrap_or_else(|e| serve_fail("spawning cold stashd", &e));
+        let resp = client
+            .request(template)
+            .unwrap_or_else(|e| serve_fail("cold request", &e));
+        let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+        if let Some(err) = resp.error {
+            eprintln!("perf --serve: cold {template} failed: {err}");
+            std::process::exit(1);
+        }
+        cells.push(ServeCellResult {
+            template: template.clone(),
+            cold_ms,
+            warm_ms: f64::INFINITY,
+            payload_bytes: resp.payload.len(),
+            digest: sim::snapshot::fnv1a(resp.payload.as_bytes()),
+        });
+    }
+
+    // Warm: one resident daemon, `rounds` passes over the templates.
+    // Round 0 populates the cache; later rounds are the measurement.
+    let mut daemon = DaemonClient::spawn(&exe, &["--threads", &threads_s])
+        .unwrap_or_else(|e| serve_fail("spawning resident stashd", &e));
+    let mut warm_latencies = Vec::new();
+    let mut per_template: Vec<Vec<std::time::Duration>> = vec![Vec::new(); cells.len()];
+    let mut cache_hits = 0u64;
+    let mut cache_lookups = 0u64;
+    let mut warm_requests = 0usize;
+    let warm_start = Instant::now();
+    for round in 0..rounds {
+        for (i, cell) in cells.iter().enumerate() {
+            let resp = daemon
+                .request(&cell.template)
+                .unwrap_or_else(|e| serve_fail("warm request", &e));
+            if let Some(err) = resp.error {
+                eprintln!("perf --serve: warm {} failed: {err}", cell.template);
+                std::process::exit(1);
+            }
+            let digest = sim::snapshot::fnv1a(resp.payload.as_bytes());
+            assert_eq!(
+                cell.digest, digest,
+                "{}: warm payload diverged from the cold run",
+                cell.template
+            );
+            cache_lookups += 1;
+            cache_hits += u64::from(resp.cached);
+            warm_requests += 1;
+            if round > 0 {
+                assert!(
+                    resp.cached,
+                    "{}: repeat request missed the cache",
+                    cell.template
+                );
+                warm_latencies.push(resp.latency);
+                per_template[i].push(resp.latency);
+            }
+        }
+    }
+    let warm_wall_secs = warm_start.elapsed().as_secs_f64();
+    daemon
+        .shutdown()
+        .unwrap_or_else(|e| serve_fail("shutting down resident stashd", &e));
+    for (cell, lats) in cells.iter_mut().zip(&per_template) {
+        cell.warm_ms = server::percentile(lats, 50).as_secs_f64() * 1e3;
+    }
+
+    ServeResult {
+        cells,
+        warm_rounds: rounds,
+        warm_requests,
+        warm_wall_secs,
+        cache_hits,
+        cache_lookups,
+        warm_latencies,
+    }
+}
+
+fn print_serve_text(r: &ServeResult) {
+    println!(
+        "{:<58} {:>11} {:>11} {:>11} {:>9}",
+        "template", "bytes", "cold (ms)", "warm (ms)", "speedup"
+    );
+    for c in &r.cells {
+        println!(
+            "{:<58} {:>11} {:>11.2} {:>11.3} {:>8.0}x",
+            c.template,
+            c.payload_bytes,
+            c.cold_ms,
+            c.warm_ms,
+            c.speedup()
+        );
+    }
+    println!(
+        "\nwarm: {} requests over {} rounds in {:.2}s ({:.1} req/s), \
+         cache hit rate {:.2}",
+        r.warm_requests,
+        r.warm_rounds,
+        r.warm_wall_secs,
+        r.requests_per_sec(),
+        r.cache_hit_rate()
+    );
+    println!(
+        "latency p50 warm {:.3} ms  p95 warm {:.3} ms  p50 cold {:.2} ms  \
+         median speedup {:.0}x",
+        server::percentile(&r.warm_latencies, 50).as_secs_f64() * 1e3,
+        server::percentile(&r.warm_latencies, 95).as_secs_f64() * 1e3,
+        r.p50_ms_cold(),
+        r.median_speedup()
+    );
+}
+
+fn serve_to_json(r: &ServeResult) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"BENCH_010\",\n");
+    s.push_str("  \"runner\": \"daemon_serve\",\n");
+    s.push_str(&format!(
+        "  \"code_version\": \"{}\",\n",
+        cli::json_escape(server::CODE_VERSION)
+    ));
+    s.push_str(&format!("  \"host_cpus\": {},\n", host_cpus()));
+    s.push_str(&format!("  \"warm_rounds\": {},\n", r.warm_rounds));
+    s.push_str(&format!("  \"warm_requests\": {},\n", r.warm_requests));
+    s.push_str(&format!(
+        "  \"requests_per_sec\": {:.2},\n",
+        r.requests_per_sec()
+    ));
+    s.push_str(&format!(
+        "  \"cache_hit_rate\": {:.3},\n",
+        r.cache_hit_rate()
+    ));
+    s.push_str(&format!(
+        "  \"p50_ms_warm\": {:.4},\n",
+        server::percentile(&r.warm_latencies, 50).as_secs_f64() * 1e3
+    ));
+    s.push_str(&format!(
+        "  \"p95_ms_warm\": {:.4},\n",
+        server::percentile(&r.warm_latencies, 95).as_secs_f64() * 1e3
+    ));
+    s.push_str(&format!("  \"p50_ms_cold\": {:.3},\n", r.p50_ms_cold()));
+    s.push_str(&format!(
+        "  \"median_speedup\": {:.1},\n",
+        r.median_speedup()
+    ));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in r.cells.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!(
+            "      \"template\": \"{}\",\n",
+            cli::json_escape(&c.template)
+        ));
+        s.push_str(&format!("      \"payload_bytes\": {},\n", c.payload_bytes));
+        s.push_str(&format!(
+            "      \"payload_digest\": \"{:016x}\",\n",
+            c.digest
+        ));
+        s.push_str(&format!("      \"cold_ms\": {:.3},\n", c.cold_ms));
+        s.push_str(&format!("      \"warm_ms\": {:.4},\n", c.warm_ms));
+        s.push_str(&format!("      \"speedup\": {:.1}\n", c.speedup()));
+        s.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < r.cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 fn print_ckpt_text(cells: &[CkptCellResult]) {
     println!(
         "{:<16} {:<9} {:<9} {:>12} {:>9} {:>11} {:>11} {:>11} {:>9} {:>12} {:>13}",
@@ -911,7 +1173,21 @@ fn to_json(cells: &[CellResult], samples: usize) -> String {
 fn check_file(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     json_balanced(&text)?;
-    let markers: &[&str] = if text.contains("\"bench\": \"BENCH_009\"") {
+    let markers: &[&str] = if text.contains("\"bench\": \"BENCH_010\"") {
+        &[
+            "\"runner\": \"daemon_serve\"",
+            "\"code_version\"",
+            "\"host_cpus\"",
+            "\"cells\"",
+            "\"requests_per_sec\"",
+            "\"cache_hit_rate\"",
+            "\"p50_ms_warm\"",
+            "\"p95_ms_warm\"",
+            "\"p50_ms_cold\"",
+            "\"median_speedup\"",
+            "\"payload_digest\"",
+        ]
+    } else if text.contains("\"bench\": \"BENCH_009\"") {
         &[
             "\"runner\": \"checkpoint_overhead\"",
             "\"host_cpus\"",
@@ -1052,6 +1328,16 @@ fn main() {
         }
         print!("{text}");
     };
+    if args.iter().any(|a| a == "--serve") {
+        let rounds = if smoke { 2 } else { 1 + samples };
+        let result = run_serve(smoke, rounds, cli::thread_count(&args));
+        if json {
+            emit(serve_to_json(&result));
+        } else {
+            print_serve_text(&result);
+        }
+        return;
+    }
     if args.iter().any(|a| a == "--checkpoint") {
         let mut workloads: Vec<(suite::Workload, MemConfigKind)> = suite::micros()
             .into_iter()

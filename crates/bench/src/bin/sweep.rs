@@ -25,13 +25,17 @@ use gpu::report::RunReport;
 use sim::config::SystemConfig;
 use workloads::micro::{implicit, ondemand, reuse};
 
-fn run(kind: MemConfigKind, program: &Program) -> RunReport {
+fn run(kind: MemConfigKind, program: &Program) -> Result<RunReport, sim::SimError> {
     let mut machine = Machine::new(SystemConfig::for_microbenchmarks(), kind);
-    machine.run(program).expect("sweep point runs")
+    machine.run(program)
 }
 
 /// Runs one sweep's full `(point × config)` grid through the pool and
 /// regroups the results per point, with each row's summed host time.
+///
+/// A failed cell reports its configuration context and exits nonzero —
+/// a deadlock additionally prints its diagnostic dump (exit 3) —
+/// instead of panicking mid-batch.
 fn run_grid(
     pool: &JobPool,
     cells: Vec<(MemConfigKind, Program)>,
@@ -39,9 +43,23 @@ fn run_grid(
 ) -> Vec<(Vec<RunReport>, Duration)> {
     let jobs: Vec<_> = cells
         .into_iter()
-        .map(|(kind, program)| move || run(kind, &program))
+        .map(|(kind, program)| move || (kind, run(kind, &program)))
         .collect();
-    let mut results = pool.run(jobs).into_iter();
+    let mut results = Vec::with_capacity(jobs.len());
+    for job in pool.run(jobs) {
+        let (kind, outcome) = job.value;
+        match outcome {
+            Ok(report) => results.push(JobResult {
+                value: report,
+                host_time: job.host_time,
+            }),
+            Err(e) => {
+                let context = format!("sweep: point on {}", kind.name());
+                std::process::exit(cli::sim_failure_status(&context, &e));
+            }
+        }
+    }
+    let mut results = results.into_iter();
     let points = results.len() / per_point;
     (0..points)
         .map(|_| {

@@ -16,8 +16,10 @@ pub mod chaos;
 pub mod cli;
 pub mod crash;
 pub mod golden;
+pub mod json;
 pub mod pool;
 pub mod profile;
+pub mod server;
 pub mod timing;
 
 use std::time::{Duration, Instant};

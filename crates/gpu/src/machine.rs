@@ -116,12 +116,7 @@ pub struct RunCursor {
 /// from.
 #[must_use]
 pub fn program_fingerprint(program: &Program) -> u64 {
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in format!("{program:?}").bytes() {
-        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
-    }
-    h
+    sim::snapshot::fnv1a(format!("{program:?}").as_bytes())
 }
 
 /// Checkpoint section tag: machine progress metadata.

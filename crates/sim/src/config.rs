@@ -233,6 +233,18 @@ impl SystemConfig {
         w.put_u64(self.energy_scale_pct);
     }
 
+    /// A stable 64-bit content hash of the configuration: FNV-1a over the
+    /// canonical [`SystemConfig::save`] byte encoding, so two configs hash
+    /// equal iff every field is equal, across processes and builds. This
+    /// is the config component of the daemon's content-addressed
+    /// result-cache key.
+    #[must_use]
+    pub fn stable_hash(&self) -> u64 {
+        let mut w = crate::snapshot::Writer::new();
+        self.save(&mut w);
+        crate::snapshot::fnv1a(&w.into_bytes())
+    }
+
     /// Restores a configuration written by [`SystemConfig::save`] and
     /// re-validates it (a snapshot carrying an invalid config is corrupt).
     pub fn load(r: &mut crate::snapshot::Reader<'_>) -> Result<Self, crate::SimError> {
@@ -545,6 +557,28 @@ mod tests {
         assert_eq!((sys.cpu_cores, sys.gpu_cus), (1, 15));
         assert!(sys.validate().is_ok());
         assert!(p.label().starts_with("m8 h3/7 b32/i4"));
+    }
+
+    #[test]
+    fn stable_hash_tracks_every_field() {
+        let base = SystemConfig::for_applications();
+        assert_eq!(base.stable_hash(), base.stable_hash());
+        assert_ne!(
+            base.stable_hash(),
+            SystemConfig::for_microbenchmarks().stable_hash()
+        );
+        // A single-field change anywhere must move the hash.
+        let tweaked = SystemConfig {
+            l2_interleave_lines: 2,
+            ..base.clone()
+        };
+        assert_ne!(base.stable_hash(), tweaked.stable_hash());
+        // Every design-point overlay dimension is visible too.
+        let p = DesignPoint {
+            stash_map_entries: 16,
+            ..DesignPoint::default()
+        };
+        assert_ne!(base.stable_hash(), p.apply(&base).stable_hash());
     }
 
     #[test]

@@ -71,6 +71,20 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
+/// FNV-1a over a byte slice: the stable 64-bit content hash used wherever
+/// the repo needs an *identity* rather than an error-detecting code —
+/// program fingerprints in checkpoint META sections and the daemon's
+/// content-addressed result-cache keys. (CRC-32 stays the per-section
+/// damage detector; FNV is the addressing hash.)
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    h
+}
+
 /// Append-only little-endian byte sink for section payloads.
 #[derive(Debug, Default, Clone)]
 pub struct Writer {
@@ -483,6 +497,15 @@ fn parse_seq(name: &str) -> Option<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+        assert_ne!(fnv1a(b"stash"), fnv1a(b"stasH"));
+    }
 
     #[test]
     fn crc32_known_vectors() {

@@ -53,6 +53,19 @@ pub struct Workload {
     pub build: fn(MemConfigKind) -> Program,
 }
 
+impl Workload {
+    /// The FNV fingerprint of this workload lowered for `kind` — the
+    /// identity of a lowered program. It is the same value
+    /// `Machine::checkpoint` stores in a snapshot's META section and the
+    /// daemon uses as the program component of its result-cache key, so
+    /// the three layers can never disagree about what "the same program"
+    /// means.
+    #[must_use]
+    pub fn fingerprint(&self, kind: MemConfigKind) -> u64 {
+        gpu::machine::program_fingerprint(&(self.build)(kind))
+    }
+}
+
 impl std::fmt::Debug for Workload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Workload")
@@ -177,6 +190,26 @@ mod tests {
             assert!(by_name(n).is_some());
         }
         assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinguish_lowerings() {
+        let w = by_name("reuse").unwrap();
+        // Deterministic across calls...
+        assert_eq!(
+            w.fingerprint(MemConfigKind::Stash),
+            w.fingerprint(MemConfigKind::Stash)
+        );
+        // ...different per lowering target and per workload.
+        assert_ne!(
+            w.fingerprint(MemConfigKind::Stash),
+            w.fingerprint(MemConfigKind::Scratch)
+        );
+        let other = by_name("implicit").unwrap();
+        assert_ne!(
+            w.fingerprint(MemConfigKind::Stash),
+            other.fingerprint(MemConfigKind::Stash)
+        );
     }
 
     #[test]
